@@ -1,0 +1,114 @@
+"""Extension benches: beyond the paper's evaluation.
+
+The lossy-link bench prices the paper's perfect-link-layer assumption;
+the continuous-monitoring bench measures the epoch-delta variant the
+paper's future-work section points toward.
+"""
+
+from repro.experiments.extensions import run_continuous_monitoring, run_lossy_links
+
+
+def test_ext_lossy_links(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_lossy_links(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+    rows = {r["loss_rate"]: r for r in result.rows}
+    # Without ARQ, multi-hop delivery collapses fast with loss.
+    assert rows[0.3]["delivered_no_arq"] < 0.2
+    # ARQ (the paper's cited MAC reliability) restores delivery...
+    assert rows[0.3]["delivered_arq"] > 0.8
+    # ...at a visible but modest energy premium over the lossless run.
+    assert rows[0.3]["energy_mj_arq"] < 1.4 * rows[0.0]["energy_mj_arq"]
+    assert rows[0.3]["energy_mj_arq"] > rows[0.0]["energy_mj_arq"]
+
+
+def test_ext_continuous_monitoring(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_continuous_monitoring(), rounds=1, iterations=1
+    )
+    record_result(result)
+    rows = {r["epoch"]: r for r in result.rows}
+    # Steady state: no delta reports, far less traffic than snapshots.
+    assert rows[1]["delta_reports"] == 0
+    assert rows[1]["delta_kb"] < 0.4 * rows[1]["snapshot_kb"]
+    # The storm epoch re-reports only the affected stretch.
+    assert 0 < rows[3]["delta_reports"] < rows[0]["delta_reports"]
+    # Map quality holds throughout.
+    for row in result.rows:
+        assert row["delta_accuracy"] > 0.9
+    # Cumulative savings over the timeline.
+    total_delta = sum(r["delta_kb"] for r in result.rows)
+    total_snap = sum(r["snapshot_kb"] for r in result.rows)
+    assert total_delta < 0.5 * total_snap
+
+
+def test_ext_localization(benchmark, record_result):
+    """Iso-Map accuracy tracks the localization substrate's error: more
+    anchors -> tighter fixes -> better maps, with residual damage from
+    the error tail (flip outliers distort Voronoi cells)."""
+    from repro.experiments.extensions import run_localized_isomap
+
+    result = benchmark.pedantic(
+        lambda: run_localized_isomap(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+    rows = {r["anchor_fraction"]: r for r in result.rows}
+    # Localisation error falls with anchors.
+    assert rows[0.4]["loc_mean_err"] < rows[0.05]["loc_mean_err"]
+    # Mapping accuracy improves with anchors...
+    assert rows[0.4]["accuracy"] > rows[0.05]["accuracy"]
+    # ...but stays below GPS because of the error tail.
+    assert rows[0.4]["accuracy"] < rows[0.4]["accuracy_gps"]
+    # Coverage is near-total in the connected regime.
+    for row in result.rows:
+        assert row["coverage"] > 0.9
+
+
+def test_ext_epoch_latency(benchmark, record_result):
+    """Iso-Map's collection epoch drains the channel several times faster
+    than the full-collection protocols, and the gap widens with size."""
+    from repro.experiments.extensions import run_epoch_latency
+
+    result = benchmark.pedantic(
+        lambda: run_epoch_latency(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+    for row in result.rows:
+        assert row["isomap_s"] < row["tinydb_s"]
+        assert row["isomap_s"] < row["inlr_s"]
+    first, last = result.rows[0], result.rows[-1]
+    iso_growth = last["isomap_s"] / first["isomap_s"]
+    tdb_growth = last["tinydb_s"] / first["tinydb_s"]
+    assert tdb_growth > iso_growth
+
+
+def test_ext_network_lifetime(benchmark, record_result):
+    """Per-epoch energy translates to lifetime: Iso-Map extends time to
+    first node death by an order of magnitude over full collection, and
+    its funnel hotspot is shallower."""
+    from repro.experiments.extensions import run_network_lifetime
+
+    result = benchmark.pedantic(
+        lambda: run_network_lifetime(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+    rows = {r["protocol"]: r for r in result.rows}
+    assert rows["iso-map"]["epochs_first_death"] > 5 * rows["tinydb"]["epochs_first_death"]
+    assert rows["iso-map"]["epochs_first_death"] > rows["inlr"]["epochs_first_death"]
+    assert rows["iso-map"]["hotspot_ratio"] < rows["tinydb"]["hotspot_ratio"]
+
+
+def test_ext_sink_placement(benchmark, record_result):
+    """A corner sink deepens the funnel: larger diameter, more traffic,
+    and a hotter worst node than the centre placement."""
+    from repro.experiments.extensions import run_sink_placement
+
+    result = benchmark.pedantic(
+        lambda: run_sink_placement(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+    rows = {r["placement"]: r for r in result.rows}
+    assert rows["corner"]["diameter_hops"] > rows["centre"]["diameter_hops"]
+    assert rows["corner"]["traffic_kb"] > rows["centre"]["traffic_kb"]
+    assert rows["corner"]["hotspot_max_mj"] > rows["centre"]["hotspot_max_mj"]

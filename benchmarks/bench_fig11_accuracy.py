@@ -1,0 +1,46 @@
+"""Fig. 11 bench: mapping accuracy vs node density (a) and failures (b).
+
+Paper claims: accuracy of both protocols jumps above 80% as density
+grows, with Iso-Map slightly below TinyDB but comparable; a rough border
+range (large epsilon) helps at low density and hurts at high density;
+accuracy degrades with failures, and more than 40% failures make the
+maps unusable relative to their failure-free fidelity.
+"""
+
+from repro.experiments.fig11_accuracy import run_fig11a, run_fig11b
+
+
+def test_fig11a_accuracy_vs_density(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig11a(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    rows = {r["density"]: r for r in result.rows}
+    # Above-80% regime from moderate density on, for both protocols.
+    for density in (0.64, 1.0, 2.0, 4.0):
+        assert rows[density]["tinydb"] > 0.8
+        assert rows[density]["isomap_eps005"] > 0.8
+        # TinyDB slightly ahead but comparable.
+        assert rows[density]["tinydb"] >= rows[density]["isomap_eps005"] - 0.02
+        assert rows[density]["tinydb"] - rows[density]["isomap_eps005"] < 0.15
+    # Epsilon trade-off: rough border helps when sparse, hurts when dense.
+    assert rows[0.16]["isomap_eps025"] > rows[0.16]["isomap_eps005"]
+    assert rows[4.0]["isomap_eps025"] < rows[4.0]["isomap_eps005"]
+
+
+def test_fig11b_accuracy_vs_failures(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig11b(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    rows = {r["failure_ratio"]: r for r in result.rows}
+    # Monotone-ish degradation for both protocols.
+    assert rows[0.5]["tinydb"] < rows[0.0]["tinydb"]
+    assert rows[0.5]["isomap_eps005"] < rows[0.0]["isomap_eps005"]
+    # The rough border region tolerates failures better than the default.
+    assert (
+        rows[0.4]["isomap_eps025"] - rows[0.4]["isomap_eps005"]
+        > rows[0.0]["isomap_eps025"] - rows[0.0]["isomap_eps005"]
+    )

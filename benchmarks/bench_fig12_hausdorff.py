@@ -1,0 +1,48 @@
+"""Fig. 12 bench: isoline Hausdorff distance vs density (a) / failures (b).
+
+Paper claims: irregularity intensifies as density drops and as failures
+grow; Iso-Map's output is more regular on a grid deployment than on a
+random one (especially when sparse); TinyDB is relatively stable against
+density (grid-size-proportional) but proportionally more vulnerable to
+failures.
+"""
+
+import math
+
+from repro.experiments.fig12_hausdorff import run_fig12a, run_fig12b
+
+
+def test_fig12a_hausdorff_vs_density(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig12a(densities=(0.25, 1.0, 4.0), seeds=(1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    rows = {r["density"]: r for r in result.rows}
+    for series in ("isomap_random", "isomap_grid", "tinydb"):
+        assert not math.isnan(rows[1.0][series])
+        # Denser networks give more regular isolines.
+        assert rows[4.0][series] < rows[0.25][series]
+    # Grid deployment regularises Iso-Map's output in the sparse regime.
+    assert rows[0.25]["isomap_grid"] < rows[0.25]["isomap_random"]
+
+
+def test_fig12b_hausdorff_vs_failures(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig12b(failures=(0.0, 0.2, 0.4), seeds=(1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    rows = {r["failure_ratio"]: r for r in result.rows}
+    # Failures increase irregularity for both protocols.
+    assert rows[0.4]["isomap_random"] > rows[0.0]["isomap_random"]
+    assert rows[0.4]["tinydb"] > rows[0.0]["tinydb"]
+    # TinyDB is proportionally more failure-vulnerable (its failure-free
+    # irregularity is grid-limited and tiny, so failures multiply it more).
+    tdb_growth = rows[0.4]["tinydb"] / rows[0.0]["tinydb"]
+    iso_growth = rows[0.4]["isomap_random"] / rows[0.0]["isomap_random"]
+    assert tdb_growth > iso_growth

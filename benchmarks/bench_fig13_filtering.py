@@ -1,0 +1,44 @@
+"""Fig. 13 (and Fig. 9) bench: filtering thresholds vs reports/accuracy.
+
+Paper claims: higher tolerances of s_a and s_d cut more reports at a
+(modest) accuracy cost -- the traffic/fidelity knob; at the operating
+point (30 deg, 4) the report count is in the tens with accuracy close to
+the unfiltered map.
+"""
+
+from repro.experiments.fig13_filtering import run_fig09, run_fig13
+
+
+def test_fig13_threshold_sweeps(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig13(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    sa_rows = [r for r in result.rows if r["swept"] == "sa"]
+    sd_rows = [r for r in result.rows if r["swept"] == "sd"]
+    # Looser thresholds -> monotonically fewer reports.
+    sa_reports = [r["reports"] for r in sa_rows]
+    sd_reports = [r["reports"] for r in sd_rows]
+    assert all(a >= b for a, b in zip(sa_reports, sa_reports[1:]))
+    assert all(a >= b for a, b in zip(sd_reports, sd_reports[1:]))
+    # ...and no higher accuracy at the loosest than at the tightest end.
+    assert sa_rows[-1]["accuracy"] <= sa_rows[0]["accuracy"]
+    assert sd_rows[-1]["accuracy"] <= sd_rows[0]["accuracy"]
+    # Substantial savings at the paper's operating point, accuracy kept.
+    op = next(r for r in sa_rows if r["sa_deg"] == 30.0)
+    unfiltered = next(r for r in sd_rows if r["sd"] == 0.0)
+    assert op["reports"] < 0.5 * unfiltered["reports"]
+    assert op["accuracy"] > unfiltered["accuracy"] - 0.05
+
+
+def test_fig09_report_density_contrast(benchmark, record_result):
+    result = benchmark.pedantic(lambda: run_fig09(), rounds=1, iterations=1)
+    record_result(result)
+
+    off, on = result.rows
+    assert off["filtering"] == "off"
+    assert on["reports"] < 0.5 * off["reports"]
+    # "Evenly filtering some of the reports indeed does not degrade the
+    # result by much."
+    assert on["accuracy"] > off["accuracy"] - 0.05

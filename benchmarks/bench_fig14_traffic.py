@@ -1,0 +1,43 @@
+"""Fig. 14 bench: network traffic vs diameter (a) and density (b).
+
+Paper claims: TinyDB's and INLR's traffic grows rapidly with the network
+diameter while Iso-Map imposes much less; against density all three grow
+but Iso-Map with a much smaller factor.
+"""
+
+from repro.experiments.fig14_traffic import run_fig14a, run_fig14b
+
+
+def test_fig14a_traffic_vs_diameter(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig14a(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    first, last = result.rows[0], result.rows[-1]
+    # Iso-Map wins at every size, by a growing margin.
+    for row in result.rows:
+        assert row["isomap_kb"] < row["tinydb_kb"]
+        assert row["isomap_kb"] < row["inlr_kb"]
+    # The full-collection protocols grow much faster than Iso-Map.
+    tdb_growth = last["tinydb_kb"] / first["tinydb_kb"]
+    iso_growth = last["isomap_kb"] / first["isomap_kb"]
+    assert tdb_growth > 1.5 * iso_growth
+    # At the paper's largest size the gap is large (paper: ~6x TinyDB).
+    assert last["tinydb_kb"] > 3 * last["isomap_kb"]
+
+
+def test_fig14b_traffic_vs_density(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig14b(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    # All protocols' traffic grows with density...
+    for key in ("isomap_kb", "tinydb_kb", "inlr_kb"):
+        series = result.column(key)
+        assert series[-1] > series[0]
+    # ...but Iso-Map stays the cheapest throughout.
+    for row in result.rows:
+        assert row["isomap_kb"] < row["tinydb_kb"]
+        assert row["isomap_kb"] < row["inlr_kb"]

@@ -1,0 +1,27 @@
+"""Fig. 15 bench: per-node computational intensity vs network size.
+
+Paper claims: INLR's per-node computation is comparatively huge and
+grows with the network size; TinyDB and Iso-Map stay low; the amplified
+view shows Iso-Map's per-node computation does NOT grow with the network
+size (constant per node).
+"""
+
+from repro.experiments.fig15_computation import run_fig15
+
+
+def test_fig15_computation(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig15(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    first, last = result.rows[0], result.rows[-1]
+    # INLR is the heavyweight at every size and keeps growing.
+    for row in result.rows:
+        assert row["inlr_ops"] > 3 * row["isomap_ops"]
+        assert row["inlr_ops"] > 3 * row["tinydb_ops"]
+    assert last["inlr_ops"] > 1.5 * first["inlr_ops"]
+    # Fig. 15b (amplified view): Iso-Map per-node ops are constant in n --
+    # the largest network costs within 35% of the smallest.
+    iso = result.column("isomap_ops")
+    assert max(iso) < 1.35 * min(iso)

@@ -1,0 +1,29 @@
+"""Fig. 16 bench: per-node energy consumption for contour mapping.
+
+Paper claims: Iso-Map significantly reduces per-node energy compared
+with TinyDB and INLR, and -- unlike theirs -- its per-node cost barely
+grows with the network size.
+"""
+
+from repro.experiments.fig16_energy import run_fig16
+
+
+def test_fig16_energy(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig16(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    first, last = result.rows[0], result.rows[-1]
+    # Iso-Map is the cheapest at every size.
+    for row in result.rows:
+        assert row["isomap_mj"] < row["tinydb_mj"]
+        assert row["isomap_mj"] < row["inlr_mj"]
+    # TinyDB's and INLR's per-node energy grows with network size...
+    assert last["tinydb_mj"] > 1.8 * first["tinydb_mj"]
+    assert last["inlr_mj"] > 1.2 * first["inlr_mj"]
+    # ...while Iso-Map's stays nearly flat (the scalability headline).
+    iso = result.column("isomap_mj")
+    assert max(iso) < 1.4 * min(iso)
+    # And the absolute gap at scale is large (paper: several-fold).
+    assert last["tinydb_mj"] > 3 * last["isomap_mj"]

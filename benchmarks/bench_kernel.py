@@ -1,0 +1,76 @@
+"""Performance microbenchmarks of the hot kernels.
+
+Unlike the figure benches (single-shot experiment regenerations), these
+time the computational kernels properly (multiple rounds) so performance
+regressions in the geometry/reconstruction/simulation code are visible.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
+from repro.core.reconstruction import build_level_region
+from repro.core.reports import IsolineReport
+from repro.field import extract_isolines, make_harbor_field
+from repro.geometry import BoundingBox, bounded_voronoi
+from repro.network import SensorNetwork, build_adjacency
+
+
+@pytest.fixture(scope="module")
+def harbor_net():
+    return SensorNetwork.random_deploy(make_harbor_field(), 2500, seed=1)
+
+
+def _ring_reports(n, seed=0):
+    rng = random.Random(seed)
+    out = []
+    for k in range(n):
+        t = 2 * math.pi * k / n + rng.uniform(-0.1, 0.1)
+        r = 15 + rng.uniform(-2, 2)
+        p = (25 + r * math.cos(t), 25 + r * math.sin(t))
+        out.append(IsolineReport(8.0, p, (math.cos(t), math.sin(t)), k))
+    return out
+
+
+def test_kernel_voronoi_100_sites(benchmark):
+    rng = random.Random(1)
+    sites = [(rng.uniform(1, 49), rng.uniform(1, 49)) for _ in range(100)]
+    box = BoundingBox(0, 0, 50, 50)
+    cells = benchmark(bounded_voronoi, sites, box)
+    assert len(cells) == 100
+
+
+def test_kernel_level_reconstruction_60_reports(benchmark):
+    reports = _ring_reports(60)
+    box = BoundingBox(0, 0, 50, 50)
+    region = benchmark(build_level_region, 8.0, reports, box)
+    assert region.loops
+
+
+def test_kernel_adjacency_2500_nodes(benchmark):
+    rng = random.Random(2)
+    pts = [(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(2500)]
+    adj = benchmark(build_adjacency, pts, 1.5)
+    assert len(adj) == 2500
+
+
+def test_kernel_full_protocol_2500(benchmark, harbor_net):
+    query = ContourQuery(6.0, 12.0, 2.0)
+    proto = IsoMapProtocol(query, FilterConfig(30.0, 4.0))
+    result = benchmark(proto.run, harbor_net)
+    assert result.delivered_reports
+
+
+def test_kernel_marching_squares_200(benchmark):
+    field = make_harbor_field()
+    lines = benchmark(extract_isolines, field, 8.0, 200, 200)
+    assert lines
+
+
+def test_kernel_raster_classification(benchmark, harbor_net):
+    query = ContourQuery(6.0, 12.0, 2.0)
+    result = IsoMapProtocol(query, FilterConfig(30.0, 4.0)).run(harbor_net)
+    raster = benchmark(result.contour_map.classify_raster, 100, 100)
+    assert raster.shape == (100, 100)

@@ -1,0 +1,50 @@
+"""Table 1 + Theorem 4.1 bench: asymptotic claims vs measured exponents.
+
+Renders the paper's analytical comparison and fits measured report
+counts against ``a * n^b``:
+
+- TinyDB (and the other full-collection protocols) must fit b ~ 1;
+- data suppression stays O(n) (b close to 1, reduced by a degree factor);
+- Iso-Map in the theorem's constant-K regime must fit b ~ 0.5
+  (Theorem 4.1); on the harbor windows the effective contour count grows
+  with the window, so its exponent there lands between 0.5 and 1.
+"""
+
+from repro.experiments.table1_overheads import (
+    analytical_table,
+    run_table1,
+    run_theorem41,
+)
+
+
+def test_table1_scaling_exponents(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_table1(seeds=(1, 2)), rounds=1, iterations=1
+    )
+    print()
+    print(analytical_table())
+    record_result(result)
+
+    fits = {r["protocol"]: r for r in result.rows}
+    assert abs(fits["tinydb"]["fitted_exponent"] - 1.0) < 0.05
+    assert 0.7 < fits["suppression"]["fitted_exponent"] <= 1.1
+    # Harbor windows: between the fixed-K 0.5 and the feature-growth 1.0.
+    assert 0.4 < fits["isomap"]["fitted_exponent"] < 1.2
+    for row in result.rows:
+        assert row["r_squared"] > 0.9
+
+
+def test_theorem41_sqrt_scaling(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_theorem41(seeds=(1, 2, 3)), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    from repro.analysis import fit_power_law
+
+    ns = result.column("n_nodes")
+    counts = result.column("isoline_nodes")
+    fit = fit_power_law(ns, counts)
+    # Theorem 4.1: O(sqrt(n)) in the constant-K regime.
+    assert 0.35 < fit.exponent < 0.65
+    assert fit.r_squared > 0.85

@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+Each bench regenerates one paper table/figure: it runs the experiment
+once (pedantic single-round timing via pytest-benchmark), prints the
+row/series table, writes it under ``benchmarks/results/``, and asserts
+the paper's qualitative claims (who wins, growth shapes, crossovers).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_result():
+    """Print an ExperimentResult table and persist it to results/."""
+
+    def _record(result):
+        table = result.to_table()
+        print()
+        print(table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(table + "\n")
+        (RESULTS_DIR / f"{result.experiment_id}.csv").write_text(result.to_csv())
+        return result
+
+    return _record

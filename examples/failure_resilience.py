@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Failure resilience: mapping quality as sensors die (Figs. 11b / 12b).
+
+Buoys fail -- batteries drown, ropes snap.  This example sweeps the
+failure ratio under both failure semantics the simulator models:
+
+- ``sensing``: the node stops producing data but keeps forwarding
+  (the paper's smooth-degradation regime), and
+- ``crash``: the node disappears entirely and routing re-forms around
+  the survivors (harsher: the graph fragments near the percolation
+  threshold at average degree ~7).
+
+It also contrasts the paper's epsilon remedy: a rough border region
+(eps = 0.25 T) keeps more redundant isoline nodes and tolerates failures
+better, at some cost in failure-free fidelity.
+
+Run:  python examples/failure_resilience.py
+"""
+
+from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
+from repro.field import make_harbor_field
+from repro.field.harbor import DEFAULT_ISOLEVELS
+from repro.metrics import mapping_accuracy
+from repro.network import SensorNetwork
+
+RATIOS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def run_once(network, eps):
+    query = ContourQuery(6.0, 12.0, 2.0, epsilon_fraction=eps)
+    return IsoMapProtocol(query, FilterConfig(30.0, 4.0)).run(network)
+
+
+def main() -> None:
+    field = make_harbor_field()
+    levels = list(DEFAULT_ISOLEVELS)
+
+    for mode in ("sensing", "crash"):
+        print(f"=== failure mode: {mode} ===")
+        print(
+            f"{'failures':>8s} {'reports(e=.05)':>14s} {'acc(e=.05)':>10s} "
+            f"{'reports(e=.25)':>14s} {'acc(e=.25)':>10s} {'reachable':>9s}"
+        )
+        for ratio in RATIOS:
+            network = SensorNetwork.random_deploy(
+                field, 2500, radio_range=1.5, seed=3
+            )
+            network.fail_random(ratio, mode=mode)
+            cells = []
+            for eps in (0.05, 0.25):
+                result = run_once(network, eps)
+                acc = mapping_accuracy(field, result.contour_map, levels)
+                cells.append((len(result.delivered_reports), acc))
+            print(
+                f"{ratio:8.0%} {cells[0][0]:14d} {cells[0][1]:10.1%} "
+                f"{cells[1][0]:14d} {cells[1][1]:10.1%} "
+                f"{network.tree.reachable_count():9d}"
+            )
+        print()
+    print(
+        "Past ~40% failures the maps stop being usable (the paper's "
+        "observation); the rough border region degrades more gracefully."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Protocol shoot-out: Iso-Map vs the four baselines on one field.
+
+Runs every protocol the paper compares (Table 1 / Figs. 14-16) over the
+harbor bathymetry at density 1 and prints the full cost/fidelity matrix:
+delivered units, traffic, per-node computation, per-node energy, and
+mapping accuracy.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro.baselines import (
+    DataSuppressionProtocol,
+    EScanProtocol,
+    INLRProtocol,
+    IsolineAggregationProtocol,
+    TinyDBProtocol,
+)
+from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
+from repro.energy import energy_from_costs
+from repro.field import make_harbor_field
+from repro.field.harbor import DEFAULT_ISOLEVELS
+from repro.metrics import mapping_accuracy
+from repro.network import SensorNetwork
+
+N_NODES = 2500
+
+
+def main() -> None:
+    field = make_harbor_field()
+    levels = list(DEFAULT_ISOLEVELS)
+    # Iso-Map works on the random deployment; the grid-requiring baselines
+    # (Section 4.3) get their native grid.
+    random_net = SensorNetwork.random_deploy(field, N_NODES, radio_range=1.5, seed=1)
+    grid_net = SensorNetwork.grid_deploy(field, N_NODES, radio_range=1.5, seed=1)
+
+    rows = []
+
+    query = ContourQuery(6.0, 12.0, 2.0)
+    iso = IsoMapProtocol(query, FilterConfig(30.0, 4.0)).run(random_net)
+    rows.append(
+        (
+            "iso-map",
+            "random",
+            len(iso.delivered_reports),
+            iso.costs,
+            mapping_accuracy(field, iso.contour_map, levels),
+        )
+    )
+
+    for proto, net in (
+        (TinyDBProtocol(levels), grid_net),
+        (INLRProtocol(levels), grid_net),
+        (EScanProtocol(levels), random_net),
+        (DataSuppressionProtocol(levels), grid_net),
+        (IsolineAggregationProtocol(query), random_net),
+    ):
+        run = proto.run(net)
+        rows.append(
+            (
+                run.name,
+                "grid" if net is grid_net else "random",
+                run.reports_delivered,
+                run.costs,
+                mapping_accuracy(field, run.band_map, levels),
+            )
+        )
+
+    header = (
+        f"{'protocol':12s} {'deploy':7s} {'delivered':>9s} {'traffic KB':>10s} "
+        f"{'ops/node':>9s} {'energy mJ':>9s} {'accuracy':>8s}"
+    )
+    print(f"harbor field, n = {N_NODES}, density 1, radio range 1.5")
+    print(header)
+    print("-" * len(header))
+    for name, deploy, delivered, costs, acc in rows:
+        energy = energy_from_costs(costs)
+        print(
+            f"{name:12s} {deploy:7s} {delivered:9d} "
+            f"{costs.total_traffic_kb():10.1f} "
+            f"{costs.per_node_ops_mean():9.1f} "
+            f"{energy.per_node_mean_mj():9.3f} "
+            f"{acc:8.1%}"
+        )
+    print(
+        "\nIso-Map delivers comparable fidelity to the full-collection "
+        "reference at a fraction of the traffic and energy -- the paper's "
+        "headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

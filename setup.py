@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network access and no ``wheel`` package,
+so PEP 517/660 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the classic
+``setup.py develop`` code path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

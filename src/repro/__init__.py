@@ -1,0 +1,70 @@
+"""Iso-Map: energy-efficient contour mapping in wireless sensor networks.
+
+A full reproduction of Li & Liu's Iso-Map protocol (ICDCS 2007; extended
+in IEEE TKDE 22(5), 2010): the protocol itself, the WSN simulation
+substrate it runs on, the four baseline protocols the paper compares
+against, the evaluation metrics, and a benchmark harness regenerating
+every table and figure of the paper's evaluation.
+
+Quick tour::
+
+    from repro import (
+        ContourQuery, FilterConfig, IsoMapProtocol,
+        SensorNetwork, make_harbor_field,
+    )
+
+    field = make_harbor_field()
+    network = SensorNetwork.random_deploy(field, n=2500, radio_range=1.5)
+    query = ContourQuery(value_lo=6.0, value_hi=12.0, granularity=2.0)
+    result = IsoMapProtocol(query, FilterConfig(30.0, 4.0)).run(network)
+    print(result.contour_map.band_at((25.0, 25.0)))
+
+Subpackages:
+
+- :mod:`repro.core` -- the Iso-Map protocol (detection, gradient
+  regression, filtering, Voronoi reconstruction, regulation).
+- :mod:`repro.field` -- scalar fields, the harbor trace stand-in,
+  marching-squares ground truth.
+- :mod:`repro.network` -- deployment, disk radio, routing tree, failures,
+  cost accounting.
+- :mod:`repro.energy` -- the Mica2 energy model.
+- :mod:`repro.baselines` -- TinyDB, INLR, eScan, data suppression.
+- :mod:`repro.metrics` -- accuracy, Hausdorff distance, gradient error.
+- :mod:`repro.analysis` -- scaling fits, Table 1.
+- :mod:`repro.experiments` -- one module per paper figure/table.
+- :mod:`repro.viz` -- ASCII contour-map rendering.
+"""
+
+from repro.core import (
+    ContourMap,
+    ContourQuery,
+    FilterConfig,
+    IsoMapProtocol,
+    IsoMapResult,
+    IsolineReport,
+)
+from repro.energy import Mica2Model, energy_from_costs
+from repro.field import ScalarField, make_harbor_field
+from repro.geometry import BoundingBox
+from repro.metrics import mapping_accuracy
+from repro.network import CostAccountant, SensorNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundingBox",
+    "ContourMap",
+    "ContourQuery",
+    "CostAccountant",
+    "FilterConfig",
+    "IsoMapProtocol",
+    "IsoMapResult",
+    "IsolineReport",
+    "Mica2Model",
+    "ScalarField",
+    "SensorNetwork",
+    "energy_from_costs",
+    "make_harbor_field",
+    "mapping_accuracy",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Analysis helpers: scaling fits and the paper's asymptotic comparison.
+
+- :mod:`repro.analysis.scaling` -- log-log power-law fits used to verify
+  Theorem 4.1 (isoline-node count ~ sqrt(n)) and the per-protocol traffic
+  orders empirically.
+- :mod:`repro.analysis.theory` -- the closed-form overhead comparison of
+  Table 1.
+"""
+
+from repro.analysis.scaling import PowerLawFit, fit_power_law
+from repro.analysis.theory import TABLE1_ROWS, table1
+
+__all__ = ["PowerLawFit", "fit_power_law", "TABLE1_ROWS", "table1"]

@@ -1,0 +1,64 @@
+"""Power-law fits on measured scaling data.
+
+Theorem 4.1 claims the number of isoline nodes grows as O(sqrt(n)); the
+traffic comparison claims O(n) for the full-collection protocols.  The
+benchmark harness measures counts over an ``n`` sweep and fits
+``y = a * n^b`` by least squares in log-log space; the exponent ``b`` is
+the reproduced claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """The fit ``y = coefficient * x ** exponent``.
+
+    Attributes:
+        exponent: the fitted power.
+        coefficient: the fitted prefactor.
+        r_squared: goodness of fit in log-log space.
+    """
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log y = log a + b log x``.
+
+    Raises:
+        ValueError: with fewer than two points or non-positive data
+            (logarithms would be undefined).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must parallel")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fits need positive data")
+
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((v - mx) ** 2 for v in lx)
+    sxy = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("all x values identical; exponent is undefined")
+    b = sxy / sxx
+    a = my - b * mx
+
+    ss_tot = sum((v - my) ** 2 for v in ly)
+    ss_res = sum((yv - (a + b * xv)) ** 2 for xv, yv in zip(lx, ly))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(exponent=b, coefficient=math.exp(a), r_squared=r2)

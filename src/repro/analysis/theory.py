@@ -1,0 +1,54 @@
+"""Table 1: asymptotic overhead comparison of the five protocols.
+
+The paper's Table 1 summarises Section 4's analysis.  The rows below are
+that analysis verbatim; :func:`table1` renders them, and the
+``bench_table1_overheads`` harness sits the *measured* scaling exponents
+next to the claimed orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One protocol's asymptotic profile (Table 1).
+
+    Attributes:
+        protocol: protocol name.
+        reports: asymptotic number of generated reports.
+        computation: asymptotic network-wide computation.
+        deployment: sensor-deployment requirement.
+    """
+
+    protocol: str
+    reports: str
+    computation: str
+    deployment: str
+
+
+#: Section 4.3's comparison, row for row.
+TABLE1_ROWS: List[OverheadRow] = [
+    OverheadRow("TinyDB", "n", "O(n)", "grid"),
+    OverheadRow("eScan", "n", "O(n^4) worst case", "any"),
+    OverheadRow("INLR", "n", "Omega(n^1.5)", "grid"),
+    OverheadRow("Data suppression", "O(n)", "Omega(n*d), d = 2-hop degree", "grid"),
+    OverheadRow("Iso-Map", "O(sqrt(n))", "O(n)", "any"),
+]
+
+
+def table1() -> str:
+    """Render Table 1 as a fixed-width text table."""
+    header = ("Protocol", "Generated reports", "Network computation", "Deployment")
+    rows = [header] + [
+        (r.protocol, r.reports, r.computation, r.deployment) for r in TABLE1_ROWS
+    ]
+    widths = [max(len(row[c]) for row in rows) for c in range(4)]
+    lines = []
+    for k, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if k == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Baseline contour-mapping protocols the paper compares against.
+
+All four reimplementations follow the descriptions in Sections 4.3 and 6
+of the paper:
+
+- :mod:`repro.baselines.tinydb` -- TinyDB [8]: every node reports, no
+  aggregation; the fidelity reference and the per-node-computation lower
+  bound.
+- :mod:`repro.baselines.inlr` -- INLR [27]: in-network aggregation of
+  model-described contour regions; heavy intermediate-node computation.
+- :mod:`repro.baselines.escan` -- eScan [28]: aggregation of
+  (VALUE, COVERAGE) tuples with polygon merging.
+- :mod:`repro.baselines.suppression` -- the data-suppression protocol
+  [15]: 2-hop neighbourhood similarity suppression plus sink
+  interpolation.
+- :mod:`repro.baselines.isoline_agg` -- isoline aggregation [22]:
+  isoline-restricted reporting WITHOUT gradient directions (the
+  related-work design closest to Iso-Map, with its two unspecified steps
+  filled in as favourably as position-only data allows).
+
+Every protocol exposes ``run(network) -> ProtocolRun`` with a band map
+and a cost accountant, so the experiment harness treats them and Iso-Map
+uniformly.
+"""
+
+from repro.baselines.base import NearestReportBandMap, ProtocolRun
+from repro.baselines.tinydb import TinyDBProtocol
+from repro.baselines.inlr import INLRProtocol
+from repro.baselines.escan import EScanProtocol
+from repro.baselines.suppression import DataSuppressionProtocol
+from repro.baselines.isoline_agg import IsolineAggregationProtocol
+
+__all__ = [
+    "NearestReportBandMap",
+    "ProtocolRun",
+    "TinyDBProtocol",
+    "INLRProtocol",
+    "EScanProtocol",
+    "DataSuppressionProtocol",
+    "IsolineAggregationProtocol",
+]

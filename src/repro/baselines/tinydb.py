@@ -1,0 +1,78 @@
+"""TinyDB-style full collection (Hellerstein et al. [8]).
+
+The paper's fidelity reference: "In its aggregate-free version, all
+sensor nodes are required to report and a simple algorithm is employed
+without data aggregation."  Every sensing node sends its reading to the
+sink hop by hop; intermediate nodes store and forward (the per-node
+computation lower bound, Section 5.2); the sink classifies the field by
+nearest-reading interpolation, which on TinyDB's native grid deployment
+is exactly the per-grid-cell isobar map of [8].
+
+Report size: on a grid deployment a reading addresses its cell
+(2 parameters); on a random deployment it must carry coordinates
+(3 parameters).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.base import (
+    NearestReportBandMap,
+    ProtocolRun,
+    disseminate_query,
+    forward_reports_to_sink,
+)
+from repro.core.wire import GRID_REPORT_BYTES, QUERY_BYTES, VALUE_REPORT_BYTES
+from repro.network import CostAccountant, SensorNetwork
+
+
+class TinyDBProtocol:
+    """Full-collection contour mapping.
+
+    Args:
+        levels: the isolevels of the requested contour map.
+        grid_addressing: use the 2-parameter grid report format (set True
+            when the network uses TinyDB's native grid deployment).
+    """
+
+    name = "tinydb"
+
+    def __init__(self, levels: Sequence[float], grid_addressing: bool = True):
+        if not levels:
+            raise ValueError("need at least one isolevel")
+        self.levels = sorted(levels)
+        self.grid_addressing = grid_addressing
+
+    @property
+    def report_bytes(self) -> int:
+        return GRID_REPORT_BYTES if self.grid_addressing else VALUE_REPORT_BYTES
+
+    def run(self, network: SensorNetwork) -> ProtocolRun:
+        """One collection epoch: query down, every reading up, map at sink."""
+        costs = CostAccountant(network.n_nodes)
+        disseminate_query(network, QUERY_BYTES, costs)
+
+        sources = [
+            node.node_id
+            for node in network.nodes
+            if node.can_sense and node.level is not None
+        ]
+        delivered = forward_reports_to_sink(
+            network, sources, self.report_bytes, costs
+        )
+        costs.reports_generated = len(sources)
+        costs.reports_delivered = len(delivered)
+
+        band_map = NearestReportBandMap(
+            network.bounds,
+            [network.nodes[i].position for i in delivered],
+            [network.nodes[i].value for i in delivered],
+            self.levels,
+        )
+        return ProtocolRun(
+            name=self.name,
+            band_map=band_map,
+            costs=costs,
+            reports_delivered=len(delivered),
+        )

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``map``        -- run one Iso-Map epoch over the harbor field and print
+                    stats (optionally the ASCII map).
+- ``compare``    -- run all five protocols and print the cost/fidelity
+                    matrix.
+- ``experiment`` -- regenerate one paper figure/table by id (e.g.
+                    ``fig11a``, ``fig14a``, ``table1``, ``theorem41``) or
+                    an ablation/extension id.
+- ``theory``     -- print the paper's analytical Table 1.
+- ``list``       -- list available experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+
+def _experiment_registry() -> Dict[str, Callable]:
+    """Lazy registry: experiment id -> zero-arg runner (light defaults)."""
+    from repro.experiments.ablations import (
+        run_ablation_filtering_placement,
+        run_ablation_gradient,
+        run_ablation_localization,
+        run_ablation_regression,
+        run_ablation_regulation,
+    )
+    from repro.experiments.extensions import (
+        run_continuous_monitoring,
+        run_localized_isomap,
+        run_lossy_links,
+    )
+    from repro.experiments.fig07_gradient_error import run_fig07
+    from repro.experiments.fig10_maps import run_fig10
+    from repro.experiments.fig11_accuracy import run_fig11a, run_fig11b
+    from repro.experiments.fig12_hausdorff import run_fig12a, run_fig12b
+    from repro.experiments.fig13_filtering import run_fig09, run_fig13
+    from repro.experiments.fig14_traffic import run_fig14a, run_fig14b
+    from repro.experiments.fig15_computation import run_fig15
+    from repro.experiments.fig16_energy import run_fig16
+    from repro.experiments.table1_overheads import run_table1, run_theorem41
+
+    return {
+        "fig07": lambda: run_fig07(seeds=(1,)),
+        "fig09": run_fig09,
+        "fig10": lambda: run_fig10(seed=1),
+        "fig11a": lambda: run_fig11a(seeds=(1,)),
+        "fig11b": lambda: run_fig11b(seeds=(1,)),
+        "fig12a": lambda: run_fig12a(seeds=(1,)),
+        "fig12b": lambda: run_fig12b(seeds=(1,)),
+        "fig13": lambda: run_fig13(seeds=(1,)),
+        "fig14a": lambda: run_fig14a(seeds=(1,)),
+        "fig14b": lambda: run_fig14b(seeds=(1,)),
+        "fig15": lambda: run_fig15(seeds=(1,)),
+        "fig16": lambda: run_fig16(seeds=(1,)),
+        "table1": lambda: run_table1(seeds=(1,)),
+        "theorem41": lambda: run_theorem41(seeds=(1,)),
+        "ablation_gradient": lambda: run_ablation_gradient(seeds=(1,)),
+        "ablation_filter_placement": lambda: run_ablation_filtering_placement(
+            seeds=(1,)
+        ),
+        "ablation_regulation": lambda: run_ablation_regulation(seeds=(1,)),
+        "ablation_regression": lambda: run_ablation_regression(seeds=(1,)),
+        "ablation_localization": lambda: run_ablation_localization(seeds=(1,)),
+        "ext_lossy_links": lambda: run_lossy_links(seeds=(1,)),
+        "ext_continuous": run_continuous_monitoring,
+        "ext_localization": lambda: run_localized_isomap(seeds=(1,)),
+    }
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
+    from repro.energy import energy_from_costs
+    from repro.field import make_harbor_field
+    from repro.field.harbor import DEFAULT_ISOLEVELS
+    from repro.metrics import mapping_accuracy
+    from repro.network import SensorNetwork
+    from repro.viz import render_band_map
+
+    field = make_harbor_field(seed=args.field_seed)
+    network = SensorNetwork.random_deploy(
+        field, args.nodes, radio_range=args.radio_range, seed=args.seed
+    )
+    query = ContourQuery(6.0, 12.0, 2.0, epsilon_fraction=args.epsilon)
+    protocol = IsoMapProtocol(query, FilterConfig(args.sa, args.sd))
+    result = protocol.run(network)
+
+    accuracy = mapping_accuracy(field, result.contour_map, list(DEFAULT_ISOLEVELS))
+    energy = energy_from_costs(result.costs)
+    print(f"nodes                : {network.n_nodes} (degree {network.average_degree():.1f})")
+    print(f"isoline nodes        : {len(result.detection.isoline_nodes)}")
+    print(f"reports delivered    : {len(result.delivered_reports)}")
+    print(f"traffic              : {result.costs.total_traffic_kb():.1f} KB")
+    print(f"mapping accuracy     : {accuracy:.1%}")
+    print(f"per-node energy      : {energy.per_node_mean_mj():.3f} mJ")
+    if args.render:
+        print()
+        print(render_band_map(result.contour_map, nx=args.width, ny=args.height))
+    return 0
+
+
+def _cmd_compare_impl(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        DataSuppressionProtocol,
+        EScanProtocol,
+        INLRProtocol,
+        TinyDBProtocol,
+    )
+    from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
+    from repro.energy import energy_from_costs
+    from repro.field import make_harbor_field
+    from repro.field.harbor import DEFAULT_ISOLEVELS
+    from repro.metrics import mapping_accuracy
+    from repro.network import SensorNetwork
+
+    field = make_harbor_field()
+    levels = list(DEFAULT_ISOLEVELS)
+    random_net = SensorNetwork.random_deploy(field, args.nodes, seed=args.seed)
+    grid_net = SensorNetwork.grid_deploy(field, args.nodes, seed=args.seed)
+
+    print(f"{'protocol':12s} {'delivered':>9s} {'traffic KB':>10s} {'ops/node':>9s} "
+          f"{'energy mJ':>9s} {'accuracy':>8s}")
+    iso = IsoMapProtocol(ContourQuery(6.0, 12.0, 2.0), FilterConfig(30, 4)).run(random_net)
+    rows = [("iso-map", len(iso.delivered_reports), iso.costs,
+             mapping_accuracy(field, iso.contour_map, levels))]
+    for proto, net in (
+        (TinyDBProtocol(levels), grid_net),
+        (INLRProtocol(levels), grid_net),
+        (EScanProtocol(levels), random_net),
+        (DataSuppressionProtocol(levels), grid_net),
+    ):
+        run = proto.run(net)
+        rows.append((run.name, run.reports_delivered, run.costs,
+                     mapping_accuracy(field, run.band_map, levels)))
+    for name, delivered, costs, acc in rows:
+        e = energy_from_costs(costs)
+        print(f"{name:12s} {delivered:9d} {costs.total_traffic_kb():10.1f} "
+              f"{costs.per_node_ops_mean():9.1f} {e.per_node_mean_mj():9.3f} {acc:8.1%}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.id not in registry:
+        print(f"unknown experiment {args.id!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    result = registry[args.id]()
+    print(result.to_table())
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    from repro.analysis import table1
+
+    print(table1())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for key in sorted(_experiment_registry()):
+        print(key)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Iso-Map reproduction: run the protocol, the baselines, "
+        "or any paper experiment.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="run one Iso-Map epoch on the harbor field")
+    p_map.add_argument("--nodes", type=int, default=2500)
+    p_map.add_argument("--seed", type=int, default=1)
+    p_map.add_argument("--field-seed", type=int, default=2003)
+    p_map.add_argument("--radio-range", type=float, default=1.5)
+    p_map.add_argument("--epsilon", type=float, default=0.05,
+                       help="border region as a fraction of the granularity")
+    p_map.add_argument("--sa", type=float, default=30.0,
+                       help="angular separation filter threshold (deg)")
+    p_map.add_argument("--sd", type=float, default=4.0,
+                       help="distance separation filter threshold")
+    p_map.add_argument("--render", action="store_true", help="print the ASCII map")
+    p_map.add_argument("--width", type=int, default=64)
+    p_map.add_argument("--height", type=int, default=28)
+    p_map.set_defaults(func=_cmd_map)
+
+    p_cmp = sub.add_parser("compare", help="run all five protocols")
+    p_cmp.add_argument("--nodes", type=int, default=2500)
+    p_cmp.add_argument("--seed", type=int, default=1)
+    p_cmp.set_defaults(func=_cmd_compare_impl)
+
+    p_exp = sub.add_parser("experiment", help="regenerate one paper experiment")
+    p_exp.add_argument("id", help="experiment id (see: python -m repro list)")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_theory = sub.add_parser("theory", help="print the analytical Table 1")
+    p_theory.set_defaults(func=_cmd_theory)
+
+    p_list = sub.add_parser("list", help="list experiment ids")
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into something that closed early (e.g. head).
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

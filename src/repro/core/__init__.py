@@ -1,0 +1,53 @@
+"""The Iso-Map protocol: the paper's primary contribution.
+
+Pipeline (Section 3 of the paper):
+
+1. :mod:`repro.core.query` -- the sink's contour query (data space,
+   granularity, border epsilon).
+2. :mod:`repro.core.detection` -- distributed isoline-node self-appointment
+   (Definition 3.1) with exact traffic/computation accounting.
+3. :mod:`repro.core.gradient` -- local least-squares plane regression and
+   the gradient-direction estimate (Eqs. 1-3).
+4. :mod:`repro.core.filtering` -- in-network report filtering by angular
+   and distance separation (Section 3.5).
+5. :mod:`repro.core.reconstruction` -- sink-side Voronoi reconstruction
+   with type-1/type-2 boundaries and Rule-1/Rule-2 regulation
+   (Section 3.4, Fig. 8).
+6. :mod:`repro.core.contour_map` -- the resulting multi-level contour map.
+7. :mod:`repro.core.protocol` -- :class:`IsoMapProtocol`, the end-to-end
+   run against a :class:`repro.network.SensorNetwork`.
+"""
+
+from repro.core.query import ContourQuery
+from repro.core.reports import IsolineReport
+from repro.core.gradient import GradientEstimate, estimate_gradient
+from repro.core.gradient_quadratic import estimate_gradient_quadratic
+from repro.core.detection import detect_isoline_nodes
+from repro.core.filtering import FilterConfig, InNetworkFilter
+from repro.core.reconstruction import LevelRegion, build_level_region
+from repro.core.contour_map import ContourMap, build_contour_map
+from repro.core.protocol import IsoMapProtocol, IsoMapResult
+from repro.core.continuous import ContinuousIsoMap, EpochResult
+from repro.core.codec import ReportCodec, decode_query, encode_query
+
+__all__ = [
+    "ContourQuery",
+    "IsolineReport",
+    "GradientEstimate",
+    "estimate_gradient",
+    "estimate_gradient_quadratic",
+    "detect_isoline_nodes",
+    "FilterConfig",
+    "InNetworkFilter",
+    "LevelRegion",
+    "build_level_region",
+    "ContourMap",
+    "build_contour_map",
+    "IsoMapProtocol",
+    "IsoMapResult",
+    "ContinuousIsoMap",
+    "EpochResult",
+    "ReportCodec",
+    "encode_query",
+    "decode_query",
+]

@@ -1,0 +1,206 @@
+"""Wire codec: the 2-byte-per-parameter report format, for real.
+
+Section 5.1 of the paper: "Each parameter in a report uses two bytes,
+such as the sensory value, position, gradient, etc."  Two bytes per
+parameter means fixed-point quantisation.  This module implements the
+actual encoding so the byte counts charged by the cost accounting
+correspond to a format that round-trips:
+
+- positions quantise each coordinate to uint16 over the field bounds
+  (resolution: field side / 65535 -- about 8 mm for the 400 m harbor);
+- sensory values / isolevels quantise over the query's data space padded
+  by one granularity on each side (so border-region values fit);
+- gradient directions quantise the angle to uint16 over [0, 2 pi)
+  (resolution ~0.0055 degrees).
+
+Quantisation error is orders of magnitude below the protocol's own error
+sources; ``tests/core/test_codec.py`` pins the bounds and the end-to-end
+neutrality.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+
+from repro.core.query import ContourQuery
+from repro.core.reports import IsolineReport
+from repro.core.wire import ISOLINE_REPORT_BYTES, QUERY_BYTES
+from repro.geometry import BoundingBox, Vec
+
+_U16_MAX = 0xFFFF
+
+
+@dataclass(frozen=True)
+class ReportCodec:
+    """Quantising encoder/decoder for isoline reports.
+
+    Args:
+        bounds: the field extent (position quantisation range).
+        value_lo / value_hi: the value quantisation range; use the query's
+            data space padded by one granularity (see :meth:`for_query`).
+    """
+
+    bounds: BoundingBox
+    value_lo: float
+    value_hi: float
+
+    def __post_init__(self) -> None:
+        if self.value_hi <= self.value_lo:
+            raise ValueError("empty value quantisation range")
+
+    @staticmethod
+    def for_query(query: ContourQuery, bounds: BoundingBox) -> "ReportCodec":
+        """The codec a deployment derives from its standing query."""
+        pad = query.granularity
+        return ReportCodec(
+            bounds=bounds,
+            value_lo=query.value_lo - pad,
+            value_hi=query.value_hi + pad,
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar quantisers
+    # ------------------------------------------------------------------
+
+    def _q(self, x: float, lo: float, hi: float) -> int:
+        t = (x - lo) / (hi - lo)
+        t = min(max(t, 0.0), 1.0)
+        return round(t * _U16_MAX)
+
+    def _dq(self, q: int, lo: float, hi: float) -> float:
+        return lo + (q / _U16_MAX) * (hi - lo)
+
+    def quantize_value(self, v: float) -> int:
+        return self._q(v, self.value_lo, self.value_hi)
+
+    def dequantize_value(self, q: int) -> float:
+        return self._dq(q, self.value_lo, self.value_hi)
+
+    def quantize_position(self, p: Vec) -> tuple:
+        b = self.bounds
+        return (self._q(p[0], b.xmin, b.xmax), self._q(p[1], b.ymin, b.ymax))
+
+    def dequantize_position(self, q: tuple) -> Vec:
+        b = self.bounds
+        return (self._dq(q[0], b.xmin, b.xmax), self._dq(q[1], b.ymin, b.ymax))
+
+    @staticmethod
+    def quantize_angle(direction: Vec) -> int:
+        theta = math.atan2(direction[1], direction[0]) % (2 * math.pi)
+        return round(theta / (2 * math.pi) * _U16_MAX) & _U16_MAX
+
+    @staticmethod
+    def dequantize_angle(q: int) -> Vec:
+        theta = q / _U16_MAX * 2 * math.pi
+        return (math.cos(theta), math.sin(theta))
+
+    # ------------------------------------------------------------------
+    # Report encode / decode
+    # ------------------------------------------------------------------
+
+    def encode(self, report: IsolineReport) -> bytes:
+        """Serialise to the paper's 8-byte wire format.
+
+        Layout: ``<HHHH`` = (value, x, y, gradient angle), little endian.
+        The source node id is NOT on the wire -- the position identifies
+        the source (Section 3.3's 3-tuple has exactly v, p, d).
+        """
+        qx, qy = self.quantize_position(report.position)
+        packed = struct.pack(
+            "<HHHH",
+            self.quantize_value(report.isolevel),
+            qx,
+            qy,
+            self.quantize_angle(report.direction),
+        )
+        assert len(packed) == ISOLINE_REPORT_BYTES
+        return packed
+
+    def decode(self, payload: bytes, source: int = -1) -> IsolineReport:
+        """Deserialise one report.
+
+        Args:
+            payload: exactly ISOLINE_REPORT_BYTES bytes.
+            source: optional simulation-side source id to re-attach.
+
+        Raises:
+            ValueError: on a payload of the wrong size.
+        """
+        if len(payload) != ISOLINE_REPORT_BYTES:
+            raise ValueError(
+                f"isoline report payload must be {ISOLINE_REPORT_BYTES} bytes, "
+                f"got {len(payload)}"
+            )
+        qv, qx, qy, qa = struct.unpack("<HHHH", payload)
+        return IsolineReport(
+            isolevel=self.dequantize_value(qv),
+            position=self.dequantize_position((qx, qy)),
+            direction=self.dequantize_angle(qa),
+            source=source,
+        )
+
+    def roundtrip(self, report: IsolineReport) -> IsolineReport:
+        """Encode-then-decode (what the sink actually sees)."""
+        return self.decode(self.encode(report), source=report.source)
+
+    # ------------------------------------------------------------------
+    # Resolution introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def position_resolution(self) -> float:
+        """Worst-axis position quantisation step."""
+        return max(self.bounds.width, self.bounds.height) / _U16_MAX
+
+    @property
+    def value_resolution(self) -> float:
+        return (self.value_hi - self.value_lo) / _U16_MAX
+
+    @property
+    def angle_resolution_deg(self) -> float:
+        return 360.0 / _U16_MAX
+
+
+def encode_query(query: ContourQuery) -> bytes:
+    """Serialise a contour query to its 8-byte dissemination format.
+
+    Layout: ``<ffHH`` won't fit four 2-byte params; the paper's query has
+    (value_lo, value_hi, granularity, epsilon).  We use four half-scaled
+    fixed-point fields over a [-1024, 1024) value universe with 1/32
+    resolution -- ample for environmental attributes.
+    """
+    def q(x: float) -> int:
+        scaled = round((x + 1024.0) * 32.0)
+        if not 0 <= scaled <= _U16_MAX:
+            raise ValueError(f"query parameter {x} outside the wire universe")
+        return scaled
+
+    packed = struct.pack(
+        "<HHHH",
+        q(query.value_lo),
+        q(query.value_hi),
+        q(query.granularity),
+        q(query.epsilon),
+    )
+    assert len(packed) == QUERY_BYTES
+    return packed
+
+
+def decode_query(payload: bytes, k_hop: int = 1) -> ContourQuery:
+    """Deserialise a query; raises ValueError on a bad payload size."""
+    if len(payload) != QUERY_BYTES:
+        raise ValueError(f"query payload must be {QUERY_BYTES} bytes")
+
+    def dq(s: int) -> float:
+        return s / 32.0 - 1024.0
+
+    lo, hi, gran, eps = (dq(s) for s in struct.unpack("<HHHH", payload))
+    return ContourQuery(
+        value_lo=lo,
+        value_hi=hi,
+        granularity=gran,
+        epsilon_fraction=eps / gran,
+        k_hop=k_hop,
+    )

@@ -1,0 +1,190 @@
+"""Continuous monitoring: epoch-delta Iso-Map.
+
+The harbor deployment (Section 2) monitors *continuously*: the sink
+wants an up-to-date isobath map at every epoch, but between epochs the
+field drifts slowly (tides) or jumps locally (storms).  Re-running the
+full protocol each epoch re-transmits mostly unchanged reports.
+
+``ContinuousIsoMap`` keeps per-source state at the isoline nodes and a
+report cache at the sink:
+
+- a node transmits only when its report *changed*: it newly became an
+  isoline node, its isolevel changed, or its gradient direction rotated
+  by more than ``angle_delta_deg``;
+- a node that stops being an isoline node sends a small *retraction*
+  (its position only), and the sink evicts the cached report;
+- the sink rebuilds the contour map from the cache each epoch.
+
+In steady state traffic collapses to the churn rate; after a local event
+only the affected stretch of isolines re-reports.  This is the natural
+"implementation experience" extension the paper's future-work section
+points toward, built entirely from the primitives the paper defines.
+
+In-network filtering is intentionally NOT applied to delta reports: a
+dropped delta would desynchronise the sink cache.  The delta suppression
+itself plays the filter's role (and typically cuts more).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.contour_map import ContourMap, build_contour_map
+from repro.core.detection import detect_isoline_nodes
+from repro.core.protocol import IsoMapProtocol
+from repro.core.query import ContourQuery
+from repro.core.reports import IsolineReport
+from repro.core.wire import BYTES_PER_PARAM
+from repro.geometry import angle_between
+from repro.network import CostAccountant, SensorNetwork
+
+#: A retraction carries the source position only (x, y).
+RETRACTION_BYTES = 2 * BYTES_PER_PARAM
+
+
+@dataclass
+class EpochResult:
+    """Outcome of one continuous-monitoring epoch.
+
+    Attributes:
+        contour_map: the sink's map after applying this epoch's deltas.
+        costs: cost counters for THIS epoch only.
+        new_reports: reports transmitted this epoch (new or changed).
+        retractions: sources whose cached report was evicted.
+        suppressed: isoline nodes whose report was unchanged (no tx).
+        cached_reports: size of the sink cache after the epoch.
+    """
+
+    contour_map: ContourMap
+    costs: CostAccountant
+    new_reports: List[IsolineReport] = field(default_factory=list)
+    retractions: List[int] = field(default_factory=list)
+    suppressed: int = 0
+    cached_reports: int = 0
+
+
+class ContinuousIsoMap:
+    """Epoch-delta contour monitoring on top of Iso-Map's primitives.
+
+    Args:
+        query: the standing contour query (disseminated once, in the
+            first epoch).
+        angle_delta_deg: gradient-direction change (degrees) above which
+            a node re-reports; the value trade-off mirrors the filter's
+            ``s_a``.
+        regulate: apply boundary regulation when rebuilding maps.
+    """
+
+    def __init__(
+        self,
+        query: ContourQuery,
+        angle_delta_deg: float = 10.0,
+        regulate: bool = True,
+    ):
+        if angle_delta_deg < 0:
+            raise ValueError("angle_delta_deg must be non-negative")
+        self.query = query
+        self.angle_delta_rad = math.radians(angle_delta_deg)
+        self.regulate = regulate
+        self._protocol = IsoMapProtocol(query, regulate=regulate)
+        self._node_state: Dict[int, IsolineReport] = {}
+        self._sink_cache: Dict[int, IsolineReport] = {}
+        self._first_epoch = True
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._sink_cache)
+
+    def epoch(self, network: SensorNetwork) -> EpochResult:
+        """Run one sensing epoch and return the delta outcome."""
+        costs = CostAccountant(network.n_nodes)
+        if self._first_epoch:
+            # The standing query is flooded once.
+            self._protocol._disseminate_query(network, costs)
+            self._first_epoch = False
+
+        detection = detect_isoline_nodes(network, self.query, costs)
+        current = {
+            r.source: r
+            for r in self._protocol._generate_reports(network, detection, costs)
+        }
+
+        new_reports: List[IsolineReport] = []
+        suppressed = 0
+        for source, report in current.items():
+            previous = self._node_state.get(source)
+            if previous is not None and self._unchanged(previous, report):
+                suppressed += 1
+                continue
+            self._node_state[source] = report
+            new_reports.append(report)
+
+        retractions = [
+            source for source in self._node_state if source not in current
+        ]
+        for source in retractions:
+            del self._node_state[source]
+
+        # Transmit deltas and retractions hop by hop (no cross-filtering;
+        # see module docstring).
+        delivered_reports = self._forward(network, new_reports, retractions, costs)
+        for r in delivered_reports:
+            self._sink_cache[r.source] = r
+        for source in retractions:
+            self._sink_cache.pop(source, None)
+
+        costs.reports_generated = len(new_reports)
+        costs.reports_delivered = len(delivered_reports)
+
+        sink_node = network.nodes[network.sink_index]
+        contour_map = build_contour_map(
+            list(self._sink_cache.values()),
+            self.query.isolevels,
+            network.bounds,
+            sink_value=sink_node.value if sink_node.can_sense else None,
+            regulate=self.regulate,
+        )
+        return EpochResult(
+            contour_map=contour_map,
+            costs=costs,
+            new_reports=new_reports,
+            retractions=retractions,
+            suppressed=suppressed,
+            cached_reports=len(self._sink_cache),
+        )
+
+    def _unchanged(self, previous: IsolineReport, report: IsolineReport) -> bool:
+        """True when the new report carries no news worth transmitting."""
+        if previous.isolevel != report.isolevel:
+            return False
+        return (
+            angle_between(previous.direction, report.direction)
+            <= self.angle_delta_rad
+        )
+
+    def _forward(
+        self,
+        network: SensorNetwork,
+        reports: List[IsolineReport],
+        retractions: List[int],
+        costs: CostAccountant,
+    ) -> List[IsolineReport]:
+        """Charge hop-by-hop delivery of deltas and retractions."""
+        tree = network.tree
+        delivered: List[IsolineReport] = []
+        for r in reports:
+            if tree.level[r.source] is None:
+                continue
+            path = tree.path_to_sink(r.source)
+            for u, v in zip(path[:-1], path[1:]):
+                costs.charge_hop(u, v, r.wire_bytes)
+            delivered.append(r)
+        for source in retractions:
+            if tree.level[source] is None:
+                continue
+            path = tree.path_to_sink(source)
+            for u, v in zip(path[:-1], path[1:]):
+                costs.charge_hop(u, v, RETRACTION_BYTES)
+        return delivered

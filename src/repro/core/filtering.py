@@ -1,0 +1,111 @@
+"""In-network report filtering (Section 3.5).
+
+Intermediate routing-tree nodes compare each report passing through them
+against the reports they have already accepted for forwarding.  Two
+same-isolevel reports are redundant when BOTH their angular separation
+``s_a`` (angle between gradient directions) and their distance separation
+``s_d`` (distance between isopositions) fall below the configured
+thresholds; the later one is dropped.  Because redundancy is judged on
+``s_a`` as well as ``s_d``, thinning is even along isolines and keeps
+high-curvature stretches (where gradients turn fast) densely reported --
+the property Fig. 9 illustrates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.reports import IsolineReport
+from repro.network import CostAccountant
+
+#: Arithmetic operations per pairwise report comparison (an angle and a
+#: distance evaluation plus two threshold tests).
+OPS_PER_COMPARISON = 8
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Thresholds for the in-network filter.
+
+    Attributes:
+        angular_separation_deg: ``s_a`` threshold in degrees (the paper's
+            default operating point is 30).
+        distance_separation: ``s_d`` threshold in field units (paper: 4).
+        enabled: a disabled filter forwards everything (used to measure
+            the unfiltered report stream, Fig. 13's origin point).
+    """
+
+    angular_separation_deg: float = 30.0
+    distance_separation: float = 4.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.angular_separation_deg < 0 or self.distance_separation < 0:
+            raise ValueError("filter thresholds must be non-negative")
+
+    @property
+    def angular_separation_rad(self) -> float:
+        return math.radians(self.angular_separation_deg)
+
+    @staticmethod
+    def disabled() -> "FilterConfig":
+        return FilterConfig(0.0, 0.0, enabled=False)
+
+
+class InNetworkFilter:
+    """The filter state of one intermediate node.
+
+    Stores the reports the node has accepted this epoch, keyed by isolevel
+    so only same-isolevel reports are compared ("the sink separately
+    constructs isolines of different isolevels" -- comparing across levels
+    would merge distinct contours).
+    """
+
+    def __init__(self, config: FilterConfig):
+        self.config = config
+        self._kept: Dict[float, List[IsolineReport]] = {}
+
+    @property
+    def kept_reports(self) -> List[IsolineReport]:
+        """All reports accepted so far, in arrival order per level."""
+        return [r for reports in self._kept.values() for r in reports]
+
+    def offer(
+        self, report: IsolineReport, node_id: int, costs: CostAccountant
+    ) -> bool:
+        """Test ``report`` against the kept set; keep it unless redundant.
+
+        Returns True when the report survives (and is now kept), False
+        when it was dropped.  Each pairwise comparison charges
+        ``OPS_PER_COMPARISON`` to ``node_id``.
+        """
+        if not self.config.enabled:
+            self._kept.setdefault(report.isolevel, []).append(report)
+            return True
+        peers = self._kept.setdefault(report.isolevel, [])
+        sa_max = self.config.angular_separation_rad
+        sd_max = self.config.distance_separation
+        for peer in peers:
+            costs.charge_ops(node_id, OPS_PER_COMPARISON)
+            if (
+                report.distance_separation(peer) <= sd_max
+                and report.angular_separation(peer) <= sa_max
+            ):
+                return False
+        peers.append(report)
+        return True
+
+    def offer_all(
+        self, reports: List[IsolineReport], node_id: int, costs: CostAccountant
+    ) -> Tuple[List[IsolineReport], int]:
+        """Offer a batch; return (survivors, dropped count)."""
+        survivors: List[IsolineReport] = []
+        dropped = 0
+        for r in reports:
+            if self.offer(r, node_id, costs):
+                survivors.append(r)
+            else:
+                dropped += 1
+        return survivors, dropped

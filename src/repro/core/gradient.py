@@ -1,0 +1,155 @@
+"""Local gradient estimation by least-squares plane regression (Section 3.3).
+
+An isoline node collects ``(position, value)`` tuples from its k-hop
+neighbourhood and fits the linear model ``v = c0 + c1*x + c2*y`` by
+solving the normal equations ``(V^T V) w = V^T v`` (Eq. 2 of the paper).
+The reported gradient direction is ``d = -(c1, c2)`` normalised (Eq. 3).
+
+The solver is written out long-hand (3x3 Gaussian elimination with partial
+pivoting) both to stay faithful to what an 8-bit mote would execute and to
+count the arithmetic operations the computational-overhead analysis
+charges: the cost is ``O(deg)`` for accumulating the sums plus a constant
+for the solve, i.e. constant per node for bounded density -- the claim
+behind Fig. 15b.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import EPS, Vec
+
+#: Arithmetic operations charged per neighbour sample when accumulating
+#: the normal-equation sums: x*x, x*y, y*y, x*v, y*v products plus five
+#: additions.
+OPS_PER_SAMPLE = 10
+
+#: Arithmetic operations charged for the fixed-size 3x3 solve.
+OPS_SOLVE = 40
+
+
+@dataclass(frozen=True)
+class GradientEstimate:
+    """Result of a local plane regression.
+
+    Attributes:
+        direction: unit steepest-descent direction ``d = -grad L``.
+        coefficients: the fitted ``(c0, c1, c2)``.
+        ops: arithmetic operations spent (charged to the node's CPU).
+        sample_count: number of points used (centre + neighbours).
+    """
+
+    direction: Vec
+    coefficients: Tuple[float, float, float]
+    ops: int
+    sample_count: int
+
+
+def estimate_gradient(
+    center: Vec,
+    center_value: float,
+    neighbors: Sequence[Tuple[Vec, float]],
+) -> Optional[GradientEstimate]:
+    """Fit the local plane and return the descent direction.
+
+    Args:
+        center: the isoline node's own position ``p0``.
+        center_value: its sensed value ``v0``.
+        neighbors: ``(position, value)`` tuples from the neighbourhood.
+
+    Returns:
+        The estimate, or ``None`` when the regression is degenerate: fewer
+        than two neighbours, (near-)collinear sample positions, or a
+        (near-)flat fitted plane, none of which define a direction.  The
+        protocol layer falls back to a two-point estimate in that case.
+    """
+    pts: List[Tuple[float, float, float]] = [(center[0], center[1], center_value)]
+    pts.extend((p[0], p[1], v) for p, v in neighbors)
+    m = len(pts)
+    if m < 3:
+        return None
+
+    # Accumulate the normal equations (Eq. 2): A = V^T V, b = V^T v.
+    sx = sy = sv = sxx = sxy = syy = sxv = syv = 0.0
+    for (x, y, v) in pts:
+        sx += x
+        sy += y
+        sv += v
+        sxx += x * x
+        sxy += x * y
+        syy += y * y
+        sxv += x * v
+        syv += y * v
+    a = [
+        [float(m), sx, sy],
+        [sx, sxx, sxy],
+        [sy, sxy, syy],
+    ]
+    b = [sv, sxv, syv]
+    ops = OPS_PER_SAMPLE * m + OPS_SOLVE
+
+    w = _solve3(a, b)
+    if w is None:
+        return None
+    c0, c1, c2 = w
+    # d = -grad L = -(c1, c2) (Eq. 3), reported as a unit direction.
+    g = math.hypot(c1, c2)
+    if g < 1e-9:
+        return None
+    direction = (-c1 / g, -c2 / g)
+    return GradientEstimate(
+        direction=direction, coefficients=(c0, c1, c2), ops=ops, sample_count=m
+    )
+
+
+def fallback_direction(
+    center: Vec, center_value: float, other: Vec, other_value: float
+) -> Optional[Vec]:
+    """Two-point descent direction for degenerate neighbourhoods.
+
+    With a single usable neighbour the best available estimate is the unit
+    vector along the pair, oriented from the higher to the lower value.
+    Returns ``None`` when the positions coincide or the values tie.
+    """
+    dx = other[0] - center[0]
+    dy = other[1] - center[1]
+    n = math.hypot(dx, dy)
+    if n < EPS or other_value == center_value:
+        return None
+    if other_value < center_value:
+        return (dx / n, dy / n)
+    return (-dx / n, -dy / n)
+
+
+def _solve3(
+    a: List[List[float]], b: List[float], tol: float = 1e-10
+) -> Optional[Tuple[float, float, float]]:
+    """Solve a 3x3 linear system by Gaussian elimination, partial pivoting.
+
+    Returns ``None`` on a (numerically) singular matrix -- collinear sample
+    positions make ``V^T V`` rank deficient.  Scale-invariant singularity
+    test: pivots are compared against the largest entry of the matrix.
+    """
+    scale = max(abs(a[i][j]) for i in range(3) for j in range(3))
+    if scale == 0.0:
+        return None
+    m = [row[:] + [rhs] for row, rhs in zip(a, b)]
+    for col in range(3):
+        pivot_row = max(range(col, 3), key=lambda r: abs(m[r][col]))
+        if abs(m[pivot_row][col]) < tol * scale:
+            return None
+        if pivot_row != col:
+            m[col], m[pivot_row] = m[pivot_row], m[col]
+        for r in range(col + 1, 3):
+            f = m[r][col] / m[col][col]
+            for c in range(col, 4):
+                m[r][c] -= f * m[col][c]
+    x = [0.0, 0.0, 0.0]
+    for row in (2, 1, 0):
+        acc = m[row][3]
+        for c in range(row + 1, 3):
+            acc -= m[row][c] * x[c]
+        x[row] = acc / m[row][row]
+    return (x[0], x[1], x[2])

@@ -1,0 +1,120 @@
+"""Quadratic local regression: an alternative gradient estimator.
+
+Section 3.3 of the paper: "many regression models can be employed to
+construct the approximated data value surface on the local data map,
+among which linear regression is a simple and widely used one."  This
+module implements the next model up -- the full quadratic surface
+
+    v = c0 + c1 x + c2 y + c3 x^2 + c4 x y + c5 y^2
+
+-- so the trade-off the paper gestures at can be measured: the quadratic
+fit captures isoline curvature (helpful in strongly curved regions with
+large neighbourhoods) at ~4x the arithmetic cost and a higher variance
+under noise with small neighbourhoods.  The ablation bench
+(``benchmarks/bench_ablations.py``) quantifies both effects.
+
+The normal equations are solved with a small dense Gaussian elimination,
+mirroring the hand-rolled 3x3 solver of the linear model so the op
+accounting stays honest.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.gradient import GradientEstimate
+from repro.geometry import Vec
+
+#: Ops charged per neighbour sample: the 6-term design row, its outer
+#: product accumulation and the right-hand-side products.
+OPS_PER_SAMPLE = 48
+
+#: Ops charged for the fixed-size 6x6 solve.
+OPS_SOLVE = 200
+
+
+def estimate_gradient_quadratic(
+    center: Vec,
+    center_value: float,
+    neighbors: Sequence[Tuple[Vec, float]],
+) -> Optional[GradientEstimate]:
+    """Fit the quadratic surface and return the descent direction at
+    the centre.
+
+    Needs at least six well-placed sample points (centre + five
+    neighbours); returns ``None`` on rank deficiency or a flat fitted
+    gradient, like the linear estimator.  The returned
+    :class:`GradientEstimate`'s ``coefficients`` are the *effective
+    linear* coefficients at the centre ``(c0', df/dx, df/dy)`` so the
+    result is drop-in compatible.
+    """
+    pts: List[Tuple[float, float, float]] = [(center[0], center[1], center_value)]
+    pts.extend((p[0], p[1], v) for p, v in neighbors)
+    m = len(pts)
+    if m < 6:
+        return None
+
+    # Centre the coordinates on the node: improves conditioning and makes
+    # the gradient at the node simply (c1, c2).
+    x0, y0 = center
+    a = [[0.0] * 6 for _ in range(6)]
+    b = [0.0] * 6
+    for (x, y, v) in pts:
+        dx = x - x0
+        dy = y - y0
+        row = (1.0, dx, dy, dx * dx, dx * dy, dy * dy)
+        for i in range(6):
+            b[i] += row[i] * v
+            for j in range(i, 6):
+                a[i][j] += row[i] * row[j]
+    for i in range(6):
+        for j in range(i):
+            a[i][j] = a[j][i]
+    ops = OPS_PER_SAMPLE * m + OPS_SOLVE
+
+    w = _solve_dense(a, b)
+    if w is None:
+        return None
+    c0, c1, c2 = w[0], w[1], w[2]
+    g = math.hypot(c1, c2)
+    if g < 1e-9:
+        return None
+    direction = (-c1 / g, -c2 / g)
+    return GradientEstimate(
+        direction=direction,
+        coefficients=(c0, c1, c2),
+        ops=ops,
+        sample_count=m,
+    )
+
+
+def _solve_dense(
+    a: List[List[float]], b: List[float], tol: float = 1e-10
+) -> Optional[List[float]]:
+    """Gaussian elimination with partial pivoting for a small dense system.
+
+    Returns ``None`` on numerical singularity (scale-relative pivot test).
+    """
+    n = len(b)
+    scale = max(abs(a[i][j]) for i in range(n) for j in range(n))
+    if scale == 0.0:
+        return None
+    m = [row[:] + [rhs] for row, rhs in zip(a, b)]
+    for col in range(n):
+        pivot_row = max(range(col, n), key=lambda r: abs(m[r][col]))
+        if abs(m[pivot_row][col]) < tol * scale:
+            return None
+        if pivot_row != col:
+            m[col], m[pivot_row] = m[pivot_row], m[col]
+        for r in range(col + 1, n):
+            f = m[r][col] / m[col][col]
+            for c in range(col, n + 1):
+                m[r][c] -= f * m[col][c]
+    x = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = m[row][n]
+        for c in range(row + 1, n):
+            acc -= m[row][c] * x[c]
+        x[row] = acc / m[row][row]
+    return x

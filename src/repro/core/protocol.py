@@ -1,0 +1,243 @@
+"""The end-to-end Iso-Map protocol run (Section 3).
+
+Phases: query dissemination down the routing tree, distributed isoline-
+node detection, local gradient estimation and report generation,
+tree collection with in-network filtering, and sink-side reconstruction.
+All traffic and computation is charged to a :class:`CostAccountant` at
+the point it is simulated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.contour_map import ContourMap, build_contour_map
+from repro.core.detection import DetectionResult, detect_isoline_nodes
+from repro.core.filtering import FilterConfig, InNetworkFilter
+from repro.core.gradient import estimate_gradient, fallback_direction
+from repro.core.query import ContourQuery
+from repro.core.reports import IsolineReport
+from repro.core.wire import QUERY_BYTES
+from repro.network import CostAccountant, SensorNetwork
+from repro.network.links import LossyLinkModel, charge_lossy_hop
+
+#: Ops charged for the two-point fallback direction estimate.
+OPS_FALLBACK = 6
+
+
+@dataclass
+class IsoMapResult:
+    """Everything a single Iso-Map epoch produces.
+
+    Attributes:
+        contour_map: the sink's reconstruction.
+        costs: per-node traffic/computation counters for the whole run.
+        detection: the detection-phase outcome (isoline nodes, candidates).
+        generated_reports: reports created at isoline nodes.
+        delivered_reports: reports that reached the sink after filtering.
+        dropped_by_filter: reports discarded by in-network filtering.
+    """
+
+    contour_map: ContourMap
+    costs: CostAccountant
+    detection: DetectionResult
+    generated_reports: List[IsolineReport] = field(default_factory=list)
+    delivered_reports: List[IsolineReport] = field(default_factory=list)
+    dropped_by_filter: int = 0
+
+
+class IsoMapProtocol:
+    """Runs Iso-Map contour mapping over a :class:`SensorNetwork`.
+
+    Args:
+        query: the contour query the sink disseminates.
+        filter_config: in-network filtering thresholds (Section 3.5);
+            pass :meth:`FilterConfig.disabled` to forward every report.
+        regulate: apply boundary regulation Rules 1-2 at the sink.
+        regression: local surface model for the gradient estimate --
+            ``"linear"`` (the paper's choice, Eq. 2) or ``"quadratic"``
+            (the richer model Section 3.3 mentions; falls back to linear
+            on neighbourhoods too small for six coefficients).
+        link_model: optional lossy-link model for the report collection
+            phase (the paper assumes perfect links; see
+            :mod:`repro.network.links`).  Retransmission attempts are
+            charged and exhausted reports are lost in transit.
+        link_seed: seed for the link-loss randomness (kept separate from
+            deployment randomness so runs stay reproducible).
+    """
+
+    name = "iso-map"
+
+    def __init__(
+        self,
+        query: ContourQuery,
+        filter_config: Optional[FilterConfig] = None,
+        regulate: bool = True,
+        regression: str = "linear",
+        link_model: Optional["LossyLinkModel"] = None,
+        link_seed: int = 0,
+    ):
+        if regression not in ("linear", "quadratic"):
+            raise ValueError(f"unknown regression model {regression!r}")
+        self.query = query
+        self.filter_config = (
+            filter_config if filter_config is not None else FilterConfig()
+        )
+        self.regulate = regulate
+        self.regression = regression
+        self.link_model = link_model
+        self.link_seed = link_seed
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, network: SensorNetwork) -> IsoMapResult:
+        """Execute one full contour-mapping epoch."""
+        costs = CostAccountant(network.n_nodes)
+        self._disseminate_query(network, costs)
+        detection = detect_isoline_nodes(network, self.query, costs)
+        generated = self._generate_reports(network, detection, costs)
+        delivered, dropped = self._collect(network, generated, costs)
+        costs.reports_generated = len(generated)
+        costs.reports_delivered = len(delivered)
+
+        sink_node = network.nodes[network.sink_index]
+        sink_value = sink_node.value if sink_node.can_sense else None
+        contour_map = build_contour_map(
+            delivered,
+            self.query.isolevels,
+            network.bounds,
+            sink_value=sink_value,
+            regulate=self.regulate,
+        )
+        return IsoMapResult(
+            contour_map=contour_map,
+            costs=costs,
+            detection=detection,
+            generated_reports=generated,
+            delivered_reports=delivered,
+            dropped_by_filter=dropped,
+        )
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _disseminate_query(
+        self, network: SensorNetwork, costs: CostAccountant
+    ) -> None:
+        """Flood the query down the tree: one broadcast per internal node."""
+        for node in network.nodes:
+            if node.level is None or not node.alive:
+                continue
+            reachable_children = [
+                c for c in node.children if network.nodes[c].level is not None
+            ]
+            if reachable_children:
+                costs.charge_local_broadcast(
+                    node.node_id, reachable_children, QUERY_BYTES
+                )
+
+    def _generate_reports(
+        self,
+        network: SensorNetwork,
+        detection: DetectionResult,
+        costs: CostAccountant,
+    ) -> List[IsolineReport]:
+        """Gradient estimation and report creation at each isoline node."""
+        reports: List[IsolineReport] = []
+        for node_id, isolevel in detection.isoline_nodes.items():
+            node = network.nodes[node_id]
+            # Positions as the application knows them: the localisation
+            # estimate when one ran, ground truth otherwise.
+            position = network.bounds.clamp(node.app_position)
+            data = detection.neighborhood_data.get(node_id, [])
+            estimate = None
+            if self.regression == "quadratic":
+                from repro.core.gradient_quadratic import estimate_gradient_quadratic
+
+                estimate = estimate_gradient_quadratic(position, node.value, data)
+            if estimate is None:
+                estimate = estimate_gradient(position, node.value, data)
+            if estimate is not None:
+                costs.charge_ops(node_id, estimate.ops)
+                direction = estimate.direction
+            else:
+                direction = self._fallback(node, position, data)
+                costs.charge_ops(node_id, OPS_FALLBACK)
+                if direction is None:
+                    continue  # no usable neighbourhood at all
+            reports.append(
+                IsolineReport(
+                    isolevel=isolevel,
+                    position=position,
+                    direction=direction,
+                    source=node_id,
+                )
+            )
+        return reports
+
+    @staticmethod
+    def _fallback(node, position, data):
+        """Two-point descent estimate from the most contrasting neighbour."""
+        if not data:
+            return None
+        other_pos, other_val = max(data, key=lambda pv: abs(pv[1] - node.value))
+        return fallback_direction(position, node.value, other_pos, other_val)
+
+    def _collect(
+        self,
+        network: SensorNetwork,
+        reports: List[IsolineReport],
+        costs: CostAccountant,
+    ):
+        """Forward reports up the tree with per-node in-network filtering.
+
+        Children transmit before their parents (the TAG epoch schedule),
+        so by the time a node forwards, every report routed through it has
+        been offered to its filter.
+        """
+        tree = network.tree
+        filters: Dict[int, InNetworkFilter] = {}
+        outbox: Dict[int, List[IsolineReport]] = {}
+        delivered: List[IsolineReport] = []
+        dropped = 0
+        link_rng = random.Random(self.link_seed)
+
+        def filter_at(node_id: int) -> InNetworkFilter:
+            if node_id not in filters:
+                filters[node_id] = InNetworkFilter(self.filter_config)
+            return filters[node_id]
+
+        # Each source offers its own report to its own filter first.
+        for r in reports:
+            if filter_at(r.source).offer(r, r.source, costs):
+                outbox.setdefault(r.source, []).append(r)
+            else:
+                dropped += 1  # duplicate position at the same node
+
+        for u in tree.subtree_order_bottom_up():
+            if u == tree.sink:
+                continue
+            parent = tree.parent[u]
+            if parent is None:
+                continue
+            for r in outbox.get(u, ()):
+                if self.link_model is not None:
+                    ok = charge_lossy_hop(
+                        self.link_model, u, parent, r.wire_bytes, costs, link_rng
+                    )
+                    if not ok:
+                        continue  # lost in transit after retries
+                else:
+                    costs.charge_hop(u, parent, r.wire_bytes)
+                if parent == tree.sink:
+                    delivered.append(r)
+                elif filter_at(parent).offer(r, parent, costs):
+                    outbox.setdefault(parent, []).append(r)
+                else:
+                    dropped += 1
+        return delivered, dropped

@@ -1,0 +1,335 @@
+"""Sink-side contour-region reconstruction for one isolevel (Section 3.4).
+
+Given the isoline reports of one isolevel, the sink:
+
+1. builds the bounded Voronoi diagram of the isopositions (Fig. 8c);
+2. cuts each cell with the *type-1 boundary*: the line through the
+   isoposition perpendicular to its gradient direction.  The part of the
+   cell in the gradient (descent) direction is the *outer* part, the
+   opposite part -- toward higher values -- is the *inner* part (Fig. 8d);
+3. merges the inner parts of all cells and complements the boundary with
+   *type-2 boundaries* along cell borders where an inner part meets a
+   neighbour's outer part;
+4. regulates pinnacles and concaves with Rules 1 and 2 (Fig. 8e; see
+   :mod:`repro.core.regulation`).
+
+Membership in the merged (pre-regulation) region has a closed form used
+by the fast raster metrics: a point belongs to the region iff, for its
+*nearest* isoposition ``p`` with direction ``d``, ``(x - p) . d <= 0``.
+That is exactly "x falls in the inner part of the Voronoi cell that
+contains it"; a property test pins the equivalence to the polygon
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.reports import IsolineReport
+from repro.geometry import (
+    BORDER_LABEL,
+    BoundingBox,
+    ConvexPolygon,
+    HalfPlane,
+    Interval,
+    Line,
+    Vec,
+    bounded_voronoi,
+    dist_sq,
+    dot,
+    normalize,
+    subtract_intervals,
+)
+from repro.geometry.lines import param_on_line
+from repro.geometry.polyline import (
+    BORDER,
+    TYPE1,
+    TYPE2,
+    BoundarySegment,
+    loop_points,
+    stitch_segments_into_loops,
+)
+from repro.geometry.voronoi import VoronoiCell
+
+#: Edge label for the type-1 cut chord inside a Voronoi cell.  Distinct
+#: from BORDER_LABEL (-1) and from all site indices (>= 0).
+CUT_LABEL = -2
+
+#: Coincident isopositions closer than this are deduplicated before the
+#: Voronoi construction (their bisector would be undefined).
+DEDUPE_TOL = 1e-6
+
+
+@dataclass
+class LevelRegion:
+    """The reconstructed contour region at (or above) one isolevel.
+
+    Attributes:
+        isolevel: the region's isolevel.
+        bounds: the field extent.
+        reports: the (deduplicated) reports the reconstruction used.
+        cells: the Voronoi cells, parallel to ``reports``.
+        inner_polys: each cell's inner part, parallel to ``cells``
+            (possibly empty polygons).
+        loops: merged boundary loops before regulation.
+        regulated_loops: boundary loops after Rule-1/Rule-2 regulation.
+        regulation_stats: counts of applied rules, for diagnostics.
+    """
+
+    isolevel: float
+    bounds: BoundingBox
+    reports: List[IsolineReport]
+    cells: List[VoronoiCell]
+    inner_polys: List[ConvexPolygon]
+    loops: List[List[BoundarySegment]] = field(default_factory=list)
+    regulated_loops: List[List[BoundarySegment]] = field(default_factory=list)
+    regulation_stats: Dict[str, int] = field(default_factory=dict)
+
+    # Vectorised report arrays, built lazily for the raster classifier.
+    _positions_arr: Optional[np.ndarray] = None
+    _directions_arr: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def contains(self, p: Vec) -> bool:
+        """Implicit membership: inner side of the nearest report's cut.
+
+        Equivalent to membership in the merged inner parts (the Voronoi
+        cell containing ``p`` belongs to the nearest isoposition, and the
+        inner half of that cell is where ``(p - site) . d <= 0``).
+        """
+        if not self.reports:
+            return False
+        best = min(
+            self.reports, key=lambda r: dist_sq(p, r.position)
+        )
+        dx = p[0] - best.position[0]
+        dy = p[1] - best.position[1]
+        return dx * best.direction[0] + dy * best.direction[1] <= 0.0
+
+    def contains_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` for an ``(n, 2)`` array of points."""
+        if not self.reports:
+            return np.zeros(len(points), dtype=bool)
+        if self._positions_arr is None:
+            self._positions_arr = np.array(
+                [r.position for r in self.reports], dtype=float
+            )
+            self._directions_arr = np.array(
+                [r.direction for r in self.reports], dtype=float
+            )
+        pts = np.asarray(points, dtype=float)
+        # (n, m) squared distances; nearest report per point.
+        d2 = (
+            (pts[:, None, 0] - self._positions_arr[None, :, 0]) ** 2
+            + (pts[:, None, 1] - self._positions_arr[None, :, 1]) ** 2
+        )
+        nearest = d2.argmin(axis=1)
+        rel = pts - self._positions_arr[nearest]
+        dirs = self._directions_arr[nearest]
+        return (rel * dirs).sum(axis=1) <= 0.0
+
+    # ------------------------------------------------------------------
+    # Geometry accessors
+    # ------------------------------------------------------------------
+
+    def area(self) -> float:
+        """Area of the merged inner parts (pre-regulation)."""
+        return sum(poly.area() for poly in self.inner_polys)
+
+    def boundary_polylines(self, regulated: bool = True) -> List[List[Vec]]:
+        """Closed boundary rings as vertex lists."""
+        loops = self.regulated_loops if regulated else self.loops
+        return [loop_points(lp) for lp in loops if len(lp) >= 2]
+
+    def isoline_polylines(self, regulated: bool = True) -> List[List[Vec]]:
+        """The estimated *isolines*: boundary runs excluding field-border
+        segments.
+
+        The true isoline never runs along the field border; dropping
+        BORDER segments makes the result comparable with marching-squares
+        ground truth in the Hausdorff metric (Fig. 12).
+        """
+        loops = self.regulated_loops if regulated else self.loops
+        polylines: List[List[Vec]] = []
+        for lp in loops:
+            run: List[Vec] = []
+            for seg in lp:
+                if seg.kind == BORDER:
+                    if len(run) >= 2:
+                        polylines.append(run)
+                    run = []
+                else:
+                    if not run:
+                        run = [seg.a, seg.b]
+                    else:
+                        run.append(seg.b)
+            if len(run) >= 2:
+                polylines.append(run)
+        return polylines
+
+
+def build_level_region(
+    isolevel: float,
+    reports: Sequence[IsolineReport],
+    bounds: BoundingBox,
+    regulate: bool = True,
+) -> LevelRegion:
+    """Run the full single-level reconstruction (steps 1-4 above).
+
+    Raises:
+        ValueError: when no reports are given (an empty level is handled
+            one layer up, by :class:`repro.core.contour_map.ContourMap`).
+    """
+    deduped = _dedupe_reports(reports)
+    if not deduped:
+        raise ValueError("cannot reconstruct a level without reports")
+
+    sites = [r.position for r in deduped]
+    cells = bounded_voronoi(sites, bounds)
+
+    inner_polys: List[ConvexPolygon] = []
+    for cell, report in zip(cells, deduped):
+        inner_polys.append(_inner_part(cell, report))
+
+    segments = _boundary_segments(cells, inner_polys, sites)
+    loops = stitch_segments_into_loops(segments)
+
+    region = LevelRegion(
+        isolevel=isolevel,
+        bounds=bounds,
+        reports=deduped,
+        cells=cells,
+        inner_polys=inner_polys,
+        loops=loops,
+    )
+    if regulate:
+        from repro.core.regulation import regulate_loops
+
+        region.regulated_loops, region.regulation_stats = regulate_loops(
+            loops, deduped
+        )
+    else:
+        region.regulated_loops = loops
+        region.regulation_stats = {"rule1": 0, "rule2": 0}
+    return region
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+
+def _dedupe_reports(reports: Sequence[IsolineReport]) -> List[IsolineReport]:
+    """Drop reports whose position coincides with an earlier one."""
+    kept: List[IsolineReport] = []
+    for r in reports:
+        if all(dist_sq(r.position, k.position) > DEDUPE_TOL**2 for k in kept):
+            kept.append(r)
+    return kept
+
+
+def _inner_part(cell: VoronoiCell, report: IsolineReport) -> ConvexPolygon:
+    """The inner half of a cell: the side *against* the descent direction.
+
+    The separating line passes through the isoposition perpendicular to
+    the gradient direction ``d``; "the part in the gradient direction is
+    the outer part" (Section 3.4), so the inner part satisfies
+    ``(x - p) . d <= 0``.
+    """
+    d = normalize(report.direction)
+    hp = HalfPlane(d, dot(d, report.position))
+    return cell.polygon.clip(hp, CUT_LABEL)
+
+
+def _boundary_segments(
+    cells: List[VoronoiCell],
+    inner_polys: List[ConvexPolygon],
+    sites: List[Vec],
+) -> List[BoundarySegment]:
+    """Extract the merged region's boundary from the per-cell inner parts.
+
+    - Cut-chord edges are type-1 boundary, always.
+    - Field-border edges of inner parts are boundary (of kind BORDER).
+    - A shared Voronoi edge contributes the portions covered by exactly
+      one of the two adjacent inner parts (symmetric difference), found by
+      1-D interval subtraction along the bisector line; these are type-2.
+    """
+    by_site = {c.site_index: k for k, c in enumerate(cells)}
+    segments: List[BoundarySegment] = []
+
+    for k, (cell, inner) in enumerate(zip(cells, inner_polys)):
+        if inner.is_empty:
+            continue
+        i = cell.site_index
+        for a, b, label in inner.edges():
+            if label == CUT_LABEL:
+                segments.append(BoundarySegment(a, b, TYPE1, cell=i))
+            elif label == BORDER_LABEL:
+                segments.append(BoundarySegment(a, b, BORDER, cell=i))
+            else:
+                j = label
+                neighbor_inner = inner_polys[by_site[j]]
+                bisector = _bisector_line(sites[i], sites[j])
+                uncovered = _uncovered_portions(bisector, (a, b), neighbor_inner, j, i)
+                for (pa, pb) in uncovered:
+                    segments.append(
+                        BoundarySegment(pa, pb, TYPE2, cell=i, other=j)
+                    )
+    return segments
+
+
+def _uncovered_portions(
+    bisector: Line,
+    edge: Tuple[Vec, Vec],
+    neighbor_inner: ConvexPolygon,
+    neighbor_site: int,
+    my_site: int,
+) -> List[Tuple[Vec, Vec]]:
+    """Portions of ``edge`` (on ``bisector``) not covered by the neighbour's
+    inner part's twin edges."""
+    a, b = edge
+    ta = param_on_line(bisector, a)
+    tb = param_on_line(bisector, b)
+    base = Interval(ta, tb)
+    holes: List[Interval] = []
+    if not neighbor_inner.is_empty:
+        for (c, d, label) in neighbor_inner.edges():
+            if label == my_site:
+                holes.append(
+                    Interval(param_on_line(bisector, c), param_on_line(bisector, d))
+                )
+    remaining = subtract_intervals(base, holes)
+    return [
+        (_point_at_param(bisector, iv.lo), _point_at_param(bisector, iv.hi))
+        for iv in remaining
+    ]
+
+
+def _bisector_line(a: Vec, b: Vec) -> Line:
+    """The perpendicular bisector of two sites, with a *unit* normal.
+
+    :class:`Line` parameterisation (``point_on``, ``param_on_line``)
+    requires a unit normal; ``HalfPlane.bisector`` deliberately keeps the
+    raw difference vector (it only needs the sign of the dot product), so
+    it cannot be reused here.
+    """
+    n = normalize((b[0] - a[0], b[1] - a[1]))
+    mid = ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+    return Line(n, dot(n, mid))
+
+
+def _point_at_param(line: Line, t: float) -> Vec:
+    """Inverse of :func:`param_on_line` for points on ``line``."""
+    origin = line.point_on()
+    t0 = param_on_line(line, origin)
+    direction = line.direction()
+    return (
+        origin[0] + (t - t0) * direction[0],
+        origin[1] + (t - t0) * direction[1],
+    )

@@ -1,0 +1,204 @@
+"""Boundary regulation: Rules 1 and 2 (Section 3.4, Fig. 8e).
+
+After merging the inner parts, the region boundary alternates between
+type-1 chords (each perpendicular to one report's gradient) and type-2
+jogs along Voronoi cell borders.  The jogs create pinnacles (spikes
+pointing out of the region) and concaves (notches into it).  The paper's
+two rules both resolve to the same geometric rewrite:
+
+    where a type-1 chord of cell A meets a type-2 jog that leads to the
+    type-1 chord of the adjacent cell B, prolong both chords; if they
+    intersect nearby, replace the jog with the intersection vertex.
+
+Rule 1 applies when the internal angle at the junction is reflex
+(180-270 degrees): the pinnacle outside the prolonged chord is cut away.
+Rule 2 applies when the internal angle is 90-180 degrees: the concave
+inside it is filled.  Junctions whose jog deviates by 90 degrees or more
+are left alone (the rules' angle windows exclude them), as are junctions
+where the prolonged chords do not meet within the neighbourhood of the
+two cells.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.reports import IsolineReport
+from repro.geometry import Line, Vec, cross, dist, dot, intersect_lines, normalize, sub
+from repro.geometry.polyline import TYPE1, TYPE2, BoundarySegment
+
+
+def regulate_loops(
+    loops: Sequence[List[BoundarySegment]],
+    reports: Sequence[IsolineReport],
+) -> Tuple[List[List[BoundarySegment]], Dict[str, int]]:
+    """Apply Rules 1 and 2 to every loop; return new loops and rule counts."""
+    cut_lines = {
+        i: _cut_line(r.position, r.direction) for i, r in enumerate(reports)
+    }
+    stats = {"rule1": 0, "rule2": 0}
+    out: List[List[BoundarySegment]] = []
+    for loop in loops:
+        out.append(_regulate_loop(list(loop), cut_lines, reports, stats))
+    return out, stats
+
+
+def _cut_line(position: Vec, direction: Vec) -> Line:
+    """The type-1 line of a report: through its position, normal to ``d``."""
+    n = normalize(direction)
+    return Line(n, dot(n, position))
+
+
+def _regulate_loop(
+    loop: List[BoundarySegment],
+    cut_lines: Dict[int, Line],
+    reports: Sequence[IsolineReport],
+    stats: Dict[str, int],
+) -> List[BoundarySegment]:
+    """One regulation pass over a cyclic loop.
+
+    Scans for [type-1 of A, type-2 between A and B, type-1 of B] triples
+    and applies the corner rewrite greedily without overlapping rewrites.
+    """
+    n = len(loop)
+    if n < 3:
+        return loop
+
+    consumed = [False] * n
+    # replacement[i] = the two segments replacing loop[i:i+3] (cyclically).
+    replacements: Dict[int, Tuple[BoundarySegment, BoundarySegment]] = {}
+
+    for i in range(n):
+        j = (i + 1) % n
+        k = (i + 2) % n
+        if consumed[i] or consumed[j] or consumed[k]:
+            continue
+        s1, t, s2 = loop[i], loop[j], loop[k]
+        rewrite = _try_rewrite(s1, t, s2, cut_lines, reports)
+        if rewrite is None:
+            continue
+        new1, new2, rule = rewrite
+        replacements[i] = (new1, new2)
+        consumed[i] = consumed[j] = consumed[k] = True
+        stats[rule] += 1
+
+    if not replacements:
+        return loop
+
+    out: List[BoundarySegment] = []
+    i = 0
+    emitted = 0
+    # Walk the cycle once, emitting either replacements or originals.
+    start = min(replacements)  # begin at a rewrite so wrap-around is clean
+    idx = start
+    while emitted < n:
+        if idx in replacements:
+            out.extend(replacements[idx])
+            emitted += 3
+            idx = (idx + 3) % n
+        else:
+            out.append(loop[idx])
+            emitted += 1
+            idx = (idx + 1) % n
+    return out
+
+
+def _try_rewrite(
+    s1: BoundarySegment,
+    t: BoundarySegment,
+    s2: BoundarySegment,
+    cut_lines: Dict[int, Line],
+    reports: Sequence[IsolineReport],
+):
+    """Attempt the corner rewrite on one [s1, t, s2] triple.
+
+    Returns ``(new_s1, new_s2, rule_name)`` or ``None`` when the pattern or
+    the rules' conditions do not hold.
+    """
+    if s1.kind != TYPE1 or t.kind != TYPE2 or s2.kind != TYPE1:
+        return None
+    a_cell = s1.cell
+    b_cell = s2.cell
+    if a_cell == b_cell:
+        return None
+    # The jog must be the border between exactly these two cells.
+    if {t.cell, t.other} != {a_cell, b_cell}:
+        return None
+
+    rule = _classify_rule(s1, t, reports)
+    if rule is None:
+        return None
+
+    la = cut_lines.get(a_cell)
+    lb = cut_lines.get(b_cell)
+    if la is None or lb is None:
+        return None
+    x = intersect_lines(la, lb)
+    if x is None:
+        return None
+
+    # The intersection must lie forward of s1 and backward of s2 so both
+    # replacement segments run in the loop direction...
+    d1 = sub(s1.b, s1.a)
+    d2 = sub(s2.b, s2.a)
+    if dot(sub(x, s1.a), d1) <= 1e-12 or dot(sub(s2.b, x), d2) <= 1e-12:
+        return None
+    # ...and within the neighbourhood of the junction: prolonging a chord
+    # "into the adjacent Voronoi cell" never reaches farther than a couple
+    # of local segment lengths.
+    scale = s1.length + t.length + s2.length
+    if dist(x, t.a) > 2.0 * scale:
+        return None
+
+    new1 = BoundarySegment(s1.a, x, TYPE1, cell=a_cell)
+    new2 = BoundarySegment(x, s2.b, TYPE1, cell=b_cell)
+    if new1.length < 1e-9 or new2.length < 1e-9:
+        return None
+    return new1, new2, rule
+
+
+def _classify_rule(
+    s1: BoundarySegment, t: BoundarySegment, reports: Sequence[IsolineReport]
+):
+    """Which rule (if any) applies at the s1 -> t junction.
+
+    The internal angle is measured on the region side.  With the region on
+    the left of the walking direction, a right turn into the jog is a
+    reflex internal angle (pinnacle, Rule 1) and a left turn is a convex
+    internal angle (concave notch, Rule 2); both rules require the jog to
+    deviate from straight by less than 90 degrees.
+    """
+    d1 = sub(s1.b, s1.a)
+    dt = sub(t.b, t.a)
+    n1 = math.hypot(*d1)
+    nt = math.hypot(*dt)
+    if n1 < 1e-12 or nt < 1e-12:
+        return None
+    turn = math.atan2(cross(d1, dt), dot(d1, dt))  # signed, (-pi, pi]
+    if abs(turn) >= math.pi / 2 or abs(turn) < 1e-9:
+        return None  # outside both rules' angle windows, or straight
+
+    # Region side of s1.  A type-1 segment lies ON its report's cut line,
+    # and the region locally is the inner half ``(x - p) . d <= 0``, i.e.
+    # the side the descent direction points AWAY from.  So the region is
+    # on the left of the walking direction iff the left normal opposes d.
+    if not 0 <= s1.cell < len(reports):
+        return None
+    d = reports[s1.cell].direction
+    left = (-d1[1] / n1, d1[0] / n1)
+    v = left[0] * d[0] + left[1] * d[1]
+    if abs(v) < 1e-12:
+        return None
+    region_on_left = v < 0
+
+    # turn > 0 is a left turn in world coordinates; flip if the region is
+    # on the right so the sign means "turn toward the region".
+    toward_region = turn if region_on_left else -turn
+    if toward_region > 0:
+        # The jog bends into the region: internal angle in (90, 180),
+        # a concave notch -- Rule 2 fills it.
+        return "rule2"
+    # The jog bends away from the region: internal angle in (180, 270),
+    # a pinnacle -- Rule 1 cuts it.
+    return "rule1"

@@ -1,0 +1,53 @@
+"""Isoline-node reports (Section 3.3).
+
+Each isoline node emits a 3-tuple ``<v, p, d>``: its isolevel, its
+position, and the locally estimated gradient direction ``d = -grad f``
+(the direction in which the attribute value most decreases).  On the wire
+this is four 2-byte parameters: value, x, y and the gradient angle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.wire import ISOLINE_REPORT_BYTES
+from repro.geometry import Vec, angle_between, dist
+
+
+@dataclass(frozen=True)
+class IsolineReport:
+    """One isoline node's report.
+
+    Attributes:
+        isolevel: the isolevel ``v`` the node sits on.
+        position: the node position ``p``.
+        direction: unit gradient direction ``d`` (steepest *descent*).
+        source: originating node id (simulation bookkeeping; not on the
+            wire -- the position already identifies the source).
+    """
+
+    isolevel: float
+    position: Vec
+    direction: Vec
+    source: int
+
+    def __post_init__(self) -> None:
+        n = math.hypot(self.direction[0], self.direction[1])
+        if not 0.99 <= n <= 1.01:
+            raise ValueError(
+                f"report direction must be a unit vector, got |d| = {n:.4f}"
+            )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Size of the report on the wire."""
+        return ISOLINE_REPORT_BYTES
+
+    def angular_separation(self, other: "IsolineReport") -> float:
+        """``s_a``: the angle between the two gradient directions, radians."""
+        return angle_between(self.direction, other.direction)
+
+    def distance_separation(self, other: "IsolineReport") -> float:
+        """``s_d``: the distance between the two report positions."""
+        return dist(self.position, other.position)

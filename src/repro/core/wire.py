@@ -1,0 +1,30 @@
+"""Wire-format sizes shared by all protocols.
+
+Section 5.1 of the paper: "Each parameter in a report uses two bytes, such
+as the sensory value, position, gradient, etc."  Positions take two
+parameters (x and y); the gradient direction is a single angle parameter.
+"""
+
+#: Bytes per scalar report parameter.
+BYTES_PER_PARAM = 2
+
+#: A contour query carries (value_lo, value_hi, granularity, epsilon).
+QUERY_BYTES = 4 * BYTES_PER_PARAM
+
+#: An Iso-Map isoline report <v, p, d> = (isolevel, x, y, gradient angle).
+ISOLINE_REPORT_BYTES = 4 * BYTES_PER_PARAM
+
+#: A plain sensor reading report (value, x, y) -- used by TinyDB-style
+#: full collection on random deployments.
+VALUE_REPORT_BYTES = 3 * BYTES_PER_PARAM
+
+#: A grid-cell reading (value, cell id) -- TinyDB on its native grid
+#: deployment addresses cells, not coordinates.
+GRID_REPORT_BYTES = 2 * BYTES_PER_PARAM
+
+#: The tiny local probe an isoline candidate broadcasts to ask neighbours
+#: for their (value, position) tuples.
+LOCAL_QUERY_BYTES = 1 * BYTES_PER_PARAM
+
+#: A neighbour's (value, x, y) answer to a local probe.
+LOCAL_REPLY_BYTES = 3 * BYTES_PER_PARAM

@@ -1,0 +1,12 @@
+"""Energy model bridging counted work to Joules.
+
+Implements Section 5.3 of the paper: a Mica2 mote with the CC1000
+transceiver (38.4 kbps, 42 mW transmit at 0 dBm, 29 mW receive) and an
+ATmega128 microcontroller (33 mW active, 242 MIPS/W).  Per-node energy is
+a pure function of the :class:`repro.network.CostAccountant` counters.
+"""
+
+from repro.energy.mica2 import Mica2Model
+from repro.energy.accounting import EnergyReport, energy_from_costs
+
+__all__ = ["Mica2Model", "EnergyReport", "energy_from_costs"]

@@ -1,0 +1,59 @@
+"""Mica2 hardware constants and per-unit energy costs.
+
+All numbers are the ones the paper quotes (Section 5.3, citing [9], [19],
+[24]): the CC1000 radio moves 38.4 kbit/s and draws 42 mW transmitting at
+0 dBm and 29 mW receiving; the ATmega128 CPU delivers 242 MIPS per watt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Mica2Model:
+    """Energy cost model of a Mica2 mote.
+
+    Attributes:
+        data_rate_bps: radio throughput in bits per second.
+        tx_power_w: transmit power draw in watts.
+        rx_power_w: receive power draw in watts.
+        mips_per_watt: CPU efficiency (instructions per second per watt).
+        instructions_per_op: how many CPU instructions one counted
+            "arithmetic operation" costs.  The paper normalises
+            computational intensity "with the operational overhead of each
+            arithmetic operation"; on the 8-bit ATmega128 a floating-point
+            multiply-add spans several soft-float instructions, and this
+            knob makes that explicit.  The default of 16 is the order of
+            magnitude of avr-libc soft-float routines; experiment shapes do
+            not depend on it.
+    """
+
+    data_rate_bps: float = 38_400.0
+    tx_power_w: float = 42e-3
+    rx_power_w: float = 29e-3
+    mips_per_watt: float = 242e6
+    instructions_per_op: float = 16.0
+
+    @property
+    def tx_joules_per_byte(self) -> float:
+        """Energy to push one byte through the transmitter.
+
+        8 bits / 38.4 kbps = 208.3 us on air at 42 mW = 8.75 uJ.
+        """
+        return self.tx_power_w * 8.0 / self.data_rate_bps
+
+    @property
+    def rx_joules_per_byte(self) -> float:
+        """Energy to receive one byte (6.04 uJ with the defaults)."""
+        return self.rx_power_w * 8.0 / self.data_rate_bps
+
+    @property
+    def joules_per_instruction(self) -> float:
+        """Energy per CPU instruction (~4.13 nJ at 242 MIPS/W)."""
+        return 1.0 / self.mips_per_watt
+
+    @property
+    def joules_per_op(self) -> float:
+        """Energy per counted arithmetic operation."""
+        return self.joules_per_instruction * self.instructions_per_op

@@ -1,0 +1,23 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning an
+:class:`repro.experiments.common.ExperimentResult` whose rows are the
+series the paper plots.  The ``benchmarks/`` harness calls these and
+prints the tables; EXPERIMENTS.md records paper-vs-measured.
+
+| Module | Paper result |
+|---|---|
+| :mod:`repro.experiments.fig07_gradient_error` | Fig. 7 |
+| :mod:`repro.experiments.fig10_maps` | Fig. 10 (and Fig. 9's density contrast) |
+| :mod:`repro.experiments.fig11_accuracy` | Fig. 11a / 11b |
+| :mod:`repro.experiments.fig12_hausdorff` | Fig. 12a / 12b |
+| :mod:`repro.experiments.fig13_filtering` | Fig. 13a / 13b |
+| :mod:`repro.experiments.fig14_traffic` | Fig. 14a / 14b |
+| :mod:`repro.experiments.fig15_computation` | Fig. 15a / 15b |
+| :mod:`repro.experiments.fig16_energy` | Fig. 16 |
+| :mod:`repro.experiments.table1_overheads` | Table 1 + Theorem 4.1 |
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

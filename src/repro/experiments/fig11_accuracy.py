@@ -1,0 +1,127 @@
+"""Fig. 11: mapping accuracy vs node density (a) and node failures (b).
+
+Paper claims: accuracy of both protocols rises quickly above 80% with
+density, Iso-Map slightly below TinyDB but comparable; a larger border
+range ``epsilon`` helps at low density but hurts at high density; both
+protocols degrade with failures and become unusable past ~40%, with a
+large ``epsilon`` making Iso-Map more failure-tolerant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import TinyDBProtocol
+from repro.core import ContourQuery
+from repro.experiments.common import (
+    ACCURACY_RASTER,
+    ExperimentResult,
+    PAPER_QUERY,
+    default_levels,
+    harbor_network,
+    radio_range_for_density,
+    run_isomap,
+)
+from repro.field import make_harbor_field
+from repro.metrics import mapping_accuracy
+
+#: Densities on the 50 x 50 field (node counts = density * 2500).
+DEFAULT_DENSITIES: Sequence[float] = (0.16, 0.36, 0.64, 1.0, 2.0, 4.0)
+
+#: Failure ratios for Fig. 11b.
+DEFAULT_FAILURES: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+#: The paper's epsilon study: the default and a "rough border" setting.
+EPSILONS: Sequence[float] = (0.05, 0.25)
+
+
+def _wide_query(eps: float) -> ContourQuery:
+    return ContourQuery(
+        PAPER_QUERY.value_lo,
+        PAPER_QUERY.value_hi,
+        PAPER_QUERY.granularity,
+        epsilon_fraction=eps,
+    )
+
+
+def run_fig11a(
+    densities: Sequence[float] = DEFAULT_DENSITIES,
+    seeds: Sequence[int] = (1, 2, 3),
+    raster: int = ACCURACY_RASTER,
+) -> ExperimentResult:
+    """Accuracy vs density for TinyDB, and Iso-Map at both epsilon values."""
+    field = make_harbor_field()
+    levels = default_levels()
+    result = ExperimentResult(
+        experiment_id="fig11a",
+        title="mapping accuracy vs node density",
+        columns=["density", "n_nodes", "tinydb", "isomap_eps005", "isomap_eps025"],
+        notes="mean over seeds; density 1 = 2500 nodes on the 50x50 field",
+    )
+    for density in densities:
+        n = max(4, round(density * 2500))
+        r = radio_range_for_density(density)
+        acc = {"tinydb": [], "isomap_eps005": [], "isomap_eps025": []}
+        for seed in seeds:
+            tdb_net = harbor_network(n, "grid", seed=seed, field=field, radio_range=r)
+            tdb = TinyDBProtocol(levels).run(tdb_net)
+            acc["tinydb"].append(
+                mapping_accuracy(field, tdb.band_map, levels, raster, raster)
+            )
+            iso_net = harbor_network(
+                n, "random", seed=seed, field=field, radio_range=r
+            )
+            for eps, key in zip(EPSILONS, ("isomap_eps005", "isomap_eps025")):
+                iso = run_isomap(iso_net, query=_wide_query(eps))
+                acc[key].append(
+                    mapping_accuracy(field, iso.contour_map, levels, raster, raster)
+                )
+        result.add_row(
+            density=density,
+            n_nodes=n,
+            tinydb=sum(acc["tinydb"]) / len(seeds),
+            isomap_eps005=sum(acc["isomap_eps005"]) / len(seeds),
+            isomap_eps025=sum(acc["isomap_eps025"]) / len(seeds),
+        )
+    return result
+
+
+def run_fig11b(
+    failures: Sequence[float] = DEFAULT_FAILURES,
+    n: int = 2500,
+    seeds: Sequence[int] = (1, 2, 3),
+    raster: int = ACCURACY_RASTER,
+    failure_mode: str = "sensing",
+) -> ExperimentResult:
+    """Accuracy vs node-failure ratio at density 1."""
+    field = make_harbor_field()
+    levels = default_levels()
+    result = ExperimentResult(
+        experiment_id="fig11b",
+        title="mapping accuracy vs node failures",
+        columns=["failure_ratio", "tinydb", "isomap_eps005", "isomap_eps025"],
+        notes=f"n={n}, failure mode={failure_mode!r}, mean over seeds",
+    )
+    for ratio in failures:
+        acc = {"tinydb": [], "isomap_eps005": [], "isomap_eps025": []}
+        for seed in seeds:
+            tdb_net = harbor_network(n, "grid", seed=seed, field=field)
+            tdb_net.fail_random(ratio, mode=failure_mode)
+            tdb = TinyDBProtocol(levels).run(tdb_net)
+            acc["tinydb"].append(
+                mapping_accuracy(field, tdb.band_map, levels, raster, raster)
+            )
+            iso_net = harbor_network(n, "random", seed=seed, field=field)
+            iso_net.fail_random(ratio, mode=failure_mode)
+            for eps, key in zip(EPSILONS, ("isomap_eps005", "isomap_eps025")):
+                iso = run_isomap(iso_net, query=_wide_query(eps))
+                acc[key].append(
+                    mapping_accuracy(field, iso.contour_map, levels, raster, raster)
+                )
+        result.add_row(
+            failure_ratio=ratio,
+            tinydb=sum(acc["tinydb"]) / len(seeds),
+            isomap_eps005=sum(acc["isomap_eps005"]) / len(seeds),
+            isomap_eps025=sum(acc["isomap_eps025"]) / len(seeds),
+        )
+    return result

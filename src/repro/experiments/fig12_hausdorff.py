@@ -1,0 +1,114 @@
+"""Fig. 12: Hausdorff distance of estimated isolines vs density / failures.
+
+Paper claims: irregularity grows as density decreases and as failures
+increase; Iso-Map benefits from a grid deployment (more regular output
+than random); TinyDB's irregularity is proportional to the grid size and
+thus grows like 1/sqrt(density); TinyDB is more vulnerable to failures.
+Distances are normalised by the 50 x 50 field (we divide by the field
+diagonal).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.baselines import TinyDBProtocol
+from repro.experiments.common import (
+    ExperimentResult,
+    default_levels,
+    harbor_network,
+    radio_range_for_density,
+    run_isomap,
+)
+from repro.field import make_harbor_field
+from repro.metrics.hausdorff import mean_isoline_hausdorff
+
+DEFAULT_DENSITIES: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0)
+DEFAULT_FAILURES: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4)
+
+
+def _mean_or_none(values: List[Optional[float]]) -> Optional[float]:
+    usable = [v for v in values if v is not None]
+    if not usable:
+        return None
+    return sum(usable) / len(usable)
+
+
+def run_fig12a(
+    densities: Sequence[float] = DEFAULT_DENSITIES,
+    seeds: Sequence[int] = (1, 2),
+    grid: int = 120,
+) -> ExperimentResult:
+    """Normalised Hausdorff distance vs node density."""
+    field = make_harbor_field()
+    levels = default_levels()
+    diag = field.bounds.diagonal
+    result = ExperimentResult(
+        experiment_id="fig12a",
+        title="isoline Hausdorff distance vs node density (normalised)",
+        columns=["density", "n_nodes", "isomap_random", "isomap_grid", "tinydb"],
+        notes="distance / field diagonal; mean over levels and seeds",
+    )
+    for density in densities:
+        n = max(9, round(density * 2500))
+        r = radio_range_for_density(density)
+        series = {"isomap_random": [], "isomap_grid": [], "tinydb": []}
+        for seed in seeds:
+            for deploy, key in (("random", "isomap_random"), ("grid", "isomap_grid")):
+                net = harbor_network(n, deploy, seed=seed, field=field, radio_range=r)
+                iso = run_isomap(net)
+                series[key].append(
+                    mean_isoline_hausdorff(field, iso.contour_map, levels, grid=grid)
+                )
+            tdb_net = harbor_network(n, "grid", seed=seed, field=field, radio_range=r)
+            tdb = TinyDBProtocol(levels).run(tdb_net)
+            series["tinydb"].append(
+                mean_isoline_hausdorff(field, tdb.band_map, levels, grid=grid)
+            )
+        row = {"density": density, "n_nodes": n}
+        for key, vals in series.items():
+            mean = _mean_or_none(vals)
+            row[key] = float("nan") if mean is None else mean / diag
+        result.add_row(**row)
+    return result
+
+
+def run_fig12b(
+    failures: Sequence[float] = DEFAULT_FAILURES,
+    n: int = 2500,
+    seeds: Sequence[int] = (1, 2),
+    grid: int = 120,
+    failure_mode: str = "sensing",
+) -> ExperimentResult:
+    """Normalised Hausdorff distance vs node-failure ratio at density 1."""
+    field = make_harbor_field()
+    levels = default_levels()
+    diag = field.bounds.diagonal
+    result = ExperimentResult(
+        experiment_id="fig12b",
+        title="isoline Hausdorff distance vs node failures (normalised)",
+        columns=["failure_ratio", "isomap_random", "isomap_grid", "tinydb"],
+        notes=f"n={n}, failure mode={failure_mode!r}",
+    )
+    for ratio in failures:
+        series = {"isomap_random": [], "isomap_grid": [], "tinydb": []}
+        for seed in seeds:
+            for deploy, key in (("random", "isomap_random"), ("grid", "isomap_grid")):
+                net = harbor_network(n, deploy, seed=seed, field=field)
+                net.fail_random(ratio, mode=failure_mode)
+                iso = run_isomap(net)
+                series[key].append(
+                    mean_isoline_hausdorff(field, iso.contour_map, levels, grid=grid)
+                )
+            tdb_net = harbor_network(n, "grid", seed=seed, field=field)
+            tdb_net.fail_random(ratio, mode=failure_mode)
+            tdb = TinyDBProtocol(levels).run(tdb_net)
+            series["tinydb"].append(
+                mean_isoline_hausdorff(field, tdb.band_map, levels, grid=grid)
+            )
+        row = {"failure_ratio": ratio}
+        for key, vals in series.items():
+            mean = _mean_or_none(vals)
+            row[key] = float("nan") if mean is None else mean / diag
+        result.add_row(**row)
+    return result

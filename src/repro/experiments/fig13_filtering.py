@@ -1,0 +1,91 @@
+"""Fig. 13 (and Fig. 9): in-network filtering thresholds vs reports/accuracy.
+
+The paper sweeps the angular separation ``s_a`` and distance separation
+``s_d`` over a 2500-node density-1 deployment: looser thresholds cut more
+reports (Fig. 13a) at some accuracy cost (Fig. 13b), giving Iso-Map its
+traffic/fidelity knob.  Fig. 9's two-panel comparison is the same data at
+filtering off vs the default operating point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import FilterConfig
+from repro.experiments.common import (
+    ACCURACY_RASTER,
+    ExperimentResult,
+    default_levels,
+    harbor_network,
+    run_isomap,
+)
+from repro.field import make_harbor_field
+from repro.metrics import mapping_accuracy
+
+DEFAULT_SA: Sequence[float] = (0.0, 10.0, 20.0, 30.0, 45.0, 60.0)
+DEFAULT_SD: Sequence[float] = (0.0, 1.0, 2.0, 4.0, 6.0, 8.0)
+
+
+def run_fig13(
+    n: int = 2500,
+    sa_values: Sequence[float] = DEFAULT_SA,
+    sd_values: Sequence[float] = DEFAULT_SD,
+    seeds: Sequence[int] = (1, 2),
+    raster: int = ACCURACY_RASTER,
+) -> ExperimentResult:
+    """Two 1-D sweeps through the (sa, sd) plane around the paper's
+    operating point (30 deg, 4): vary sa at sd = 4, vary sd at sa = 30."""
+    field = make_harbor_field()
+    levels = default_levels()
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="reports delivered and accuracy vs filtering thresholds",
+        columns=["swept", "sa_deg", "sd", "reports", "accuracy"],
+        notes=f"n={n}, density 1, mean over seeds; sa=0 or sd=0 disables that test",
+    )
+
+    def measure(sa: float, sd: float):
+        reports = []
+        accs = []
+        for seed in seeds:
+            net = harbor_network(n, "random", seed=seed, field=field)
+            iso = run_isomap(net, filter_config=FilterConfig(sa, sd))
+            reports.append(len(iso.delivered_reports))
+            accs.append(
+                mapping_accuracy(field, iso.contour_map, levels, raster, raster)
+            )
+        return sum(reports) / len(seeds), sum(accs) / len(seeds)
+
+    for sa in sa_values:
+        reps, acc = measure(sa, 4.0)
+        result.add_row(swept="sa", sa_deg=sa, sd=4.0, reports=reps, accuracy=acc)
+    for sd in sd_values:
+        reps, acc = measure(30.0, sd)
+        result.add_row(swept="sd", sa_deg=30.0, sd=sd, reports=reps, accuracy=acc)
+    return result
+
+
+def run_fig09(
+    n: int = 2500, seed: int = 1, raster: int = ACCURACY_RASTER
+) -> ExperimentResult:
+    """Fig. 9: report density with filtering off vs the default filter."""
+    field = make_harbor_field()
+    levels = default_levels()
+    result = ExperimentResult(
+        experiment_id="fig09",
+        title="contour regions under different report densities",
+        columns=["filtering", "reports", "accuracy"],
+        notes=f"n={n}; 'evenly filtering some of the reports does not degrade the result by much'",
+    )
+    net = harbor_network(n, "random", seed=seed, field=field)
+    for label, cfg in (
+        ("off", FilterConfig.disabled()),
+        ("sa=30,sd=4", FilterConfig(30.0, 4.0)),
+    ):
+        iso = run_isomap(net, filter_config=cfg)
+        result.add_row(
+            filtering=label,
+            reports=len(iso.delivered_reports),
+            accuracy=mapping_accuracy(field, iso.contour_map, levels, raster, raster),
+        )
+    return result

@@ -1,0 +1,121 @@
+"""Fig. 14: network traffic overhead vs diameter (a) and density (b).
+
+Paper claims: TinyDB's and INLR's traffic grows rapidly with the network
+diameter (field size at density 1) while Iso-Map's grows far slower
+(O(sqrt(n)) sources instead of O(n)); against density all three grow, but
+Iso-Map with a much smaller factor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.baselines import INLRProtocol, TinyDBProtocol
+from repro.experiments.common import (
+    ExperimentResult,
+    default_levels,
+    harbor_network,
+    radio_range_for_density,
+    run_isomap,
+)
+from repro.field import WindowField, make_harbor_field
+from repro.geometry import BoundingBox
+
+#: Field sides for the diameter sweep (density 1: n = side^2).
+DEFAULT_SIDES: Sequence[int] = (15, 25, 35, 50)
+
+#: Densities for the density sweep on a 30 x 30 field.
+DEFAULT_DENSITIES: Sequence[float] = (0.5, 1.0, 2.0, 4.0)
+
+
+def _scaled_harbor(side: float) -> WindowField:
+    """A centred ``side x side`` window of the harbor field.
+
+    The paper grows the monitored area with the network size while the
+    physical bathymetry (and so the value gradient per metre, and the
+    epsilon-stripe width of Theorem 4.1) stays fixed; a *window* of the
+    trace reproduces that, whereas rescaling the trace would dilate the
+    gradients and break the sqrt(n) report scaling.
+    """
+    inner = make_harbor_field()
+    lo = (50.0 - side) / 2.0
+    return WindowField(inner, BoundingBox(lo, lo, lo + side, lo + side))
+
+
+def run_fig14a(
+    sides: Sequence[int] = DEFAULT_SIDES,
+    seeds: Sequence[int] = (1, 2),
+) -> ExperimentResult:
+    """Traffic (KB) vs network diameter (hops) at density 1."""
+    levels = default_levels()
+    result = ExperimentResult(
+        experiment_id="fig14a",
+        title="network traffic (KB) vs network diameter",
+        columns=["field_side", "n_nodes", "diameter_hops", "isomap_kb", "tinydb_kb", "inlr_kb"],
+        notes="density 1; diameter measured as routing-tree depth",
+    )
+    for side in sides:
+        n = side * side
+        field = _scaled_harbor(side)
+        acc: Dict[str, List[float]] = {"isomap": [], "tinydb": [], "inlr": []}
+        diameters = []
+        for seed in seeds:
+            iso_net = harbor_network(n, "random", seed=seed, field=field)
+            diameters.append(iso_net.diameter_hops)
+            acc["isomap"].append(run_isomap(iso_net).costs.total_traffic_kb())
+            grid_net = harbor_network(n, "grid", seed=seed, field=field)
+            acc["tinydb"].append(
+                TinyDBProtocol(levels).run(grid_net).costs.total_traffic_kb()
+            )
+            acc["inlr"].append(
+                INLRProtocol(levels).run(grid_net).costs.total_traffic_kb()
+            )
+        k = len(seeds)
+        result.add_row(
+            field_side=side,
+            n_nodes=n,
+            diameter_hops=sum(diameters) / k,
+            isomap_kb=sum(acc["isomap"]) / k,
+            tinydb_kb=sum(acc["tinydb"]) / k,
+            inlr_kb=sum(acc["inlr"]) / k,
+        )
+    return result
+
+
+def run_fig14b(
+    densities: Sequence[float] = DEFAULT_DENSITIES,
+    side: int = 30,
+    seeds: Sequence[int] = (1, 2),
+) -> ExperimentResult:
+    """Traffic (KB) vs node density on a fixed field."""
+    levels = default_levels()
+    field = _scaled_harbor(side)
+    result = ExperimentResult(
+        experiment_id="fig14b",
+        title="network traffic (KB) vs node density",
+        columns=["density", "n_nodes", "isomap_kb", "tinydb_kb", "inlr_kb"],
+        notes=f"{side}x{side} field",
+    )
+    for density in densities:
+        n = max(9, round(density * side * side))
+        r = radio_range_for_density(density)
+        acc: Dict[str, List[float]] = {"isomap": [], "tinydb": [], "inlr": []}
+        for seed in seeds:
+            iso_net = harbor_network(n, "random", seed=seed, field=field, radio_range=r)
+            acc["isomap"].append(run_isomap(iso_net).costs.total_traffic_kb())
+            grid_net = harbor_network(n, "grid", seed=seed, field=field, radio_range=r)
+            acc["tinydb"].append(
+                TinyDBProtocol(levels).run(grid_net).costs.total_traffic_kb()
+            )
+            acc["inlr"].append(
+                INLRProtocol(levels).run(grid_net).costs.total_traffic_kb()
+            )
+        k = len(seeds)
+        result.add_row(
+            density=density,
+            n_nodes=n,
+            isomap_kb=sum(acc["isomap"]) / k,
+            tinydb_kb=sum(acc["tinydb"]) / k,
+            inlr_kb=sum(acc["inlr"]) / k,
+        )
+    return result

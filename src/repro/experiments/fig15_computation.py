@@ -1,0 +1,61 @@
+"""Fig. 15: per-node computational intensity vs network size.
+
+Paper claims: INLR's per-node computation is large and grows with the
+network size; TinyDB (the store-and-forward lower bound) and Iso-Map stay
+low, and the amplified view (Fig. 15b) shows Iso-Map's per-node
+computation does not grow with the network size -- a constant per node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.baselines import INLRProtocol, TinyDBProtocol
+from repro.experiments.common import (
+    ExperimentResult,
+    default_levels,
+    harbor_network,
+    run_isomap,
+)
+from repro.experiments.fig14_traffic import _scaled_harbor
+
+DEFAULT_SIDES: Sequence[int] = (15, 25, 35, 50)
+
+
+def run_fig15(
+    sides: Sequence[int] = DEFAULT_SIDES,
+    seeds: Sequence[int] = (1, 2),
+) -> ExperimentResult:
+    """Mean per-node arithmetic operations for the three protocols."""
+    levels = default_levels()
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title="per-node computational intensity vs network size",
+        columns=["field_side", "n_nodes", "isomap_ops", "tinydb_ops", "inlr_ops"],
+        notes="mean arithmetic ops per node; density 1",
+    )
+    for side in sides:
+        n = side * side
+        field = _scaled_harbor(side)
+        acc: Dict[str, List[float]] = {"isomap": [], "tinydb": [], "inlr": []}
+        for seed in seeds:
+            iso_net = harbor_network(n, "random", seed=seed, field=field)
+            acc["isomap"].append(
+                run_isomap(iso_net).costs.per_node_ops_mean()
+            )
+            grid_net = harbor_network(n, "grid", seed=seed, field=field)
+            acc["tinydb"].append(
+                TinyDBProtocol(levels).run(grid_net).costs.per_node_ops_mean()
+            )
+            acc["inlr"].append(
+                INLRProtocol(levels).run(grid_net).costs.per_node_ops_mean()
+            )
+        k = len(seeds)
+        result.add_row(
+            field_side=side,
+            n_nodes=n,
+            isomap_ops=sum(acc["isomap"]) / k,
+            tinydb_ops=sum(acc["tinydb"]) / k,
+            inlr_ops=sum(acc["inlr"]) / k,
+        )
+    return result

@@ -1,0 +1,154 @@
+"""Table 1 + Theorem 4.1: asymptotic claims vs measured scaling exponents.
+
+The analytical table (Section 4.3) is rendered verbatim; next to it the
+harness measures, over an ``n`` sweep at density 1:
+
+- the number of generated reports per protocol, fitting ``a * n^b``
+  (Iso-Map's b should sit near 0.5 -- Theorem 4.1 -- and the others near
+  1.0), and
+- Iso-Map's isoline-node count against the Theorem 4.1 prediction
+  ``count ~ density * stripe_width * total isoline length``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis import fit_power_law
+from repro.analysis.theory import table1
+from repro.baselines import DataSuppressionProtocol, TinyDBProtocol
+from repro.experiments.common import (
+    ExperimentResult,
+    default_levels,
+    harbor_network,
+    run_isomap,
+)
+from repro.experiments.fig14_traffic import _scaled_harbor
+
+DEFAULT_SIDES: Sequence[int] = (15, 20, 30, 40, 50)
+
+
+def run_table1(
+    sides: Sequence[int] = DEFAULT_SIDES,
+    seeds: Sequence[int] = (1, 2),
+) -> ExperimentResult:
+    """Measure report-generation scaling for three representative protocols.
+
+    (eScan and INLR generate one report per node exactly like TinyDB, so
+    the TinyDB row stands for all three O(n) source-count protocols; their
+    computation scaling is exercised by Fig. 15.)
+    """
+    levels = default_levels()
+    ns: List[int] = []
+    counts: Dict[str, List[float]] = {"isomap": [], "tinydb": [], "suppression": []}
+    for side in sides:
+        n = side * side
+        field = _scaled_harbor(side)
+        per_seed: Dict[str, List[float]] = {k: [] for k in counts}
+        for seed in seeds:
+            iso_net = harbor_network(n, "random", seed=seed, field=field)
+            iso = run_isomap(iso_net)
+            per_seed["isomap"].append(len(iso.detection.isoline_nodes))
+            grid_net = harbor_network(n, "grid", seed=seed, field=field)
+            per_seed["tinydb"].append(
+                TinyDBProtocol(levels).run(grid_net).costs.reports_generated
+            )
+            per_seed["suppression"].append(
+                DataSuppressionProtocol(levels).run(grid_net).costs.reports_generated
+            )
+        ns.append(n)
+        for k in counts:
+            counts[k].append(sum(per_seed[k]) / len(seeds))
+
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="generated reports vs n: measured scaling exponents",
+        columns=["protocol", "claimed", "fitted_exponent", "r_squared"],
+        notes=(
+            "fit of reports = a * n^b over n = "
+            + str(ns)
+            + "; on harbor windows the number of contour features also "
+            "grows with the window, so Iso-Map's exponent exceeds the "
+            "fixed-K Theorem 4.1 value -- see the theorem41 bench for the "
+            "constant-K regime"
+        ),
+    )
+    claims = {
+        "isomap": "O(sqrt(n)) fixed-K",
+        "tinydb": "n",
+        "suppression": "O(n)",
+    }
+    for k in ("isomap", "tinydb", "suppression"):
+        fit = fit_power_law(ns, counts[k])
+        result.add_row(
+            protocol=k,
+            claimed=claims[k],
+            fitted_exponent=fit.exponent,
+            r_squared=fit.r_squared,
+        )
+    return result
+
+
+def analytical_table() -> str:
+    """The paper's Table 1, verbatim (Section 4.3)."""
+    return table1()
+
+
+def run_theorem41(
+    sides: Sequence[int] = DEFAULT_SIDES,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> ExperimentResult:
+    """Empirical Theorem 4.1 check in the theorem's own regime.
+
+    The theorem bounds the isoline-node count for a CONSTANT number K of
+    well-behaved contour regions.  On the harbor trace a growing window
+    also grows the number of isolevels and contour features present, so
+    the measured exponent there sits between 0.5 and 1 (see
+    :func:`run_table1`).  Here we build the theorem's setting exactly: a
+    diagonal ridge whose isolines are K fixed parallel curves crossing
+    every window, with length proportional to the window side.  The
+    fitted exponent should approach 0.5.
+    """
+    from repro.core import ContourQuery
+    from repro.field import CompositeField, PlaneField, RidgeField, WindowField
+    from repro.geometry import BoundingBox
+
+    full = BoundingBox(0.0, 0.0, 50.0, 50.0)
+    # A horizontal ridge: every isoline is a horizontal line within 3.5
+    # units of y = 25, so each one crosses EVERY centred window end to end
+    # (length exactly = side, never corner-clipped) and K stays constant.
+    ridge = CompositeField(
+        full,
+        [
+            PlaneField(full, c0=4.0, cx=0.0, cy=0.0),
+            RidgeField(full, a=(0.0, 25.0), b=(50.0, 25.0), amplitude=9.0, width=2.0),
+        ],
+    )
+    query = ContourQuery(6.0, 12.0, 2.0)
+
+    ns: List[int] = []
+    counts: List[float] = []
+    result = ExperimentResult(
+        experiment_id="theorem41",
+        title="isoline-node count vs n on a constant-K contour field",
+        columns=["field_side", "n_nodes", "isoline_nodes"],
+        notes="horizontal-ridge field: K fixed isolines of length ~ side",
+    )
+    for side in sides:
+        lo = (50.0 - side) / 2.0
+        window = WindowField(ridge, BoundingBox(lo, lo, lo + side, lo + side))
+        n = side * side
+        per_seed = []
+        for seed in seeds:
+            net = harbor_network(n, "random", seed=seed, field=window)
+            iso = run_isomap(net, query=query)
+            per_seed.append(len(iso.detection.isoline_nodes))
+        ns.append(n)
+        counts.append(sum(per_seed) / len(seeds))
+        result.add_row(field_side=side, n_nodes=n, isoline_nodes=counts[-1])
+    fit = fit_power_law(ns, counts)
+    result.notes += (
+        f"; fitted exponent = {fit.exponent:.3f} (claim: 0.5), "
+        f"r^2 = {fit.r_squared:.3f}"
+    )
+    return result

@@ -1,0 +1,56 @@
+"""Scalar-field substrate: the physical phenomenon the WSN senses.
+
+The paper evaluates Iso-Map on a proprietary sonar trace of underwater
+depth in Huanghua Harbor.  This package provides:
+
+- :mod:`repro.field.base` -- the :class:`ScalarField` interface every
+  field implements (value, analytic-or-numeric gradient, bounds).
+- :mod:`repro.field.synthetic` -- composable synthetic fields (planes,
+  radial bowls, Gaussian mixtures, ridges, multi-octave value noise).
+- :mod:`repro.field.harbor` -- the deterministic Huanghua-Harbor stand-in
+  used by all trace-driven experiments (see DESIGN.md, "Substitutions").
+- :mod:`repro.field.grid_field` -- fields backed by a sampled grid with
+  bilinear interpolation (how a real trace would be ingested).
+- :mod:`repro.field.contours` -- ground-truth isoline extraction by
+  marching squares, and band classification used by the accuracy metric.
+"""
+
+from repro.field.base import ScalarField
+from repro.field.synthetic import (
+    CompositeField,
+    GaussianBumpField,
+    PlaneField,
+    RadialField,
+    RidgeField,
+    ScaledField,
+    ValueNoiseField,
+    WindowField,
+)
+from repro.field.grid_field import SampledGridField, ScatteredField
+from repro.field.harbor import HuanghuaHarborField, make_harbor_field
+from repro.field.contours import (
+    band_of,
+    classify_raster,
+    extract_isolines,
+    isolevels_for,
+)
+
+__all__ = [
+    "ScalarField",
+    "CompositeField",
+    "GaussianBumpField",
+    "PlaneField",
+    "RadialField",
+    "RidgeField",
+    "ScaledField",
+    "ValueNoiseField",
+    "WindowField",
+    "SampledGridField",
+    "ScatteredField",
+    "HuanghuaHarborField",
+    "make_harbor_field",
+    "band_of",
+    "classify_raster",
+    "extract_isolines",
+    "isolevels_for",
+]

@@ -1,0 +1,268 @@
+"""Ground-truth contours: isolevel helpers, band classification, marching squares.
+
+The accuracy metric (Fig. 11) compares a protocol's contour map against the
+*true* map of the field, band by band; the Hausdorff metric (Fig. 12)
+compares estimated isolines against the *true* isolines.  Both ground
+truths come from here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.field.base import ScalarField
+from repro.geometry import Vec
+
+
+def isolevels_for(lo: float, hi: float, granularity: float) -> List[float]:
+    """The isolevels ``v_i = lo + i * T`` inside ``[lo, hi]`` (Section 3.2).
+
+    Raises:
+        ValueError: on non-positive granularity or an empty range.
+    """
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    if hi < lo:
+        raise ValueError("empty data space: hi < lo")
+    levels = []
+    i = 0
+    while True:
+        v = lo + i * granularity
+        if v > hi + 1e-12:
+            break
+        levels.append(v)
+        i += 1
+    return levels
+
+
+def band_of(value: float, levels: Sequence[float]) -> int:
+    """The contour band of ``value``: the number of isolevels it reaches.
+
+    Band 0 is below the lowest isolevel; band ``len(levels)`` is at or
+    above the highest.  Contour *regions* in the paper are exactly the
+    preimages of these bands.
+    """
+    band = 0
+    for v in levels:
+        if value >= v:
+            band += 1
+        else:
+            break
+    return band
+
+
+def classify_raster(
+    field: ScalarField, levels: Sequence[float], nx: int, ny: int
+) -> np.ndarray:
+    """Band index of every cell of an ``nx x ny`` raster of the field.
+
+    Shape ``(ny, nx)``, dtype int -- the ground-truth contour map at raster
+    resolution.
+    """
+    grid = field.sample_grid(nx, ny)
+    out = np.zeros(grid.shape, dtype=int)
+    for v in sorted(levels):
+        out += (grid >= v).astype(int)
+    return out
+
+
+def extract_isolines(
+    field: ScalarField, level: float, nx: int = 200, ny: int = 200
+) -> List[List[Vec]]:
+    """True isolines of ``field`` at ``level`` via marching squares.
+
+    The field is sampled on an ``nx x ny`` grid of cell centres; each 2x2
+    sample square contributes 0-2 linearly interpolated crossing segments,
+    which are then chained into polylines.  Closed isolines come back as
+    closed rings (first point repeated at the end is NOT included; closure
+    is implicit); isolines that leave the field come back as open chains.
+    """
+    grid = field.sample_grid(nx, ny)
+    b = field.bounds
+    dx = b.width / nx
+    dy = b.height / ny
+    xs = b.xmin + (np.arange(nx) + 0.5) * dx
+    ys = b.ymin + (np.arange(ny) + 0.5) * dy
+
+    segments: List[Tuple[Vec, Vec]] = []
+    for j in range(ny - 1):
+        for i in range(nx - 1):
+            v00 = grid[j, i]
+            v10 = grid[j, i + 1]
+            v01 = grid[j + 1, i]
+            v11 = grid[j + 1, i + 1]
+            segments.extend(
+                _square_segments(
+                    level,
+                    (float(xs[i]), float(ys[j])),
+                    dx,
+                    dy,
+                    v00,
+                    v10,
+                    v01,
+                    v11,
+                )
+            )
+    return chain_segments(segments)
+
+
+# ----------------------------------------------------------------------
+# Marching-squares internals
+# ----------------------------------------------------------------------
+
+
+def _interp(level: float, pa: Vec, pb: Vec, va: float, vb: float) -> Vec:
+    """Point on segment pa-pb where the value linearly crosses ``level``."""
+    if va == vb:
+        t = 0.5
+    else:
+        t = (level - va) / (vb - va)
+        t = max(0.0, min(1.0, t))
+    return (pa[0] + t * (pb[0] - pa[0]), pa[1] + t * (pb[1] - pa[1]))
+
+
+def _square_segments(
+    level: float,
+    origin: Vec,
+    dx: float,
+    dy: float,
+    v00: float,
+    v10: float,
+    v01: float,
+    v11: float,
+) -> List[Tuple[Vec, Vec]]:
+    """Crossing segments inside one 2x2 sample square.
+
+    Corner layout (sample positions)::
+
+        p01 -- p11        top edge:    p01-p11
+         |      |          bottom:     p00-p10
+        p00 -- p10         left/right: p00-p01 / p10-p11
+    """
+    x0, y0 = origin
+    p00 = (x0, y0)
+    p10 = (x0 + dx, y0)
+    p01 = (x0, y0 + dy)
+    p11 = (x0 + dx, y0 + dy)
+
+    case = 0
+    if v00 >= level:
+        case |= 1
+    if v10 >= level:
+        case |= 2
+    if v11 >= level:
+        case |= 4
+    if v01 >= level:
+        case |= 8
+
+    if case in (0, 15):
+        return []
+
+    bottom = _interp(level, p00, p10, v00, v10)
+    right = _interp(level, p10, p11, v10, v11)
+    top = _interp(level, p01, p11, v01, v11)
+    left = _interp(level, p00, p01, v00, v01)
+
+    table: Dict[int, List[Tuple[Vec, Vec]]] = {
+        1: [(left, bottom)],
+        2: [(bottom, right)],
+        3: [(left, right)],
+        4: [(right, top)],
+        6: [(bottom, top)],
+        7: [(left, top)],
+        8: [(top, left)],
+        9: [(top, bottom)],
+        11: [(top, right)],
+        12: [(right, left)],
+        13: [(right, bottom)],
+        14: [(bottom, left)],
+    }
+    if case in table:
+        return table[case]
+
+    # Saddle cases 5 and 10: disambiguate with the centre average.
+    centre = (v00 + v10 + v01 + v11) / 4.0
+    if case == 5:
+        if centre >= level:
+            return [(left, top), (right, bottom)]
+        return [(left, bottom), (right, top)]
+    # case == 10
+    if centre >= level:
+        return [(bottom, right), (top, left)]
+    return [(bottom, left), (top, right)]
+
+
+def chain_segments(
+    segments: Sequence[Tuple[Vec, Vec]], tol: float = 1e-9
+) -> List[List[Vec]]:
+    """Chain point-pair segments into maximal polylines.
+
+    Greedy endpoint matching on a hash of rounded coordinates; each segment
+    is used once.  Returns polylines as vertex lists; a closed ring repeats
+    no vertex (closure is implicit when the last point equals the first --
+    callers can test that).
+    """
+    if not segments:
+        return []
+
+    def key(p: Vec) -> Tuple[int, int]:
+        return (int(round(p[0] / max(tol, 1e-12))), int(round(p[1] / max(tol, 1e-12))))
+
+    # endpoint key -> list of (segment index, endpoint selector)
+    index: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for k, (a, b) in enumerate(segments):
+        index.setdefault(key(a), []).append((k, 0))
+        index.setdefault(key(b), []).append((k, 1))
+
+    used = [False] * len(segments)
+    polylines: List[List[Vec]] = []
+
+    def take_from(p: Vec) -> Tuple[Vec, Vec] | None:
+        """Pop an unused segment incident to ``p``; return it oriented away."""
+        for k, end in index.get(key(p), ()):
+            if used[k]:
+                continue
+            used[k] = True
+            a, b = segments[k]
+            return (a, b) if end == 0 else (b, a)
+        return None
+
+    for start in range(len(segments)):
+        if used[start]:
+            continue
+        used[start] = True
+        a, b = segments[start]
+        chain: List[Vec] = [a, b]
+        # Extend forward.
+        while True:
+            nxt = take_from(chain[-1])
+            if nxt is None:
+                break
+            chain.append(nxt[1])
+        # Extend backward.
+        while True:
+            prv = take_from(chain[0])
+            if prv is None:
+                break
+            chain.insert(0, prv[1])
+        polylines.append(chain)
+    return polylines
+
+
+def total_isoline_length(field: ScalarField, levels: Sequence[float], nx: int = 200, ny: int = 200) -> float:
+    """Total length of all true isolines at the given levels.
+
+    Theorem 4.1 bounds the number of isoline nodes by (density x epsilon x
+    this length); the scaling benchmark checks that empirically.
+    """
+    total = 0.0
+    for level in levels:
+        for line in extract_isolines(field, level, nx, ny):
+            total += sum(
+                math.hypot(line[i + 1][0] - line[i][0], line[i + 1][1] - line[i][1])
+                for i in range(len(line) - 1)
+            )
+    return total

@@ -1,0 +1,124 @@
+"""Scalar fields backed by sampled data (grids and scattered points).
+
+This is how real measurements enter the pipeline: a rectangular array of
+sonar samples bilinearly interpolated between centres
+(:class:`SampledGridField`), or irregular per-sensor samples interpolated
+by inverse-distance weighting (:class:`ScatteredField` -- used e.g. to
+treat the network's own per-node residual energy as a sensed field).
+The experiments also use the grid variant to freeze an analytic field
+into a fixed "trace", mirroring the paper's trace-driven methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.field.base import ScalarField
+from repro.geometry import BoundingBox, Vec
+
+
+class SampledGridField(ScalarField):
+    """Bilinear interpolation over a grid of samples.
+
+    ``grid[j, i]`` is the value at the centre of cell ``(i, j)``: x index
+    ``i`` (left to right), y index ``j`` (bottom to top).  Positions outside
+    the outermost sample centres are clamped, so the field is defined on
+    the full (closed) bounding box.
+    """
+
+    def __init__(self, bounds: BoundingBox, grid: np.ndarray):
+        super().__init__(bounds)
+        grid = np.asarray(grid, dtype=float)
+        if grid.ndim != 2 or grid.shape[0] < 2 or grid.shape[1] < 2:
+            raise ValueError("grid must be 2-D with at least 2x2 samples")
+        if not np.all(np.isfinite(grid)):
+            raise ValueError("grid contains non-finite samples")
+        self.grid = grid
+        self._ny, self._nx = grid.shape
+        self._dx = bounds.width / self._nx
+        self._dy = bounds.height / self._ny
+
+    @staticmethod
+    def from_field(field: ScalarField, nx: int, ny: int) -> "SampledGridField":
+        """Freeze ``field`` into an ``nx x ny`` sampled trace."""
+        return SampledGridField(field.bounds, field.sample_grid(nx, ny))
+
+    def value(self, x: float, y: float) -> float:
+        b = self.bounds
+        # Continuous cell coordinates of the query point, in units of cells,
+        # with 0.0 at the centre of the first cell.
+        u = (x - b.xmin) / self._dx - 0.5
+        v = (y - b.ymin) / self._dy - 0.5
+        u = min(max(u, 0.0), self._nx - 1.0)
+        v = min(max(v, 0.0), self._ny - 1.0)
+        i0 = int(u)
+        j0 = int(v)
+        i1 = min(i0 + 1, self._nx - 1)
+        j1 = min(j0 + 1, self._ny - 1)
+        fu = u - i0
+        fv = v - j0
+        g = self.grid
+        top = g[j0, i0] + (g[j0, i1] - g[j0, i0]) * fu
+        bot = g[j1, i0] + (g[j1, i1] - g[j1, i0]) * fu
+        return float(top + (bot - top) * fv)
+
+    def gradient(self, x: float, y: float, h: Optional[float] = None) -> Vec:
+        """Central differences with a step matched to the sample spacing.
+
+        A step much smaller than the grid spacing would see the piecewise-
+        bilinear kinks; half a cell is the natural smoothing scale.
+        """
+        step = h if h is not None else 0.5 * min(self._dx, self._dy)
+        fx = (self.value(x + step, y) - self.value(x - step, y)) / (2 * step)
+        fy = (self.value(x, y + step) - self.value(x, y - step)) / (2 * step)
+        return (fx, fy)
+
+
+class ScatteredField(ScalarField):
+    """Inverse-distance-weighted interpolation of scattered samples.
+
+    ``value(x, y)`` is the Shepard interpolant over the ``k`` nearest
+    samples with weights ``1 / (d^power + eps)``.  Exact at sample
+    points.  Used to turn irregular per-node measurements -- such as each
+    sensor's own residual battery energy -- into a continuous field that
+    the contour-mapping stack can treat like any other phenomenon.
+    """
+
+    def __init__(
+        self,
+        bounds: BoundingBox,
+        positions: Sequence[Vec],
+        values: Sequence[float],
+        k: int = 8,
+        power: float = 2.0,
+    ):
+        super().__init__(bounds)
+        if len(positions) != len(values):
+            raise ValueError("positions and values must parallel")
+        if not positions:
+            raise ValueError("need at least one sample")
+        if k < 1:
+            raise ValueError("k must be positive")
+        if power <= 0:
+            raise ValueError("power must be positive")
+        self._pos = np.asarray(positions, dtype=float)
+        self._val = np.asarray(values, dtype=float)
+        if not np.all(np.isfinite(self._val)):
+            raise ValueError("samples contain non-finite values")
+        self.k = min(k, len(positions))
+        self.power = power
+
+    def value(self, x: float, y: float) -> float:
+        d2 = (self._pos[:, 0] - x) ** 2 + (self._pos[:, 1] - y) ** 2
+        if self.k < len(d2):
+            idx = np.argpartition(d2, self.k)[: self.k]
+        else:
+            idx = np.arange(len(d2))
+        d2k = d2[idx]
+        nearest = int(d2k.argmin())
+        if d2k[nearest] < 1e-18:
+            return float(self._val[idx[nearest]])  # exact at a sample
+        w = 1.0 / (d2k ** (self.power / 2.0))
+        return float((w * self._val[idx]).sum() / w.sum())

@@ -1,0 +1,297 @@
+"""Composable synthetic scalar fields.
+
+These are the building blocks of the Huanghua-Harbor stand-in
+(:mod:`repro.field.harbor`) and the controlled fields used by unit tests:
+a plane has an exactly-known gradient, a radial bowl has exactly-circular
+isolines, and so on.  All fields are deterministic; the value-noise field
+takes an explicit seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.field.base import ScalarField
+from repro.geometry import BoundingBox, Vec
+
+
+class PlaneField(ScalarField):
+    """The linear field ``f(x, y) = c0 + cx * x + cy * y``.
+
+    Its gradient is constant, making it the canonical fixture for testing
+    the regression-based gradient estimator: the estimator must recover
+    ``(cx, cy)`` exactly (up to floating point) from any non-collinear
+    neighbourhood.
+    """
+
+    def __init__(self, bounds: BoundingBox, c0: float, cx: float, cy: float):
+        super().__init__(bounds)
+        self.c0 = c0
+        self.cx = cx
+        self.cy = cy
+
+    def value(self, x: float, y: float) -> float:
+        return self.c0 + self.cx * x + self.cy * y
+
+    def gradient(self, x: float, y: float, h: float = 1e-4) -> Vec:
+        return (self.cx, self.cy)
+
+
+class RadialField(ScalarField):
+    """A radially symmetric field ``f = peak - slope * |p - centre|``.
+
+    Isolines are exact circles around ``centre``, which pins down the
+    reconstruction pipeline's behaviour on closed contours.
+    """
+
+    def __init__(
+        self, bounds: BoundingBox, center: Vec, peak: float = 10.0, slope: float = 1.0
+    ):
+        super().__init__(bounds)
+        self.center = center
+        self.peak = peak
+        self.slope = slope
+
+    def value(self, x: float, y: float) -> float:
+        r = math.hypot(x - self.center[0], y - self.center[1])
+        return self.peak - self.slope * r
+
+    def gradient(self, x: float, y: float, h: float = 1e-4) -> Vec:
+        dx = x - self.center[0]
+        dy = y - self.center[1]
+        r = math.hypot(dx, dy)
+        if r < 1e-12:
+            return (0.0, 0.0)
+        return (-self.slope * dx / r, -self.slope * dy / r)
+
+
+class GaussianBumpField(ScalarField):
+    """A sum of isotropic Gaussian bumps over a constant base level.
+
+    Each bump is ``(amplitude, (cx, cy), sigma)``.  Negative amplitudes make
+    basins.  This is the workhorse for synthesising silt mounds and dredged
+    pockets in the harbor field.
+    """
+
+    def __init__(
+        self,
+        bounds: BoundingBox,
+        base: float,
+        bumps: Sequence[Tuple[float, Vec, float]],
+    ):
+        super().__init__(bounds)
+        self.base = base
+        self.bumps = list(bumps)
+        for (_, _, sigma) in self.bumps:
+            if sigma <= 0:
+                raise ValueError("bump sigma must be positive")
+
+    def value(self, x: float, y: float) -> float:
+        v = self.base
+        for amp, (cx, cy), sigma in self.bumps:
+            d2 = (x - cx) ** 2 + (y - cy) ** 2
+            v += amp * math.exp(-d2 / (2.0 * sigma * sigma))
+        return v
+
+    def gradient(self, x: float, y: float, h: float = 1e-4) -> Vec:
+        gx = 0.0
+        gy = 0.0
+        for amp, (cx, cy), sigma in self.bumps:
+            d2 = (x - cx) ** 2 + (y - cy) ** 2
+            s2 = sigma * sigma
+            g = amp * math.exp(-d2 / (2.0 * s2)) / s2
+            gx += -g * (x - cx)
+            gy += -g * (y - cy)
+        return (gx, gy)
+
+
+class RidgeField(ScalarField):
+    """A Gaussian ridge along the straight line through ``a`` and ``b``.
+
+    ``f = amplitude * exp(-d^2 / 2 width^2)`` with ``d`` the distance to the
+    (infinite) line.  Models a dredged channel: a deep corridor cut through
+    a shallower shelf.
+    """
+
+    def __init__(
+        self, bounds: BoundingBox, a: Vec, b: Vec, amplitude: float, width: float
+    ):
+        super().__init__(bounds)
+        if width <= 0:
+            raise ValueError("ridge width must be positive")
+        dx = b[0] - a[0]
+        dy = b[1] - a[1]
+        n = math.hypot(dx, dy)
+        if n < 1e-12:
+            raise ValueError("ridge endpoints must be distinct")
+        # Unit normal of the centre line.
+        self._nx = -dy / n
+        self._ny = dx / n
+        self._c = self._nx * a[0] + self._ny * a[1]
+        self.amplitude = amplitude
+        self.width = width
+
+    def _signed_dist(self, x: float, y: float) -> float:
+        return self._nx * x + self._ny * y - self._c
+
+    def value(self, x: float, y: float) -> float:
+        d = self._signed_dist(x, y)
+        return self.amplitude * math.exp(-d * d / (2.0 * self.width * self.width))
+
+    def gradient(self, x: float, y: float, h: float = 1e-4) -> Vec:
+        d = self._signed_dist(x, y)
+        w2 = self.width * self.width
+        g = -self.amplitude * math.exp(-d * d / (2.0 * w2)) * d / w2
+        return (g * self._nx, g * self._ny)
+
+
+class ValueNoiseField(ScalarField):
+    """Deterministic multi-octave value noise (smooth random terrain).
+
+    A seeded lattice of random values is interpolated with a smoothstep
+    kernel; octaves at doubling frequency and halving amplitude are summed.
+    This produces well-behaved (Hausdorff-dimension-1) isolines of organic
+    shape -- the same regime as real bathymetry -- without any external
+    trace data.
+    """
+
+    def __init__(
+        self,
+        bounds: BoundingBox,
+        seed: int = 0,
+        octaves: int = 3,
+        base_period: float = 16.0,
+        amplitude: float = 1.0,
+    ):
+        super().__init__(bounds)
+        if octaves < 1:
+            raise ValueError("need at least one octave")
+        if base_period <= 0:
+            raise ValueError("base_period must be positive")
+        self.octaves = octaves
+        self.base_period = base_period
+        self.amplitude = amplitude
+        rng = np.random.default_rng(seed)
+        # One 64x64 wrap-around lattice per octave.
+        self._lattices: List[np.ndarray] = [
+            rng.uniform(-1.0, 1.0, size=(64, 64)) for _ in range(octaves)
+        ]
+
+    @staticmethod
+    def _smooth(t: float) -> float:
+        return t * t * (3.0 - 2.0 * t)
+
+    def _octave(self, lattice: np.ndarray, u: float, v: float) -> float:
+        i0 = int(math.floor(u))
+        j0 = int(math.floor(v))
+        fu = self._smooth(u - i0)
+        fv = self._smooth(v - j0)
+        n = lattice.shape[0]
+        i0 %= n
+        j0 %= n
+        i1 = (i0 + 1) % n
+        j1 = (j0 + 1) % n
+        v00 = lattice[j0, i0]
+        v10 = lattice[j0, i1]
+        v01 = lattice[j1, i0]
+        v11 = lattice[j1, i1]
+        top = v00 + (v10 - v00) * fu
+        bot = v01 + (v11 - v01) * fu
+        return top + (bot - top) * fv
+
+    def value(self, x: float, y: float) -> float:
+        out = 0.0
+        amp = self.amplitude
+        period = self.base_period
+        for lattice in self._lattices:
+            out += amp * self._octave(lattice, x / period, y / period)
+            amp *= 0.5
+            period *= 0.5
+        return out
+
+
+class ScaledField(ScalarField):
+    """A field re-mapped onto a different rectangular extent.
+
+    ``value(x, y)`` samples the inner field at the affinely corresponding
+    position.  The experiments use this to run the same harbor bathymetry
+    over deployment extents of different sizes (the paper keeps one trace
+    and varies the field diameter).
+    """
+
+    def __init__(self, inner: ScalarField, bounds: BoundingBox):
+        super().__init__(bounds)
+        self.inner = inner
+        ib = inner.bounds
+        self._sx = ib.width / bounds.width
+        self._sy = ib.height / bounds.height
+        self._ox = ib.xmin - bounds.xmin * self._sx
+        self._oy = ib.ymin - bounds.ymin * self._sy
+
+    def _map(self, x: float, y: float) -> Vec:
+        return (self._ox + x * self._sx, self._oy + y * self._sy)
+
+    def value(self, x: float, y: float) -> float:
+        u, v = self._map(x, y)
+        return self.inner.value(u, v)
+
+    def gradient(self, x: float, y: float, h: float = 1e-4) -> Vec:
+        u, v = self._map(x, y)
+        gx, gy = self.inner.gradient(u, v, h)
+        return (gx * self._sx, gy * self._sy)
+
+
+class WindowField(ScalarField):
+    """A rectangular window into a larger field (identity coordinates).
+
+    Unlike :class:`ScaledField`, the physical structure (value gradients
+    per unit distance) is untouched -- this is how the experiments grow
+    the monitored area with the network size while keeping the paper's
+    fixed ``epsilon``-stripe width, the regime Theorem 4.1 analyses.
+
+    Raises:
+        ValueError: when the window is not contained in the inner field.
+    """
+
+    def __init__(self, inner: ScalarField, bounds: BoundingBox):
+        ib = inner.bounds
+        if (
+            bounds.xmin < ib.xmin - 1e-9
+            or bounds.ymin < ib.ymin - 1e-9
+            or bounds.xmax > ib.xmax + 1e-9
+            or bounds.ymax > ib.ymax + 1e-9
+        ):
+            raise ValueError("window must lie inside the inner field's bounds")
+        super().__init__(bounds)
+        self.inner = inner
+
+    def value(self, x: float, y: float) -> float:
+        return self.inner.value(x, y)
+
+    def gradient(self, x: float, y: float, h: float = 1e-4) -> Vec:
+        return self.inner.gradient(x, y, h)
+
+
+class CompositeField(ScalarField):
+    """The pointwise sum of several fields (all sharing this one's bounds)."""
+
+    def __init__(self, bounds: BoundingBox, parts: Sequence[ScalarField]):
+        super().__init__(bounds)
+        if not parts:
+            raise ValueError("composite field needs at least one part")
+        self.parts = list(parts)
+
+    def value(self, x: float, y: float) -> float:
+        return sum(p.value(x, y) for p in self.parts)
+
+    def gradient(self, x: float, y: float, h: float = 1e-4) -> Vec:
+        gx = 0.0
+        gy = 0.0
+        for p in self.parts:
+            px, py = p.gradient(x, y, h)
+            gx += px
+            gy += py
+        return (gx, gy)

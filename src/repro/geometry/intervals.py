@@ -1,0 +1,93 @@
+"""1-D closed-interval arithmetic.
+
+When the sink merges the inner half-cells of adjacent Voronoi cells, the
+portion of a shared cell edge covered by *both* inner parts is interior to
+the merged region and must be removed from the boundary.  Each shared edge
+lies on a single line, so the computation reduces to subtracting one set of
+1-D intervals from another along that line's parameterisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Interval:
+    """The closed interval ``[lo, hi]`` (normalised so ``lo <= hi``)."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            lo, hi = self.hi, self.lo
+            object.__setattr__(self, "lo", lo)
+            object.__setattr__(self, "hi", hi)
+
+    @property
+    def length(self) -> float:
+        return self.hi - self.lo
+
+    def is_degenerate(self, tol: float = 1e-9) -> bool:
+        return self.length <= tol
+
+    def intersects(self, other: "Interval", tol: float = 0.0) -> bool:
+        return self.lo <= other.hi + tol and other.lo <= self.hi + tol
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if hi < lo:
+            return None
+        return Interval(lo, hi)
+
+
+def merge_intervals(intervals: Iterable[Interval], tol: float = 1e-9) -> List[Interval]:
+    """Union of intervals as a sorted list of disjoint intervals.
+
+    Intervals closer than ``tol`` are coalesced, which keeps the boundary
+    stitching robust against floating-point slivers at shared endpoints.
+    """
+    items = sorted(intervals, key=lambda iv: iv.lo)
+    out: List[Interval] = []
+    for iv in items:
+        if out and iv.lo <= out[-1].hi + tol:
+            if iv.hi > out[-1].hi:
+                out[-1] = Interval(out[-1].lo, iv.hi)
+        else:
+            out.append(iv)
+    return out
+
+
+def subtract_intervals(
+    base: Interval, holes: Sequence[Interval], tol: float = 1e-9
+) -> List[Interval]:
+    """``base`` minus the union of ``holes``, as disjoint intervals.
+
+    Degenerate leftovers (length <= tol) are dropped: they correspond to
+    zero-length boundary slivers that would otherwise pollute loop
+    stitching.
+    """
+    remaining = [base]
+    for hole in merge_intervals(holes, tol):
+        next_remaining: List[Interval] = []
+        for seg in remaining:
+            if hole.hi <= seg.lo + tol or hole.lo >= seg.hi - tol:
+                # No significant overlap: the segment survives untouched.
+                next_remaining.append(seg)
+                continue
+            left = Interval(seg.lo, max(seg.lo, hole.lo))
+            right = Interval(min(seg.hi, hole.hi), seg.hi)
+            if not left.is_degenerate(tol):
+                next_remaining.append(left)
+            if not right.is_degenerate(tol):
+                next_remaining.append(right)
+        remaining = next_remaining
+    return [seg for seg in remaining if not seg.is_degenerate(tol)]
+
+
+def total_length(intervals: Iterable[Interval]) -> float:
+    """Total length of a union of intervals."""
+    return sum(iv.length for iv in merge_intervals(intervals))

@@ -1,0 +1,194 @@
+"""Basic 2-D vector math and bounding boxes.
+
+Points and vectors are plain ``(x, y)`` tuples of floats.  Keeping them as
+tuples (rather than a class) makes the geometry kernel allocation-light and
+lets hypothesis generate them directly in property tests.  All functions are
+pure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+#: Absolute tolerance used throughout the geometry kernel for "is this point
+#: on that line / inside that half-plane" style predicates.  The simulation
+#: field spans tens of units, so 1e-9 is ~1e-10 of the field size.
+EPS = 1e-9
+
+#: A 2-D point or vector.
+Vec = Tuple[float, float]
+
+
+def add(a: Vec, b: Vec) -> Vec:
+    """Component-wise sum ``a + b``."""
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def sub(a: Vec, b: Vec) -> Vec:
+    """Component-wise difference ``a - b``."""
+    return (a[0] - b[0], a[1] - b[1])
+
+
+def scale(a: Vec, s: float) -> Vec:
+    """Scalar multiple ``s * a``."""
+    return (a[0] * s, a[1] * s)
+
+
+def dot(a: Vec, b: Vec) -> float:
+    """Dot product."""
+    return a[0] * b[0] + a[1] * b[1]
+
+
+def cross(a: Vec, b: Vec) -> float:
+    """2-D cross product (z component of the 3-D cross product)."""
+    return a[0] * b[1] - a[1] * b[0]
+
+
+def norm(a: Vec) -> float:
+    """Euclidean length."""
+    return math.hypot(a[0], a[1])
+
+
+def dist(a: Vec, b: Vec) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def dist_sq(a: Vec, b: Vec) -> float:
+    """Squared euclidean distance (avoids the sqrt in hot loops)."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def normalize(a: Vec) -> Vec:
+    """Unit vector in the direction of ``a``.
+
+    Raises:
+        ValueError: if ``a`` is (numerically) the zero vector.
+    """
+    n = norm(a)
+    if n < EPS:
+        raise ValueError("cannot normalize a zero-length vector")
+    return (a[0] / n, a[1] / n)
+
+
+def perpendicular(a: Vec) -> Vec:
+    """The vector ``a`` rotated by +90 degrees (counter-clockwise)."""
+    return (-a[1], a[0])
+
+
+def unit_from_angle(theta: float) -> Vec:
+    """Unit vector at angle ``theta`` radians from the +x axis."""
+    return (math.cos(theta), math.sin(theta))
+
+
+def angle_between(a: Vec, b: Vec) -> float:
+    """Unsigned angle between two vectors, in radians, in ``[0, pi]``.
+
+    Returns 0.0 when either vector is numerically zero (there is no
+    meaningful angle; callers in the filtering pipeline treat that as
+    "no angular separation").
+    """
+    na = norm(a)
+    nb = norm(b)
+    if na < EPS or nb < EPS:
+        return 0.0
+    c = dot(a, b) / (na * nb)
+    c = max(-1.0, min(1.0, c))
+    return math.acos(c)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box ``[xmin, xmax] x [ymin, ymax]``.
+
+    Used as the clipping window for bounded Voronoi cells and as the extent
+    of the monitored sensor field.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmax < self.xmin or self.ymax < self.ymin:
+            raise ValueError(
+                f"degenerate bounding box: ({self.xmin}, {self.ymin}) .. "
+                f"({self.xmax}, {self.ymax})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Vec:
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the box diagonal; a natural "infinite" scale."""
+        return math.hypot(self.width, self.height)
+
+    def contains(self, p: Vec, tol: float = EPS) -> bool:
+        """True if ``p`` lies inside the box (closed, with tolerance)."""
+        return (
+            self.xmin - tol <= p[0] <= self.xmax + tol
+            and self.ymin - tol <= p[1] <= self.ymax + tol
+        )
+
+    def corners(self) -> List[Vec]:
+        """Corners in counter-clockwise order starting at (xmin, ymin)."""
+        return [
+            (self.xmin, self.ymin),
+            (self.xmax, self.ymin),
+            (self.xmax, self.ymax),
+            (self.xmin, self.ymax),
+        ]
+
+    def clamp(self, p: Vec) -> Vec:
+        """The closest point of the box to ``p``."""
+        return (
+            min(max(p[0], self.xmin), self.xmax),
+            min(max(p[1], self.ymin), self.ymax),
+        )
+
+    def sample_grid(self, nx: int, ny: int) -> List[Vec]:
+        """Cell-centre sample positions of an ``nx x ny`` raster of the box.
+
+        Used by the raster accuracy metric: each returned point is the
+        centre of one raster cell.
+        """
+        if nx <= 0 or ny <= 0:
+            raise ValueError("raster dimensions must be positive")
+        dx = self.width / nx
+        dy = self.height / ny
+        return [
+            (self.xmin + (i + 0.5) * dx, self.ymin + (j + 0.5) * dy)
+            for j in range(ny)
+            for i in range(nx)
+        ]
+
+    @staticmethod
+    def around(points: Iterable[Vec], margin: float = 0.0) -> "BoundingBox":
+        """The tightest box containing ``points``, grown by ``margin``."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot bound an empty point set")
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        return BoundingBox(
+            min(xs) - margin, min(ys) - margin, max(xs) + margin, max(ys) + margin
+        )

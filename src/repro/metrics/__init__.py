@@ -1,0 +1,27 @@
+"""Evaluation metrics (Section 5).
+
+- :mod:`repro.metrics.accuracy` -- mapping accuracy: the ratio of
+  accurately mapped area (Fig. 11).
+- :mod:`repro.metrics.hausdorff` -- Hausdorff distance between true and
+  estimated isolines (Fig. 12).
+- :mod:`repro.metrics.gradient_error` -- angle between estimated gradient
+  directions and the true isoline normals (Fig. 7).
+"""
+
+from repro.metrics.accuracy import mapping_accuracy, raster_accuracy
+from repro.metrics.hausdorff import (
+    directed_hausdorff,
+    hausdorff_distance,
+    isoline_hausdorff,
+)
+from repro.metrics.gradient_error import GradientErrorStats, gradient_errors
+
+__all__ = [
+    "mapping_accuracy",
+    "raster_accuracy",
+    "directed_hausdorff",
+    "hausdorff_distance",
+    "isoline_hausdorff",
+    "GradientErrorStats",
+    "gradient_errors",
+]

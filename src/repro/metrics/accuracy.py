@@ -1,0 +1,55 @@
+"""Mapping accuracy: the ratio of accurately mapped area (Fig. 11).
+
+The paper measures "the ratio of the accurately mapped area in the
+resulting contour map to the whole area".  We rasterise both the ground
+truth (field values classified into bands) and the protocol's map at the
+same resolution and count agreeing cells.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.field.base import ScalarField
+from repro.field.contours import classify_raster
+
+
+def raster_accuracy(truth: np.ndarray, estimate: np.ndarray) -> float:
+    """Fraction of raster cells whose band matches.
+
+    Raises:
+        ValueError: on shape mismatch.
+    """
+    truth = np.asarray(truth)
+    estimate = np.asarray(estimate)
+    if truth.shape != estimate.shape:
+        raise ValueError(
+            f"raster shapes differ: {truth.shape} vs {estimate.shape}"
+        )
+    if truth.size == 0:
+        raise ValueError("empty rasters")
+    return float((truth == estimate).mean())
+
+
+def mapping_accuracy(
+    field: ScalarField,
+    band_map,
+    levels: Sequence[float],
+    nx: int = 100,
+    ny: int = 100,
+) -> float:
+    """Accuracy of ``band_map`` against the true contour map of ``field``.
+
+    Args:
+        field: the ground-truth phenomenon.
+        band_map: any object with ``classify_raster(nx, ny) -> (ny, nx)``
+            band indices (a :class:`repro.core.ContourMap` or a baseline's
+            map).
+        levels: the isolevels defining the bands.
+        nx, ny: evaluation raster resolution.
+    """
+    truth = classify_raster(field, levels, nx, ny)
+    estimate = band_map.classify_raster(nx, ny)
+    return raster_accuracy(truth, estimate)

@@ -1,0 +1,36 @@
+"""Wireless-sensor-network simulation substrate.
+
+Models what the paper assumes underneath Iso-Map (Section 3.1 and 5):
+uniform-random or grid node deployment, a unit-disk radio with a
+configurable range, a spanning routing tree rooted at the sink with
+level-based forwarding, a perfect link layer, node failures, and exact
+per-node accounting of transmitted/received bytes and arithmetic
+operations.
+
+- :mod:`repro.network.node` -- the sensor-node record.
+- :mod:`repro.network.deployment` -- node placement strategies.
+- :mod:`repro.network.topology` -- disk-radio adjacency via spatial hashing.
+- :mod:`repro.network.routing_tree` -- BFS spanning tree and levels.
+- :mod:`repro.network.accounting` -- per-node traffic/computation counters.
+- :mod:`repro.network.network` -- the :class:`SensorNetwork` facade.
+"""
+
+from repro.network.node import SensorNode
+from repro.network.deployment import grid_deployment, uniform_random_deployment
+from repro.network.topology import build_adjacency, average_degree, is_connected
+from repro.network.routing_tree import RoutingTree, build_routing_tree
+from repro.network.accounting import CostAccountant
+from repro.network.network import SensorNetwork
+
+__all__ = [
+    "SensorNode",
+    "grid_deployment",
+    "uniform_random_deployment",
+    "build_adjacency",
+    "average_degree",
+    "is_connected",
+    "RoutingTree",
+    "build_routing_tree",
+    "CostAccountant",
+    "SensorNetwork",
+]

@@ -1,0 +1,85 @@
+"""Node-placement strategies.
+
+The paper deploys ``n`` nodes over a normalised ``sqrt(n) x sqrt(n)`` field
+(density 1) either uniformly at random (Iso-Map's default) or on a regular
+grid (required by TinyDB, INLR and the data-suppression protocol --
+Section 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.geometry import BoundingBox, Vec
+
+
+def uniform_random_deployment(
+    n: int, bounds: BoundingBox, rng: Optional[random.Random] = None
+) -> List[Vec]:
+    """``n`` i.i.d. uniform positions in ``bounds``.
+
+    Args:
+        n: number of nodes (must be positive).
+        bounds: deployment area.
+        rng: source of randomness; a fresh seeded one keeps runs
+            reproducible.
+    """
+    if n <= 0:
+        raise ValueError("need a positive number of nodes")
+    r = rng if rng is not None else random.Random()
+    return [
+        (r.uniform(bounds.xmin, bounds.xmax), r.uniform(bounds.ymin, bounds.ymax))
+        for _ in range(n)
+    ]
+
+
+def grid_deployment(n: int, bounds: BoundingBox) -> List[Vec]:
+    """Approximately ``n`` nodes on a regular grid filling ``bounds``.
+
+    The grid is ``ceil(sqrt(n * aspect)) x ceil(sqrt(n / aspect))`` cells
+    with one node at each cell centre, so the returned count is the nearest
+    realisable grid size at or above ``n`` aspect-matched; callers that
+    need the exact count can slice, but the protocols here only care about
+    density.
+    """
+    if n <= 0:
+        raise ValueError("need a positive number of nodes")
+    aspect = bounds.width / bounds.height
+    nx = max(1, round(math.sqrt(n * aspect)))
+    ny = max(1, round(math.sqrt(n / aspect)))
+    while nx * ny < n:
+        if nx <= ny:
+            nx += 1
+        else:
+            ny += 1
+    return bounds.sample_grid(nx, ny)
+
+
+def jittered_grid_deployment(
+    n: int,
+    bounds: BoundingBox,
+    jitter: float = 0.25,
+    rng: Optional[random.Random] = None,
+) -> List[Vec]:
+    """A grid deployment with per-node uniform jitter.
+
+    ``jitter`` is the maximum displacement as a fraction of the grid cell
+    side.  Models imperfect buoy anchoring: nominally regular, locally
+    perturbed.
+    """
+    if not 0 <= jitter <= 0.5:
+        raise ValueError("jitter must be in [0, 0.5] of a cell side")
+    r = rng if rng is not None else random.Random()
+    pts = grid_deployment(n, bounds)
+    if not pts:
+        return pts
+    # Infer the cell side from the first two x-distinct points.
+    side = bounds.width / max(1, round(math.sqrt(n * bounds.width / bounds.height)))
+    out = []
+    for (x, y) in pts:
+        dx = r.uniform(-jitter, jitter) * side
+        dy = r.uniform(-jitter, jitter) * side
+        out.append(bounds.clamp((x + dx, y + dy)))
+    return out

@@ -1,0 +1,267 @@
+"""The :class:`SensorNetwork` facade.
+
+Bundles a deployment over a scalar field, the disk-radio adjacency, the
+routing tree and failure injection into the single object that every
+protocol (Iso-Map and the baselines) runs against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set
+
+from repro.field.base import ScalarField
+from repro.geometry import BoundingBox, Vec, dist
+from repro.network.deployment import grid_deployment, uniform_random_deployment
+from repro.network.node import SensorNode
+from repro.network.routing_tree import RoutingTree, build_routing_tree
+from repro.network.topology import (
+    average_degree,
+    build_adjacency,
+    is_connected,
+    k_hop_neighbors,
+)
+
+#: The paper's radio range in normalised units: "to keep a connected
+#: communication graph, the radio range should be no less than 1.5, which
+#: results in an average node degree of 7" (Section 5).
+DEFAULT_RADIO_RANGE = 1.5
+
+
+class SensorNetwork:
+    """A deployed, connected, routed sensor network over a scalar field.
+
+    Args:
+        field: the sensed phenomenon.
+        positions: node deployment positions inside ``field.bounds``.
+        radio_range: unit-disk communication radius.
+        sink_index: index of the sink node; by default the node closest to
+            the field centre.  (A corner sink has half its radio disk
+            outside the field, which makes the root fragile under failure
+            injection; the paper's tree-based routing assumes a robustly
+            connected root.)
+        sensing_noise: standard deviation of zero-mean Gaussian noise added
+            to each node's sensed value (0 disables).
+        rng: randomness source for sensing noise and failure injection.
+    """
+
+    def __init__(
+        self,
+        field: ScalarField,
+        positions: Sequence[Vec],
+        radio_range: float = DEFAULT_RADIO_RANGE,
+        sink_index: Optional[int] = None,
+        sensing_noise: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if not positions:
+            raise ValueError("a network needs at least one node")
+        self.field = field
+        self.radio_range = radio_range
+        self._rng = rng if rng is not None else random.Random(0)
+        self.nodes: List[SensorNode] = []
+        for i, p in enumerate(positions):
+            if not field.bounds.contains(p, tol=1e-9):
+                raise ValueError(f"node {i} deployed outside the field at {p}")
+            v = field.value(p[0], p[1])
+            if sensing_noise > 0:
+                v += self._rng.gauss(0.0, sensing_noise)
+            self.nodes.append(SensorNode(node_id=i, position=p, value=v))
+        self.adjacency: List[Set[int]] = build_adjacency(positions, radio_range)
+        if sink_index is None:
+            centre = field.bounds.center
+            sink_index = min(
+                range(len(positions)), key=lambda i: dist(positions[i], centre)
+            )
+        self.sink_index = sink_index
+        self.tree: RoutingTree = self._build_tree()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random_deploy(
+        cls,
+        field: ScalarField,
+        n: int,
+        radio_range: float = DEFAULT_RADIO_RANGE,
+        seed: int = 0,
+        sensing_noise: float = 0.0,
+    ) -> "SensorNetwork":
+        """Uniform-random deployment of ``n`` nodes (Iso-Map's default)."""
+        rng = random.Random(seed)
+        positions = uniform_random_deployment(n, field.bounds, rng)
+        return cls(
+            field, positions, radio_range, sensing_noise=sensing_noise, rng=rng
+        )
+
+    @classmethod
+    def grid_deploy(
+        cls,
+        field: ScalarField,
+        n: int,
+        radio_range: float = DEFAULT_RADIO_RANGE,
+        seed: int = 0,
+        sensing_noise: float = 0.0,
+    ) -> "SensorNetwork":
+        """Regular-grid deployment (required by TinyDB-style baselines)."""
+        positions = grid_deployment(n, field.bounds)
+        return cls(
+            field,
+            positions,
+            radio_range,
+            sensing_noise=sensing_noise,
+            rng=random.Random(seed),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return self.field.bounds
+
+    @property
+    def density(self) -> float:
+        """Nodes per unit area (the paper's "normalized node density")."""
+        return self.n_nodes / self.bounds.area
+
+    @property
+    def diameter_hops(self) -> int:
+        """Routing-tree depth: the paper's "network diameter" in hops."""
+        return self.tree.depth
+
+    def alive_mask(self) -> List[bool]:
+        return [node.alive for node in self.nodes]
+
+    def alive_count(self) -> int:
+        return sum(1 for node in self.nodes if node.alive)
+
+    def alive_neighbors(self, i: int) -> List[int]:
+        """Alive disk-radio neighbours of node ``i``."""
+        return [j for j in self.adjacency[i] if self.nodes[j].alive]
+
+    def sensing_neighbors(self, i: int) -> List[int]:
+        """Neighbours of ``i`` that can answer value queries."""
+        return [j for j in self.adjacency[i] if self.nodes[j].can_sense]
+
+    def k_hop_alive_neighbors(self, i: int, k: int) -> List[int]:
+        """Alive nodes within k hops of node ``i`` (excluding ``i``)."""
+        return sorted(
+            k_hop_neighbors(self.adjacency, i, k, alive=self.alive_mask())
+        )
+
+    def k_hop_sensing_neighbors(self, i: int, k: int) -> List[int]:
+        """Sensing-capable nodes within k (alive-routed) hops of node ``i``.
+
+        The multi-hop paths go through alive nodes (forwarding works even
+        past sensing-failed ones); the returned set keeps only nodes that
+        can actually answer a value query.
+        """
+        reachable = k_hop_neighbors(self.adjacency, i, k, alive=self.alive_mask())
+        return sorted(j for j in reachable if self.nodes[j].can_sense)
+
+    def average_degree(self) -> float:
+        """Mean alive-neighbour count over alive nodes."""
+        return average_degree(self.adjacency, self.alive_mask())
+
+    def is_connected(self) -> bool:
+        return is_connected(self.adjacency, self.alive_mask())
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _build_tree(self) -> RoutingTree:
+        positions = [node.position for node in self.nodes]
+        tree = build_routing_tree(
+            positions, self.adjacency, self.sink_index, self.alive_mask()
+        )
+        for node in self.nodes:
+            node.reset_routing()
+        for i, node in enumerate(self.nodes):
+            node.level = tree.level[i]
+            node.parent = tree.parent[i]
+            node.children = list(tree.children[i])
+        return tree
+
+    def rebuild_tree(self) -> None:
+        """Recompute routing after topology changes (e.g. failures)."""
+        self.tree = self._build_tree()
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def fail_random(
+        self,
+        ratio: float,
+        rng: Optional[random.Random] = None,
+        mode: str = "sensing",
+    ) -> List[int]:
+        """Fail a uniform random fraction of non-sink nodes.
+
+        Two failure semantics (Figs. 11b / 12b sweep the ratio):
+
+        - ``mode="sensing"`` (default): failed nodes produce no data and
+          answer no neighbourhood value queries, but keep forwarding.  This
+          matches the paper's observed behaviour -- TinyDB "recovers the map
+          from lossy isobars" and Iso-Map "suffers from the loss of isoline
+          node reports" -- i.e. the damage is missing *reports*, with the
+          collection tree still functioning.
+        - ``mode="crash"``: failed nodes are removed entirely and routing
+          is rebuilt over the survivors.  At the paper's average degree of
+          ~7 this fragments the graph near the percolation threshold, so
+          accuracy additionally collapses through disconnection; the
+          failure-injection tests cover this harsher model too.
+
+        Returns the failed node ids.
+        """
+        if not 0 <= ratio <= 1:
+            raise ValueError("failure ratio must be in [0, 1]")
+        if mode not in ("sensing", "crash"):
+            raise ValueError(f"unknown failure mode {mode!r}")
+        r = rng if rng is not None else self._rng
+        candidates = [i for i in range(self.n_nodes) if i != self.sink_index]
+        k = min(round(ratio * self.n_nodes), len(candidates))
+        failed = r.sample(candidates, k)
+        for i in failed:
+            if mode == "crash":
+                self.nodes[i].alive = False
+            self.nodes[i].sensing_ok = False
+        if mode == "crash":
+            self.rebuild_tree()
+        return failed
+
+    def resense(
+        self,
+        field: Optional[ScalarField] = None,
+        sensing_noise: float = 0.0,
+    ) -> None:
+        """Take a fresh sensing epoch, optionally over a changed field.
+
+        Contour mapping is continuous monitoring: the phenomenon evolves
+        (e.g. a storm deposits silt) and the same deployment re-samples
+        it.  Updates every node's ``value``; positions, topology, routing
+        and failure state are untouched.
+        """
+        if field is not None:
+            self.field = field
+        for node in self.nodes:
+            v = self.field.value(node.position[0], node.position[1])
+            if sensing_noise > 0:
+                v += self._rng.gauss(0.0, sensing_noise)
+            node.value = v
+
+    def revive_all(self) -> None:
+        """Undo failure injection (used between experiment repetitions)."""
+        for node in self.nodes:
+            node.alive = True
+            node.sensing_ok = True
+        self.rebuild_tree()

@@ -1,0 +1,71 @@
+"""The sensor-node record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.geometry import Vec
+
+
+@dataclass
+class SensorNode:
+    """One sensor in the field.
+
+    Attributes:
+        node_id: index into the network's node list.
+        position: deployment position (known to the node through GPS or a
+            localisation service -- Section 3.3 of the paper).
+        value: the sensed attribute value (water depth in the harbor
+            scenario).  Sampled from the scalar field at deployment; a
+            sensing-noise model may perturb it.
+        alive: crashed nodes neither sense, report, route, nor answer
+            neighbourhood queries.
+        sensing_ok: sensing-failed nodes produce no data (and answer no
+            neighbourhood value queries) but keep forwarding packets.
+            ``can_sense`` requires both flags; ``alive`` alone gates
+            routing.
+        level: hop distance from the sink along the routing tree
+            (0 = the sink itself; ``None`` = unreachable).
+        parent: routing-tree parent (``None`` for the sink / unreachable).
+        children: routing-tree children.
+    """
+
+    node_id: int
+    position: Vec
+    value: float
+    alive: bool = True
+    sensing_ok: bool = True
+    estimated_position: Optional[Vec] = None
+    level: Optional[int] = None
+    parent: Optional[int] = None
+    children: List[int] = field(default_factory=list)
+
+    def reset_routing(self) -> None:
+        """Clear tree state before a (re)build."""
+        self.level = None
+        self.parent = None
+        self.children = []
+
+    @property
+    def reachable(self) -> bool:
+        """True when the node has a route to the sink."""
+        return self.alive and self.level is not None
+
+    @property
+    def can_sense(self) -> bool:
+        """True when the node produces data and answers value queries."""
+        return self.alive and self.sensing_ok
+
+    @property
+    def app_position(self) -> Vec:
+        """The position the APPLICATION believes the node is at.
+
+        ``position`` is ground truth (where the node physically is, which
+        governs sensing and radio); ``app_position`` is what goes into
+        reports and regressions -- the localisation service's estimate
+        when one ran (Section 3.3: positions come "from attached
+        localization devices such as a GPS receiver or by one of existing
+        algorithms"), else the truth.
+        """
+        return self.estimated_position if self.estimated_position is not None else self.position

@@ -1,0 +1,145 @@
+"""BFS spanning tree rooted at the sink.
+
+The paper assumes the tree-based routing of TAG/TinyDB (Section 3.1): each
+node gets a level equal to its hop count from the sink and forwards through
+a parent one level below.  Among the candidate parents (neighbours at
+``level - 1``) we pick the geographically closest to the sink, a stand-in
+for the link-quality-based parent selection of [13]/[26] that keeps the
+construction deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.geometry import Vec, dist
+
+
+@dataclass
+class RoutingTree:
+    """The routing structure used by every protocol in the reproduction.
+
+    Attributes:
+        sink: node index of the root.
+        level: ``level[i]`` = hop count of node i (``None`` if unreachable
+            or dead).
+        parent: ``parent[i]`` = next hop toward the sink (``None`` for the
+            sink and unreachable nodes).
+        children: inverse of ``parent``.
+    """
+
+    sink: int
+    level: List[Optional[int]]
+    parent: List[Optional[int]]
+    children: List[List[int]]
+
+    @property
+    def depth(self) -> int:
+        """Maximum level over reachable nodes (the network diameter proxy
+        used by Figs. 14-16: "network diameter varies from 10 to 50 hops")."""
+        levels = [l for l in self.level if l is not None]
+        return max(levels) if levels else 0
+
+    def reachable_count(self) -> int:
+        return sum(1 for l in self.level if l is not None)
+
+    def path_to_sink(self, node: int) -> List[int]:
+        """Node indices from ``node`` (inclusive) to the sink (inclusive).
+
+        Raises:
+            ValueError: when the node has no route.
+        """
+        if self.level[node] is None:
+            raise ValueError(f"node {node} is unreachable")
+        path = [node]
+        cur = node
+        while cur != self.sink:
+            nxt = self.parent[cur]
+            assert nxt is not None, "reachable non-sink node must have a parent"
+            path.append(nxt)
+            cur = nxt
+        return path
+
+    def hops_to_sink(self, node: int) -> int:
+        lvl = self.level[node]
+        if lvl is None:
+            raise ValueError(f"node {node} is unreachable")
+        return lvl
+
+    def subtree_order_bottom_up(self) -> List[int]:
+        """Reachable nodes ordered so children precede their parents.
+
+        In-network aggregation and filtering walk reports up the tree; this
+        order lets a single pass simulate the per-epoch, level-by-level
+        forwarding schedule of TAG.
+        """
+        order = sorted(
+            (i for i, l in enumerate(self.level) if l is not None),
+            key=lambda i: -(self.level[i] or 0),
+        )
+        return order
+
+
+def build_routing_tree(
+    positions: Sequence[Vec],
+    adjacency: Sequence[Set[int]],
+    sink: int,
+    alive: Optional[Sequence[bool]] = None,
+) -> RoutingTree:
+    """Breadth-first spanning tree over the alive communication graph.
+
+    Args:
+        positions: node positions (used for deterministic parent choice).
+        adjacency: disk-radio neighbour sets.
+        sink: root node index (must be alive).
+        alive: liveness mask; dead nodes are excluded entirely.
+    """
+    n = len(positions)
+    live = [True] * n if alive is None else list(alive)
+    if not 0 <= sink < n:
+        raise ValueError("sink index out of range")
+    if not live[sink]:
+        raise ValueError("the sink must be alive")
+
+    level: List[Optional[int]] = [None] * n
+    parent: List[Optional[int]] = [None] * n
+    children: List[List[int]] = [[] for _ in range(n)]
+    sink_pos = positions[sink]
+
+    level[sink] = 0
+    queue = deque([sink])
+    # Plain BFS fixes levels; parents are then chosen among the
+    # (level - 1) neighbours by distance to the sink.
+    order: List[int] = []
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in adjacency[u]:
+            if live[v] and level[v] is None:
+                level[v] = level[u] + 1  # type: ignore[operator]
+                queue.append(v)
+
+    for u in order:
+        if u == sink:
+            continue
+        lu = level[u]
+        candidates = [
+            v for v in adjacency[u] if live[v] and level[v] == lu - 1  # type: ignore[operator]
+        ]
+        assert candidates, "BFS-levelled node must have an upstream neighbour"
+        best = min(candidates, key=lambda v: (dist(positions[v], sink_pos), v))
+        parent[u] = best
+        children[best].append(u)
+
+    return RoutingTree(sink=sink, level=level, parent=parent, children=children)
+
+
+def level_histogram(tree: RoutingTree) -> Dict[int, int]:
+    """Number of reachable nodes per level (diagnostics and tests)."""
+    hist: Dict[int, int] = {}
+    for l in tree.level:
+        if l is not None:
+            hist[l] = hist.get(l, 0) + 1
+    return hist

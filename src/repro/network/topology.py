@@ -1,0 +1,121 @@
+"""Disk-radio communication graph.
+
+Two nodes can communicate iff their distance is at most the radio range
+(unit-disk model, perfect links -- Section 5 of the paper).  Adjacency is
+computed with a spatial hash so building the graph is O(n) expected for
+bounded density.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.geometry import Vec
+
+
+def build_adjacency(
+    positions: Sequence[Vec], radio_range: float
+) -> List[Set[int]]:
+    """Neighbour sets under the unit-disk model.
+
+    Args:
+        positions: node positions.
+        radio_range: maximum communication distance (the paper uses 1.5
+            normalised units, i.e. 30 m for one node per 400 m^2).
+
+    Returns:
+        ``adj[i]`` = set of node indices within ``radio_range`` of node i
+        (excluding i itself).
+    """
+    if radio_range <= 0:
+        raise ValueError("radio range must be positive")
+    n = len(positions)
+    adj: List[Set[int]] = [set() for _ in range(n)]
+    cell = radio_range
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for i, p in enumerate(positions):
+        key = (int(math.floor(p[0] / cell)), int(math.floor(p[1] / cell)))
+        buckets.setdefault(key, []).append(i)
+    r2 = radio_range * radio_range
+    for (kx, ky), members in buckets.items():
+        neighbours_cells = [
+            buckets.get((kx + dx, ky + dy), ())
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+        ]
+        for i in members:
+            xi, yi = positions[i]
+            for other_cell in neighbours_cells:
+                for j in other_cell:
+                    if j <= i:
+                        continue
+                    xj, yj = positions[j]
+                    dx = xi - xj
+                    dy = yi - yj
+                    if dx * dx + dy * dy <= r2:
+                        adj[i].add(j)
+                        adj[j].add(i)
+    return adj
+
+
+def average_degree(adj: Sequence[Set[int]], alive: Sequence[bool] = None) -> float:
+    """Mean neighbour count, optionally restricted to alive nodes."""
+    if alive is None:
+        degrees = [len(s) for s in adj]
+    else:
+        degrees = [
+            sum(1 for j in s if alive[j]) for i, s in enumerate(adj) if alive[i]
+        ]
+    if not degrees:
+        return 0.0
+    return sum(degrees) / len(degrees)
+
+
+def is_connected(adj: Sequence[Set[int]], alive: Sequence[bool] = None) -> bool:
+    """True when all (alive) nodes are mutually reachable."""
+    n = len(adj)
+    live = [True] * n if alive is None else list(alive)
+    start = next((i for i in range(n) if live[i]), None)
+    if start is None:
+        return True  # vacuously connected
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if live[v] and v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return len(seen) == sum(live)
+
+
+def k_hop_neighbors(
+    adj: Sequence[Set[int]], start: int, k: int, alive: Sequence[bool] = None
+) -> Set[int]:
+    """All nodes within ``k`` hops of ``start`` (excluding ``start``).
+
+    Iso-Map's gradient estimation queries the k-hop neighbourhood
+    (Section 3.3: "the query scope can be adjusted within k-hop
+    neighbors"); k = 1 is the default.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    n = len(adj)
+    live = [True] * n if alive is None else alive
+    seen = {start}
+    frontier = {start}
+    out: Set[int] = set()
+    for _ in range(k):
+        nxt: Set[int] = set()
+        for u in frontier:
+            for v in adj[u]:
+                if live[v] and v not in seen:
+                    seen.add(v)
+                    nxt.add(v)
+        out |= nxt
+        frontier = nxt
+        if not frontier:
+            break
+    return out

@@ -1,0 +1,5 @@
+"""Terminal visualisation of contour maps (examples and debugging)."""
+
+from repro.viz.ascii_map import render_band_map, render_raster, side_by_side
+
+__all__ = ["render_band_map", "render_raster", "side_by_side"]

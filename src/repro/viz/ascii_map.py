@@ -1,0 +1,51 @@
+"""ASCII rendering of band rasters.
+
+The examples print the true map next to a protocol's reconstruction, the
+text-mode analogue of the paper's Fig. 10.  Band indices map to a density
+ramp; row 0 of the raster is the *bottom* of the field, so rows are
+emitted last-first to keep north up.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+#: Character ramp indexed by band (wraps for deep maps).
+DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def render_raster(raster: np.ndarray, ramp: str = DEFAULT_RAMP) -> str:
+    """Render a 2-D integer band raster as ASCII art."""
+    raster = np.asarray(raster)
+    if raster.ndim != 2:
+        raise ValueError("raster must be 2-D")
+    if not ramp:
+        raise ValueError("ramp must be non-empty")
+    lines: List[str] = []
+    for row in raster[::-1]:  # top of the field first
+        lines.append("".join(ramp[int(v) % len(ramp)] for v in row))
+    return "\n".join(lines)
+
+
+def render_band_map(band_map, nx: int = 60, ny: int = 30, ramp: str = DEFAULT_RAMP) -> str:
+    """Render anything exposing ``classify_raster(nx, ny)``."""
+    return render_raster(band_map.classify_raster(nx, ny), ramp)
+
+
+def side_by_side(left: str, right: str, gap: int = 4, titles=None) -> str:
+    """Join two ASCII blocks horizontally (pads the shorter one)."""
+    l_lines = left.splitlines()
+    r_lines = right.splitlines()
+    width = max((len(s) for s in l_lines), default=0)
+    height = max(len(l_lines), len(r_lines))
+    l_lines += [""] * (height - len(l_lines))
+    r_lines += [""] * (height - len(r_lines))
+    out: List[str] = []
+    if titles is not None:
+        lt, rt = titles
+        out.append(lt.ljust(width + gap) + rt)
+    for a, b in zip(l_lines, r_lines):
+        out.append(a.ljust(width + gap) + b)
+    return "\n".join(out)

@@ -1,0 +1,79 @@
+"""Unit and property tests for scaling fits and the Table 1 renderer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import TABLE1_ROWS, fit_power_law, table1
+
+
+class TestFitPowerLaw:
+    def test_exact_square_root(self):
+        xs = [100, 400, 900, 1600]
+        ys = [10, 20, 30, 40]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5)
+        assert fit.coefficient == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_linear(self):
+        xs = [1, 2, 4, 8]
+        ys = [3, 6, 12, 24]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.0)
+        assert fit.coefficient == pytest.approx(3.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 4, 8])
+        assert fit.predict(8) == pytest.approx(16.0)
+
+    def test_noisy_data_r_squared_below_one(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [2.1, 3.8, 8.4, 15.1, 33.0]
+        fit = fit_power_law(xs, ys)
+        assert 0.9 < fit.r_squared < 1.0
+        assert fit.exponent == pytest.approx(1.0, abs=0.1)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1, -2])
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2], [1, 2])
+
+
+class TestTable1:
+    def test_all_protocols_present(self):
+        text = table1()
+        for row in TABLE1_ROWS:
+            assert row.protocol in text
+
+    def test_isomap_sqrt_claim(self):
+        iso = next(r for r in TABLE1_ROWS if r.protocol == "Iso-Map")
+        assert "sqrt" in iso.reports
+        assert iso.deployment == "any"
+
+    def test_renders_header(self):
+        assert "Generated reports" in table1()
+
+
+@given(
+    a=st.floats(min_value=0.1, max_value=100),
+    b=st.floats(min_value=-2, max_value=2),
+)
+@settings(max_examples=100)
+def test_fit_recovers_exact_power_laws(a, b):
+    xs = [1.0, 3.0, 10.0, 30.0, 100.0]
+    ys = [a * x**b for x in xs]
+    if any(not math.isfinite(y) or y <= 0 for y in ys):
+        return
+    fit = fit_power_law(xs, ys)
+    assert fit.exponent == pytest.approx(b, abs=1e-6)
+    assert fit.coefficient == pytest.approx(a, rel=1e-6)

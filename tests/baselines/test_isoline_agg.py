@@ -1,0 +1,72 @@
+"""Unit tests for the isoline-aggregation baseline [22]."""
+
+import pytest
+
+from repro.baselines import IsolineAggregationProtocol
+from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
+from repro.field import RadialField, make_harbor_field
+from repro.geometry import BoundingBox
+from repro.metrics import mapping_accuracy
+from repro.network import SensorNetwork
+
+BOX = BoundingBox(0, 0, 20, 20)
+
+
+def radial_net(n=600, seed=1):
+    field = RadialField(BOX, center=(10, 10), peak=20, slope=1)
+    return SensorNetwork.random_deploy(field, n, radio_range=2.2, seed=seed)
+
+
+class TestIsolineAggregation:
+    def test_reports_come_from_isoline_nodes_only(self):
+        import math
+
+        net = radial_net()
+        q = ContourQuery(15.0, 15.0, 2.0, epsilon_fraction=0.2)
+        run = IsolineAggregationProtocol(q).run(net)
+        assert 0 < run.reports_delivered < 0.2 * net.n_nodes
+        # All delivered positions sit near the radius-5 circle.
+        for p in run.band_map.positions:
+            assert abs(math.dist(p, (10, 10)) - 5.0) < 0.6
+
+    def test_traffic_scale_matches_isomap(self):
+        net = radial_net(n=800)
+        q = ContourQuery(15.0, 15.0, 2.0, epsilon_fraction=0.2)
+        agg = IsolineAggregationProtocol(q).run(net)
+        iso = IsoMapProtocol(q, FilterConfig(30, 4)).run(net)
+        # Same restricted-reporting regime: within a small factor.
+        assert agg.costs.total_traffic_bytes() < 2 * iso.costs.total_traffic_bytes()
+
+    def test_fidelity_below_isomap_on_harbor(self):
+        # The headline: without gradient directions the same report
+        # budget produces a far worse map (the Fig. 4 ambiguity).
+        field = make_harbor_field()
+        net = SensorNetwork.random_deploy(field, 2500, seed=1)
+        q = ContourQuery(6.0, 12.0, 2.0)
+        levels = q.isolevels
+        agg = IsolineAggregationProtocol(q).run(net)
+        iso = IsoMapProtocol(q, FilterConfig(30, 4)).run(net)
+        acc_agg = mapping_accuracy(field, agg.band_map, levels, 50, 50)
+        acc_iso = mapping_accuracy(field, iso.contour_map, levels, 50, 50)
+        assert acc_iso > acc_agg + 0.2
+
+    def test_distance_thinning(self):
+        net = radial_net(n=800)
+        q = ContourQuery(15.0, 15.0, 2.0, epsilon_fraction=0.2)
+        loose = IsolineAggregationProtocol(q, distance_separation=0.0).run(net)
+        tight = IsolineAggregationProtocol(q, distance_separation=4.0).run(net)
+        assert tight.reports_delivered < loose.reports_delivered
+
+    def test_invalid_separation(self):
+        with pytest.raises(ValueError):
+            IsolineAggregationProtocol(ContourQuery(0, 10, 2), distance_separation=-1)
+
+    def test_value_only_probes_cheaper_than_isomap_probes(self):
+        # Detection probes carry 2-byte values, not 6-byte tuples, so the
+        # probe traffic is lower than Iso-Map's for the same candidates.
+        net = radial_net(n=800, seed=2)
+        q = ContourQuery(15.0, 15.0, 2.0, epsilon_fraction=0.2)
+        agg = IsolineAggregationProtocol(q, distance_separation=0.0).run(net)
+        iso = IsoMapProtocol(q, FilterConfig.disabled()).run(net)
+        # Compare rx at candidate nodes (the probe replies land there).
+        assert agg.costs.rx_bytes.sum() < iso.costs.rx_bytes.sum()

@@ -1,0 +1,183 @@
+"""Unit tests for the four baseline protocols."""
+
+import pytest
+
+from repro.baselines import (
+    DataSuppressionProtocol,
+    EScanProtocol,
+    INLRProtocol,
+    TinyDBProtocol,
+)
+from repro.core.wire import GRID_REPORT_BYTES, VALUE_REPORT_BYTES
+from repro.field import PlaneField, RadialField
+from repro.geometry import BoundingBox
+from repro.metrics import mapping_accuracy
+from repro.network import SensorNetwork
+
+BOX = BoundingBox(0, 0, 20, 20)
+LEVELS = [8.0, 12.0, 16.0]
+
+
+def radial_grid_net(n=400, seed=0):
+    field = RadialField(BOX, center=(10, 10), peak=20, slope=1)
+    return SensorNetwork.grid_deploy(field, n, radio_range=2.0, seed=seed)
+
+
+class TestTinyDB:
+    def test_every_sensing_node_reports(self):
+        net = radial_grid_net()
+        run = TinyDBProtocol(LEVELS).run(net)
+        assert run.reports_delivered == net.tree.reachable_count()
+        assert run.costs.reports_generated == run.reports_delivered
+
+    def test_high_accuracy_on_dense_grid(self):
+        net = radial_grid_net(n=900)
+        run = TinyDBProtocol(LEVELS).run(net)
+        field = net.field
+        assert mapping_accuracy(field, run.band_map, LEVELS, 50, 50) > 0.9
+
+    def test_grid_vs_coordinate_addressing_bytes(self):
+        net = radial_grid_net()
+        grid_run = TinyDBProtocol(LEVELS, grid_addressing=True).run(net)
+        coord_run = TinyDBProtocol(LEVELS, grid_addressing=False).run(net)
+        ratio = (
+            coord_run.costs.total_traffic_bytes()
+            / grid_run.costs.total_traffic_bytes()
+        )
+        # Report payloads differ 6:4; dissemination bytes are shared.
+        assert 1.0 < ratio <= VALUE_REPORT_BYTES / GRID_REPORT_BYTES + 0.1
+
+    def test_sensing_failures_lose_reports(self):
+        net = radial_grid_net(seed=1)
+        net.fail_random(0.3, mode="sensing")
+        run = TinyDBProtocol(LEVELS).run(net)
+        assert run.reports_delivered < net.n_nodes * 0.75
+
+    def test_interpolation_covers_failures(self):
+        net = radial_grid_net(n=900, seed=2)
+        net.fail_random(0.2, mode="sensing")
+        run = TinyDBProtocol(LEVELS).run(net)
+        acc = mapping_accuracy(net.field, run.band_map, LEVELS, 40, 40)
+        assert acc > 0.8  # degraded but usable (Fig. 11b regime)
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            TinyDBProtocol([])
+
+
+class TestINLR:
+    def test_aggregation_reduces_delivered_units(self):
+        net = radial_grid_net()
+        run = INLRProtocol(LEVELS).run(net)
+        assert run.reports_delivered < run.costs.reports_generated
+        assert run.costs.reports_generated == net.tree.reachable_count()
+
+    def test_computation_heavier_than_tinydb(self):
+        net = radial_grid_net()
+        inlr = INLRProtocol(LEVELS).run(net)
+        tinydb = TinyDBProtocol(LEVELS).run(net)
+        assert inlr.costs.per_node_ops_mean() > 3 * tinydb.costs.per_node_ops_mean()
+
+    def test_computation_grows_with_network_size(self):
+        small = radial_grid_net(n=100)
+        big = radial_grid_net(n=900)
+        ops_small = INLRProtocol(LEVELS).run(small).costs.per_node_ops_mean()
+        ops_big = INLRProtocol(LEVELS).run(big).costs.per_node_ops_mean()
+        assert ops_big > 1.5 * ops_small  # Fig. 15a: INLR grows with size
+
+    def test_region_bands_cover_field_bands(self):
+        net = radial_grid_net()
+        run = INLRProtocol(LEVELS).run(net)
+        raster = run.band_map.classify_raster(20, 20)
+        assert raster.max() >= 1
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            INLRProtocol([])
+
+
+class TestEScan:
+    def test_tuples_aggregate(self):
+        net = radial_grid_net()
+        run = EScanProtocol(LEVELS).run(net)
+        assert 0 < run.reports_delivered < net.n_nodes
+
+    def test_value_tolerance_bounds_interval(self):
+        net = radial_grid_net()
+        proto = EScanProtocol(LEVELS, value_tolerance=2.0)
+        run = proto.run(net)
+        assert run.reports_delivered > EScanProtocol(
+            LEVELS, value_tolerance=50.0
+        ).run(net).reports_delivered
+
+    def test_computation_heavy(self):
+        net = radial_grid_net()
+        escan = EScanProtocol(LEVELS).run(net)
+        tinydb = TinyDBProtocol(LEVELS).run(net)
+        assert escan.costs.total_ops() > tinydb.costs.total_ops()
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            EScanProtocol([])
+
+
+class TestDataSuppression:
+    def test_suppression_reduces_reports(self):
+        net = radial_grid_net()
+        run = DataSuppressionProtocol(LEVELS).run(net)
+        assert 0 < run.reports_delivered < net.tree.reachable_count()
+
+    def test_traffic_below_tinydb(self):
+        net = radial_grid_net()
+        sup = DataSuppressionProtocol(LEVELS).run(net)
+        tdb = TinyDBProtocol(LEVELS, grid_addressing=False).run(net)
+        assert sup.costs.total_traffic_bytes() < tdb.costs.total_traffic_bytes()
+
+    def test_reports_still_linear_in_n(self):
+        # Table 1: suppression lowers traffic by a (2-hop) degree factor
+        # but stays O(n) at fixed density: growing the FIELD (not the
+        # density) grows the representative count proportionally.
+        small_box = BoundingBox(0, 0, 10, 10)
+        big_box = BoundingBox(0, 0, 20, 20)
+        f_small = RadialField(small_box, center=(5, 5), peak=20, slope=1)
+        f_big = RadialField(big_box, center=(10, 10), peak=20, slope=1)
+        small = SensorNetwork.grid_deploy(f_small, 225, radio_range=1.5)
+        big = SensorNetwork.grid_deploy(f_big, 900, radio_range=1.5)
+        r_small = DataSuppressionProtocol(LEVELS).run(small).reports_delivered
+        r_big = DataSuppressionProtocol(LEVELS).run(big).reports_delivered
+        assert r_big > 2.0 * r_small
+
+    def test_similarity_threshold_controls_density(self):
+        net = radial_grid_net()
+        loose = DataSuppressionProtocol(LEVELS, similarity=5.0).run(net)
+        tight = DataSuppressionProtocol(LEVELS, similarity=0.5).run(net)
+        assert loose.reports_delivered < tight.reports_delivered
+
+    def test_flat_field_suppresses_almost_everything(self):
+        field = PlaneField(BOX, c0=10.0, cx=1e-4, cy=0)
+        net = SensorNetwork.grid_deploy(field, 400, radio_range=2.0)
+        run = DataSuppressionProtocol([10.0], similarity=1.0).run(net)
+        assert run.reports_delivered < 0.2 * net.n_nodes
+
+    def test_invalid_similarity(self):
+        with pytest.raises(ValueError):
+            DataSuppressionProtocol(LEVELS, similarity=0.0)
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            DataSuppressionProtocol([])
+
+
+class TestAccuracyOrdering:
+    def test_tinydb_is_fidelity_reference(self):
+        # Section 5: "TinyDB ... achieves the best fidelity compared with
+        # all other existing approaches."
+        net = radial_grid_net(n=900, seed=3)
+        field = net.field
+        acc_tdb = mapping_accuracy(
+            field, TinyDBProtocol(LEVELS).run(net).band_map, LEVELS, 40, 40
+        )
+        acc_inlr = mapping_accuracy(
+            field, INLRProtocol(LEVELS).run(net).band_map, LEVELS, 40, 40
+        )
+        assert acc_tdb >= acc_inlr

@@ -1,0 +1,124 @@
+"""Unit and property tests for the wire codec."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ContourQuery
+from repro.core.codec import ReportCodec, decode_query, encode_query
+from repro.core.reports import IsolineReport
+from repro.core.wire import ISOLINE_REPORT_BYTES, QUERY_BYTES
+from repro.geometry import BoundingBox, angle_between, dist
+
+BOX = BoundingBox(0, 0, 50, 50)
+QUERY = ContourQuery(6.0, 12.0, 2.0)
+CODEC = ReportCodec.for_query(QUERY, BOX)
+
+
+def report(x=25.0, y=25.0, theta=1.0, level=8.0):
+    return IsolineReport(level, (x, y), (math.cos(theta), math.sin(theta)), 0)
+
+
+class TestReportCodec:
+    def test_payload_size(self):
+        assert len(CODEC.encode(report())) == ISOLINE_REPORT_BYTES
+
+    def test_roundtrip_error_bounds(self):
+        r = report(x=13.37, y=42.01, theta=2.2, level=8.0)
+        rt = CODEC.roundtrip(r)
+        assert dist(rt.position, r.position) <= 2 * CODEC.position_resolution
+        assert abs(rt.isolevel - r.isolevel) <= CODEC.value_resolution
+        assert math.degrees(
+            angle_between(rt.direction, r.direction)
+        ) <= 2 * CODEC.angle_resolution_deg
+
+    def test_resolutions_small(self):
+        # 400 m field / 65535 steps ~ 6 mm in paper metres (0.0008 units).
+        assert CODEC.position_resolution < 0.001
+        assert CODEC.value_resolution < 0.001
+        assert CODEC.angle_resolution_deg < 0.01
+
+    def test_decode_wrong_size_raises(self):
+        with pytest.raises(ValueError):
+            CODEC.decode(b"\x00" * 5)
+
+    def test_out_of_range_values_clamped(self):
+        r = report(level=7.9)
+        # A value outside the codec range clamps rather than wrapping.
+        far = ReportCodec(BOX, 0.0, 1.0)
+        rt = far.decode(far.encode(r))
+        assert rt.isolevel == pytest.approx(1.0)
+
+    def test_source_not_on_wire(self):
+        r = IsolineReport(8.0, (10, 10), (1, 0), source=77)
+        decoded = CODEC.decode(CODEC.encode(r))
+        assert decoded.source == -1
+        assert CODEC.decode(CODEC.encode(r), source=77).source == 77
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            ReportCodec(BOX, 5.0, 5.0)
+
+    def test_for_query_pads_border(self):
+        codec = ReportCodec.for_query(QUERY, BOX)
+        assert codec.value_lo == 4.0
+        assert codec.value_hi == 14.0
+
+
+class TestQueryCodec:
+    def test_roundtrip(self):
+        payload = encode_query(QUERY)
+        assert len(payload) == QUERY_BYTES
+        q = decode_query(payload)
+        assert q.value_lo == pytest.approx(QUERY.value_lo, abs=1 / 32)
+        assert q.value_hi == pytest.approx(QUERY.value_hi, abs=1 / 32)
+        assert q.granularity == pytest.approx(QUERY.granularity, abs=1 / 32)
+        assert q.isolevels == QUERY.isolevels
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError):
+            decode_query(b"\x00\x01")
+
+    def test_out_of_universe(self):
+        with pytest.raises(ValueError):
+            encode_query(ContourQuery(-2000.0, 0.0, 1.0))
+
+
+@given(
+    x=st.floats(min_value=0, max_value=50),
+    y=st.floats(min_value=0, max_value=50),
+    theta=st.floats(min_value=0, max_value=2 * math.pi - 1e-9),
+    level=st.sampled_from([6.0, 8.0, 10.0, 12.0]),
+)
+@settings(max_examples=300)
+def test_roundtrip_property(x, y, theta, level):
+    r = IsolineReport(level, (x, y), (math.cos(theta), math.sin(theta)), 0)
+    rt = CODEC.roundtrip(r)
+    assert dist(rt.position, r.position) <= 2 * CODEC.position_resolution
+    assert abs(rt.isolevel - level) <= CODEC.value_resolution
+    assert math.degrees(angle_between(rt.direction, r.direction)) <= 0.02
+
+
+def test_quantization_is_map_neutral():
+    """Round-tripping every delivered report through the codec leaves the
+    contour map effectively unchanged -- the paper's 2-byte format costs
+    nothing in fidelity."""
+    from repro.core.contour_map import build_contour_map
+    from repro.experiments.common import harbor_network, run_isomap
+    from repro.field import make_harbor_field
+    from repro.metrics import mapping_accuracy
+
+    field = make_harbor_field()
+    net = harbor_network(2500, "random", seed=1, field=field)
+    iso = run_isomap(net)
+    codec = ReportCodec.for_query(QUERY, net.bounds)
+    quantized = [codec.roundtrip(r) for r in iso.delivered_reports]
+    cmap = build_contour_map(
+        quantized, QUERY.isolevels, net.bounds,
+        sink_value=net.nodes[net.sink_index].value,
+    )
+    acc_q = mapping_accuracy(field, cmap, QUERY.isolevels, 60, 60)
+    acc = mapping_accuracy(field, iso.contour_map, QUERY.isolevels, 60, 60)
+    assert abs(acc - acc_q) < 0.01

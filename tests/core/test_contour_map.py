@@ -1,0 +1,124 @@
+"""Unit tests for the multi-level contour map."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.contour_map import ContourMap, build_contour_map
+from repro.core.reports import IsolineReport
+from repro.geometry import BoundingBox
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+def ring(level, radius, n=10, center=(5, 5)):
+    """Reports on a circle with outward descent (nested disc regions)."""
+    out = []
+    for k in range(n):
+        t = 2 * math.pi * k / n
+        p = (center[0] + radius * math.cos(t), center[1] + radius * math.sin(t))
+        out.append(IsolineReport(level, p, (math.cos(t), math.sin(t)), k))
+    return out
+
+
+class TestBandClassification:
+    def test_nested_rings(self):
+        # Level 5 at r=4, level 7 at r=2: bands 0/1/2 moving inward.
+        reports = ring(5.0, 4.0) + ring(7.0, 2.0)
+        cmap = build_contour_map(reports, [5.0, 7.0], BOX)
+        assert cmap.band_at((5, 5)) == 2
+        assert cmap.band_at((5, 8)) == 1  # r = 3: inside 5-ring only
+        assert cmap.band_at((0.5, 0.5)) == 0
+
+    def test_recursion_stops_at_first_missing_level(self):
+        # A level-7 region NOT nested inside level 5 must be clipped:
+        # band_at only counts consecutive containment from the bottom.
+        reports = ring(5.0, 2.0) + ring(7.0, 4.0)
+        cmap = build_contour_map(reports, [5.0, 7.0], BOX)
+        # r = 3: outside the 5-region but inside the 7-region reports;
+        # the recursion gives band 0 (clipped by the level-5 boundary).
+        p = (5, 8)
+        assert cmap.band_at(p) == 0
+
+    def test_classify_points_matches_band_at(self):
+        reports = ring(5.0, 4.0) + ring(7.0, 2.0)
+        cmap = build_contour_map(reports, [5.0, 7.0], BOX)
+        rng_pts = [(x * 0.7 + 0.3, (x * 13 % 10)) for x in range(30)]
+        vec = cmap.classify_points(rng_pts)
+        for p, b in zip(rng_pts, vec):
+            assert cmap.band_at(p) == b
+
+    def test_classify_raster_shape(self):
+        cmap = build_contour_map(ring(5.0, 3.0), [5.0], BOX)
+        raster = cmap.classify_raster(8, 6)
+        assert raster.shape == (6, 8)
+        assert raster.max() <= 1
+
+
+class TestEmptyLevelInference:
+    def test_higher_evidence_makes_level_full(self):
+        # Reports only at level 7; level 5 has none -> inferred full.
+        cmap = build_contour_map(ring(7.0, 2.0), [5.0, 7.0], BOX)
+        assert 5.0 in cmap.full_levels
+        assert cmap.band_at((5, 5)) == 2  # inside the 7-ring: both levels
+        assert cmap.band_at((1, 1)) == 1  # outside: still above level 5
+
+    def test_sink_value_disambiguates_all_empty(self):
+        cmap_high = build_contour_map([], [5.0], BOX, sink_value=8.0)
+        assert 5.0 in cmap_high.full_levels
+        assert cmap_high.band_at((3, 3)) == 1
+
+        cmap_low = build_contour_map([], [5.0], BOX, sink_value=2.0)
+        assert 5.0 not in cmap_low.full_levels
+        assert cmap_low.band_at((3, 3)) == 0
+
+    def test_no_information_means_empty(self):
+        cmap = build_contour_map([], [5.0], BOX, sink_value=None)
+        assert cmap.band_at((5, 5)) == 0
+
+    def test_middle_empty_level(self):
+        # Levels 5 and 9 have reports, 7 has none: 7 is full wherever
+        # consistent (higher evidence exists).
+        reports = ring(5.0, 4.5) + ring(9.0, 1.5)
+        cmap = build_contour_map(reports, [5.0, 7.0, 9.0], BOX)
+        assert 7.0 in cmap.full_levels
+        assert cmap.band_at((5, 5)) == 3
+        # Between the rings (r = 3): inside 5, (7 full), outside 9 -> 2.
+        assert cmap.band_at((5, 8)) == 2
+
+
+class TestAccessors:
+    def test_isolines_accessor(self):
+        cmap = build_contour_map(ring(5.0, 3.0), [5.0], BOX)
+        lines = cmap.isolines(5.0)
+        assert lines
+        assert cmap.isolines(99.0) == []
+
+    def test_report_count(self):
+        cmap = build_contour_map(ring(5.0, 3.0, n=10), [5.0], BOX)
+        assert cmap.report_count() == 10
+
+    def test_levels_sorted(self):
+        cmap = build_contour_map(ring(5.0, 3.0), [7.0, 5.0], BOX)
+        assert cmap.levels == [5.0, 7.0]
+
+    def test_reports_at_unqueried_levels_ignored(self):
+        reports = ring(5.0, 3.0) + ring(99.0, 1.0)
+        cmap = build_contour_map(reports, [5.0], BOX)
+        assert cmap.report_count() == 10
+
+
+class TestFullLevelIsolines:
+    def test_full_level_has_no_isolines(self):
+        # A level inferred full (no reports) has no reconstructed region,
+        # hence no isoline geometry -- only classification.
+        cmap = build_contour_map(ring(7.0, 2.0), [5.0, 7.0], BOX)
+        assert 5.0 in cmap.full_levels
+        assert cmap.isolines(5.0) == []
+        assert cmap.isolines(7.0)
+
+    def test_level_contains_full_level_everywhere(self):
+        cmap = build_contour_map(ring(7.0, 2.0), [5.0, 7.0], BOX)
+        for p in [(0.1, 0.1), (5, 5), (9.9, 9.9)]:
+            assert cmap.level_contains(5.0, p)

@@ -1,0 +1,121 @@
+"""Unit tests for distributed isoline-node detection (Definition 3.1)."""
+
+import pytest
+
+from repro.core import ContourQuery
+from repro.core.detection import detect_isoline_nodes
+from repro.field import PlaneField, RadialField
+from repro.geometry import BoundingBox
+from repro.network import CostAccountant, SensorNetwork
+
+BOX = BoundingBox(0, 0, 20, 20)
+
+
+def plane_net(n=300, seed=0):
+    # value = x: isolines are vertical lines x = v_i.
+    field = PlaneField(BOX, c0=0, cx=1, cy=0)
+    return SensorNetwork.random_deploy(field, n, radio_range=2.5, seed=seed)
+
+
+class TestDetection:
+    def test_isoline_nodes_near_isolines(self):
+        net = plane_net()
+        q = ContourQuery(5.0, 15.0, 5.0)  # levels 5, 10, 15; eps = 0.25
+        costs = CostAccountant(net.n_nodes)
+        res = detect_isoline_nodes(net, q, costs)
+        assert res.isoline_nodes, "a 300-node net must have isoline nodes"
+        for node_id, level in res.isoline_nodes.items():
+            x = net.nodes[node_id].position[0]
+            assert abs(x - level) <= q.epsilon + 1e-9
+
+    def test_condition_two_requires_straddling_neighbor(self):
+        # A lone candidate with no neighbour across the isolevel must not
+        # self-appoint.  Line of nodes all below the level 10:
+        field = PlaneField(BOX, c0=0, cx=1, cy=0)
+        positions = [(9.8, 10.0), (9.6, 10.5), (9.7, 9.5)]  # all < 10
+        net = SensorNetwork(field, positions, radio_range=2.0)
+        q = ContourQuery(10.0, 10.0, 1.0, epsilon_fraction=0.3)
+        costs = CostAccountant(net.n_nodes)
+        res = detect_isoline_nodes(net, q, costs)
+        assert 0 in res.candidates  # 9.8 is within eps = 0.3 of 10
+        assert res.isoline_nodes == {}  # but nobody straddles
+
+    def test_straddling_neighbor_appoints(self):
+        field = PlaneField(BOX, c0=0, cx=1, cy=0)
+        positions = [(9.8, 10.0), (10.4, 10.0)]  # values 9.8 and 10.4
+        net = SensorNetwork(field, positions, radio_range=2.0)
+        q = ContourQuery(10.0, 10.0, 1.0, epsilon_fraction=0.3)
+        costs = CostAccountant(net.n_nodes)
+        res = detect_isoline_nodes(net, q, costs)
+        assert res.isoline_nodes.get(0) == 10.0
+        # Node 1 (value 10.4) is outside the border region -> not a node.
+        assert 1 not in res.isoline_nodes
+
+    def test_sensing_failed_nodes_do_not_participate(self):
+        net = plane_net(seed=2)
+        q = ContourQuery(5.0, 15.0, 5.0)
+        costs = CostAccountant(net.n_nodes)
+        baseline = detect_isoline_nodes(net, q, costs)
+        victim = next(iter(baseline.isoline_nodes))
+        net.nodes[victim].sensing_ok = False
+        costs2 = CostAccountant(net.n_nodes)
+        res = detect_isoline_nodes(net, q, costs2)
+        assert victim not in res.isoline_nodes
+        assert victim not in res.candidates
+
+    def test_neighborhood_data_collected_for_candidates(self):
+        net = plane_net(seed=3)
+        q = ContourQuery(5.0, 15.0, 5.0)
+        costs = CostAccountant(net.n_nodes)
+        res = detect_isoline_nodes(net, q, costs)
+        for node_id in res.isoline_nodes:
+            data = res.neighborhood_data[node_id]
+            assert len(data) >= 1
+            # Data entries are (position, value) with value = x.
+            for (pos, val) in data:
+                assert val == pytest.approx(pos[0])
+
+    def test_traffic_charged_only_at_candidates(self):
+        net = plane_net(seed=4)
+        q = ContourQuery(5.0, 15.0, 5.0)
+        costs = CostAccountant(net.n_nodes)
+        res = detect_isoline_nodes(net, q, costs)
+        for node in net.nodes:
+            i = node.node_id
+            if i in res.candidates:
+                assert costs.tx_bytes[i] > 0  # probe broadcast
+            else:
+                # Non-candidates transmit only reply bytes to candidates.
+                # Nodes far from any candidate transmit nothing.
+                pass
+        # Ops are charged at every sensing node (condition-1 checks).
+        assert (costs.ops[: net.n_nodes] > 0).sum() >= net.alive_count() - 1
+
+    def test_detection_count_scales_with_isoline_length(self):
+        # A radial field: one circular isoline; the number of isoline
+        # nodes ~ density * eps-stripe area around the circle.
+        field = RadialField(BOX, center=(10, 10), peak=20, slope=1)
+        net = SensorNetwork.random_deploy(field, 1600, radio_range=1.5, seed=5)
+        q = ContourQuery(15.0, 15.0, 2.0, epsilon_fraction=0.25)
+        costs = CostAccountant(net.n_nodes)
+        res = detect_isoline_nodes(net, q, costs)
+        # Circle radius 5; all isoline nodes within eps=0.5 of the circle.
+        import math
+
+        for node_id in res.isoline_nodes:
+            r = math.dist(net.nodes[node_id].position, (10, 10))
+            assert abs(r - 5.0) <= 0.5 + 1e-9
+        assert len(res.isoline_nodes) > 5
+
+    def test_k_hop_2_collects_more_data(self):
+        net = plane_net(seed=6)
+        q1 = ContourQuery(5.0, 15.0, 5.0, k_hop=1)
+        q2 = ContourQuery(5.0, 15.0, 5.0, k_hop=2)
+        res1 = detect_isoline_nodes(net, q1, CostAccountant(net.n_nodes))
+        res2 = detect_isoline_nodes(net, q2, CostAccountant(net.n_nodes))
+        common = set(res1.neighborhood_data) & set(res2.neighborhood_data)
+        assert common
+        assert all(
+            len(res2.neighborhood_data[i]) >= len(res1.neighborhood_data[i])
+            for i in common
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for the straddle-based (adaptive) detection extension."""
+
+import pytest
+
+from repro.core import ContourQuery
+from repro.core.detection import detect_isoline_nodes
+from repro.field import PlaneField
+from repro.geometry import BoundingBox
+from repro.network import CostAccountant, SensorNetwork
+
+BOX = BoundingBox(0, 0, 20, 20)
+
+
+def plane_net(positions, radio_range=2.0):
+    field = PlaneField(BOX, c0=0, cx=1, cy=0)  # value = x
+    return SensorNetwork(field, positions, radio_range=radio_range)
+
+
+def straddle_query(level=10.0):
+    return ContourQuery(level, level, 1.0, detection_mode="straddle")
+
+
+class TestStraddleDetection:
+    def test_closer_endpoint_appointed(self):
+        # Values 9.2 and 10.5 straddle 10; 10.5 is closer (|gap| 0.5 < 0.8).
+        net = plane_net([(9.2, 10.0), (10.5, 10.0)])
+        res = detect_isoline_nodes(net, straddle_query(), CostAccountant(2))
+        assert res.isoline_nodes == {1: 10.0}
+
+    def test_appointment_despite_wide_value_gap(self):
+        # Border mode (eps = 0.05) would reject both nodes: neither value
+        # is within 0.05 of the level.  Straddle mode appoints the closer.
+        net = plane_net([(9.0, 10.0), (10.8, 10.0)])
+        border = ContourQuery(10.0, 10.0, 1.0, detection_mode="border")
+        res_border = detect_isoline_nodes(net, border, CostAccountant(2))
+        assert res_border.isoline_nodes == {}
+        res = detect_isoline_nodes(net, straddle_query(), CostAccountant(2))
+        assert 1 in res.isoline_nodes
+
+    def test_tie_breaks_to_lower_id(self):
+        # Symmetric straddle: values 9.5 and 10.5 around 10.
+        net = plane_net([(9.5, 10.0), (10.5, 10.0)])
+        res = detect_isoline_nodes(net, straddle_query(), CostAccountant(2))
+        assert res.isoline_nodes == {0: 10.0}
+
+    def test_no_straddle_no_appointment(self):
+        net = plane_net([(8.0, 10.0), (9.0, 10.0)])  # both below 10
+        res = detect_isoline_nodes(net, straddle_query(), CostAccountant(2))
+        assert res.isoline_nodes == {}
+
+    def test_nearest_level_chosen(self):
+        # A steep edge straddling levels 10 and 12; the node's value 9.9
+        # is nearest to level 10.
+        field = PlaneField(BOX, c0=0, cx=1, cy=0)
+        net = SensorNetwork(field, [(9.9, 10.0), (12.4, 10.0)], radio_range=3.0)
+        q = ContourQuery(10.0, 12.0, 2.0, detection_mode="straddle")
+        res = detect_isoline_nodes(net, q, CostAccountant(2))
+        assert res.isoline_nodes.get(0) == 10.0
+
+    def test_neighborhood_data_collected_for_appointed(self):
+        net = plane_net([(9.5, 10.0), (10.5, 10.0), (9.8, 11.0)])
+        res = detect_isoline_nodes(net, straddle_query(), CostAccountant(3))
+        for node_id in res.isoline_nodes:
+            assert res.neighborhood_data[node_id]
+
+    def test_every_routed_node_broadcasts_value(self):
+        net = plane_net([(9.5, 10.0), (10.5, 10.0), (11.5, 10.0)])
+        costs = CostAccountant(3)
+        detect_isoline_nodes(net, straddle_query(), costs)
+        # All three routed sensing nodes transmitted at least their value.
+        assert all(costs.tx_bytes[i] >= 2 for i in range(3))
+
+    def test_unrouted_nodes_do_not_broadcast(self):
+        net = plane_net([(9.5, 10.0), (10.5, 10.0), (3.0, 10.0)])  # node 2 isolated
+        costs = CostAccountant(3)
+        detect_isoline_nodes(net, straddle_query(), costs)
+        assert costs.tx_bytes[2] == 0
+
+    def test_sensing_failed_nodes_excluded(self):
+        net = plane_net([(9.5, 10.0), (10.5, 10.0)])
+        net.nodes[0].sensing_ok = False
+        res = detect_isoline_nodes(net, straddle_query(), CostAccountant(2))
+        # Node 1 has no sensing neighbour left to straddle with.
+        assert res.isoline_nodes == {}
+
+    def test_invalid_mode_rejected_at_query(self):
+        with pytest.raises(ValueError):
+            ContourQuery(0, 10, 2, detection_mode="psychic")

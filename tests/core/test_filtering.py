@@ -1,0 +1,113 @@
+"""Unit tests for in-network report filtering."""
+
+import math
+
+import pytest
+
+from repro.core import FilterConfig, InNetworkFilter
+from repro.core.filtering import OPS_PER_COMPARISON
+from repro.core.reports import IsolineReport
+from repro.network import CostAccountant
+
+
+def report(x, y, angle_deg, level=10.0, source=0):
+    a = math.radians(angle_deg)
+    return IsolineReport(level, (x, y), (math.cos(a), math.sin(a)), source)
+
+
+class TestFilterConfig:
+    def test_paper_defaults(self):
+        cfg = FilterConfig()
+        assert cfg.angular_separation_deg == 30.0
+        assert cfg.distance_separation == 4.0
+
+    def test_radians(self):
+        assert FilterConfig(90, 1).angular_separation_rad == pytest.approx(
+            math.pi / 2
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FilterConfig(-1, 1)
+        with pytest.raises(ValueError):
+            FilterConfig(1, -1)
+
+    def test_disabled(self):
+        assert not FilterConfig.disabled().enabled
+
+
+class TestInNetworkFilter:
+    def test_first_report_always_kept(self):
+        f = InNetworkFilter(FilterConfig(30, 4))
+        costs = CostAccountant(1)
+        assert f.offer(report(0, 0, 0), 0, costs)
+
+    def test_redundant_report_dropped(self):
+        f = InNetworkFilter(FilterConfig(30, 4))
+        costs = CostAccountant(1)
+        f.offer(report(0, 0, 0, source=0), 0, costs)
+        # Close in space AND in angle -> dropped.
+        assert not f.offer(report(1, 0, 10, source=1), 0, costs)
+
+    def test_far_report_kept(self):
+        f = InNetworkFilter(FilterConfig(30, 4))
+        costs = CostAccountant(1)
+        f.offer(report(0, 0, 0), 0, costs)
+        assert f.offer(report(10, 0, 10, source=1), 0, costs)
+
+    def test_different_angle_kept(self):
+        f = InNetworkFilter(FilterConfig(30, 4))
+        costs = CostAccountant(1)
+        f.offer(report(0, 0, 0), 0, costs)
+        # Near in space but the gradient turned 90 degrees: keep (this is
+        # what preserves high-curvature isoline stretches).
+        assert f.offer(report(1, 0, 90, source=1), 0, costs)
+
+    def test_different_isolevels_never_compared(self):
+        f = InNetworkFilter(FilterConfig(180, 100))
+        costs = CostAccountant(1)
+        f.offer(report(0, 0, 0, level=10.0), 0, costs)
+        assert f.offer(report(0.1, 0, 0, level=12.0, source=1), 0, costs)
+
+    def test_threshold_boundaries_inclusive(self):
+        f = InNetworkFilter(FilterConfig(30, 4))
+        costs = CostAccountant(1)
+        f.offer(report(0, 0, 0), 0, costs)
+        # Exactly at both thresholds -> still redundant (closed comparison).
+        assert not f.offer(report(4.0, 0, 30.0, source=1), 0, costs)
+
+    def test_disabled_filter_keeps_everything(self):
+        f = InNetworkFilter(FilterConfig.disabled())
+        costs = CostAccountant(1)
+        for k in range(10):
+            assert f.offer(report(0.01 * k, 0, 0, source=k), 0, costs)
+        assert len(f.kept_reports) == 10
+        assert costs.total_ops() == 0  # no comparisons when disabled
+
+    def test_ops_charged_per_comparison(self):
+        f = InNetworkFilter(FilterConfig(30, 4))
+        costs = CostAccountant(1)
+        f.offer(report(0, 0, 0, source=0), 0, costs)
+        f.offer(report(10, 0, 0, source=1), 0, costs)  # 1 comparison
+        f.offer(report(20, 0, 0, source=2), 0, costs)  # 2 comparisons
+        assert costs.total_ops() == 3 * OPS_PER_COMPARISON
+
+    def test_offer_all(self):
+        f = InNetworkFilter(FilterConfig(30, 4))
+        costs = CostAccountant(1)
+        batch = [report(0, 0, 0, source=0), report(0.5, 0, 1, source=1),
+                 report(9, 0, 0, source=2)]
+        survivors, dropped = f.offer_all(batch, 0, costs)
+        assert len(survivors) == 2
+        assert dropped == 1
+
+    def test_tighter_thresholds_drop_more(self):
+        reports = [report(0.8 * k, 0, 3 * k, source=k) for k in range(20)]
+        kept_counts = []
+        for sd in (0.5, 2.0, 8.0):
+            f = InNetworkFilter(FilterConfig(45, sd))
+            costs = CostAccountant(1)
+            survivors, _ = f.offer_all(list(reports), 0, costs)
+            kept_counts.append(len(survivors))
+        assert kept_counts[0] >= kept_counts[1] >= kept_counts[2]
+        assert kept_counts[0] > kept_counts[2]

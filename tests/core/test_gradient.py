@@ -1,0 +1,142 @@
+"""Unit and property tests for the regression gradient estimator."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import estimate_gradient
+from repro.core.gradient import OPS_PER_SAMPLE, OPS_SOLVE, fallback_direction, _solve3
+
+
+def plane(x, y, c0=2.0, cx=1.0, cy=-0.5):
+    return c0 + cx * x + cy * y
+
+
+class TestEstimateGradient:
+    def test_recovers_plane_gradient_exactly(self):
+        center = (1.0, 1.0)
+        nbrs = [((p), plane(*p)) for p in [(0, 0), (2, 0), (0, 2), (2, 2), (1, 0)]]
+        est = estimate_gradient(center, plane(*center), nbrs)
+        assert est is not None
+        # d = -(cx, cy)/|.| = -(1, -0.5) normalised.
+        expect = (-1.0, 0.5)
+        n = math.hypot(*expect)
+        assert est.direction[0] == pytest.approx(expect[0] / n, abs=1e-9)
+        assert est.direction[1] == pytest.approx(expect[1] / n, abs=1e-9)
+        assert est.coefficients[0] == pytest.approx(2.0, abs=1e-9)
+
+    def test_direction_is_unit(self):
+        rng = random.Random(1)
+        nbrs = [
+            ((rng.uniform(-1, 1), rng.uniform(-1, 1)),)
+            for _ in range(6)
+        ]
+        nbrs = [(p[0], plane(*p[0])) for p in nbrs]
+        est = estimate_gradient((0, 0), plane(0, 0), nbrs)
+        assert est is not None
+        assert math.hypot(*est.direction) == pytest.approx(1.0)
+
+    def test_ops_accounting(self):
+        nbrs = [((1, 0), 1.0), ((0, 1), 2.0), ((1, 1), 3.0)]
+        est = estimate_gradient((0, 0), 0.0, nbrs)
+        assert est is not None
+        assert est.ops == OPS_PER_SAMPLE * 4 + OPS_SOLVE
+        assert est.sample_count == 4
+
+    def test_too_few_neighbors(self):
+        assert estimate_gradient((0, 0), 1.0, []) is None
+        assert estimate_gradient((0, 0), 1.0, [((1, 0), 2.0)]) is None
+
+    def test_collinear_positions_degenerate(self):
+        nbrs = [((1, 0), 1.0), ((2, 0), 2.0), ((3, 0), 3.0)]
+        assert estimate_gradient((0, 0), 0.0, nbrs) is None
+
+    def test_flat_field_degenerate(self):
+        nbrs = [((1, 0), 5.0), ((0, 1), 5.0), ((1, 1), 5.0)]
+        assert estimate_gradient((0, 0), 5.0, nbrs) is None
+
+    def test_noise_robustness(self):
+        # With many samples the fit direction converges despite noise.
+        rng = random.Random(7)
+        nbrs = []
+        for _ in range(30):
+            p = (rng.uniform(-2, 2), rng.uniform(-2, 2))
+            nbrs.append((p, plane(*p) + rng.gauss(0, 0.05)))
+        est = estimate_gradient((0, 0), plane(0, 0), nbrs)
+        assert est is not None
+        expect = (-1.0, 0.5)
+        n = math.hypot(*expect)
+        angle = math.acos(
+            max(
+                -1.0,
+                min(
+                    1.0,
+                    est.direction[0] * expect[0] / n
+                    + est.direction[1] * expect[1] / n,
+                ),
+            )
+        )
+        assert math.degrees(angle) < 10
+
+
+class TestFallbackDirection:
+    def test_points_downhill(self):
+        d = fallback_direction((0, 0), 5.0, (1, 0), 3.0)
+        assert d == pytest.approx((1.0, 0.0))
+
+    def test_points_away_from_higher(self):
+        d = fallback_direction((0, 0), 5.0, (1, 0), 8.0)
+        assert d == pytest.approx((-1.0, 0.0))
+
+    def test_degenerate(self):
+        assert fallback_direction((0, 0), 5.0, (0, 0), 3.0) is None
+        assert fallback_direction((0, 0), 5.0, (1, 0), 5.0) is None
+
+
+class TestSolve3:
+    def test_identity(self):
+        a = [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+        assert _solve3(a, [3, 4, 5]) == pytest.approx((3, 4, 5))
+
+    def test_requires_pivoting(self):
+        a = [[0, 1, 0], [1, 0, 0], [0, 0, 1]]
+        assert _solve3(a, [4, 3, 5]) == pytest.approx((3, 4, 5))
+
+    def test_singular_returns_none(self):
+        a = [[1, 2, 3], [2, 4, 6], [1, 1, 1]]
+        assert _solve3(a, [1, 2, 3]) is None
+
+    def test_zero_matrix(self):
+        a = [[0, 0, 0], [0, 0, 0], [0, 0, 0]]
+        assert _solve3(a, [0, 0, 0]) is None
+
+    def test_general_system(self):
+        a = [[2, 1, -1], [-3, -1, 2], [-2, 1, 2]]
+        x = _solve3(a, [8, -11, -3])
+        assert x == pytest.approx((2, 3, -1))
+
+
+@given(
+    cx=st.floats(min_value=-5, max_value=5),
+    cy=st.floats(min_value=-5, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100)
+def test_plane_recovery_property(cx, cy, seed):
+    """The estimator recovers any non-flat plane's descent direction."""
+    if math.hypot(cx, cy) < 0.1:
+        return  # near-flat planes legitimately return None
+    rng = random.Random(seed)
+    nbrs = []
+    for _ in range(8):
+        p = (rng.uniform(-1, 1), rng.uniform(-1, 1))
+        nbrs.append((p, 1.0 + cx * p[0] + cy * p[1]))
+    est = estimate_gradient((0.3, -0.2), 1.0 + 0.3 * cx - 0.2 * cy, nbrs)
+    if est is None:
+        return  # degenerate sample placement (collinear by chance)
+    g = math.hypot(cx, cy)
+    assert est.direction[0] == pytest.approx(-cx / g, abs=1e-6)
+    assert est.direction[1] == pytest.approx(-cy / g, abs=1e-6)

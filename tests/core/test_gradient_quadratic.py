@@ -1,0 +1,134 @@
+"""Unit tests for the quadratic gradient estimator."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.gradient import estimate_gradient
+from repro.core.gradient_quadratic import (
+    OPS_PER_SAMPLE,
+    OPS_SOLVE,
+    _solve_dense,
+    estimate_gradient_quadratic,
+)
+
+
+def quad(x, y):
+    """A genuinely quadratic surface: v = 1 + 2x - y + 0.5x^2 - xy + y^2."""
+    return 1 + 2 * x - y + 0.5 * x * x - x * y + y * y
+
+
+def quad_grad(x, y):
+    return (2 + x - y, -1 - x + 2 * y)
+
+
+def ring_samples(center, radius=1.0, n=10):
+    cx, cy = center
+    return [
+        (
+            (cx + radius * math.cos(2 * math.pi * k / n),
+             cy + radius * math.sin(2 * math.pi * k / n)),
+            quad(
+                cx + radius * math.cos(2 * math.pi * k / n),
+                cy + radius * math.sin(2 * math.pi * k / n),
+            ),
+        )
+        for k in range(n)
+    ]
+
+
+class TestQuadraticEstimator:
+    def test_recovers_quadratic_surface_exactly(self):
+        center = (1.5, -0.5)
+        est = estimate_gradient_quadratic(center, quad(*center), ring_samples(center))
+        assert est is not None
+        gx, gy = quad_grad(*center)
+        g = math.hypot(gx, gy)
+        assert est.direction[0] == pytest.approx(-gx / g, abs=1e-6)
+        assert est.direction[1] == pytest.approx(-gy / g, abs=1e-6)
+
+    def test_linear_estimator_biased_on_curved_surface(self):
+        # On an asymmetric neighbourhood of a curved surface the linear
+        # fit is biased; the quadratic fit is exact.  This is the whole
+        # point of offering the richer model.
+        center = (1.0, 1.0)
+        rng = random.Random(3)
+        samples = [
+            ((center[0] + rng.uniform(0, 1.5), center[1] + rng.uniform(-0.3, 1.5)),)
+            for _ in range(12)
+        ]
+        samples = [(p[0], quad(*p[0])) for p in samples]
+        lin = estimate_gradient(center, quad(*center), samples)
+        qd = estimate_gradient_quadratic(center, quad(*center), samples)
+        assert lin is not None and qd is not None
+        gx, gy = quad_grad(*center)
+        g = math.hypot(gx, gy)
+        true_d = (-gx / g, -gy / g)
+
+        def err(est):
+            return math.acos(
+                max(-1, min(1, est.direction[0] * true_d[0] + est.direction[1] * true_d[1]))
+            )
+
+        assert err(qd) < err(lin)
+        assert err(qd) < 1e-6
+
+    def test_needs_six_points(self):
+        center = (0, 0)
+        assert (
+            estimate_gradient_quadratic(center, quad(0, 0), ring_samples(center, n=4))
+            is None
+        )
+
+    def test_collinear_degenerate(self):
+        samples = [((float(k), 0.0), quad(k, 0)) for k in range(1, 8)]
+        assert estimate_gradient_quadratic((0, 0), quad(0, 0), samples) is None
+
+    def test_flat_surface_degenerate(self):
+        samples = [(p, 5.0) for p, _ in ring_samples((0, 0))]
+        assert estimate_gradient_quadratic((0, 0), 5.0, samples) is None
+
+    def test_ops_accounting(self):
+        center = (0, 0)
+        samples = ring_samples(center, n=9)
+        est = estimate_gradient_quadratic(center, quad(0, 0), samples)
+        assert est is not None
+        assert est.ops == OPS_PER_SAMPLE * 10 + OPS_SOLVE
+        # Quadratic costs several times the linear model, as documented.
+        lin = estimate_gradient(center, quad(0, 0), samples)
+        assert est.ops > 3 * lin.ops
+
+
+class TestSolveDense:
+    def test_identity(self):
+        a = [[1 if i == j else 0 for j in range(4)] for i in range(4)]
+        assert _solve_dense(a, [1, 2, 3, 4]) == pytest.approx([1, 2, 3, 4])
+
+    def test_singular(self):
+        a = [[1.0, 2.0], [2.0, 4.0]]
+        assert _solve_dense(a, [1.0, 2.0]) is None
+
+    def test_zero(self):
+        assert _solve_dense([[0.0]], [0.0]) is None
+
+
+class TestProtocolIntegration:
+    def test_quadratic_protocol_runs(self):
+        from repro.core import ContourQuery, IsoMapProtocol
+        from repro.field import RadialField
+        from repro.geometry import BoundingBox
+        from repro.network import SensorNetwork
+
+        box = BoundingBox(0, 0, 20, 20)
+        field = RadialField(box, center=(10, 10), peak=20, slope=1)
+        net = SensorNetwork.random_deploy(field, 500, radio_range=2.2, seed=1)
+        q = ContourQuery(14.0, 16.0, 2.0, epsilon_fraction=0.2)
+        res = IsoMapProtocol(q, regression="quadratic").run(net)
+        assert res.delivered_reports
+
+    def test_unknown_regression_rejected(self):
+        from repro.core import ContourQuery, IsoMapProtocol
+
+        with pytest.raises(ValueError):
+            IsoMapProtocol(ContourQuery(0, 10, 2), regression="cubic")

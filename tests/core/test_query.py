@@ -1,0 +1,66 @@
+"""Unit tests for the contour query."""
+
+import pytest
+
+from repro.core import ContourQuery
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        q = ContourQuery(6.0, 12.0, 2.0)
+        assert q.epsilon_fraction == 0.05  # "epsilon is selected as 0.05 T"
+        assert q.k_hop == 1
+
+    def test_epsilon(self):
+        q = ContourQuery(0.0, 10.0, 2.0, epsilon_fraction=0.1)
+        assert q.epsilon == pytest.approx(0.2)
+
+    def test_isolevels(self):
+        q = ContourQuery(6.0, 12.0, 2.0)
+        assert q.isolevels == [6.0, 8.0, 10.0, 12.0]
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            ContourQuery(0, 10, 0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            ContourQuery(10, 0, 1)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            ContourQuery(0, 10, 2, epsilon_fraction=0.5)
+        with pytest.raises(ValueError):
+            ContourQuery(0, 10, 2, epsilon_fraction=0.0)
+
+    def test_invalid_k_hop(self):
+        with pytest.raises(ValueError):
+            ContourQuery(0, 10, 2, k_hop=0)
+
+
+class TestMatchingIsolevel:
+    def test_inside_border_region(self):
+        q = ContourQuery(0.0, 10.0, 2.0)  # eps = 0.1
+        assert q.matching_isolevel(4.05) == 4.0
+        assert q.matching_isolevel(3.95) == 4.0
+
+    def test_exactly_at_isolevel(self):
+        q = ContourQuery(0.0, 10.0, 2.0)
+        assert q.matching_isolevel(6.0) == 6.0
+
+    def test_outside_border_region(self):
+        q = ContourQuery(0.0, 10.0, 2.0)
+        assert q.matching_isolevel(4.5) is None
+        assert q.matching_isolevel(-5.0) is None
+
+    def test_boundary_of_border_region(self):
+        q = ContourQuery(0.0, 10.0, 2.0)
+        assert q.matching_isolevel(4.1) == 4.0  # exactly eps away (closed)
+
+    def test_at_most_one_match(self):
+        # Border regions are disjoint because eps < T/2.
+        q = ContourQuery(0.0, 10.0, 1.0, epsilon_fraction=0.49)
+        for v in [0.0, 0.49, 0.51, 1.0, 1.49]:
+            match = q.matching_isolevel(v)
+            if match is not None:
+                assert abs(v - match) <= q.epsilon + 1e-12

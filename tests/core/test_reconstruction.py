@@ -1,0 +1,178 @@
+"""Unit and property tests for the sink-side level reconstruction."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reconstruction import build_level_region
+from repro.core.reports import IsolineReport
+from repro.geometry import BoundingBox, dist, point_in_convex
+from repro.geometry.polyline import BORDER, TYPE1, TYPE2, loop_is_closed
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+def ring_reports(n=8, radius=3.0, center=(5, 5), jitter=0.0, seed=0, level=7.0):
+    """Reports around a circle with outward descent (region = the disc)."""
+    rng = random.Random(seed)
+    out = []
+    for k in range(n):
+        t = 2 * math.pi * k / n + rng.uniform(-jitter, jitter)
+        r = radius + rng.uniform(-jitter, jitter)
+        p = (center[0] + r * math.cos(t), center[1] + r * math.sin(t))
+        a = t + rng.uniform(-jitter, jitter)
+        out.append(IsolineReport(level, p, (math.cos(a), math.sin(a)), k))
+    return out
+
+
+class TestSingleReport:
+    def test_half_plane_region(self):
+        # One report at the centre, descent +x: region is the left half.
+        r = IsolineReport(5.0, (5, 5), (1, 0), 0)
+        region = build_level_region(5.0, [r], BOX)
+        assert region.contains((2, 5))
+        assert not region.contains((8, 5))
+        assert region.area() == pytest.approx(50.0)
+
+    def test_boundary_segments_kinds(self):
+        r = IsolineReport(5.0, (5, 5), (1, 0), 0)
+        region = build_level_region(5.0, [r], BOX)
+        assert len(region.loops) == 1
+        kinds = {s.kind for s in region.loops[0]}
+        assert kinds == {TYPE1, BORDER}
+        assert loop_is_closed(region.loops[0])
+
+    def test_isoline_excludes_border(self):
+        r = IsolineReport(5.0, (5, 5), (1, 0), 0)
+        region = build_level_region(5.0, [r], BOX)
+        lines = region.isoline_polylines()
+        assert len(lines) == 1
+        # The isoline is the vertical cut x = 5.
+        for p in lines[0]:
+            assert p[0] == pytest.approx(5.0)
+
+
+class TestRingRegion:
+    def test_symmetric_ring_closed_loop(self):
+        region = build_level_region(7.0, ring_reports(), BOX)
+        assert len(region.loops) == 1
+        assert loop_is_closed(region.loops[0])
+
+    def test_contains_center_not_outside(self):
+        region = build_level_region(7.0, ring_reports(), BOX)
+        assert region.contains((5, 5))
+        assert not region.contains((0.2, 0.2))
+        assert not region.contains((9.8, 5))
+
+    def test_area_close_to_circumscribed_polygon(self):
+        n = 8
+        region = build_level_region(7.0, ring_reports(n=n), BOX)
+        r = 3.0
+        expected = n * r * r * math.tan(math.pi / n)  # tangential polygon
+        assert region.area() == pytest.approx(expected, rel=1e-6)
+
+    def test_jittered_ring_still_closed(self):
+        region = build_level_region(7.0, ring_reports(n=12, jitter=0.15, seed=3), BOX)
+        for lp in region.loops:
+            assert loop_is_closed(lp), "merged boundary must form closed loops"
+
+    def test_type2_segments_appear_under_jitter(self):
+        region = build_level_region(7.0, ring_reports(n=10, jitter=0.2, seed=5), BOX)
+        kinds = {s.kind for lp in region.loops for s in lp}
+        assert TYPE2 in kinds
+
+    def test_inner_polys_inside_their_cells(self):
+        region = build_level_region(7.0, ring_reports(n=10, jitter=0.2, seed=7), BOX)
+        for cell, inner in zip(region.cells, region.inner_polys):
+            for v in inner.vertices:
+                assert point_in_convex(cell.polygon.vertices, v, tol=1e-6)
+
+
+class TestDedupe:
+    def test_coincident_positions_deduped(self):
+        r1 = IsolineReport(5.0, (5, 5), (1, 0), 0)
+        r2 = IsolineReport(5.0, (5, 5), (0, 1), 1)  # same position
+        region = build_level_region(5.0, [r1, r2], BOX)
+        assert len(region.reports) == 1
+        assert region.reports[0].source == 0  # first wins
+
+    def test_no_reports_raises(self):
+        with pytest.raises(ValueError):
+            build_level_region(5.0, [], BOX)
+
+
+class TestImplicitVsPolygonEquivalence:
+    """The closed-form membership rule must match the polygon pipeline."""
+
+    def _check(self, reports, n_probes=300, seed=0):
+        region = build_level_region(7.0, reports, BOX)
+        rng = random.Random(seed)
+        mismatches = 0
+        for _ in range(n_probes):
+            p = (rng.uniform(0, 10), rng.uniform(0, 10))
+            implicit = region.contains(p)
+            polygon = any(
+                not poly.is_empty and poly.contains(p, tol=0)
+                for poly in region.inner_polys
+            )
+            # Points near a boundary may flip either way; only count
+            # mismatches away from every boundary.
+            near_boundary = any(
+                abs((p[0] - r.position[0]) * r.direction[0]
+                    + (p[1] - r.position[1]) * r.direction[1]) < 0.05
+                for r in region.reports
+            )
+            if not near_boundary and implicit != polygon:
+                mismatches += 1
+        assert mismatches == 0
+
+    def test_ring(self):
+        self._check(ring_reports(n=10, jitter=0.2, seed=11))
+
+    def test_random_reports(self):
+        rng = random.Random(13)
+        reports = []
+        for k in range(15):
+            p = (rng.uniform(1, 9), rng.uniform(1, 9))
+            a = rng.uniform(0, 2 * math.pi)
+            reports.append(IsolineReport(7.0, p, (math.cos(a), math.sin(a)), k))
+        self._check(reports)
+
+
+class TestContainsMany:
+    def test_matches_scalar_contains(self):
+        import numpy as np
+
+        region = build_level_region(7.0, ring_reports(n=10, jitter=0.1, seed=2), BOX)
+        rng = random.Random(3)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(200)]
+        vec = region.contains_many(np.array(pts))
+        for p, v in zip(pts, vec):
+            assert region.contains(p) == bool(v)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=15),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_reconstruction_never_crashes_and_loops_close(n, seed):
+    """Random report sets always produce closed boundary loops."""
+    rng = random.Random(seed)
+    reports = []
+    for k in range(n):
+        p = (rng.uniform(0.5, 9.5), rng.uniform(0.5, 9.5))
+        if any(dist(p, q.position) < 1e-3 for q in reports):
+            continue
+        a = rng.uniform(0, 2 * math.pi)
+        reports.append(IsolineReport(7.0, p, (math.cos(a), math.sin(a)), k))
+    if not reports:
+        return
+    region = build_level_region(7.0, reports, BOX)
+    for lp in region.loops:
+        assert loop_is_closed(lp, tol=1e-4)
+    # Area is sane: within the field.
+    assert 0.0 <= region.area() <= BOX.area + 1e-6

@@ -1,0 +1,141 @@
+"""Adversarial edge cases for the sink-side reconstruction.
+
+The property tests in test_reconstruction.py cover random inputs; these
+target the configurations most likely to break clipping, interval
+subtraction, or loop stitching: reports on the field border, antipodal
+and parallel directions, collinear sites, and maximally thin regions.
+"""
+
+import math
+
+import pytest
+
+from repro.core.contour_map import build_contour_map
+from repro.core.reconstruction import build_level_region
+from repro.core.reports import IsolineReport
+from repro.geometry import BoundingBox
+from repro.geometry.polyline import loop_is_closed
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+def r(x, y, dx, dy, k=0, level=5.0):
+    n = math.hypot(dx, dy)
+    return IsolineReport(level, (x, y), (dx / n, dy / n), k)
+
+
+class TestBorderReports:
+    def test_report_on_field_corner_outward(self):
+        # Descent pointing INTO the field from the corner: the inner half
+        # touches the box at the corner point only -- an empty region.
+        region = build_level_region(5.0, [r(0.0, 0.0, 1, 1)], BOX)
+        assert region.area() == pytest.approx(0.0, abs=1e-9)
+        assert not region.contains((5, 5))
+
+    def test_report_on_field_corner_inward(self):
+        # Descent pointing OUT of the field: the whole box is inner.
+        region = build_level_region(5.0, [r(0.0, 0.0, -1, -1)], BOX)
+        assert region.area() == pytest.approx(BOX.area, rel=1e-9)
+        assert region.contains((5, 5))
+        for lp in region.loops:
+            assert loop_is_closed(lp, tol=1e-5)
+
+    def test_reports_on_opposite_borders(self):
+        reports = [r(0.0, 5.0, -1, 0, 0), r(10.0, 5.0, 1, 0, 1)]
+        region = build_level_region(5.0, reports, BOX)
+        # Both inner parts face inward: the middle belongs to the region.
+        assert region.contains((5, 5))
+        assert region.area() == pytest.approx(BOX.area, rel=1e-6)
+
+    def test_direction_parallel_to_border(self):
+        region = build_level_region(5.0, [r(5.0, 0.0, 1, 0)], BOX)
+        assert region.contains((2, 5))
+        assert not region.contains((8, 5))
+
+
+class TestAntipodalAndParallel:
+    def test_two_reports_facing_each_other(self):
+        # Descent directions pointing AT each other: inner parts overlap
+        # nothing (each cell's inner half faces away from the bisector).
+        reports = [r(3.0, 5.0, 1, 0, 0), r(7.0, 5.0, -1, 0, 1)]
+        region = build_level_region(5.0, reports, BOX)
+        assert not region.contains((5, 5))
+        assert region.contains((0.5, 5))
+        assert region.contains((9.5, 5))
+
+    def test_two_reports_back_to_back(self):
+        # Descent directions pointing AWAY from each other: everything
+        # between them is inner.
+        reports = [r(3.0, 5.0, -1, 0, 0), r(7.0, 5.0, 1, 0, 1)]
+        region = build_level_region(5.0, reports, BOX)
+        assert region.contains((5, 5))
+        assert not region.contains((0.5, 5))
+        assert not region.contains((9.5, 5))
+
+    def test_identical_parallel_directions(self):
+        # A picket line of reports all descending +x: region is the left
+        # slab bounded by the leftmost... no -- each cell's own cut line.
+        reports = [r(2.0 + 2 * k, 5.0, 1, 0, k) for k in range(4)]
+        region = build_level_region(5.0, reports, BOX)
+        for lp in region.loops:
+            assert loop_is_closed(lp, tol=1e-5)
+        # Point left of every cut within its cell: inside.
+        assert region.contains((1.0, 5.0))
+        # Point right of its cell's cut: outside.
+        assert not region.contains((9.5, 5.0))
+
+
+class TestDegenerateGeometry:
+    def test_collinear_sites(self):
+        reports = [r(2.0, 5.0, 0, 1, 0), r(5.0, 5.0, 0, 1, 1), r(8.0, 5.0, 0, 1, 2)]
+        region = build_level_region(5.0, reports, BOX)
+        assert region.contains((5, 2))
+        assert not region.contains((5, 8))
+        assert region.area() == pytest.approx(50.0, rel=1e-6)
+
+    def test_nearly_coincident_sites_dedupe(self):
+        reports = [r(5.0, 5.0, 1, 0, 0), r(5.0 + 1e-9, 5.0, -1, 0, 1)]
+        region = build_level_region(5.0, reports, BOX)
+        assert len(region.reports) == 1
+
+    def test_cluster_of_close_sites(self):
+        # Sites 1e-3 apart are distinct but produce sliver cells.
+        reports = [
+            r(5.0, 5.0, 1, 0, 0),
+            r(5.001, 5.0, 1, 0.01, 1),
+            r(5.0, 5.001, 1, -0.01, 2),
+        ]
+        region = build_level_region(5.0, reports, BOX)
+        assert 0 <= region.area() <= BOX.area
+        for lp in region.loops:
+            assert loop_is_closed(lp, tol=1e-4)
+
+    def test_thin_sliver_region(self):
+        # Opposing cuts 0.1 apart: the region is a thin vertical slab.
+        reports = [r(4.95, 5.0, -1, 0, 0), r(5.05, 5.0, 1, 0, 1)]
+        region = build_level_region(5.0, reports, BOX)
+        assert region.contains((5.0, 5.0))
+        assert not region.contains((4.0, 5.0))
+        assert not region.contains((6.0, 5.0))
+        assert region.area() == pytest.approx(1.0, rel=1e-3)
+
+
+class TestMultiLevelEdgeCases:
+    def test_inverted_nesting_is_clipped(self):
+        # Higher level's region NOT inside the lower level's: nested
+        # classification clips it to nothing.
+        lower = [r(5.0, 5.0, -1, 0, 0, level=4.0)]   # region: x > 5
+        higher = [r(3.0, 5.0, 1, 0, 1, level=6.0)]   # region: x < 3 (disjoint!)
+        cmap = build_contour_map(lower + higher, [4.0, 6.0], BOX)
+        assert cmap.band_at((2.0, 5.0)) == 0   # outside level-4 region
+        assert cmap.band_at((7.0, 5.0)) == 1   # in level 4 only
+
+    def test_many_levels_single_report_each(self):
+        reports = [
+            r(2.0 + k, 5.0, -1, 0, k, level=float(k)) for k in range(6)
+        ]
+        cmap = build_contour_map(reports, [float(k) for k in range(6)], BOX)
+        # Bands increase monotonically to the right.
+        bands = [cmap.band_at((x, 5.0)) for x in (1.0, 3.5, 8.5)]
+        assert bands[0] <= bands[1] <= bands[2]
+        assert bands[2] == 6

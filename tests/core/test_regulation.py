@@ -1,0 +1,128 @@
+"""Unit tests for boundary regulation (Rules 1 and 2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.reconstruction import build_level_region
+from repro.core.regulation import regulate_loops
+from repro.core.reports import IsolineReport
+from repro.geometry import BoundingBox, polygon_area
+from repro.geometry.polyline import TYPE2, loop_is_closed, loop_points
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+def jittered_ring(n=12, jitter=0.2, seed=5, radius=3.0):
+    rng = random.Random(seed)
+    reports = []
+    for k in range(n):
+        t = 2 * math.pi * k / n + rng.uniform(-jitter, jitter)
+        r = radius + rng.uniform(-jitter, jitter)
+        p = (5 + r * math.cos(t), 5 + r * math.sin(t))
+        a = t + rng.uniform(-jitter, jitter)
+        reports.append(IsolineReport(7.0, p, (math.cos(a), math.sin(a)), k))
+    return reports
+
+
+class TestRegulation:
+    def test_rules_fire_on_jittered_ring(self):
+        region = build_level_region(7.0, jittered_ring(), BOX)
+        total = sum(region.regulation_stats.values())
+        assert total > 0, "a jittered ring must contain regulable junctions"
+
+    def test_regulated_loops_remain_closed(self):
+        region = build_level_region(7.0, jittered_ring(seed=9), BOX)
+        assert region.regulated_loops
+        for lp in region.regulated_loops:
+            assert loop_is_closed(lp, tol=1e-5)
+
+    def test_regulation_removes_type2_jogs(self):
+        region = build_level_region(7.0, jittered_ring(seed=11), BOX)
+        raw_type2 = sum(
+            1 for lp in region.loops for s in lp if s.kind == TYPE2
+        )
+        reg_type2 = sum(
+            1 for lp in region.regulated_loops for s in lp if s.kind == TYPE2
+        )
+        applied = sum(region.regulation_stats.values())
+        assert reg_type2 == raw_type2 - applied
+
+    def test_segment_count_shrinks_by_one_per_application(self):
+        region = build_level_region(7.0, jittered_ring(seed=13), BOX)
+        raw = sum(len(lp) for lp in region.loops)
+        reg = sum(len(lp) for lp in region.regulated_loops)
+        applied = sum(region.regulation_stats.values())
+        assert reg == raw - applied  # each rewrite: 3 segments -> 2
+
+    def test_regulation_changes_area_moderately(self):
+        # Cutting pinnacles and filling notches must not blow the area up
+        # or shrink it drastically -- it is a smoothing.
+        region = build_level_region(7.0, jittered_ring(seed=17), BOX)
+        if sum(region.regulation_stats.values()) == 0:
+            pytest.skip("no regulable junctions in this draw")
+        raw_area = sum(
+            polygon_area(loop_points(lp)) for lp in region.loops if len(lp) >= 3
+        )
+        reg_area = sum(
+            polygon_area(loop_points(lp))
+            for lp in region.regulated_loops
+            if len(lp) >= 3
+        )
+        assert reg_area == pytest.approx(raw_area, rel=0.25)
+
+    def test_no_rules_on_symmetric_ring(self):
+        # A perfectly symmetric ring has no jogs at all.
+        reports = jittered_ring(jitter=0.0, seed=0)
+        region = build_level_region(7.0, reports, BOX)
+        assert sum(region.regulation_stats.values()) == 0
+
+    def test_regulate_loops_empty_input(self):
+        loops, stats = regulate_loops([], [])
+        assert loops == []
+        assert stats == {"rule1": 0, "rule2": 0}
+
+    def test_short_loops_untouched(self):
+        region = build_level_region(
+            7.0, [IsolineReport(7.0, (5, 5), (1, 0), 0)], BOX
+        )
+        # Single report: loop of type-1 chord + border segments; regulation
+        # finds no [1,2,1] triple and leaves it alone.
+        assert region.regulated_loops == region.loops
+
+
+class TestRuleClassification:
+    def test_rule1_fires_on_jittered_rings(self):
+        # Convex regions outlined by circumscribed chords produce jogs that
+        # jut outward: pinnacles, i.e. Rule 1 territory.
+        rule1 = 0
+        for seed in range(20):
+            region = build_level_region(
+                7.0, jittered_ring(seed=seed, jitter=0.25), BOX
+            )
+            rule1 += region.regulation_stats["rule1"]
+        assert rule1 > 0, "pinnacle cuts must occur"
+
+    def test_rule2_fires_on_concave_configuration(self):
+        # A fixed three-report configuration (found by search, then frozen)
+        # whose jog bends into the region with internal angle in (90, 180):
+        # the concave notch Rule 2 fills.
+        reports = [
+            IsolineReport(5.0, (7.5385, 5.2436), (-0.775678, 0.631128), 0),
+            IsolineReport(5.0, (6.2317, 3.6538), (0.377620, -0.925961), 1),
+            IsolineReport(5.0, (7.0969, 7.3702), (-0.844997, -0.534772), 2),
+        ]
+        region = build_level_region(5.0, reports, BOX)
+        assert region.regulation_stats["rule2"] >= 1
+
+    def test_steep_jogs_left_alone(self):
+        # An axis-aligned notch whose internal angle falls below 90 degrees
+        # is outside both rules' windows and must not be rewritten.
+        def mk(x, y, ang_deg, k):
+            a = math.radians(ang_deg)
+            return IsolineReport(5.0, (x, y), (math.sin(a), math.cos(a)), k)
+
+        reports = [mk(2.0, 5.0, -20, 0), mk(5.0, 4.2, 0, 1), mk(8.0, 5.0, 20, 2)]
+        region = build_level_region(5.0, reports, BOX)
+        assert region.regulation_stats == {"rule1": 0, "rule2": 0}

@@ -1,0 +1,68 @@
+"""Unit tests for the Mica2 energy model."""
+
+import pytest
+
+from repro.energy import Mica2Model, energy_from_costs
+from repro.network import CostAccountant
+
+
+class TestMica2Constants:
+    def test_tx_energy_per_byte(self):
+        m = Mica2Model()
+        # 8 bits at 38.4 kbps = 208.3 us; at 42 mW that is 8.75 uJ.
+        assert m.tx_joules_per_byte == pytest.approx(8.75e-6, rel=1e-3)
+
+    def test_rx_energy_per_byte(self):
+        m = Mica2Model()
+        assert m.rx_joules_per_byte == pytest.approx(6.04e-6, rel=1e-2)
+
+    def test_tx_costs_more_than_rx(self):
+        m = Mica2Model()
+        assert m.tx_joules_per_byte > m.rx_joules_per_byte
+
+    def test_cpu_energy_per_instruction(self):
+        m = Mica2Model()
+        assert m.joules_per_instruction == pytest.approx(4.13e-9, rel=1e-2)
+
+    def test_radio_byte_dwarfs_cpu_op(self):
+        # The motivation for Iso-Map: one transmitted byte costs ~100x one
+        # arithmetic operation, so traffic dominates energy.
+        m = Mica2Model()
+        assert m.tx_joules_per_byte > 50 * m.joules_per_op
+
+
+class TestEnergyFromCosts:
+    def test_linear_in_counters(self):
+        acc = CostAccountant(2)
+        acc.charge_tx(0, 1000)
+        acc.charge_rx(1, 1000)
+        acc.charge_ops(0, 10_000)
+        rep = energy_from_costs(acc)
+        m = Mica2Model()
+        assert rep.radio_j[0] == pytest.approx(1000 * m.tx_joules_per_byte)
+        assert rep.radio_j[1] == pytest.approx(1000 * m.rx_joules_per_byte)
+        assert rep.cpu_j[0] == pytest.approx(10_000 * m.joules_per_op)
+        assert rep.cpu_j[1] == 0.0
+
+    def test_totals(self):
+        acc = CostAccountant(3)
+        acc.charge_hop(0, 1, 100)
+        rep = energy_from_costs(acc)
+        assert rep.network_total_j == pytest.approx(
+            100 * (Mica2Model().tx_joules_per_byte + Mica2Model().rx_joules_per_byte)
+        )
+        assert rep.per_node_mean_j == pytest.approx(rep.network_total_j / 3)
+        assert rep.per_node_max_j >= rep.per_node_mean_j
+
+    def test_custom_model(self):
+        acc = CostAccountant(1)
+        acc.charge_tx(0, 1)
+        cheap_radio = Mica2Model(tx_power_w=1e-6)
+        rep = energy_from_costs(acc, cheap_radio)
+        assert rep.radio_j[0] < 1e-9
+
+    def test_mj_unit(self):
+        acc = CostAccountant(1)
+        acc.charge_tx(0, 100_000)
+        rep = energy_from_costs(acc)
+        assert rep.per_node_mean_mj() == pytest.approx(rep.per_node_mean_j * 1e3)

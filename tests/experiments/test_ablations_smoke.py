@@ -1,0 +1,99 @@
+"""Reduced-size smoke tests for the ablation and extension experiments."""
+
+from repro.experiments.ablations import (
+    run_ablation_filtering_placement,
+    run_ablation_gradient,
+    run_ablation_localization,
+    run_ablation_regression,
+    run_ablation_regulation,
+)
+from repro.experiments.extensions import run_continuous_monitoring, run_lossy_links
+
+
+class TestAblationSmoke:
+    def test_gradient(self):
+        res = run_ablation_gradient(n=2500, seeds=(1,), raster=40)
+        rows = {r["directions"]: r["accuracy"] for r in res.rows}
+        assert rows["reported"] > rows["random"]
+
+    def test_filtering_placement(self):
+        res = run_ablation_filtering_placement(n=2500, seeds=(1,))
+        rows = {r["placement"]: r for r in res.rows}
+        assert rows["in-network"]["traffic_kb"] <= rows["sink-side"]["traffic_kb"]
+
+    def test_regulation(self):
+        res = run_ablation_regulation(n=2500, seeds=(1,), grid=80)
+        rows = {r["regulation"]: r for r in res.rows}
+        assert rows["off"]["rules_applied"] == 0
+        assert rows["on"]["hausdorff"] > 0
+
+    def test_regression(self):
+        res = run_ablation_regression(n=2500, seeds=(1,))
+        rows = {r["model"]: r for r in res.rows}
+        assert rows["quadratic"]["isoline_node_ops"] > rows["linear"]["isoline_node_ops"]
+
+    def test_localization(self):
+        res = run_ablation_localization(
+            n=2500, seeds=(1,), position_noise=(0.0, 2.0), raster=40
+        )
+        rows = {r["position_noise"]: r["accuracy"] for r in res.rows}
+        assert rows[2.0] < rows[0.0]
+
+
+class TestExtensionSmoke:
+    def test_lossy_links(self):
+        res = run_lossy_links(n=2500, loss_rates=(0.0, 0.3), seeds=(1,))
+        rows = {r["loss_rate"]: r for r in res.rows}
+        assert rows[0.3]["delivered_arq"] > rows[0.3]["delivered_no_arq"]
+        assert rows[0.0]["delivered_no_arq"] == 1.0
+
+    def test_continuous(self):
+        res = run_continuous_monitoring(n=2500, epochs=4, raster=40)
+        rows = {r["epoch"]: r for r in res.rows}
+        assert rows[1]["delta_reports"] == 0
+        assert rows[1]["delta_kb"] < rows[1]["snapshot_kb"]
+        assert rows[3]["delta_accuracy"] > 0.8
+
+    def test_localized_isomap(self):
+        from repro.experiments.extensions import run_localized_isomap
+
+        res = run_localized_isomap(
+            n=2500, anchor_fractions=(0.1, 0.4), seeds=(1,), raster=40
+        )
+        rows = {r["anchor_fraction"]: r for r in res.rows}
+        assert rows[0.4]["loc_mean_err"] < rows[0.1]["loc_mean_err"]
+
+    def test_epoch_latency(self):
+        from repro.experiments.extensions import run_epoch_latency
+
+        res = run_epoch_latency(sides=(15, 25), seeds=(1,))
+        for row in res.rows:
+            assert row["isomap_s"] < row["tinydb_s"]
+
+    def test_isoline_agg(self):
+        from repro.experiments.ablations import run_ablation_isoline_agg
+
+        res = run_ablation_isoline_agg(n=2500, seeds=(1,), raster=40)
+        rows = {r["protocol"]: r for r in res.rows}
+        assert rows["iso-map"]["accuracy"] > rows["isoline-agg"]["accuracy"]
+
+    def test_detection_mode(self):
+        from repro.experiments.ablations import run_ablation_detection_mode
+
+        res = run_ablation_detection_mode(densities=(0.16, 1.0), seeds=(1,), raster=40)
+        rows = {r["density"]: r for r in res.rows}
+        assert rows[0.16]["acc_straddle"] > rows[0.16]["acc_border"]
+
+    def test_lifetime(self):
+        from repro.experiments.extensions import run_network_lifetime
+
+        res = run_network_lifetime(n=2500, seeds=(1,))
+        rows = {r["protocol"]: r for r in res.rows}
+        assert rows["iso-map"]["epochs_first_death"] > rows["tinydb"]["epochs_first_death"]
+
+    def test_sink_placement(self):
+        from repro.experiments.extensions import run_sink_placement
+
+        res = run_sink_placement(n=2500, seeds=(1,))
+        rows = {r["placement"]: r for r in res.rows}
+        assert rows["corner"]["diameter_hops"] > rows["centre"]["diameter_hops"]

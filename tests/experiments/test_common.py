@@ -1,0 +1,121 @@
+"""Unit tests for the experiment harness scaffolding."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    PAPER_FILTER,
+    PAPER_QUERY,
+    default_levels,
+    harbor_network,
+    radio_range_for_density,
+    run_isomap,
+)
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        r = ExperimentResult("x", "t", ["a", "b"])
+        r.add_row(a=1, b=2)
+        r.add_row(a=3, b=4)
+        assert r.column("a") == [1, 3]
+
+    def test_missing_column_raises(self):
+        r = ExperimentResult("x", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            r.add_row(a=1)
+
+    def test_unknown_column_raises(self):
+        r = ExperimentResult("x", "t", ["a"])
+        r.add_row(a=1)
+        with pytest.raises(KeyError):
+            r.column("zzz")
+
+    def test_to_table_contains_everything(self):
+        r = ExperimentResult("figX", "demo", ["a"], notes="hello")
+        r.add_row(a=1.23456)
+        text = r.to_table()
+        assert "figX" in text
+        assert "demo" in text
+        assert "1.235" in text
+        assert "hello" in text
+
+    def test_to_table_empty(self):
+        r = ExperimentResult("figX", "demo", ["a"])
+        assert "figX" in r.to_table()
+
+
+class TestPaperDefaults:
+    def test_paper_filter(self):
+        assert PAPER_FILTER.angular_separation_deg == 30.0
+        assert PAPER_FILTER.distance_separation == 4.0
+
+    def test_paper_query(self):
+        assert PAPER_QUERY.isolevels == [6.0, 8.0, 10.0, 12.0]
+        assert PAPER_QUERY.epsilon == pytest.approx(0.1)
+
+    def test_default_levels(self):
+        assert default_levels() == [6.0, 8.0, 10.0, 12.0]
+
+
+class TestRadioRangeForDensity:
+    def test_fixed_at_or_above_density_one(self):
+        assert radio_range_for_density(1.0) == 1.5
+        assert radio_range_for_density(4.0) == 1.5
+
+    def test_grows_below_density_one(self):
+        assert radio_range_for_density(0.25) == pytest.approx(3.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            radio_range_for_density(0.0)
+
+
+class TestHarborNetwork:
+    def test_random_deployment(self):
+        net = harbor_network(100, "random", seed=2)
+        assert net.n_nodes == 100
+        assert net.radio_range == 1.5
+
+    def test_grid_deployment(self):
+        net = harbor_network(100, "grid")
+        xs = {round(node.position[0], 6) for node in net.nodes}
+        assert len(xs) == 10
+
+    def test_unknown_deployment(self):
+        with pytest.raises(ValueError):
+            harbor_network(10, "hexagonal")
+
+    def test_run_isomap_defaults(self):
+        net = harbor_network(400, "random", seed=3, radio_range=3.0)
+        result = run_isomap(net)
+        assert result.costs.reports_generated >= 0
+        assert result.contour_map.levels == [6.0, 8.0, 10.0, 12.0]
+
+
+class TestCsvExport:
+    def test_basic_csv(self):
+        r = ExperimentResult("figX", "demo", ["a", "b"])
+        r.add_row(a=1, b=2.5)
+        r.add_row(a="x,y", b='he said "hi"')
+        csv = r.to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == '"x,y","he said ""hi"""'
+        assert csv.endswith("\n")
+
+    def test_empty_rows(self):
+        r = ExperimentResult("figX", "demo", ["a"])
+        assert r.to_csv() == "a\n"
+
+    def test_roundtrip_with_csv_module(self):
+        import csv as csv_mod
+        import io
+
+        r = ExperimentResult("figX", "demo", ["a", "b"])
+        r.add_row(a=1.5, b="plain")
+        r.add_row(a=2.5, b="with,comma")
+        parsed = list(csv_mod.reader(io.StringIO(r.to_csv())))
+        assert parsed[0] == ["a", "b"]
+        assert parsed[2] == ["2.5", "with,comma"]

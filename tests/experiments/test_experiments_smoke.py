@@ -1,0 +1,132 @@
+"""Small-scale smoke tests of every experiment module.
+
+The full-size runs live in ``benchmarks/``; these reduced versions pin
+the row structure and the core qualitative claim of each figure so a
+regression is caught by the ordinary test suite.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.fig07_gradient_error import run_fig07
+from repro.experiments.fig10_maps import run_fig10
+from repro.experiments.fig11_accuracy import run_fig11a, run_fig11b
+from repro.experiments.fig12_hausdorff import run_fig12a, run_fig12b
+from repro.experiments.fig13_filtering import run_fig09, run_fig13
+from repro.experiments.fig14_traffic import run_fig14a, run_fig14b
+from repro.experiments.fig15_computation import run_fig15
+from repro.experiments.fig16_energy import run_fig16
+from repro.experiments.table1_overheads import (
+    analytical_table,
+    run_table1,
+    run_theorem41,
+)
+
+
+class TestFig07:
+    def test_rows_and_shape(self):
+        # n=900 on the 50x50 field is density 0.36: ranges must be larger
+        # than the paper's 1.5 to keep the graph connected at this scale.
+        res = run_fig07(n=900, ranges=(2.2, 3.2), seeds=(1,))
+        assert res.experiment_id == "fig07"
+        assert len(res.rows) == 2
+        # Error falls (or at least does not explode) with degree.
+        assert res.rows[1]["mean_err_deg"] <= res.rows[0]["mean_err_deg"] * 1.5
+
+
+class TestFig10:
+    def test_rows(self):
+        res = run_fig10(densities=((1.0, 900),), seed=1)
+        assert {r["protocol"] for r in res.rows} == {"iso-map", "tinydb"}
+        iso = next(r for r in res.rows if r["protocol"] == "iso-map")
+        tdb = next(r for r in res.rows if r["protocol"] == "tinydb")
+        assert iso["reports_at_sink"] < tdb["reports_at_sink"]
+
+    def test_rasters_collected(self):
+        res = run_fig10(densities=((1.0, 400),), seed=1, raster=20, collect_rasters=True)
+        assert ("truth", 0.0) in res.rasters
+        assert ("iso-map", 1.0) in res.rasters
+        assert res.rasters[("truth", 0.0)].shape == (20, 20)
+
+
+class TestFig11:
+    def test_fig11a_rows(self):
+        res = run_fig11a(densities=(1.0,), seeds=(1,), raster=40)
+        row = res.rows[0]
+        assert row["tinydb"] > 0.8
+        assert row["isomap_eps005"] > 0.8
+
+    def test_fig11b_degrades(self):
+        res = run_fig11b(failures=(0.0, 0.4), n=900, seeds=(1,), raster=40)
+        assert res.rows[1]["isomap_eps005"] <= res.rows[0]["isomap_eps005"] + 0.02
+
+
+class TestFig12:
+    def test_fig12a_rows(self):
+        res = run_fig12a(densities=(1.0,), seeds=(1,), grid=80)
+        row = res.rows[0]
+        assert not math.isnan(row["isomap_random"])
+        assert row["isomap_random"] > 0
+
+    def test_fig12b_rows(self):
+        res = run_fig12b(failures=(0.0, 0.3), n=900, seeds=(1,), grid=80)
+        assert len(res.rows) == 2
+
+
+class TestFig13:
+    def test_sweeps_monotone(self):
+        res = run_fig13(n=900, sa_values=(0.0, 45.0), sd_values=(0.0, 6.0), seeds=(1,), raster=40)
+        sa = [r for r in res.rows if r["swept"] == "sa"]
+        sd = [r for r in res.rows if r["swept"] == "sd"]
+        assert sa[1]["reports"] <= sa[0]["reports"]
+        assert sd[1]["reports"] <= sd[0]["reports"]
+
+    def test_fig09(self):
+        res = run_fig09(n=900, raster=40)
+        off, on = res.rows
+        assert on["reports"] <= off["reports"]
+
+
+class TestFig14:
+    def test_fig14a_ordering(self):
+        res = run_fig14a(sides=(15, 25), seeds=(1,))
+        for row in res.rows:
+            assert row["isomap_kb"] < row["tinydb_kb"]
+
+    def test_fig14b_growth(self):
+        res = run_fig14b(densities=(0.5, 2.0), side=20, seeds=(1,))
+        assert res.rows[1]["tinydb_kb"] > res.rows[0]["tinydb_kb"]
+
+
+class TestFig15And16:
+    def test_fig15_inlr_heaviest(self):
+        res = run_fig15(sides=(15, 25), seeds=(1,))
+        for row in res.rows:
+            assert row["inlr_ops"] > row["isomap_ops"]
+            assert row["inlr_ops"] > row["tinydb_ops"]
+
+    def test_fig16_isomap_cheapest(self):
+        res = run_fig16(sides=(15, 25), seeds=(1,))
+        for row in res.rows:
+            assert row["isomap_mj"] < row["tinydb_mj"]
+            assert row["isomap_mj"] < row["inlr_mj"]
+
+
+class TestTable1:
+    def test_analytical_table(self):
+        assert "Iso-Map" in analytical_table()
+
+    def test_scaling_rows(self):
+        res = run_table1(sides=(15, 25), seeds=(1,))
+        protocols = {r["protocol"] for r in res.rows}
+        assert protocols == {"isomap", "tinydb", "suppression"}
+        tdb = next(r for r in res.rows if r["protocol"] == "tinydb")
+        assert tdb["fitted_exponent"] == pytest.approx(1.0, abs=0.05)
+
+    def test_theorem41_regime(self):
+        res = run_theorem41(sides=(15, 30, 50), seeds=(1,))
+        assert "exponent" in res.notes
+        counts = res.column("isoline_nodes")
+        # Counts grow sublinearly in n: n grows ~11x, counts far less.
+        assert counts[-1] < 6 * counts[0]

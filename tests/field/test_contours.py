@@ -1,0 +1,145 @@
+"""Unit tests for isolevel helpers, band classification and marching squares."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.field import (
+    PlaneField,
+    RadialField,
+    band_of,
+    classify_raster,
+    extract_isolines,
+    isolevels_for,
+)
+from repro.field.contours import chain_segments, total_isoline_length
+from repro.geometry import BoundingBox, dist, polyline_length
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+class TestIsolevels:
+    def test_basic(self):
+        assert isolevels_for(6, 12, 2) == [6, 8, 10, 12]
+
+    def test_non_multiple_range(self):
+        assert isolevels_for(0, 5, 2) == [0, 2, 4]
+
+    def test_single_level(self):
+        assert isolevels_for(3, 3, 1) == [3]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            isolevels_for(0, 10, 0)
+        with pytest.raises(ValueError):
+            isolevels_for(10, 0, 1)
+
+
+class TestBandOf:
+    def test_below_all(self):
+        assert band_of(1.0, [2, 4, 6]) == 0
+
+    def test_between(self):
+        assert band_of(5.0, [2, 4, 6]) == 2
+
+    def test_at_level_counts_as_reached(self):
+        assert band_of(4.0, [2, 4, 6]) == 2
+
+    def test_above_all(self):
+        assert band_of(100.0, [2, 4, 6]) == 3
+
+    def test_no_levels(self):
+        assert band_of(5.0, []) == 0
+
+
+class TestClassifyRaster:
+    def test_plane_bands_are_stripes(self):
+        f = PlaneField(BOX, c0=0, cx=1, cy=0)  # value = x in [0, 10]
+        r = classify_raster(f, [2.5, 5.0, 7.5], nx=20, ny=4)
+        assert r.shape == (4, 20)
+        # Rows are identical; columns increase in band.
+        assert (r[0] == r[-1]).all()
+        assert r[0, 0] == 0
+        assert r[0, -1] == 3
+        assert (np.diff(r[0]) >= 0).all()
+
+    def test_radial_bands_are_rings(self):
+        f = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+        r = classify_raster(f, [7.0], nx=50, ny=50)
+        # Band 1 inside radius 3, band 0 outside.
+        assert r[25, 25] == 1
+        assert r[0, 0] == 0
+        inside_area_cells = int((r == 1).sum())
+        expected = math.pi * 9 / 100 * 2500  # pi r^2 / field area * cells
+        assert inside_area_cells == pytest.approx(expected, rel=0.1)
+
+
+class TestMarchingSquares:
+    def test_plane_isoline_is_vertical_line(self):
+        f = PlaneField(BOX, c0=0, cx=1, cy=0)
+        lines = extract_isolines(f, 5.0, nx=40, ny=40)
+        assert len(lines) == 1
+        for p in lines[0]:
+            assert p[0] == pytest.approx(5.0, abs=0.15)
+        # Spans the full field height (up to half a cell at each end).
+        ys = [p[1] for p in lines[0]]
+        assert max(ys) - min(ys) > 9.0
+
+    def test_radial_isoline_is_circle(self):
+        f = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+        lines = extract_isolines(f, 7.0, nx=80, ny=80)
+        assert len(lines) == 1
+        ring = lines[0]
+        # Closed: endpoints coincide.
+        assert dist(ring[0], ring[-1]) < 1e-9
+        radii = [dist(p, (5, 5)) for p in ring]
+        assert min(radii) == pytest.approx(3.0, abs=0.1)
+        assert max(radii) == pytest.approx(3.0, abs=0.1)
+        # Length approximates the circumference.
+        assert polyline_length(ring) == pytest.approx(2 * math.pi * 3, rel=0.03)
+
+    def test_no_crossing_returns_empty(self):
+        f = PlaneField(BOX, c0=0, cx=1, cy=0)
+        assert extract_isolines(f, 100.0) == []
+
+    def test_two_disjoint_isolines(self):
+        # Two radial peaks produce two rings at a level only they reach.
+        from repro.field import GaussianBumpField
+
+        f = GaussianBumpField(
+            BOX, base=0.0, bumps=[(5.0, (3, 3), 1.0), (5.0, (7, 7), 1.0)]
+        )
+        lines = extract_isolines(f, 3.0, nx=100, ny=100)
+        assert len(lines) == 2
+        for ring in lines:
+            assert dist(ring[0], ring[-1]) < 1e-9
+
+    def test_total_isoline_length(self):
+        f = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+        total = total_isoline_length(f, [7.0, 8.0], nx=100, ny=100)
+        expected = 2 * math.pi * (3 + 2)
+        assert total == pytest.approx(expected, rel=0.05)
+
+
+class TestChainSegments:
+    def test_simple_chain(self):
+        segs = [((0, 0), (1, 0)), ((1, 0), (2, 0)), ((2, 0), (3, 0))]
+        chains = chain_segments(segs)
+        assert len(chains) == 1
+        assert len(chains[0]) == 4
+
+    def test_chain_with_reversed_segments(self):
+        segs = [((0, 0), (1, 0)), ((2, 0), (1, 0))]
+        chains = chain_segments(segs)
+        assert len(chains) == 1
+        assert len(chains[0]) == 3
+
+    def test_closed_ring(self):
+        segs = [((0, 0), (1, 0)), ((1, 0), (1, 1)), ((1, 1), (0, 0))]
+        chains = chain_segments(segs)
+        assert len(chains) == 1
+        assert chains[0][0] == chains[0][-1]
+
+    def test_empty(self):
+        assert chain_segments([]) == []

@@ -1,0 +1,153 @@
+"""Unit tests for grid-backed fields and the harbor stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.field import (
+    HuanghuaHarborField,
+    PlaneField,
+    SampledGridField,
+    make_harbor_field,
+)
+from repro.field.harbor import DEFAULT_ISOLEVELS, FIELD_SIDE
+from repro.geometry import BoundingBox
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+class TestSampledGridField:
+    def test_exact_at_sample_centres(self):
+        grid = np.array([[1.0, 2.0], [3.0, 4.0]])
+        f = SampledGridField(BOX, grid)
+        # Sample centres of a 2x2 grid over a 10x10 box.
+        assert f.value(2.5, 2.5) == pytest.approx(1.0)
+        assert f.value(7.5, 2.5) == pytest.approx(2.0)
+        assert f.value(2.5, 7.5) == pytest.approx(3.0)
+        assert f.value(7.5, 7.5) == pytest.approx(4.0)
+
+    def test_bilinear_midpoint(self):
+        grid = np.array([[0.0, 2.0], [4.0, 6.0]])
+        f = SampledGridField(BOX, grid)
+        assert f.value(5.0, 5.0) == pytest.approx(3.0)
+
+    def test_clamping_outside_sample_centres(self):
+        grid = np.array([[1.0, 2.0], [3.0, 4.0]])
+        f = SampledGridField(BOX, grid)
+        assert f.value(0.0, 0.0) == pytest.approx(1.0)
+        assert f.value(10.0, 10.0) == pytest.approx(4.0)
+
+    def test_from_field_reproduces_plane(self):
+        plane = PlaneField(BOX, c0=1.0, cx=0.5, cy=0.2)
+        f = SampledGridField.from_field(plane, nx=20, ny=20)
+        for p in [(3.3, 4.4), (7.7, 1.2), (5.0, 5.0)]:
+            assert f.value(*p) == pytest.approx(plane.value(*p), abs=1e-6)
+
+    def test_gradient_of_sampled_plane(self):
+        plane = PlaneField(BOX, c0=0.0, cx=2.0, cy=-1.0)
+        f = SampledGridField.from_field(plane, nx=40, ny=40)
+        gx, gy = f.gradient(5.0, 5.0)
+        assert gx == pytest.approx(2.0, abs=1e-6)
+        assert gy == pytest.approx(-1.0, abs=1e-6)
+
+    def test_invalid_grids(self):
+        with pytest.raises(ValueError):
+            SampledGridField(BOX, np.array([1.0, 2.0]))  # 1-D
+        with pytest.raises(ValueError):
+            SampledGridField(BOX, np.array([[1.0]]))  # too small
+        with pytest.raises(ValueError):
+            SampledGridField(BOX, np.array([[1.0, np.nan], [0.0, 1.0]]))
+
+
+class TestHarborField:
+    def test_bounds(self):
+        f = make_harbor_field()
+        assert f.bounds.width == FIELD_SIDE
+        assert f.bounds.height == FIELD_SIDE
+
+    def test_deterministic(self):
+        f1 = make_harbor_field(seed=7)
+        f2 = make_harbor_field(seed=7)
+        assert f1.value(13.3, 27.1) == f2.value(13.3, 27.1)
+
+    def test_depth_range_plausible(self):
+        f = make_harbor_field()
+        lo, hi = f.value_range(samples=60)
+        # Paper reports channel depths 5.7-13.5 m; our stand-in spans that.
+        assert 4.0 < lo < 7.0
+        assert 12.0 < hi < 16.0
+
+    def test_default_isolevels_inside_range(self):
+        f = make_harbor_field()
+        lo, hi = f.value_range(samples=60)
+        for v in DEFAULT_ISOLEVELS:
+            assert lo < v < hi
+
+    def test_channel_deeper_than_shelf(self):
+        f = HuanghuaHarborField(noise_amplitude=0.0)
+        # Point on the channel axis vs a far-off shelf point at same y.
+        on_channel = f.value(25.0, 25.0)
+        off_channel = f.value(25.0, 48.0)
+        assert on_channel > off_channel
+
+    def test_noise_free_variant(self):
+        f = HuanghuaHarborField(noise_amplitude=0.0)
+        assert len(f.parts) == 3
+
+    def test_every_default_level_has_isolines(self):
+        from repro.field import extract_isolines
+
+        f = make_harbor_field()
+        for v in DEFAULT_ISOLEVELS:
+            assert extract_isolines(f, v, nx=80, ny=80), f"no isoline at {v}"
+
+
+class TestScatteredField:
+    def _field(self, **kw):
+        from repro.field import ScatteredField
+
+        positions = [(2, 2), (8, 2), (2, 8), (8, 8)]
+        values = [1.0, 2.0, 3.0, 4.0]
+        return ScatteredField(BOX, positions, values, **kw)
+
+    def test_exact_at_samples(self):
+        f = self._field()
+        assert f.value(2, 2) == 1.0
+        assert f.value(8, 8) == 4.0
+
+    def test_interpolates_between(self):
+        f = self._field()
+        v = f.value(5, 5)
+        assert 1.0 < v < 4.0
+
+    def test_weights_favor_nearest(self):
+        f = self._field()
+        assert f.value(2.5, 2.5) < f.value(7.5, 7.5)
+
+    def test_k_limits_support(self):
+        from repro.field import ScatteredField
+
+        positions = [(1, 1), (9, 9)]
+        f = ScatteredField(BOX, positions, [0.0, 100.0], k=1)
+        # With k = 1 only the nearest sample contributes.
+        assert f.value(2, 2) == 0.0
+        assert f.value(8, 8) == 100.0
+
+    def test_validation(self):
+        from repro.field import ScatteredField
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            ScatteredField(BOX, [(0, 0)], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ScatteredField(BOX, [], [])
+        with pytest.raises(ValueError):
+            ScatteredField(BOX, [(0, 0)], [np.nan])
+        with pytest.raises(ValueError):
+            ScatteredField(BOX, [(0, 0)], [1.0], k=0)
+        with pytest.raises(ValueError):
+            ScatteredField(BOX, [(0, 0)], [1.0], power=0)
+
+    def test_bounded_by_sample_range(self):
+        f = self._field()
+        for p in BOX.sample_grid(12, 12):
+            assert 1.0 - 1e-9 <= f.value(*p) <= 4.0 + 1e-9

@@ -1,0 +1,185 @@
+"""Unit tests for the synthetic scalar fields."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import (
+    CompositeField,
+    GaussianBumpField,
+    PlaneField,
+    RadialField,
+    RidgeField,
+    ValueNoiseField,
+)
+from repro.geometry import BoundingBox
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+class TestPlaneField:
+    def test_value(self):
+        f = PlaneField(BOX, c0=1.0, cx=2.0, cy=-1.0)
+        assert f.value(3, 4) == pytest.approx(1 + 6 - 4)
+
+    def test_gradient_is_constant(self):
+        f = PlaneField(BOX, c0=0, cx=2.0, cy=3.0)
+        assert f.gradient(1, 1) == (2.0, 3.0)
+        assert f.gradient(9, 0.5) == (2.0, 3.0)
+
+    def test_descent_direction_negates_gradient(self):
+        f = PlaneField(BOX, c0=0, cx=2.0, cy=3.0)
+        assert f.descent_direction(5, 5) == (-2.0, -3.0)
+
+    def test_numeric_gradient_matches_analytic(self):
+        f = PlaneField(BOX, c0=1, cx=0.5, cy=-2.5)
+        gx, gy = super(PlaneField, f).gradient(4, 4)
+        assert gx == pytest.approx(0.5, abs=1e-6)
+        assert gy == pytest.approx(-2.5, abs=1e-6)
+
+
+class TestRadialField:
+    def test_isolines_are_circles(self):
+        f = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+        # All points at distance 3 have the same value.
+        vals = [
+            f.value(5 + 3 * math.cos(t), 5 + 3 * math.sin(t))
+            for t in [0, 1, 2, 3, 4, 5]
+        ]
+        assert max(vals) - min(vals) < 1e-12
+        assert vals[0] == pytest.approx(7.0)
+
+    def test_gradient_points_inward(self):
+        f = RadialField(BOX, center=(5, 5))
+        gx, gy = f.gradient(8, 5)
+        assert gx == pytest.approx(-1.0)
+        assert gy == pytest.approx(0.0, abs=1e-12)
+
+    def test_gradient_at_centre_is_zero(self):
+        f = RadialField(BOX, center=(5, 5))
+        assert f.gradient(5, 5) == (0.0, 0.0)
+
+
+class TestGaussianBumpField:
+    def test_peak_value(self):
+        f = GaussianBumpField(BOX, base=2.0, bumps=[(3.0, (5, 5), 1.0)])
+        assert f.value(5, 5) == pytest.approx(5.0)
+
+    def test_far_field_approaches_base(self):
+        f = GaussianBumpField(BOX, base=2.0, bumps=[(3.0, (5, 5), 0.5)])
+        assert f.value(0, 0) == pytest.approx(2.0, abs=1e-6)
+
+    def test_analytic_gradient_matches_numeric(self):
+        f = GaussianBumpField(
+            BOX, base=1.0, bumps=[(2.0, (3, 3), 1.5), (-1.0, (7, 6), 2.0)]
+        )
+        for p in [(2, 2), (5, 5), (7.5, 6.5)]:
+            ana = f.gradient(*p)
+            num = ScalarFieldNumeric(f).gradient(*p)
+            assert ana[0] == pytest.approx(num[0], abs=1e-5)
+            assert ana[1] == pytest.approx(num[1], abs=1e-5)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianBumpField(BOX, base=0, bumps=[(1.0, (0, 0), 0.0)])
+
+
+class TestRidgeField:
+    def test_max_on_centerline(self):
+        f = RidgeField(BOX, a=(0, 5), b=(10, 5), amplitude=4.0, width=1.0)
+        assert f.value(3, 5) == pytest.approx(4.0)
+        assert f.value(3, 7) < f.value(3, 6) < f.value(3, 5)
+
+    def test_symmetric_about_centerline(self):
+        f = RidgeField(BOX, a=(0, 5), b=(10, 5), amplitude=4.0, width=1.5)
+        assert f.value(2, 3) == pytest.approx(f.value(2, 7))
+
+    def test_analytic_gradient_matches_numeric(self):
+        f = RidgeField(BOX, a=(0, 0), b=(10, 10), amplitude=3.0, width=2.0)
+        for p in [(2, 5), (5, 2), (8, 8.5)]:
+            ana = f.gradient(*p)
+            num = ScalarFieldNumeric(f).gradient(*p)
+            assert ana[0] == pytest.approx(num[0], abs=1e-5)
+            assert ana[1] == pytest.approx(num[1], abs=1e-5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            RidgeField(BOX, a=(0, 0), b=(1, 1), amplitude=1, width=0)
+        with pytest.raises(ValueError):
+            RidgeField(BOX, a=(1, 1), b=(1, 1), amplitude=1, width=1)
+
+
+class TestValueNoiseField:
+    def test_deterministic_under_seed(self):
+        f1 = ValueNoiseField(BOX, seed=42)
+        f2 = ValueNoiseField(BOX, seed=42)
+        assert f1.value(3.3, 7.7) == f2.value(3.3, 7.7)
+
+    def test_different_seeds_differ(self):
+        f1 = ValueNoiseField(BOX, seed=1)
+        f2 = ValueNoiseField(BOX, seed=2)
+        samples = [(1, 1), (5, 5), (9, 3)]
+        assert any(f1.value(*p) != f2.value(*p) for p in samples)
+
+    def test_amplitude_bounds(self):
+        f = ValueNoiseField(BOX, seed=0, octaves=3, amplitude=1.0)
+        # Sum of octave amplitudes is 1 + 0.5 + 0.25 = 1.75.
+        for p in BOX.sample_grid(15, 15):
+            assert abs(f.value(*p)) <= 1.75 + 1e-9
+
+    def test_continuity(self):
+        f = ValueNoiseField(BOX, seed=5)
+        v0 = f.value(4.0, 4.0)
+        v1 = f.value(4.0 + 1e-5, 4.0)
+        assert abs(v1 - v0) < 1e-3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ValueNoiseField(BOX, octaves=0)
+        with pytest.raises(ValueError):
+            ValueNoiseField(BOX, base_period=0)
+
+
+class TestCompositeField:
+    def test_sum_of_parts(self):
+        f = CompositeField(
+            BOX, [PlaneField(BOX, 1, 0, 0), PlaneField(BOX, 0, 2, 0)]
+        )
+        assert f.value(3, 0) == pytest.approx(7.0)
+
+    def test_gradient_sums(self):
+        f = CompositeField(
+            BOX, [PlaneField(BOX, 0, 1, 2), PlaneField(BOX, 0, 3, -1)]
+        )
+        assert f.gradient(0, 0) == (4.0, 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            CompositeField(BOX, [])
+
+
+class ScalarFieldNumeric:
+    """Adapter forcing the default finite-difference gradient."""
+
+    def __init__(self, field):
+        self._f = field
+
+    def gradient(self, x, y, h=1e-5):
+        fx = (self._f.value(x + h, y) - self._f.value(x - h, y)) / (2 * h)
+        fy = (self._f.value(x, y + h) - self._f.value(x, y - h)) / (2 * h)
+        return (fx, fy)
+
+
+@given(
+    x=st.floats(min_value=0.5, max_value=9.5),
+    y=st.floats(min_value=0.5, max_value=9.5),
+)
+@settings(max_examples=50)
+def test_gaussian_gradient_property(x, y):
+    f = GaussianBumpField(BOX, base=0.0, bumps=[(2.5, (5, 5), 2.0)])
+    ana = f.gradient(x, y)
+    num = ScalarFieldNumeric(f).gradient(x, y)
+    assert ana[0] == pytest.approx(num[0], abs=1e-4)
+    assert ana[1] == pytest.approx(num[1], abs=1e-4)

@@ -1,0 +1,105 @@
+"""Unit and property tests for 1-D interval arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Interval, merge_intervals, subtract_intervals
+from repro.geometry.intervals import total_length
+
+
+class TestInterval:
+    def test_normalisation(self):
+        iv = Interval(3, 1)
+        assert iv.lo == 1 and iv.hi == 3
+
+    def test_length(self):
+        assert Interval(1, 4).length == 3
+
+    def test_intersects(self):
+        assert Interval(0, 2).intersects(Interval(1, 3))
+        assert not Interval(0, 1).intersects(Interval(2, 3))
+        assert Interval(0, 1).intersects(Interval(1, 2))  # touching counts
+
+    def test_intersection(self):
+        assert Interval(0, 2).intersection(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+
+class TestMerge:
+    def test_merges_overlapping(self):
+        out = merge_intervals([Interval(0, 2), Interval(1, 3), Interval(5, 6)])
+        assert out == [Interval(0, 3), Interval(5, 6)]
+
+    def test_merges_touching_within_tol(self):
+        out = merge_intervals([Interval(0, 1), Interval(1 + 1e-12, 2)])
+        assert len(out) == 1
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+
+class TestSubtract:
+    def test_hole_in_middle(self):
+        out = subtract_intervals(Interval(0, 10), [Interval(4, 6)])
+        assert out == [Interval(0, 4), Interval(6, 10)]
+
+    def test_hole_covers_everything(self):
+        assert subtract_intervals(Interval(2, 3), [Interval(0, 10)]) == []
+
+    def test_hole_at_edges(self):
+        out = subtract_intervals(Interval(0, 10), [Interval(0, 2), Interval(8, 10)])
+        assert out == [Interval(2, 8)]
+
+    def test_disjoint_hole_no_effect(self):
+        out = subtract_intervals(Interval(0, 1), [Interval(5, 6)])
+        assert out == [Interval(0, 1)]
+
+    def test_multiple_holes(self):
+        out = subtract_intervals(
+            Interval(0, 10), [Interval(1, 2), Interval(3, 4), Interval(9, 12)]
+        )
+        assert out == [Interval(0, 1), Interval(2, 3), Interval(4, 9)]
+
+    def test_degenerate_slivers_dropped(self):
+        out = subtract_intervals(Interval(0, 1), [Interval(1e-12, 1)])
+        assert out == []
+
+
+ivs = st.builds(
+    Interval,
+    st.floats(min_value=-100, max_value=100),
+    st.floats(min_value=-100, max_value=100),
+)
+
+
+@given(base=ivs, holes=st.lists(ivs, max_size=8))
+@settings(max_examples=200)
+def test_subtract_never_exceeds_base(base, holes):
+    out = subtract_intervals(base, holes)
+    for seg in out:
+        assert seg.lo >= base.lo - 1e-9
+        assert seg.hi <= base.hi + 1e-9
+    assert total_length(out) <= base.length + 1e-6
+
+
+@given(base=ivs, holes=st.lists(ivs, max_size=8))
+@settings(max_examples=200)
+def test_subtract_result_disjoint_from_holes(base, holes):
+    out = subtract_intervals(base, holes)
+    for seg in out:
+        mid = (seg.lo + seg.hi) / 2
+        for hole in holes:
+            # The midpoint of a surviving segment is never strictly inside
+            # a hole.
+            assert not (hole.lo + 1e-9 < mid < hole.hi - 1e-9)
+
+
+@given(base=ivs, holes=st.lists(ivs, max_size=8))
+@settings(max_examples=200)
+def test_subtract_conserves_length(base, holes):
+    out = subtract_intervals(base, holes)
+    covered = total_length(
+        [h.intersection(base) for h in holes if h.intersection(base) is not None]
+    )
+    assert total_length(out) == pytest.approx(base.length - covered, abs=1e-4)

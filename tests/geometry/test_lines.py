@@ -1,0 +1,102 @@
+"""Unit tests for the line utilities."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Line,
+    intersect_lines,
+    line_point_normal,
+    line_through,
+    project_point,
+)
+from repro.geometry.lines import angle_of, param_on_line, segment_intersection
+
+
+class TestLineConstruction:
+    def test_line_through_contains_both_points(self):
+        line = line_through((0, 0), (2, 2))
+        assert abs(line.signed_distance((0, 0))) < 1e-9
+        assert abs(line.signed_distance((2, 2))) < 1e-9
+        assert abs(line.signed_distance((1, 1))) < 1e-9
+
+    def test_line_through_coincident_raises(self):
+        with pytest.raises(ValueError):
+            line_through((1, 1), (1, 1))
+
+    def test_line_point_normal(self):
+        # Line through the origin with normal +x is the y axis.
+        line = line_point_normal((0, 0), (5, 0))
+        assert abs(line.signed_distance((0, 7))) < 1e-9
+        assert line.signed_distance((3, 0)) == pytest.approx(3.0)
+
+    def test_point_on(self):
+        line = line_point_normal((2, 3), (0, 1))
+        p = line.point_on()
+        assert abs(line.signed_distance(p)) < 1e-9
+
+
+class TestIntersections:
+    def test_perpendicular_lines(self):
+        l1 = Line((1, 0), 2.0)  # x = 2
+        l2 = Line((0, 1), 3.0)  # y = 3
+        assert intersect_lines(l1, l2) == pytest.approx((2, 3))
+
+    def test_parallel_lines_return_none(self):
+        l1 = Line((1, 0), 2.0)
+        l2 = Line((1, 0), 5.0)
+        assert intersect_lines(l1, l2) is None
+
+    def test_antiparallel_normals_return_none(self):
+        l1 = Line((1, 0), 2.0)
+        l2 = Line((-1, 0), -2.0)  # the same line, opposite orientation
+        assert intersect_lines(l1, l2) is None
+
+    def test_oblique(self):
+        l1 = line_through((0, 0), (1, 1))
+        l2 = line_through((0, 2), (2, 0))
+        assert intersect_lines(l1, l2) == pytest.approx((1, 1))
+
+
+class TestProjection:
+    def test_project_onto_axis(self):
+        line = Line((0, 1), 0.0)  # x axis
+        assert project_point(line, (3, 4)) == pytest.approx((3, 0))
+
+    def test_projection_is_idempotent(self):
+        line = line_through((1, 0), (0, 1))
+        p = project_point(line, (5, 5))
+        q = project_point(line, p)
+        assert p == pytest.approx(q)
+
+    def test_param_on_line_orders_points(self):
+        line = Line((0, 1), 0.0)  # x axis, direction is -x or +x consistently
+        t1 = param_on_line(line, (1, 0))
+        t2 = param_on_line(line, (4, 0))
+        t3 = param_on_line(line, (9, 0))
+        assert (t1 < t2 < t3) or (t1 > t2 > t3)
+
+
+class TestSegmentIntersection:
+    def test_crossing(self):
+        hit = segment_intersection((0, 0), (2, 2), (0, 2), (2, 0))
+        assert hit is not None
+        t, p = hit
+        assert p == pytest.approx((1, 1))
+        assert t == pytest.approx(0.5)
+
+    def test_non_crossing(self):
+        assert segment_intersection((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+    def test_crossing_beyond_ends(self):
+        assert segment_intersection((0, 0), (1, 0), (2, -1), (2, 1)) is None
+
+    def test_parallel(self):
+        assert segment_intersection((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+
+def test_angle_of():
+    assert angle_of((1, 0)) == pytest.approx(0.0)
+    assert angle_of((0, 1)) == pytest.approx(math.pi / 2)
+    assert angle_of((-1, 0)) == pytest.approx(math.pi)

@@ -1,0 +1,209 @@
+"""Unit and property tests for labelled convex polygons and clipping."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    BORDER_LABEL,
+    ConvexPolygon,
+    HalfPlane,
+    point_in_convex,
+    point_in_polygon,
+    polygon_area,
+)
+
+
+def unit_square():
+    return ConvexPolygon.from_box(0, 0, 1, 1)
+
+
+class TestHalfPlane:
+    def test_contains(self):
+        hp = HalfPlane((1, 0), 0.5)  # x <= 0.5
+        assert hp.contains((0.2, 9.0))
+        assert not hp.contains((0.7, 0.0))
+
+    def test_bisector_midpoint_on_boundary(self):
+        hp = HalfPlane.bisector((0, 0), (2, 0))
+        assert abs(hp.signed_violation((1.0, 5.0))) < 1e-9
+        assert hp.contains((0.3, 0.0))
+        assert not hp.contains((1.7, 0.0))
+
+    def test_bisector_coincident_raises(self):
+        with pytest.raises(ValueError):
+            HalfPlane.bisector((1, 1), (1, 1))
+
+    def test_from_line_orientation(self):
+        from repro.geometry import line_point_normal
+
+        line = line_point_normal((0, 0), (1, 0))  # vertical line x = 0
+        hp = HalfPlane.from_line(line, (-1, 0))
+        assert hp.contains((-0.5, 3))
+        assert not hp.contains((0.5, 3))
+        hp2 = HalfPlane.from_line(line, (1, 0))
+        assert hp2.contains((0.5, 3))
+
+
+class TestConvexPolygon:
+    def test_box_area_and_labels(self):
+        sq = unit_square()
+        assert sq.area() == pytest.approx(1.0)
+        assert sq.labels == [BORDER_LABEL] * 4
+
+    def test_degenerate_input_is_empty(self):
+        assert ConvexPolygon([(0, 0), (1, 1)]).is_empty
+        assert ConvexPolygon([(0, 0), (0, 0), (0, 0), (0, 0)]).is_empty
+
+    def test_centroid_of_square(self):
+        c = unit_square().centroid()
+        assert c[0] == pytest.approx(0.5)
+        assert c[1] == pytest.approx(0.5)
+
+    def test_contains(self):
+        sq = unit_square()
+        assert sq.contains((0.5, 0.5))
+        assert sq.contains((0.0, 0.5))  # closed
+        assert not sq.contains((1.2, 0.5))
+
+    def test_clip_keeps_half_area(self):
+        sq = unit_square()
+        clipped = sq.clip(HalfPlane((1, 0), 0.5), new_label=7)
+        assert clipped.area() == pytest.approx(0.5)
+        assert 7 in clipped.labels
+        # Exactly one new edge from a single convex cut.
+        assert clipped.labels.count(7) == 1
+
+    def test_clip_fully_inside_is_identity(self):
+        sq = unit_square()
+        clipped = sq.clip(HalfPlane((1, 0), 5.0), new_label=7)
+        assert clipped.area() == pytest.approx(1.0)
+        assert 7 not in clipped.labels
+
+    def test_clip_fully_outside_is_empty(self):
+        sq = unit_square()
+        clipped = sq.clip(HalfPlane((1, 0), -1.0), new_label=7)
+        assert clipped.is_empty
+        assert clipped.area() == 0.0
+
+    def test_clip_through_vertex(self):
+        # Diagonal cut exactly through two opposite corners.
+        sq = unit_square()
+        n = (1 / math.sqrt(2), -1 / math.sqrt(2))
+        hp = HalfPlane(n, 0.0)  # keeps the y >= x side
+        clipped = sq.clip(hp, new_label=3)
+        assert clipped.area() == pytest.approx(0.5, abs=1e-6)
+
+    def test_split_partitions_area(self):
+        sq = unit_square()
+        hp = HalfPlane((0, 1), 0.3)
+        inner, outer = sq.split(hp, new_label=5)
+        assert inner.area() + outer.area() == pytest.approx(1.0)
+        assert inner.area() == pytest.approx(0.3)
+        assert 5 in inner.labels and 5 in outer.labels
+
+    def test_split_degenerate_side(self):
+        sq = unit_square()
+        inner, outer = sq.split(HalfPlane((0, 1), 0.0), new_label=5)
+        assert inner.area() == pytest.approx(0.0, abs=1e-9)
+        assert outer.area() == pytest.approx(1.0)
+
+    def test_edges_with_label(self):
+        sq = unit_square().clip(HalfPlane((1, 0), 0.5), new_label=9)
+        chords = sq.edges_with_label(9)
+        assert len(chords) == 1
+        (a, b) = chords[0]
+        assert a[0] == pytest.approx(0.5)
+        assert b[0] == pytest.approx(0.5)
+
+    def test_max_vertex_distance(self):
+        sq = unit_square()
+        assert sq.max_vertex_distance((0, 0)) == pytest.approx(math.sqrt(2))
+        assert ConvexPolygon.empty().max_vertex_distance((0, 0)) == 0.0
+
+    def test_label_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon([(0, 0), (1, 0), (0, 1)], labels=[1, 2])
+
+
+class TestPointInPolygon:
+    def test_even_odd_square(self):
+        verts = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        assert point_in_polygon(verts, (0.5, 0.5))
+        assert not point_in_polygon(verts, (1.5, 0.5))
+
+    def test_even_odd_concave(self):
+        # L-shaped polygon: notch at the top right.
+        verts = [(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)]
+        assert point_in_polygon(verts, (0.5, 1.5))
+        assert not point_in_polygon(verts, (1.5, 1.5))
+
+    def test_too_few_vertices(self):
+        assert not point_in_polygon([(0, 0), (1, 1)], (0.5, 0.5))
+        assert not point_in_convex([(0, 0), (1, 1)], (0.5, 0.5))
+
+    def test_polygon_area_concave(self):
+        verts = [(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)]
+        assert polygon_area(verts) == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def half_planes(draw):
+    angle = draw(st.floats(min_value=0, max_value=2 * math.pi))
+    offset = draw(st.floats(min_value=-40, max_value=40))
+    return HalfPlane((math.cos(angle), math.sin(angle)), offset)
+
+
+@given(hp=half_planes())
+@settings(max_examples=200)
+def test_clip_never_grows_area(hp):
+    sq = ConvexPolygon.from_box(-10, -10, 10, 10)
+    clipped = sq.clip(hp, new_label=1)
+    assert clipped.area() <= sq.area() + 1e-7
+
+
+@given(hp=half_planes())
+@settings(max_examples=200)
+def test_split_partitions_total_area(hp):
+    sq = ConvexPolygon.from_box(-10, -10, 10, 10)
+    inner, outer = sq.split(hp, new_label=1)
+    assert inner.area() + outer.area() == pytest.approx(sq.area(), rel=1e-6)
+
+
+@given(hp=half_planes(), x=coords, y=coords)
+@settings(max_examples=200)
+def test_clipped_polygon_respects_half_plane(hp, x, y):
+    sq = ConvexPolygon.from_box(-10, -10, 10, 10)
+    clipped = sq.clip(hp, new_label=1)
+    p = (x, y)
+    if clipped.contains(p, tol=-1e-6):  # strictly inside
+        assert hp.contains(p, tol=1e-5)
+
+
+@given(
+    hps=st.lists(half_planes(), min_size=1, max_size=8),
+)
+@settings(max_examples=100)
+def test_repeated_clipping_stays_convex_and_consistent(hps):
+    poly = ConvexPolygon.from_box(-10, -10, 10, 10)
+    area = poly.area()
+    for k, hp in enumerate(hps):
+        poly = poly.clip(hp, new_label=k)
+        new_area = poly.area()
+        assert new_area <= area + 1e-7
+        area = new_area
+        if poly.is_empty:
+            break
+        # Centroid of a convex polygon lies inside it.
+        assert poly.contains(poly.centroid(), tol=1e-6)
+        # Labels stay aligned with vertices.
+        assert len(poly.labels) == len(poly.vertices)

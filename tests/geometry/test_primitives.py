@@ -1,0 +1,124 @@
+"""Unit tests for the vector/bounding-box primitives."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    BoundingBox,
+    add,
+    angle_between,
+    cross,
+    dist,
+    dist_sq,
+    dot,
+    norm,
+    normalize,
+    perpendicular,
+    scale,
+    sub,
+    unit_from_angle,
+)
+
+
+class TestVectorOps:
+    def test_add_sub_scale(self):
+        assert add((1, 2), (3, 4)) == (4, 6)
+        assert sub((3, 4), (1, 2)) == (2, 2)
+        assert scale((1, -2), 3) == (3, -6)
+
+    def test_dot_orthogonal(self):
+        assert dot((1, 0), (0, 5)) == 0.0
+
+    def test_cross_sign_convention(self):
+        # +x cross +y is positive (counter-clockwise).
+        assert cross((1, 0), (0, 1)) == pytest.approx(1.0)
+        assert cross((0, 1), (1, 0)) == pytest.approx(-1.0)
+
+    def test_norm_and_dist(self):
+        assert norm((3, 4)) == pytest.approx(5.0)
+        assert dist((0, 0), (3, 4)) == pytest.approx(5.0)
+        assert dist_sq((0, 0), (3, 4)) == pytest.approx(25.0)
+
+    def test_normalize_unit_length(self):
+        v = normalize((10, -7))
+        assert norm(v) == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            normalize((0.0, 0.0))
+
+    def test_perpendicular_is_ccw_rotation(self):
+        assert perpendicular((1, 0)) == (0, 1)
+        assert perpendicular((0, 1)) == (-1, 0)
+
+    def test_unit_from_angle(self):
+        v = unit_from_angle(math.pi / 2)
+        assert v[0] == pytest.approx(0.0, abs=1e-12)
+        assert v[1] == pytest.approx(1.0)
+
+    def test_angle_between_basic(self):
+        assert angle_between((1, 0), (0, 1)) == pytest.approx(math.pi / 2)
+        assert angle_between((1, 0), (-1, 0)) == pytest.approx(math.pi)
+        assert angle_between((1, 1), (2, 2)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_angle_between_zero_vector_is_zero(self):
+        assert angle_between((0, 0), (1, 0)) == 0.0
+
+
+class TestBoundingBox:
+    def test_measures(self):
+        box = BoundingBox(0, 0, 4, 3)
+        assert box.width == 4
+        assert box.height == 3
+        assert box.area == 12
+        assert box.center == (2.0, 1.5)
+        assert box.diagonal == pytest.approx(5.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1, 0, 0, 1)
+
+    def test_contains(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains((0.5, 0.5))
+        assert box.contains((0.0, 1.0))  # boundary is inside (closed box)
+        assert not box.contains((1.5, 0.5))
+
+    def test_corners_ccw(self):
+        box = BoundingBox(0, 0, 2, 1)
+        cs = box.corners()
+        assert cs[0] == (0, 0)
+        assert cs[2] == (2, 1)
+        # Shoelace of corners is positive => CCW.
+        a2 = sum(
+            cs[i][0] * cs[(i + 1) % 4][1] - cs[(i + 1) % 4][0] * cs[i][1]
+            for i in range(4)
+        )
+        assert a2 > 0
+
+    def test_clamp(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.clamp((2, -1)) == (1, 0)
+        assert box.clamp((0.3, 0.7)) == (0.3, 0.7)
+
+    def test_sample_grid_count_and_bounds(self):
+        box = BoundingBox(0, 0, 10, 5)
+        pts = box.sample_grid(4, 2)
+        assert len(pts) == 8
+        assert all(box.contains(p) for p in pts)
+        # First point is the centre of the bottom-left cell.
+        assert pts[0] == (1.25, 1.25)
+
+    def test_sample_grid_invalid(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 1, 1).sample_grid(0, 5)
+
+    def test_around(self):
+        box = BoundingBox.around([(0, 0), (2, 3), (-1, 1)], margin=0.5)
+        assert box.xmin == -1.5
+        assert box.ymax == 3.5
+
+    def test_around_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.around([])

@@ -1,0 +1,120 @@
+"""Unit and property tests for the bounded Voronoi construction."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import BoundingBox, bounded_voronoi, dist
+from repro.geometry.voronoi import shared_edges, total_cell_area
+
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+class TestBoundedVoronoi:
+    def test_empty_sites(self):
+        assert bounded_voronoi([], BOX) == []
+
+    def test_single_site_gets_whole_box(self):
+        cells = bounded_voronoi([(5, 5)], BOX)
+        assert len(cells) == 1
+        assert cells[0].polygon.area() == pytest.approx(BOX.area)
+        assert cells[0].neighbors == set()
+
+    def test_two_sites_split_by_bisector(self):
+        cells = bounded_voronoi([(2.5, 5), (7.5, 5)], BOX)
+        assert cells[0].polygon.area() == pytest.approx(50.0)
+        assert cells[1].polygon.area() == pytest.approx(50.0)
+        assert cells[0].neighbors == {1}
+        assert cells[1].neighbors == {0}
+
+    def test_cells_contain_their_site(self):
+        rng = random.Random(7)
+        sites = [(rng.uniform(0.5, 9.5), rng.uniform(0.5, 9.5)) for _ in range(40)]
+        cells = bounded_voronoi(sites, BOX)
+        for cell in cells:
+            assert cell.polygon.contains(cell.site, tol=1e-6)
+
+    def test_cells_partition_box(self):
+        rng = random.Random(3)
+        sites = [(rng.uniform(0.5, 9.5), rng.uniform(0.5, 9.5)) for _ in range(60)]
+        cells = bounded_voronoi(sites, BOX)
+        assert total_cell_area(cells) == pytest.approx(BOX.area, rel=1e-6)
+
+    def test_nearest_site_property(self):
+        rng = random.Random(11)
+        sites = [(rng.uniform(0.5, 9.5), rng.uniform(0.5, 9.5)) for _ in range(25)]
+        cells = bounded_voronoi(sites, BOX)
+        for _ in range(200):
+            p = (rng.uniform(0, 10), rng.uniform(0, 10))
+            nearest = min(range(len(sites)), key=lambda i: dist(p, sites[i]))
+            # p must be contained in the nearest site's cell.
+            assert cells[nearest].polygon.contains(p, tol=1e-6)
+
+    def test_adjacency_is_symmetric(self):
+        rng = random.Random(5)
+        sites = [(rng.uniform(0.5, 9.5), rng.uniform(0.5, 9.5)) for _ in range(30)]
+        cells = bounded_voronoi(sites, BOX)
+        for cell in cells:
+            for j in cell.neighbors:
+                assert cell.site_index in cells[j].neighbors
+
+    def test_shared_edges_match_between_cells(self):
+        rng = random.Random(13)
+        sites = [(rng.uniform(0.5, 9.5), rng.uniform(0.5, 9.5)) for _ in range(20)]
+        cells = bounded_voronoi(sites, BOX)
+        for (i, j, a, b) in shared_edges(cells):
+            # The twin edge in cell j spans (numerically) the same segment.
+            twins = cells[j].polygon.edges_with_label(i)
+            assert twins, f"cell {j} lost its edge against {i}"
+            (ta, tb) = twins[0]
+            ends = sorted([ta, tb])
+            mine = sorted([a, b])
+            for (p, q) in zip(ends, mine):
+                assert dist(p, q) < 1e-5
+
+    def test_coincident_sites_raise(self):
+        with pytest.raises(ValueError):
+            bounded_voronoi([(1, 1), (1, 1)], BOX)
+
+    def test_site_outside_box_raises(self):
+        with pytest.raises(ValueError):
+            bounded_voronoi([(50, 50)], BOX)
+
+    def test_collinear_sites(self):
+        sites = [(2, 5), (5, 5), (8, 5)]
+        cells = bounded_voronoi(sites, BOX)
+        assert total_cell_area(cells) == pytest.approx(BOX.area)
+        assert cells[1].neighbors == {0, 2}
+
+    def test_grid_sites(self):
+        sites = [(1 + 2 * i, 1 + 2 * j) for i in range(5) for j in range(5)]
+        cells = bounded_voronoi(sites, BOX)
+        assert total_cell_area(cells) == pytest.approx(BOX.area, rel=1e-6)
+        # Interior grid cells have exactly 4 neighbours at this spacing.
+        centre = sites.index((5, 5))
+        assert len(cells[centre].neighbors) == 4
+
+
+@st.composite
+def distinct_sites(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    pts = []
+    for _ in range(n):
+        x = draw(st.floats(min_value=0.2, max_value=9.8))
+        y = draw(st.floats(min_value=0.2, max_value=9.8))
+        if all((x - px) ** 2 + (y - py) ** 2 > 1e-4 for px, py in pts):
+            pts.append((x, y))
+    return pts
+
+
+@given(sites=distinct_sites())
+@settings(max_examples=60, deadline=None)
+def test_voronoi_partition_property(sites):
+    cells = bounded_voronoi(sites, BOX)
+    assert total_cell_area(cells) == pytest.approx(BOX.area, rel=1e-5)
+    for cell in cells:
+        assert cell.polygon.contains(cell.site, tol=1e-5)

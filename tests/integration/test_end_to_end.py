@@ -1,0 +1,135 @@
+"""Cross-module integration tests: the paper's pipeline end to end."""
+
+import math
+
+import pytest
+
+from repro import (
+    ContourQuery,
+    FilterConfig,
+    IsoMapProtocol,
+    SensorNetwork,
+    energy_from_costs,
+    make_harbor_field,
+    mapping_accuracy,
+)
+from repro.baselines import TinyDBProtocol
+from repro.field.harbor import DEFAULT_ISOLEVELS
+from repro.metrics.hausdorff import mean_isoline_hausdorff
+
+
+@pytest.fixture(scope="module")
+def harbor_run():
+    """One density-1 Iso-Map epoch shared by the integration assertions."""
+    field = make_harbor_field()
+    network = SensorNetwork.random_deploy(field, 2500, radio_range=1.5, seed=1)
+    query = ContourQuery(6.0, 12.0, 2.0)
+    result = IsoMapProtocol(query, FilterConfig(30.0, 4.0)).run(network)
+    return field, network, result
+
+
+class TestPaperOperatingPoint:
+    def test_connectivity_regime(self, harbor_run):
+        _, network, _ = harbor_run
+        assert 6.0 < network.average_degree() < 8.0
+        assert network.tree.reachable_count() > 0.98 * network.n_nodes
+
+    def test_report_scale(self, harbor_run):
+        _, network, result = harbor_run
+        # Theorem 4.1 regime: far fewer reports than nodes; the paper sees
+        # 89 delivered at this operating point.
+        assert len(result.delivered_reports) < 0.05 * network.n_nodes
+        assert len(result.delivered_reports) >= 20
+
+    def test_accuracy_above_90(self, harbor_run):
+        field, _, result = harbor_run
+        acc = mapping_accuracy(field, result.contour_map, list(DEFAULT_ISOLEVELS))
+        assert acc > 0.9
+
+    def test_hausdorff_reasonable(self, harbor_run):
+        field, _, result = harbor_run
+        d = mean_isoline_hausdorff(
+            field, result.contour_map, list(DEFAULT_ISOLEVELS), grid=100
+        )
+        assert d is not None
+        # Under ~10% of the field diagonal.
+        assert d / field.bounds.diagonal < 0.1
+
+    def test_energy_beats_full_collection(self, harbor_run):
+        field, network, result = harbor_run
+        grid_net = SensorNetwork.grid_deploy(field, 2500, radio_range=1.5)
+        tdb = TinyDBProtocol(list(DEFAULT_ISOLEVELS)).run(grid_net)
+        iso_energy = energy_from_costs(result.costs).per_node_mean_j
+        tdb_energy = energy_from_costs(tdb.costs).per_node_mean_j
+        assert iso_energy < 0.5 * tdb_energy
+
+    def test_every_queried_level_reconstructed(self, harbor_run):
+        _, _, result = harbor_run
+        cmap = result.contour_map
+        for level in (6.0, 8.0, 10.0, 12.0):
+            assert level in cmap.regions or level in cmap.full_levels
+
+    def test_gradient_directions_sane(self, harbor_run):
+        field, _, result = harbor_run
+        from repro.metrics import gradient_errors
+
+        errors = gradient_errors(field, result.delivered_reports)
+        assert errors
+        # Median error well under 45 degrees at the paper's density.
+        assert sorted(errors)[len(errors) // 2] < 20.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        field = make_harbor_field()
+        query = ContourQuery(6.0, 12.0, 2.0)
+
+        def run():
+            net = SensorNetwork.random_deploy(field, 900, radio_range=2.2, seed=9)
+            res = IsoMapProtocol(query, FilterConfig(30.0, 4.0)).run(net)
+            return (
+                len(res.delivered_reports),
+                res.costs.total_traffic_bytes(),
+                res.costs.total_ops(),
+            )
+
+        assert run() == run()
+
+
+class TestContinuousMonitoring:
+    def test_resense_changes_map(self):
+        from repro.field import CompositeField, GaussianBumpField
+
+        field = make_harbor_field()
+        net = SensorNetwork.random_deploy(field, 900, radio_range=2.2, seed=4)
+        query = ContourQuery(6.0, 12.0, 2.0)
+        before = IsoMapProtocol(query).run(net)
+
+        changed = CompositeField(
+            field.bounds,
+            [field, GaussianBumpField(field.bounds, 0.0, [(-4.0, (25, 25), 6.0)])],
+        )
+        net.resense(changed)
+        after = IsoMapProtocol(query).run(net)
+
+        # The silt deposit raised the seabed at the centre: the deep band
+        # there must shrink or vanish.
+        assert after.contour_map.band_at((25, 25)) <= before.contour_map.band_at(
+            (25, 25)
+        )
+        raster_before = before.contour_map.classify_raster(30, 30)
+        raster_after = after.contour_map.classify_raster(30, 30)
+        assert raster_after.sum() < raster_before.sum()
+
+
+class TestPublicAPI:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None

@@ -1,0 +1,145 @@
+"""Cross-cutting protocol invariants, checked over randomised runs.
+
+These pin the bookkeeping identities the evaluation rests on: report
+conservation through the filter, tx/rx symmetry of unicast forwarding,
+nesting monotonicity of the contour map, and the determinism of a run.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
+from repro.core.contour_map import build_contour_map
+from repro.core.reports import IsolineReport
+from repro.field import RadialField, make_harbor_field
+from repro.geometry import BoundingBox
+from repro.network import SensorNetwork
+
+BOX = BoundingBox(0, 0, 20, 20)
+
+
+def radial_net(seed, n=500):
+    field = RadialField(BOX, center=(10, 10), peak=20, slope=1)
+    return SensorNetwork.random_deploy(field, n, radio_range=2.2, seed=seed)
+
+
+QUERY = ContourQuery(13.0, 17.0, 2.0, epsilon_fraction=0.2)
+
+
+class TestReportConservation:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_generated_equals_delivered_plus_dropped(self, seed):
+        net = radial_net(seed)
+        res = IsoMapProtocol(QUERY, FilterConfig(30, 3)).run(net)
+        assert len(res.generated_reports) == len(res.delivered_reports) + res.dropped_by_filter
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_disabled_filter_delivers_everything(self, seed):
+        net = radial_net(seed)
+        res = IsoMapProtocol(QUERY, FilterConfig.disabled()).run(net)
+        # All sources are routed (detection requires it), so with no
+        # filtering every generated report arrives.
+        assert len(res.delivered_reports) == len(res.generated_reports)
+        assert res.dropped_by_filter == 0
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_filter_only_reduces(self, seed):
+        net = radial_net(seed)
+        tight = IsoMapProtocol(QUERY, FilterConfig(60, 8)).run(net)
+        loose = IsoMapProtocol(QUERY, FilterConfig(10, 1)).run(net)
+        off = IsoMapProtocol(QUERY, FilterConfig.disabled()).run(net)
+        assert len(tight.delivered_reports) <= len(loose.delivered_reports)
+        assert len(loose.delivered_reports) <= len(off.delivered_reports)
+
+
+class TestTrafficSymmetry:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_rx_at_least_report_bytes_delivered(self, seed):
+        # Every delivered report was received at least once by the sink.
+        net = radial_net(seed)
+        res = IsoMapProtocol(QUERY, FilterConfig(30, 3)).run(net)
+        from repro.core.wire import ISOLINE_REPORT_BYTES
+
+        assert (
+            res.costs.rx_bytes[net.sink_index]
+            >= len(res.delivered_reports) * ISOLINE_REPORT_BYTES
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_total_rx_not_less_than_tx(self, seed):
+        # Unicast hops are 1:1; local broadcasts are 1:many -- so network
+        # rx bytes can only exceed tx bytes, never undercut them, as long
+        # as every transmitter has at least one listener.
+        net = radial_net(seed)
+        res = IsoMapProtocol(QUERY, FilterConfig(30, 3)).run(net)
+        assert res.costs.rx_bytes.sum() >= res.costs.tx_bytes.sum() * 0.99
+
+
+class TestNestingMonotonicity:
+    def _nested_map(self):
+        reports = []
+        for level, radius in ((5.0, 6.0), (7.0, 4.0), (9.0, 2.0)):
+            for k in range(8):
+                t = 2 * math.pi * k / 8
+                p = (10 + radius * math.cos(t), 10 + radius * math.sin(t))
+                reports.append(
+                    IsolineReport(level, p, (math.cos(t), math.sin(t)), len(reports))
+                )
+        return build_contour_map(reports, [5.0, 7.0, 9.0], BOX)
+
+    def test_band_counts_consecutive_containment(self):
+        cmap = self._nested_map()
+        rng = random.Random(5)
+        for _ in range(200):
+            p = (rng.uniform(0, 20), rng.uniform(0, 20))
+            band = cmap.band_at(p)
+            # By definition: the first `band` levels contain p, the next
+            # one (if any) does not.
+            for i, level in enumerate(cmap.levels):
+                if i < band:
+                    assert cmap.level_contains(level, p)
+                elif i == band:
+                    assert not cmap.level_contains(level, p)
+                    break
+
+    def test_vectorised_matches_scalar(self):
+        cmap = self._nested_map()
+        rng = random.Random(6)
+        pts = [(rng.uniform(0, 20), rng.uniform(0, 20)) for _ in range(300)]
+        vec = cmap.classify_points(pts)
+        for p, b in zip(pts, vec):
+            assert cmap.band_at(p) == b
+
+
+class TestDeterminism:
+    def test_identical_runs_bitwise_equal_costs(self):
+        def run():
+            net = radial_net(9)
+            res = IsoMapProtocol(QUERY, FilterConfig(30, 3)).run(net)
+            return (
+                res.costs.tx_bytes.tobytes(),
+                res.costs.rx_bytes.tobytes(),
+                res.costs.ops.tobytes(),
+            )
+
+        assert run() == run()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    sa=st.floats(min_value=5, max_value=90),
+    sd=st.floats(min_value=0.5, max_value=8),
+)
+@settings(max_examples=15, deadline=None)
+def test_conservation_property(seed, sa, sd):
+    """Report conservation holds for any filter thresholds and seed."""
+    net = radial_net(seed, n=300)
+    res = IsoMapProtocol(QUERY, FilterConfig(sa, sd)).run(net)
+    assert len(res.generated_reports) == len(res.delivered_reports) + res.dropped_by_filter
+    # The contour map only uses delivered reports.
+    assert res.contour_map.report_count() <= len(res.delivered_reports)

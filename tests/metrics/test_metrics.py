@@ -1,0 +1,164 @@
+"""Unit tests for the evaluation metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.contour_map import build_contour_map
+from repro.core.reports import IsolineReport
+from repro.field import PlaneField, RadialField
+from repro.geometry import BoundingBox
+from repro.metrics import (
+    directed_hausdorff,
+    gradient_errors,
+    hausdorff_distance,
+    isoline_hausdorff,
+    mapping_accuracy,
+    raster_accuracy,
+)
+from repro.metrics.gradient_error import summarize_errors
+from repro.metrics.hausdorff import mean_isoline_hausdorff
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+class TestRasterAccuracy:
+    def test_identical(self):
+        r = np.array([[0, 1], [1, 2]])
+        assert raster_accuracy(r, r) == 1.0
+
+    def test_half(self):
+        a = np.array([[0, 0], [1, 1]])
+        b = np.array([[0, 1], [1, 0]])
+        assert raster_accuracy(a, b) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            raster_accuracy(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            raster_accuracy(np.zeros((0,)), np.zeros((0,)))
+
+
+class TestMappingAccuracy:
+    def test_perfect_ring_map_scores_high(self):
+        field = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+        # Build the contour map from perfectly placed reports.
+        reports = []
+        n = 24
+        for k in range(n):
+            t = 2 * math.pi * k / n
+            p = (5 + 3 * math.cos(t), 5 + 3 * math.sin(t))
+            reports.append(IsolineReport(7.0, p, (math.cos(t), math.sin(t)), k))
+        cmap = build_contour_map(reports, [7.0], BOX)
+        acc = mapping_accuracy(field, cmap, [7.0], nx=60, ny=60)
+        assert acc > 0.97
+
+    def test_empty_map_scores_low_inside(self):
+        field = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+        cmap = build_contour_map([], [7.0], BOX, sink_value=None)
+        acc = mapping_accuracy(field, cmap, [7.0], nx=40, ny=40)
+        # The disc of radius 3 (area ~28 of 100) is misclassified.
+        assert acc == pytest.approx(1 - math.pi * 9 / 100, abs=0.05)
+
+
+class TestHausdorff:
+    def test_directed_asymmetry(self):
+        a = [(0, 0)]
+        b = [(0, 0), (10, 0)]
+        assert directed_hausdorff(a, b) == 0.0
+        assert directed_hausdorff(b, a) == 10.0
+
+    def test_symmetric(self):
+        a = [(0, 0), (1, 0)]
+        b = [(0, 1)]
+        assert hausdorff_distance(a, b) == pytest.approx(math.sqrt(2))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            directed_hausdorff([], [(0, 0)])
+
+    def test_identical_sets(self):
+        pts = [(1, 2), (3, 4), (5, 6)]
+        assert hausdorff_distance(pts, pts) == 0.0
+
+    def test_isoline_hausdorff_perfect_circle(self):
+        field = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+        # Estimated isoline = the exact circle, sampled coarsely.
+        circle = [
+            (5 + 3 * math.cos(t), 5 + 3 * math.sin(t))
+            for t in np.linspace(0, 2 * math.pi, 64)
+        ]
+        d = isoline_hausdorff(field, 7.0, [circle], spacing=0.3, grid=120)
+        assert d is not None
+        assert d < 0.2
+
+    def test_isoline_hausdorff_missing_estimate(self):
+        field = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+        assert isoline_hausdorff(field, 7.0, []) is None
+
+    def test_isoline_hausdorff_missing_truth(self):
+        field = PlaneField(BOX, c0=0, cx=1, cy=0)
+        assert isoline_hausdorff(field, 99.0, [[(0, 0), (1, 1)]]) is None
+
+    def test_normalised(self):
+        field = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+        circle = [
+            (5 + 3 * math.cos(t), 5 + 3 * math.sin(t))
+            for t in np.linspace(0, 2 * math.pi, 64)
+        ]
+        d = isoline_hausdorff(field, 7.0, [circle], normalize=True)
+        assert d is not None
+        assert d < 0.2 / BOX.diagonal * 10  # scaled down
+
+    def test_mean_isoline_hausdorff(self):
+        field = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+
+        class FakeMap:
+            def isolines(self, level):
+                r = 10 - level
+                return [
+                    [
+                        (5 + r * math.cos(t), 5 + r * math.sin(t))
+                        for t in np.linspace(0, 2 * math.pi, 48)
+                    ]
+                ]
+
+        d = mean_isoline_hausdorff(field, FakeMap(), [6.0, 7.0])
+        assert d is not None
+        assert d < 0.3
+
+
+class TestGradientError:
+    def test_perfect_directions_zero_error(self):
+        field = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+        reports = [
+            IsolineReport(7.0, (8, 5), (1, 0), 0),  # outward at angle 0
+            IsolineReport(7.0, (5, 8), (0, 1), 1),
+        ]
+        errs = gradient_errors(field, reports)
+        assert errs == pytest.approx([0.0, 0.0], abs=1e-6)
+
+    def test_opposite_direction_180(self):
+        field = RadialField(BOX, center=(5, 5), peak=10, slope=1)
+        reports = [IsolineReport(7.0, (8, 5), (-1, 0), 0)]
+        errs = gradient_errors(field, reports)
+        assert errs[0] == pytest.approx(180.0)
+
+    def test_flat_spots_skipped(self):
+        field = PlaneField(BOX, c0=5, cx=0, cy=0)
+        reports = [IsolineReport(5.0, (5, 5), (1, 0), 0)]
+        assert gradient_errors(field, reports) == []
+
+    def test_summary(self):
+        stats = summarize_errors([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean_deg == pytest.approx(2.5)
+        assert stats.max_deg == 4.0
+        assert stats.count == 4
+        assert stats.p95_deg == 4.0
+
+    def test_summary_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_errors([])

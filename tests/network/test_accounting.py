@@ -1,0 +1,73 @@
+"""Unit tests for the per-node cost accountant."""
+
+import pytest
+
+from repro.network import CostAccountant
+
+
+class TestCharging:
+    def test_tx_rx_ops(self):
+        acc = CostAccountant(3)
+        acc.charge_tx(0, 10)
+        acc.charge_rx(1, 10)
+        acc.charge_ops(2, 100)
+        assert acc.tx_bytes[0] == 10
+        assert acc.rx_bytes[1] == 10
+        assert acc.ops[2] == 100
+
+    def test_charge_hop(self):
+        acc = CostAccountant(2)
+        acc.charge_hop(0, 1, 8)
+        assert acc.tx_bytes[0] == 8
+        assert acc.rx_bytes[1] == 8
+        assert acc.tx_bytes[1] == 0
+
+    def test_local_broadcast(self):
+        acc = CostAccountant(4)
+        acc.charge_local_broadcast(0, [1, 2, 3], 6)
+        assert acc.tx_bytes[0] == 6  # a single transmission
+        assert all(acc.rx_bytes[i] == 6 for i in (1, 2, 3))
+
+    def test_accumulation(self):
+        acc = CostAccountant(1)
+        acc.charge_tx(0, 5)
+        acc.charge_tx(0, 7)
+        assert acc.tx_bytes[0] == 12
+
+    def test_bounds_checks(self):
+        acc = CostAccountant(2)
+        with pytest.raises(IndexError):
+            acc.charge_tx(5, 1)
+        with pytest.raises(ValueError):
+            acc.charge_rx(0, -1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CostAccountant(0)
+
+
+class TestAggregates:
+    def test_totals(self):
+        acc = CostAccountant(3)
+        acc.charge_hop(0, 1, 100)
+        acc.charge_hop(1, 2, 100)
+        assert acc.total_traffic_bytes() == 200
+        assert acc.total_traffic_kb() == pytest.approx(200 / 1024)
+
+    def test_per_node_ops(self):
+        acc = CostAccountant(4)
+        acc.charge_ops(0, 10)
+        acc.charge_ops(1, 30)
+        assert acc.per_node_ops_mean() == pytest.approx(10.0)
+        assert acc.per_node_ops_max() == 30
+        assert acc.total_ops() == 40
+
+    def test_summary_keys(self):
+        acc = CostAccountant(2)
+        acc.reports_generated = 5
+        acc.reports_delivered = 3
+        s = acc.summary()
+        assert s["reports_generated"] == 5
+        assert s["reports_delivered"] == 3
+        for key in ("traffic_kb", "total_ops", "per_node_ops_mean"):
+            assert key in s

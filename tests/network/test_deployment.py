@@ -1,0 +1,79 @@
+"""Unit tests for deployment strategies."""
+
+import random
+
+import pytest
+
+from repro.geometry import BoundingBox
+from repro.network import grid_deployment, uniform_random_deployment
+from repro.network.deployment import jittered_grid_deployment
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+class TestUniformRandom:
+    def test_count_and_bounds(self):
+        pts = uniform_random_deployment(100, BOX, random.Random(1))
+        assert len(pts) == 100
+        assert all(BOX.contains(p) for p in pts)
+
+    def test_deterministic_with_seed(self):
+        a = uniform_random_deployment(10, BOX, random.Random(5))
+        b = uniform_random_deployment(10, BOX, random.Random(5))
+        assert a == b
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            uniform_random_deployment(0, BOX)
+
+    def test_spread_covers_field(self):
+        pts = uniform_random_deployment(400, BOX, random.Random(2))
+        # All four quadrants are populated.
+        quads = set()
+        for (x, y) in pts:
+            quads.add((x > 5, y > 5))
+        assert len(quads) == 4
+
+
+class TestGrid:
+    def test_exact_square_count(self):
+        pts = grid_deployment(100, BOX)
+        assert len(pts) == 100
+
+    def test_at_least_n(self):
+        pts = grid_deployment(97, BOX)
+        assert len(pts) >= 97
+
+    def test_inside_bounds(self):
+        pts = grid_deployment(50, BOX)
+        assert all(BOX.contains(p) for p in pts)
+
+    def test_regular_spacing(self):
+        pts = grid_deployment(25, BOX)
+        xs = sorted({round(p[0], 9) for p in pts})
+        diffs = {round(xs[i + 1] - xs[i], 9) for i in range(len(xs) - 1)}
+        assert len(diffs) == 1  # uniform column spacing
+
+    def test_rectangular_box_aspect(self):
+        box = BoundingBox(0, 0, 20, 5)
+        pts = grid_deployment(80, box)
+        xs = {round(p[0], 6) for p in pts}
+        ys = {round(p[1], 6) for p in pts}
+        assert len(xs) > len(ys)  # more columns than rows on a wide box
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            grid_deployment(-1, BOX)
+
+
+class TestJitteredGrid:
+    def test_stays_inside(self):
+        pts = jittered_grid_deployment(100, BOX, jitter=0.4, rng=random.Random(3))
+        assert all(BOX.contains(p) for p in pts)
+
+    def test_zero_jitter_equals_grid(self):
+        assert jittered_grid_deployment(49, BOX, jitter=0.0) == grid_deployment(49, BOX)
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ValueError):
+            jittered_grid_deployment(10, BOX, jitter=0.9)

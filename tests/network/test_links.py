@@ -1,0 +1,99 @@
+"""Unit tests for the lossy-link extension."""
+
+import random
+
+import pytest
+
+from repro.network import CostAccountant
+from repro.network.links import LossyLinkModel, charge_lossy_hop
+
+
+class TestLossyLinkModel:
+    def test_perfect_link_one_attempt(self):
+        m = LossyLinkModel(delivery_probability=1.0, max_retries=3)
+        assert m.attempts_until_success(random.Random(0)) == 1
+        assert m.expected_attempts() == pytest.approx(1.0)
+        assert m.end_to_end_delivery(100) == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LossyLinkModel(delivery_probability=0.0)
+        with pytest.raises(ValueError):
+            LossyLinkModel(delivery_probability=1.5)
+        with pytest.raises(ValueError):
+            LossyLinkModel(max_retries=-1)
+
+    def test_attempts_bounded_by_budget(self):
+        m = LossyLinkModel(delivery_probability=0.01, max_retries=2)
+        rng = random.Random(1)
+        for _ in range(200):
+            a = m.attempts_until_success(rng)
+            assert a is None or 1 <= a <= 3
+
+    def test_expected_attempts_matches_simulation(self):
+        m = LossyLinkModel(delivery_probability=0.7, max_retries=3)
+        rng = random.Random(2)
+        total = 0
+        trials = 20000
+        for _ in range(trials):
+            a = m.attempts_until_success(rng)
+            total += a if a is not None else m.max_retries + 1
+        assert total / trials == pytest.approx(m.expected_attempts(), rel=0.03)
+
+    def test_end_to_end_delivery_decreases_with_hops(self):
+        m = LossyLinkModel(delivery_probability=0.8, max_retries=1)
+        assert m.end_to_end_delivery(1) > m.end_to_end_delivery(10)
+
+    def test_retries_raise_delivery(self):
+        lo = LossyLinkModel(delivery_probability=0.7, max_retries=0)
+        hi = LossyLinkModel(delivery_probability=0.7, max_retries=4)
+        assert hi.end_to_end_delivery(20) > lo.end_to_end_delivery(20)
+
+
+class TestChargeLossyHop:
+    def test_success_charges_attempts(self):
+        m = LossyLinkModel(delivery_probability=1.0)
+        costs = CostAccountant(2)
+        ok = charge_lossy_hop(m, 0, 1, 10, costs, random.Random(0))
+        assert ok
+        assert costs.tx_bytes[0] == 10
+        assert costs.rx_bytes[1] == 10
+
+    def test_failure_charges_full_budget(self):
+        # Force failure with an astronomically unlucky RNG: p tiny.
+        m = LossyLinkModel(delivery_probability=1e-12, max_retries=2)
+        costs = CostAccountant(2)
+        ok = charge_lossy_hop(m, 0, 1, 10, costs, random.Random(0))
+        assert not ok
+        assert costs.tx_bytes[0] == 30  # 3 attempts x 10 bytes
+        assert costs.rx_bytes[1] == 30
+
+    def test_protocol_with_lossy_links(self):
+        from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
+        from repro.field import RadialField
+        from repro.geometry import BoundingBox
+        from repro.network import SensorNetwork
+
+        box = BoundingBox(0, 0, 20, 20)
+        field = RadialField(box, center=(10, 10), peak=20, slope=1)
+        net = SensorNetwork.random_deploy(field, 600, radio_range=2.2, seed=2)
+        q = ContourQuery(14.0, 16.0, 2.0, epsilon_fraction=0.2)
+        perfect = IsoMapProtocol(q, FilterConfig.disabled()).run(net)
+        lossy = IsoMapProtocol(
+            q,
+            FilterConfig.disabled(),
+            link_model=LossyLinkModel(0.8, max_retries=0),
+        ).run(net)
+        # Without retries at 20% loss, multi-hop reports die in transit.
+        assert len(lossy.delivered_reports) < len(perfect.delivered_reports)
+        reliable = IsoMapProtocol(
+            q,
+            FilterConfig.disabled(),
+            link_model=LossyLinkModel(0.8, max_retries=5),
+        ).run(net)
+        # Retries restore delivery but cost extra transmissions.
+        assert len(reliable.delivered_reports) > len(lossy.delivered_reports)
+        assert (
+            reliable.costs.total_traffic_bytes()
+            > perfect.costs.total_traffic_bytes()
+        )

@@ -1,0 +1,155 @@
+"""Unit tests for the SensorNetwork facade and failure injection."""
+
+import random
+
+import pytest
+
+from repro.field import PlaneField, make_harbor_field
+from repro.geometry import BoundingBox
+from repro.network import SensorNetwork
+
+BOX = BoundingBox(0, 0, 20, 20)
+
+
+def small_net(n=200, seed=0):
+    field = PlaneField(BOX, c0=0, cx=1, cy=0)
+    return SensorNetwork.random_deploy(field, n, radio_range=2.5, seed=seed)
+
+
+class TestConstruction:
+    def test_nodes_sense_the_field(self):
+        net = small_net()
+        for node in net.nodes:
+            assert node.value == pytest.approx(node.position[0])
+
+    def test_sensing_noise(self):
+        field = PlaneField(BOX, c0=5, cx=0, cy=0)
+        net = SensorNetwork.random_deploy(field, 300, seed=1, sensing_noise=0.5)
+        residuals = [node.value - 5.0 for node in net.nodes]
+        assert any(abs(r) > 1e-6 for r in residuals)
+        assert abs(sum(residuals) / len(residuals)) < 0.2
+
+    def test_default_sink_near_centre(self):
+        net = small_net()
+        sink = net.nodes[net.sink_index]
+        cx, cy = BOX.center
+        assert abs(sink.position[0] - cx) < 5
+        assert abs(sink.position[1] - cy) < 5
+        assert sink.level == 0
+
+    def test_explicit_sink(self):
+        field = PlaneField(BOX, 0, 1, 0)
+        net = SensorNetwork.random_deploy(field, 100, radio_range=3.0, seed=2)
+        net2 = SensorNetwork(
+            field, [n.position for n in net.nodes], radio_range=3.0, sink_index=7
+        )
+        assert net2.sink_index == 7
+        assert net2.nodes[7].level == 0
+
+    def test_grid_deploy(self):
+        field = PlaneField(BOX, 0, 1, 0)
+        net = SensorNetwork.grid_deploy(field, 100, radio_range=3.0)
+        assert net.n_nodes == 100
+        assert net.is_connected()
+
+    def test_empty_deployment_raises(self):
+        field = PlaneField(BOX, 0, 1, 0)
+        with pytest.raises(ValueError):
+            SensorNetwork(field, [])
+
+    def test_node_outside_field_raises(self):
+        field = PlaneField(BOX, 0, 1, 0)
+        with pytest.raises(ValueError):
+            SensorNetwork(field, [(25.0, 5.0)])
+
+    def test_density(self):
+        net = small_net(n=400)
+        assert net.density == pytest.approx(1.0)
+
+    def test_tree_mirrors_into_nodes(self):
+        net = small_net()
+        for i, node in enumerate(net.nodes):
+            assert node.level == net.tree.level[i]
+            assert node.parent == net.tree.parent[i]
+
+
+class TestNeighbourhoods:
+    def test_alive_neighbors(self):
+        net = small_net()
+        i = net.sink_index
+        nbrs = net.alive_neighbors(i)
+        assert set(nbrs) == set(net.adjacency[i])
+
+    def test_sensing_neighbors_excludes_failed(self):
+        net = small_net(seed=3)
+        i = net.sink_index
+        all_nbrs = net.alive_neighbors(i)
+        assert all_nbrs, "sink should have neighbours"
+        victim = all_nbrs[0]
+        net.nodes[victim].sensing_ok = False
+        assert victim not in net.sensing_neighbors(i)
+        assert victim in net.alive_neighbors(i)
+
+    def test_k_hop_sensing_neighbors(self):
+        net = small_net(seed=4)
+        one = set(net.k_hop_sensing_neighbors(net.sink_index, 1))
+        two = set(net.k_hop_sensing_neighbors(net.sink_index, 2))
+        assert one <= two
+        assert len(two) > len(one)
+
+
+class TestFailures:
+    def test_sensing_mode_keeps_routing(self):
+        net = small_net(n=300, seed=5)
+        before = net.tree.reachable_count()
+        failed = net.fail_random(0.3, mode="sensing")
+        assert len(failed) == round(0.3 * 300)
+        assert net.tree.reachable_count() == before
+        assert all(not net.nodes[i].sensing_ok for i in failed)
+        assert all(net.nodes[i].alive for i in failed)
+
+    def test_crash_mode_rebuilds_tree(self):
+        net = small_net(n=300, seed=6)
+        net.fail_random(0.2, mode="crash")
+        assert net.alive_count() == 300 - round(0.2 * 300)
+        for i, node in enumerate(net.nodes):
+            if not node.alive:
+                assert node.level is None
+
+    def test_sink_never_fails(self):
+        net = small_net(n=100, seed=7)
+        net.fail_random(1.0, mode="crash")
+        assert net.nodes[net.sink_index].alive
+
+    def test_invalid_ratio(self):
+        net = small_net(n=50)
+        with pytest.raises(ValueError):
+            net.fail_random(1.5)
+
+    def test_invalid_mode(self):
+        net = small_net(n=50)
+        with pytest.raises(ValueError):
+            net.fail_random(0.1, mode="explode")
+
+    def test_revive_all(self):
+        net = small_net(n=200, seed=8)
+        net.fail_random(0.4, mode="crash")
+        net.revive_all()
+        assert net.alive_count() == 200
+        assert net.tree.reachable_count() == 200 or net.is_connected() is False
+
+    def test_failures_deterministic_with_rng(self):
+        net1 = small_net(n=150, seed=9)
+        net2 = small_net(n=150, seed=9)
+        f1 = net1.fail_random(0.25, rng=random.Random(42))
+        f2 = net2.fail_random(0.25, rng=random.Random(42))
+        assert f1 == f2
+
+
+class TestPaperRegime:
+    def test_2500_nodes_density_1(self):
+        net = SensorNetwork.random_deploy(make_harbor_field(), 2500, seed=1)
+        assert net.density == pytest.approx(1.0)
+        assert 6.0 < net.average_degree() < 8.0
+        # Almost every node routes to the sink.
+        assert net.tree.reachable_count() > 0.98 * net.n_nodes

@@ -1,0 +1,84 @@
+"""Unit tests for the slotted collection schedule / latency model."""
+
+import pytest
+
+from repro.energy import Mica2Model
+from repro.field import PlaneField
+from repro.geometry import BoundingBox
+from repro.network import CostAccountant, SensorNetwork
+from repro.network.schedule import epoch_latency
+
+BOX = BoundingBox(0, 0, 30, 10)
+
+
+def line_net(n=8, spacing=1.0):
+    field = PlaneField(BOX, 0, 1, 0)
+    positions = [(0.5 + i * spacing, 5.0) for i in range(n)]
+    return SensorNetwork(field, positions, radio_range=1.2, sink_index=0)
+
+
+class TestEpochLatency:
+    def test_empty_costs_zero_latency(self):
+        net = line_net()
+        costs = CostAccountant(net.n_nodes)
+        sched = epoch_latency(net, costs)
+        assert sched.epoch_seconds == 0.0
+
+    def test_single_transmitter_airtime(self):
+        net = line_net()
+        costs = CostAccountant(net.n_nodes)
+        costs.charge_tx(3, 4800)  # 4800 bytes at 38400 bps = 1 second
+        sched = epoch_latency(net, costs)
+        assert sched.epoch_seconds == pytest.approx(1.0)
+        assert sched.busiest_level == 3
+        assert sched.slot_seconds[3] == pytest.approx(1.0)
+
+    def test_interfering_nodes_serialise(self):
+        # Two transmitters at the same level within interference range
+        # must take turns: the slot is the SUM of their airtimes.
+        field = PlaneField(BOX, 0, 1, 0)
+        # Star: sink centre, two nodes at the same level, close together.
+        positions = [(5.0, 5.0), (6.0, 5.0), (6.2, 5.4)]
+        net = SensorNetwork(field, positions, radio_range=1.5, sink_index=0)
+        assert net.nodes[1].level == 1 and net.nodes[2].level == 1
+        costs = CostAccountant(3)
+        costs.charge_tx(1, 4800)
+        costs.charge_tx(2, 4800)
+        sched = epoch_latency(net, costs)
+        assert sched.slot_seconds[1] == pytest.approx(2.0)
+
+    def test_far_nodes_transmit_concurrently(self):
+        field = PlaneField(BOX, 0, 1, 0)
+        # Sink in the middle; two level-1 nodes on opposite sides, far
+        # beyond the interference range of each other.
+        positions = [(15.0, 5.0), (14.0, 5.0), (16.0, 5.0)]
+        net = SensorNetwork(field, positions, radio_range=1.2, sink_index=0)
+        costs = CostAccountant(3)
+        costs.charge_tx(1, 4800)
+        costs.charge_tx(2, 4800)
+        # With a tiny interference factor they reuse the slot spatially.
+        sched = epoch_latency(net, costs, interference_factor=0.5)
+        assert sched.slot_seconds[1] == pytest.approx(1.0)
+
+    def test_slots_sum_to_epoch(self):
+        net = line_net()
+        costs = CostAccountant(net.n_nodes)
+        for i in range(1, net.n_nodes):
+            costs.charge_tx(i, 1000 * i)
+        sched = epoch_latency(net, costs)
+        assert sched.epoch_seconds == pytest.approx(sum(sched.slot_seconds))
+
+    def test_sink_never_scheduled(self):
+        net = line_net()
+        costs = CostAccountant(net.n_nodes)
+        costs.charge_tx(net.sink_index, 9999)  # e.g. query dissemination
+        sched = epoch_latency(net, costs)
+        assert sched.slot_seconds[0] == 0.0
+
+    def test_faster_radio_lower_latency(self):
+        net = line_net()
+        costs = CostAccountant(net.n_nodes)
+        costs.charge_tx(2, 4800)
+        slow = epoch_latency(net, costs, radio=Mica2Model())
+        fast = epoch_latency(net, costs, radio=Mica2Model(data_rate_bps=250_000))
+        assert fast.epoch_seconds < slow.epoch_seconds

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _experiment_registry, build_parser, main
+
+
+class TestParser:
+    def test_map_defaults(self):
+        args = build_parser().parse_args(["map"])
+        assert args.nodes == 2500
+        assert args.sa == 30.0
+        assert args.sd == 4.0
+
+    def test_experiment_requires_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_map_runs(self, capsys):
+        rc = main(["map", "--nodes", "600", "--radio-range", "2.5", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reports delivered" in out
+        assert "mapping accuracy" in out
+
+    def test_map_render(self, capsys):
+        rc = main(
+            [
+                "map", "--nodes", "600", "--radio-range", "2.5",
+                "--render", "--width", "20", "--height", "8",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The rendered raster contributes 8 extra lines.
+        assert len(out.splitlines()) >= 14
+
+    def test_theory(self, capsys):
+        assert main(["theory"]) == 0
+        assert "Iso-Map" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14a" in out
+        assert "theorem41" in out
+
+    def test_unknown_experiment(self, capsys):
+        rc = main(["experiment", "fig99"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_fig09(self, capsys):
+        rc = main(["experiment", "fig09"])
+        assert rc == 0
+        assert "fig09" in capsys.readouterr().out
+
+
+class TestRegistry:
+    def test_every_figure_registered(self):
+        registry = _experiment_registry()
+        for key in (
+            "fig07", "fig09", "fig10", "fig11a", "fig11b", "fig12a",
+            "fig12b", "fig13", "fig14a", "fig14b", "fig15", "fig16",
+            "table1", "theorem41",
+        ):
+            assert key in registry
+
+    def test_ablations_and_extensions_registered(self):
+        registry = _experiment_registry()
+        assert "ablation_gradient" in registry
+        assert "ext_continuous" in registry
+        assert "ext_localization" in registry

@@ -1,0 +1,34 @@
+"""Executes the code blocks of docs/walkthrough.md so the document
+cannot rot.
+
+The walkthrough's snippets share one namespace (each block builds on the
+previous), exactly as a reader would run them in a REPL.
+"""
+
+import pathlib
+import re
+
+WALKTHROUGH = pathlib.Path(__file__).parent.parent / "docs" / "walkthrough.md"
+
+
+def _code_blocks(text: str):
+    return re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+
+
+def test_walkthrough_blocks_execute_in_order():
+    text = WALKTHROUGH.read_text()
+    blocks = _code_blocks(text)
+    assert len(blocks) >= 6, "the walkthrough should keep all its snippets"
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"walkthrough block {i}", "exec"), namespace)
+        except AssertionError as exc:  # pragma: no cover - doc rot signal
+            raise AssertionError(
+                f"walkthrough block {i} assertion failed: {exc}\n{block}"
+            ) from exc
+
+
+def test_walkthrough_mentions_tests_that_pin_it():
+    text = WALKTHROUGH.read_text()
+    assert "tests/core/test_reconstruction.py" in text

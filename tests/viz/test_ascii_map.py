@@ -1,0 +1,51 @@
+"""Unit tests for the ASCII map renderer."""
+
+import numpy as np
+import pytest
+
+from repro.viz import render_band_map, render_raster, side_by_side
+
+
+class TestRenderRaster:
+    def test_basic_ramp(self):
+        r = np.array([[0, 1], [2, 3]])
+        out = render_raster(r, ramp=" .:-")
+        lines = out.splitlines()
+        # Row 0 is the bottom of the field -> printed last.
+        assert lines[0] == ":-"
+        assert lines[1] == " ."
+
+    def test_ramp_wraps(self):
+        r = np.array([[5]])
+        out = render_raster(r, ramp="ab")
+        assert out == "b"  # 5 % 2 == 1
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            render_raster(np.zeros(3))
+        with pytest.raises(ValueError):
+            render_raster(np.zeros((2, 2)), ramp="")
+
+
+class TestRenderBandMap:
+    def test_uses_classify_raster(self):
+        class Fake:
+            def classify_raster(self, nx, ny):
+                return np.ones((ny, nx), dtype=int)
+
+        out = render_band_map(Fake(), nx=4, ny=2, ramp=" X")
+        assert out == "XXXX\nXXXX"
+
+
+class TestSideBySide:
+    def test_alignment(self):
+        out = side_by_side("aa\nbb", "cc\ndd", gap=2)
+        assert out.splitlines() == ["aa  cc", "bb  dd"]
+
+    def test_titles(self):
+        out = side_by_side("a", "b", gap=3, titles=("L", "R"))
+        assert out.splitlines()[0] == "L   R"
+
+    def test_uneven_heights(self):
+        out = side_by_side("a\nb\nc", "x", gap=1)
+        assert len(out.splitlines()) == 3
