@@ -10,9 +10,9 @@ maps unusable relative to their failure-free fidelity.
 from repro.experiments.fig11_accuracy import run_fig11a, run_fig11b
 
 
-def test_fig11a_accuracy_vs_density(benchmark, record_result):
+def test_fig11a_accuracy_vs_density(benchmark, record_result, sweep_jobs):
     result = benchmark.pedantic(
-        lambda: run_fig11a(seeds=(1, 2)), rounds=1, iterations=1
+        lambda: run_fig11a(seeds=(1, 2), jobs=sweep_jobs), rounds=1, iterations=1
     )
     record_result(result)
 
@@ -29,9 +29,9 @@ def test_fig11a_accuracy_vs_density(benchmark, record_result):
     assert rows[4.0]["isomap_eps025"] < rows[4.0]["isomap_eps005"]
 
 
-def test_fig11b_accuracy_vs_failures(benchmark, record_result):
+def test_fig11b_accuracy_vs_failures(benchmark, record_result, sweep_jobs):
     result = benchmark.pedantic(
-        lambda: run_fig11b(seeds=(1, 2)), rounds=1, iterations=1
+        lambda: run_fig11b(seeds=(1, 2), jobs=sweep_jobs), rounds=1, iterations=1
     )
     record_result(result)
 

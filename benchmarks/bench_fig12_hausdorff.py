@@ -12,9 +12,9 @@ import math
 from repro.experiments.fig12_hausdorff import run_fig12a, run_fig12b
 
 
-def test_fig12a_hausdorff_vs_density(benchmark, record_result):
+def test_fig12a_hausdorff_vs_density(benchmark, record_result, sweep_jobs):
     result = benchmark.pedantic(
-        lambda: run_fig12a(densities=(0.25, 1.0, 4.0), seeds=(1, 2)),
+        lambda: run_fig12a(densities=(0.25, 1.0, 4.0), seeds=(1, 2), jobs=sweep_jobs),
         rounds=1,
         iterations=1,
     )
@@ -29,9 +29,9 @@ def test_fig12a_hausdorff_vs_density(benchmark, record_result):
     assert rows[0.25]["isomap_grid"] < rows[0.25]["isomap_random"]
 
 
-def test_fig12b_hausdorff_vs_failures(benchmark, record_result):
+def test_fig12b_hausdorff_vs_failures(benchmark, record_result, sweep_jobs):
     result = benchmark.pedantic(
-        lambda: run_fig12b(failures=(0.0, 0.2, 0.4), seeds=(1, 2)),
+        lambda: run_fig12b(failures=(0.0, 0.2, 0.4), seeds=(1, 2), jobs=sweep_jobs),
         rounds=1,
         iterations=1,
     )

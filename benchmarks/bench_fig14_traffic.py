@@ -8,9 +8,9 @@ but Iso-Map with a much smaller factor.
 from repro.experiments.fig14_traffic import run_fig14a, run_fig14b
 
 
-def test_fig14a_traffic_vs_diameter(benchmark, record_result):
+def test_fig14a_traffic_vs_diameter(benchmark, record_result, sweep_jobs):
     result = benchmark.pedantic(
-        lambda: run_fig14a(seeds=(1, 2)), rounds=1, iterations=1
+        lambda: run_fig14a(seeds=(1, 2), jobs=sweep_jobs), rounds=1, iterations=1
     )
     record_result(result)
 
@@ -27,9 +27,9 @@ def test_fig14a_traffic_vs_diameter(benchmark, record_result):
     assert last["tinydb_kb"] > 3 * last["isomap_kb"]
 
 
-def test_fig14b_traffic_vs_density(benchmark, record_result):
+def test_fig14b_traffic_vs_density(benchmark, record_result, sweep_jobs):
     result = benchmark.pedantic(
-        lambda: run_fig14b(seeds=(1, 2)), rounds=1, iterations=1
+        lambda: run_fig14b(seeds=(1, 2), jobs=sweep_jobs), rounds=1, iterations=1
     )
     record_result(result)
 

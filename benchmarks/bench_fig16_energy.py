@@ -8,9 +8,9 @@ grows with the network size.
 from repro.experiments.fig16_energy import run_fig16
 
 
-def test_fig16_energy(benchmark, record_result):
+def test_fig16_energy(benchmark, record_result, sweep_jobs):
     result = benchmark.pedantic(
-        lambda: run_fig16(seeds=(1, 2)), rounds=1, iterations=1
+        lambda: run_fig16(seeds=(1, 2), jobs=sweep_jobs), rounds=1, iterations=1
     )
     record_result(result)
 

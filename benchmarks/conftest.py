@@ -4,6 +4,11 @@ Each bench regenerates one paper table/figure: it runs the experiment
 once (pedantic single-round timing via pytest-benchmark), prints the
 row/series table, writes it under ``benchmarks/results/``, and asserts
 the paper's qualitative claims (who wins, growth shapes, crossovers).
+
+Sweep-based benches (figs 11/12/14/16) accept ``--sweep-jobs N`` to run
+their (configuration, seed) points across N worker processes through
+:mod:`repro.experiments.runner`; the resulting tables are byte-identical
+at any job count, only the wall-clock changes.
 """
 
 import pathlib
@@ -11,6 +16,25 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sweep-jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep-based figure benches "
+        "(results are identical at any job count)",
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_jobs(request):
+    """Worker count for experiment sweeps (from ``--sweep-jobs``)."""
+    jobs = request.config.getoption("--sweep-jobs")
+    if jobs < 1:
+        raise pytest.UsageError("--sweep-jobs must be >= 1")
+    return jobs
 
 
 @pytest.fixture()

@@ -21,7 +21,12 @@ from typing import Callable, Dict, List, Optional
 
 
 def _experiment_registry() -> Dict[str, Callable]:
-    """Lazy registry: experiment id -> zero-arg runner (light defaults)."""
+    """Lazy registry: experiment id -> runner taking (jobs, cache_dir).
+
+    Sweep experiments ported to :mod:`repro.experiments.runner` honour
+    the worker count and result cache; the remaining single-shot
+    experiments ignore them.
+    """
     from repro.experiments.ablations import (
         run_ablation_filtering_placement,
         run_ablation_gradient,
@@ -45,30 +50,50 @@ def _experiment_registry() -> Dict[str, Callable]:
     from repro.experiments.table1_overheads import run_table1, run_theorem41
 
     return {
-        "fig07": lambda: run_fig07(seeds=(1,)),
-        "fig09": run_fig09,
-        "fig10": lambda: run_fig10(seed=1),
-        "fig11a": lambda: run_fig11a(seeds=(1,)),
-        "fig11b": lambda: run_fig11b(seeds=(1,)),
-        "fig12a": lambda: run_fig12a(seeds=(1,)),
-        "fig12b": lambda: run_fig12b(seeds=(1,)),
-        "fig13": lambda: run_fig13(seeds=(1,)),
-        "fig14a": lambda: run_fig14a(seeds=(1,)),
-        "fig14b": lambda: run_fig14b(seeds=(1,)),
-        "fig15": lambda: run_fig15(seeds=(1,)),
-        "fig16": lambda: run_fig16(seeds=(1,)),
-        "table1": lambda: run_table1(seeds=(1,)),
-        "theorem41": lambda: run_theorem41(seeds=(1,)),
-        "ablation_gradient": lambda: run_ablation_gradient(seeds=(1,)),
-        "ablation_filter_placement": lambda: run_ablation_filtering_placement(
+        "fig07": lambda jobs, cache: run_fig07(seeds=(1,)),
+        "fig09": lambda jobs, cache: run_fig09(),
+        "fig10": lambda jobs, cache: run_fig10(seed=1),
+        "fig11a": lambda jobs, cache: run_fig11a(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig11b": lambda jobs, cache: run_fig11b(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig12a": lambda jobs, cache: run_fig12a(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig12b": lambda jobs, cache: run_fig12b(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig13": lambda jobs, cache: run_fig13(seeds=(1,)),
+        "fig14a": lambda jobs, cache: run_fig14a(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig14b": lambda jobs, cache: run_fig14b(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig15": lambda jobs, cache: run_fig15(seeds=(1,)),
+        "fig16": lambda jobs, cache: run_fig16(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "table1": lambda jobs, cache: run_table1(seeds=(1,)),
+        "theorem41": lambda jobs, cache: run_theorem41(seeds=(1,)),
+        "ablation_gradient": lambda jobs, cache: run_ablation_gradient(seeds=(1,)),
+        "ablation_filter_placement": lambda jobs, cache: run_ablation_filtering_placement(
             seeds=(1,)
         ),
-        "ablation_regulation": lambda: run_ablation_regulation(seeds=(1,)),
-        "ablation_regression": lambda: run_ablation_regression(seeds=(1,)),
-        "ablation_localization": lambda: run_ablation_localization(seeds=(1,)),
-        "ext_lossy_links": lambda: run_lossy_links(seeds=(1,)),
-        "ext_continuous": run_continuous_monitoring,
-        "ext_localization": lambda: run_localized_isomap(seeds=(1,)),
+        "ablation_regulation": lambda jobs, cache: run_ablation_regulation(
+            seeds=(1,)
+        ),
+        "ablation_regression": lambda jobs, cache: run_ablation_regression(
+            seeds=(1,)
+        ),
+        "ablation_localization": lambda jobs, cache: run_ablation_localization(
+            seeds=(1,)
+        ),
+        "ext_lossy_links": lambda jobs, cache: run_lossy_links(seeds=(1,)),
+        "ext_continuous": lambda jobs, cache: run_continuous_monitoring(),
+        "ext_localization": lambda jobs, cache: run_localized_isomap(seeds=(1,)),
     }
 
 
@@ -149,7 +174,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.id!r}; try: python -m repro list",
               file=sys.stderr)
         return 2
-    result = registry[args.id]()
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    result = registry[args.id](args.jobs, args.cache)
     print(result.to_table())
     return 0
 
@@ -198,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate one paper experiment")
     p_exp.add_argument("id", help="experiment id (see: python -m repro list)")
+    p_exp.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for sweep experiments "
+                       "(results are identical at any job count)")
+    p_exp.add_argument("--cache", default=None, metavar="DIR",
+                       help="cache sweep-point results in DIR and reuse them")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_theory = sub.add_parser("theory", help="print the analytical Table 1")

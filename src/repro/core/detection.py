@@ -92,9 +92,14 @@ def detect_isoline_nodes(
         alive_nbrs = network.alive_neighbors(node.node_id)
         costs.charge_local_broadcast(node.node_id, alive_nbrs, LOCAL_QUERY_BYTES)
         responders = network.k_hop_sensing_neighbors(node.node_id, query.k_hop)
+        one_hop_ids = (
+            frozenset(network.neighbor_lists[node.node_id])
+            if query.k_hop > 1
+            else None
+        )
         data: List[Tuple[Vec, float]] = []
         for j in responders:
-            hops = 1 if j in network.adjacency[node.node_id] else query.k_hop
+            hops = 1 if one_hop_ids is None or j in one_hop_ids else query.k_hop
             # A reply travelling h hops is transmitted and received h
             # times.  The relaying neighbours' identities are routing
             # details we do not simulate at this granularity, so the

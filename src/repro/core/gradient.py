@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.geometry import EPS, Vec
 
 #: Arithmetic operations charged per neighbour sample when accumulating
@@ -102,6 +104,155 @@ def estimate_gradient(
     return GradientEstimate(
         direction=direction, coefficients=(c0, c1, c2), ops=ops, sample_count=m
     )
+
+
+#: One regression task: (centre position, centre value, neighbour samples).
+GradientTask = Tuple[Vec, float, Sequence[Tuple[Vec, float]]]
+
+
+def estimate_gradients_batch(
+    tasks: Sequence[GradientTask],
+) -> List[Optional[GradientEstimate]]:
+    """Fit every isoline node's plane in one batched solve.
+
+    Returns exactly ``[estimate_gradient(*t) for t in tasks]`` -- the same
+    floats bit-for-bit and the same ``ops`` charges -- but runs the
+    normal-equation accumulation and the 3x3 eliminations as NumPy batch
+    operations over all nodes at once.
+
+    Bit-compatibility is engineered, not incidental:
+
+    - The eight normal-equation sums accumulate column-by-column with a
+      validity mask (``np.add(..., where=mask)``), reproducing the
+      sequential ``+=`` order of the scalar loop; a tree reduction such as
+      ``np.sum`` would round differently.
+    - The elimination mirrors :func:`_solve3` statically: ``np.argmax``
+      picks the same pivot Python's ``max`` does (first index on ties),
+      rows swap by gather, and every update performs the identical
+      ``m[r][c] -= f * m[col][c]`` expression elementwise.
+    - Back-substitution subtracts terms in the same ascending-column
+      order, and the final normalisation calls ``math.hypot`` per row
+      because ``np.hypot`` is not guaranteed to round identically.
+
+    Degenerate rows (fewer than three samples, singular system, flat
+    plane) come back as ``None``, exactly like the scalar path; their
+    intermediate divisions run on masked-out dummy pivots under
+    ``np.errstate``.
+    """
+    n_tasks = len(tasks)
+    if n_tasks == 0:
+        return []
+    counts = np.fromiter(
+        (1 + len(t[2]) for t in tasks), dtype=np.int64, count=n_tasks
+    )
+    width = int(counts.max())
+    # Flatten every (x, y, v) sample once, then scatter into the padded
+    # per-row layout in a single fancy assignment (a per-row fill loop is
+    # the dominant cost otherwise).
+    flat: List[float] = []
+    extend = flat.extend
+    for center, center_value, neighbors in tasks:
+        extend((center[0], center[1], center_value))
+        for p, v in neighbors:
+            extend((p[0], p[1], v))
+    samples = np.array(flat).reshape(-1, 3)
+    total = len(samples)
+    starts = np.cumsum(counts) - counts
+    row_idx = np.repeat(np.arange(n_tasks), counts)
+    col_idx = np.arange(total) - np.repeat(starts, counts)
+    xs = np.zeros((n_tasks, width))
+    ys = np.zeros((n_tasks, width))
+    vs = np.zeros((n_tasks, width))
+    xs[row_idx, col_idx] = samples[:, 0]
+    ys[row_idx, col_idx] = samples[:, 1]
+    vs[row_idx, col_idx] = samples[:, 2]
+    mask = np.arange(width)[None, :] < counts[:, None]
+
+    # Normal equations, accumulated in scalar-loop order (see docstring).
+    sums = np.zeros((8, n_tasks))
+    sx, sy, sv, sxx, sxy, syy, sxv, syv = sums
+    for k in range(width):
+        mk = mask[:, k]
+        xk = xs[:, k]
+        yk = ys[:, k]
+        vk = vs[:, k]
+        np.add(sx, xk, out=sx, where=mk)
+        np.add(sy, yk, out=sy, where=mk)
+        np.add(sv, vk, out=sv, where=mk)
+        np.add(sxx, xk * xk, out=sxx, where=mk)
+        np.add(sxy, xk * yk, out=sxy, where=mk)
+        np.add(syy, yk * yk, out=syy, where=mk)
+        np.add(sxv, xk * vk, out=sxv, where=mk)
+        np.add(syv, yk * vk, out=syv, where=mk)
+
+    # Augmented systems [A | b], one 3x4 matrix per task.
+    aug = np.empty((n_tasks, 3, 4))
+    aug[:, 0, 0] = counts
+    aug[:, 0, 1] = sx
+    aug[:, 0, 2] = sy
+    aug[:, 0, 3] = sv
+    aug[:, 1, 0] = sx
+    aug[:, 1, 1] = sxx
+    aug[:, 1, 2] = sxy
+    aug[:, 1, 3] = sxv
+    aug[:, 2, 0] = sy
+    aug[:, 2, 1] = sxy
+    aug[:, 2, 2] = syy
+    aug[:, 2, 3] = syv
+
+    tol = 1e-10
+    scale = np.abs(aug[:, :, :3]).max(axis=(1, 2))
+    singular = scale == 0.0
+    rows = np.arange(n_tasks)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        for col in range(3):
+            pivot_rel = np.argmax(np.abs(aug[:, col:, col]), axis=1)
+            pivot_row = col + pivot_rel
+            swapped = aug[rows, pivot_row, :].copy()
+            aug[rows, pivot_row, :] = aug[:, col, :]
+            aug[:, col, :] = swapped
+            pivot = aug[:, col, col]
+            singular |= np.abs(pivot) < tol * scale
+            denom = np.where(pivot == 0.0, 1.0, pivot)
+            for r in range(col + 1, 3):
+                f = aug[:, r, col] / denom
+                aug[:, r, col:] = aug[:, r, col:] - f[:, None] * aug[:, col, col:]
+        d22 = np.where(aug[:, 2, 2] == 0.0, 1.0, aug[:, 2, 2])
+        d11 = np.where(aug[:, 1, 1] == 0.0, 1.0, aug[:, 1, 1])
+        d00 = np.where(aug[:, 0, 0] == 0.0, 1.0, aug[:, 0, 0])
+        c2 = aug[:, 2, 3] / d22
+        c1 = (aug[:, 1, 3] - aug[:, 1, 2] * c2) / d11
+        c0 = (aug[:, 0, 3] - aug[:, 0, 1] * c1 - aug[:, 0, 2] * c2) / d00
+
+    out: List[Optional[GradientEstimate]] = []
+    append = out.append
+    counts_list = counts.tolist()
+    singular_list = singular.tolist()
+    c0l, c1l, c2l = c0.tolist(), c1.tolist(), c2.tolist()
+    hypot = math.hypot
+    new = object.__new__
+    for r in range(n_tasks):
+        m = counts_list[r]
+        if m < 3 or singular_list[r]:
+            append(None)
+            continue
+        w1, w2 = c1l[r], c2l[r]
+        g = hypot(w1, w2)
+        if g < 1e-9:
+            append(None)
+            continue
+        # Frozen-dataclass __init__ routes every field through
+        # object.__setattr__; filling __dict__ directly makes the
+        # construction loop a minor cost instead of the dominant one.
+        est = new(GradientEstimate)
+        est.__dict__.update(
+            direction=(-w1 / g, -w2 / g),
+            coefficients=(c0l[r], w1, w2),
+            ops=OPS_PER_SAMPLE * m + OPS_SOLVE,
+            sample_count=m,
+        )
+        append(est)
+    return out
 
 
 def fallback_direction(

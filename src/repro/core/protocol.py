@@ -16,7 +16,11 @@ from typing import Dict, List, Optional
 from repro.core.contour_map import ContourMap, build_contour_map
 from repro.core.detection import DetectionResult, detect_isoline_nodes
 from repro.core.filtering import FilterConfig, InNetworkFilter
-from repro.core.gradient import estimate_gradient, fallback_direction
+from repro.core.gradient import (
+    estimate_gradient,
+    estimate_gradients_batch,
+    fallback_direction,
+)
 from repro.core.query import ContourQuery
 from repro.core.reports import IsolineReport
 from repro.core.wire import QUERY_BYTES
@@ -149,19 +153,39 @@ class IsoMapProtocol:
     ) -> List[IsolineReport]:
         """Gradient estimation and report creation at each isoline node."""
         reports: List[IsolineReport] = []
-        for node_id, isolevel in detection.isoline_nodes.items():
+        items = list(detection.isoline_nodes.items())
+        # Positions as the application knows them: the localisation
+        # estimate when one ran, ground truth otherwise.
+        positions = [
+            network.bounds.clamp(network.nodes[node_id].app_position)
+            for node_id, _ in items
+        ]
+        data_rows = [
+            detection.neighborhood_data.get(node_id, []) for node_id, _ in items
+        ]
+        linear_estimates = None
+        if self.regression == "linear":
+            # All plane regressions in one batched solve; bit-identical to
+            # calling estimate_gradient per node (see estimate_gradients_batch).
+            linear_estimates = estimate_gradients_batch(
+                [
+                    (positions[k], network.nodes[node_id].value, data_rows[k])
+                    for k, (node_id, _) in enumerate(items)
+                ]
+            )
+        for k, (node_id, isolevel) in enumerate(items):
             node = network.nodes[node_id]
-            # Positions as the application knows them: the localisation
-            # estimate when one ran, ground truth otherwise.
-            position = network.bounds.clamp(node.app_position)
-            data = detection.neighborhood_data.get(node_id, [])
+            position = positions[k]
+            data = data_rows[k]
             estimate = None
             if self.regression == "quadratic":
                 from repro.core.gradient_quadratic import estimate_gradient_quadratic
 
                 estimate = estimate_gradient_quadratic(position, node.value, data)
-            if estimate is None:
-                estimate = estimate_gradient(position, node.value, data)
+                if estimate is None:
+                    estimate = estimate_gradient(position, node.value, data)
+            else:
+                estimate = linear_estimates[k]
             if estimate is not None:
                 costs.charge_ops(node_id, estimate.ops)
                 direction = estimate.direction

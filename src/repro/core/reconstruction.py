@@ -62,6 +62,10 @@ CUT_LABEL = -2
 #: Voronoi construction (their bisector would be undefined).
 DEDUPE_TOL = 1e-6
 
+#: Scratch budget for the blocked raster-membership kernel: the distance
+#: matrix of one block holds at most this many float64 values (~8 MB).
+_MEMBERSHIP_BLOCK_FLOATS = 1 << 20
+
 
 @dataclass
 class LevelRegion:
@@ -113,7 +117,13 @@ class LevelRegion:
         return dx * best.direction[0] + dy * best.direction[1] <= 0.0
 
     def contains_many(self, points: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`contains` for an ``(n, 2)`` array of points."""
+        """Vectorised :meth:`contains` for an ``(n, 2)`` array of points.
+
+        Points are processed in blocks so the ``(block, m)`` distance
+        matrix stays memory-bounded regardless of the raster size; the
+        per-point ``argmin`` (first index on ties, like the scalar
+        ``min``) is unaffected by the blocking.
+        """
         if not self.reports:
             return np.zeros(len(points), dtype=bool)
         if self._positions_arr is None:
@@ -124,15 +134,24 @@ class LevelRegion:
                 [r.direction for r in self.reports], dtype=float
             )
         pts = np.asarray(points, dtype=float)
-        # (n, m) squared distances; nearest report per point.
-        d2 = (
-            (pts[:, None, 0] - self._positions_arr[None, :, 0]) ** 2
-            + (pts[:, None, 1] - self._positions_arr[None, :, 1]) ** 2
-        )
-        nearest = d2.argmin(axis=1)
-        rel = pts - self._positions_arr[nearest]
-        dirs = self._directions_arr[nearest]
-        return (rel * dirs).sum(axis=1) <= 0.0
+        n = len(pts)
+        m = len(self._positions_arr)
+        out = np.empty(n, dtype=bool)
+        # ~8 MB of float64 scratch per block at the default budget.
+        block = max(1, _MEMBERSHIP_BLOCK_FLOATS // max(1, m))
+        px = self._positions_arr[:, 0]
+        py = self._positions_arr[:, 1]
+        for lo in range(0, n, block):
+            hi = min(lo + block, n)
+            chunk = pts[lo:hi]
+            # (block, m) squared distances; nearest report per point.
+            d2 = (chunk[:, 0:1] - px[None, :]) ** 2
+            d2 += (chunk[:, 1:2] - py[None, :]) ** 2
+            nearest = d2.argmin(axis=1)
+            rel = chunk - self._positions_arr[nearest]
+            dirs = self._directions_arr[nearest]
+            out[lo:hi] = (rel * dirs).sum(axis=1) <= 0.0
+        return out
 
     # ------------------------------------------------------------------
     # Geometry accessors

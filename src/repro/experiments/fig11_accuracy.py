@@ -5,11 +5,14 @@ density, Iso-Map slightly below TinyDB but comparable; a larger border
 range ``epsilon`` helps at low density but hurts at high density; both
 protocols degrade with failures and become unusable past ~40%, with a
 large ``epsilon`` making Iso-Map more failure-tolerant.
+
+Sweeps run through :mod:`repro.experiments.runner` (``jobs`` workers,
+optional result cache); tables are byte-identical at any job count.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.baselines import TinyDBProtocol
 from repro.core import ContourQuery
@@ -21,6 +24,12 @@ from repro.experiments.common import (
     harbor_network,
     radio_range_for_density,
     run_isomap,
+)
+from repro.experiments.runner import (
+    grid_points,
+    group_by_config,
+    run_sweep,
+    seed_mean,
 )
 from repro.field import make_harbor_field
 from repro.metrics import mapping_accuracy
@@ -44,44 +53,69 @@ def _wide_query(eps: float) -> ContourQuery:
     )
 
 
+def fig11a_point(density: float, raster: int, seed: int) -> Dict[str, float]:
+    """Accuracies of TinyDB and Iso-Map (both epsilons) at one point."""
+    field = make_harbor_field()
+    levels = default_levels()
+    n = max(4, round(density * 2500))
+    r = radio_range_for_density(density)
+    tdb_net = harbor_network(n, "grid", seed=seed, field=field, radio_range=r)
+    tdb = TinyDBProtocol(levels).run(tdb_net)
+    out = {
+        "tinydb": mapping_accuracy(field, tdb.band_map, levels, raster, raster)
+    }
+    iso_net = harbor_network(n, "random", seed=seed, field=field, radio_range=r)
+    for eps, key in zip(EPSILONS, ("isomap_eps005", "isomap_eps025")):
+        iso = run_isomap(iso_net, query=_wide_query(eps))
+        out[key] = mapping_accuracy(field, iso.contour_map, levels, raster, raster)
+    return out
+
+
+def fig11b_point(
+    ratio: float, n: int, raster: int, failure_mode: str, seed: int
+) -> Dict[str, float]:
+    """Accuracies under one (failure ratio, seed) injection."""
+    field = make_harbor_field()
+    levels = default_levels()
+    tdb_net = harbor_network(n, "grid", seed=seed, field=field)
+    tdb_net.fail_random(ratio, mode=failure_mode)
+    tdb = TinyDBProtocol(levels).run(tdb_net)
+    out = {
+        "tinydb": mapping_accuracy(field, tdb.band_map, levels, raster, raster)
+    }
+    iso_net = harbor_network(n, "random", seed=seed, field=field)
+    iso_net.fail_random(ratio, mode=failure_mode)
+    for eps, key in zip(EPSILONS, ("isomap_eps005", "isomap_eps025")):
+        iso = run_isomap(iso_net, query=_wide_query(eps))
+        out[key] = mapping_accuracy(field, iso.contour_map, levels, raster, raster)
+    return out
+
+
 def run_fig11a(
     densities: Sequence[float] = DEFAULT_DENSITIES,
     seeds: Sequence[int] = (1, 2, 3),
     raster: int = ACCURACY_RASTER,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Accuracy vs density for TinyDB, and Iso-Map at both epsilon values."""
-    field = make_harbor_field()
-    levels = default_levels()
     result = ExperimentResult(
         experiment_id="fig11a",
         title="mapping accuracy vs node density",
         columns=["density", "n_nodes", "tinydb", "isomap_eps005", "isomap_eps025"],
         notes="mean over seeds; density 1 = 2500 nodes on the 50x50 field",
     )
-    for density in densities:
-        n = max(4, round(density * 2500))
-        r = radio_range_for_density(density)
-        acc = {"tinydb": [], "isomap_eps005": [], "isomap_eps025": []}
-        for seed in seeds:
-            tdb_net = harbor_network(n, "grid", seed=seed, field=field, radio_range=r)
-            tdb = TinyDBProtocol(levels).run(tdb_net)
-            acc["tinydb"].append(
-                mapping_accuracy(field, tdb.band_map, levels, raster, raster)
-            )
-            iso_net = harbor_network(
-                n, "random", seed=seed, field=field, radio_range=r
-            )
-            for eps, key in zip(EPSILONS, ("isomap_eps005", "isomap_eps025")):
-                iso = run_isomap(iso_net, query=_wide_query(eps))
-                acc[key].append(
-                    mapping_accuracy(field, iso.contour_map, levels, raster, raster)
-                )
+    points = grid_points(
+        fig11a_point, [{"density": d, "raster": raster} for d in densities], seeds
+    )
+    groups = group_by_config(run_sweep(points, jobs, cache_dir), len(seeds))
+    for density, group in zip(densities, groups):
         result.add_row(
             density=density,
-            n_nodes=n,
-            tinydb=sum(acc["tinydb"]) / len(seeds),
-            isomap_eps005=sum(acc["isomap_eps005"]) / len(seeds),
-            isomap_eps025=sum(acc["isomap_eps025"]) / len(seeds),
+            n_nodes=max(4, round(density * 2500)),
+            tinydb=seed_mean(group, "tinydb"),
+            isomap_eps005=seed_mean(group, "isomap_eps005"),
+            isomap_eps025=seed_mean(group, "isomap_eps025"),
         )
     return result
 
@@ -92,36 +126,30 @@ def run_fig11b(
     seeds: Sequence[int] = (1, 2, 3),
     raster: int = ACCURACY_RASTER,
     failure_mode: str = "sensing",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Accuracy vs node-failure ratio at density 1."""
-    field = make_harbor_field()
-    levels = default_levels()
     result = ExperimentResult(
         experiment_id="fig11b",
         title="mapping accuracy vs node failures",
         columns=["failure_ratio", "tinydb", "isomap_eps005", "isomap_eps025"],
         notes=f"n={n}, failure mode={failure_mode!r}, mean over seeds",
     )
-    for ratio in failures:
-        acc = {"tinydb": [], "isomap_eps005": [], "isomap_eps025": []}
-        for seed in seeds:
-            tdb_net = harbor_network(n, "grid", seed=seed, field=field)
-            tdb_net.fail_random(ratio, mode=failure_mode)
-            tdb = TinyDBProtocol(levels).run(tdb_net)
-            acc["tinydb"].append(
-                mapping_accuracy(field, tdb.band_map, levels, raster, raster)
-            )
-            iso_net = harbor_network(n, "random", seed=seed, field=field)
-            iso_net.fail_random(ratio, mode=failure_mode)
-            for eps, key in zip(EPSILONS, ("isomap_eps005", "isomap_eps025")):
-                iso = run_isomap(iso_net, query=_wide_query(eps))
-                acc[key].append(
-                    mapping_accuracy(field, iso.contour_map, levels, raster, raster)
-                )
+    points = grid_points(
+        fig11b_point,
+        [
+            {"ratio": r, "n": n, "raster": raster, "failure_mode": failure_mode}
+            for r in failures
+        ],
+        seeds,
+    )
+    groups = group_by_config(run_sweep(points, jobs, cache_dir), len(seeds))
+    for ratio, group in zip(failures, groups):
         result.add_row(
             failure_ratio=ratio,
-            tinydb=sum(acc["tinydb"]) / len(seeds),
-            isomap_eps005=sum(acc["isomap_eps005"]) / len(seeds),
-            isomap_eps025=sum(acc["isomap_eps025"]) / len(seeds),
+            tinydb=seed_mean(group, "tinydb"),
+            isomap_eps005=seed_mean(group, "isomap_eps005"),
+            isomap_eps025=seed_mean(group, "isomap_eps025"),
         )
     return result

@@ -6,11 +6,14 @@ than random); TinyDB's irregularity is proportional to the grid size and
 thus grows like 1/sqrt(density); TinyDB is more vulnerable to failures.
 Distances are normalised by the 50 x 50 field (we divide by the field
 diagonal).
+
+Sweeps run through :mod:`repro.experiments.runner` (``jobs`` workers,
+optional result cache); tables are byte-identical at any job count.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines import TinyDBProtocol
 from repro.experiments.common import (
@@ -20,6 +23,7 @@ from repro.experiments.common import (
     radio_range_for_density,
     run_isomap,
 )
+from repro.experiments.runner import grid_points, group_by_config, run_sweep
 from repro.field import make_harbor_field
 from repro.metrics.hausdorff import mean_isoline_hausdorff
 
@@ -34,42 +38,75 @@ def _mean_or_none(values: List[Optional[float]]) -> Optional[float]:
     return sum(usable) / len(usable)
 
 
+def fig12a_point(density: float, grid: int, seed: int) -> Dict[str, Optional[float]]:
+    """Hausdorff distances of the three series at one (density, seed)."""
+    field = make_harbor_field()
+    levels = default_levels()
+    n = max(9, round(density * 2500))
+    r = radio_range_for_density(density)
+    out: Dict[str, Optional[float]] = {}
+    for deploy, key in (("random", "isomap_random"), ("grid", "isomap_grid")):
+        net = harbor_network(n, deploy, seed=seed, field=field, radio_range=r)
+        iso = run_isomap(net)
+        out[key] = mean_isoline_hausdorff(field, iso.contour_map, levels, grid=grid)
+    tdb_net = harbor_network(n, "grid", seed=seed, field=field, radio_range=r)
+    tdb = TinyDBProtocol(levels).run(tdb_net)
+    out["tinydb"] = mean_isoline_hausdorff(field, tdb.band_map, levels, grid=grid)
+    return out
+
+
+def fig12b_point(
+    ratio: float, n: int, grid: int, failure_mode: str, seed: int
+) -> Dict[str, Optional[float]]:
+    """Hausdorff distances under one (failure ratio, seed) injection."""
+    field = make_harbor_field()
+    levels = default_levels()
+    out: Dict[str, Optional[float]] = {}
+    for deploy, key in (("random", "isomap_random"), ("grid", "isomap_grid")):
+        net = harbor_network(n, deploy, seed=seed, field=field)
+        net.fail_random(ratio, mode=failure_mode)
+        iso = run_isomap(net)
+        out[key] = mean_isoline_hausdorff(field, iso.contour_map, levels, grid=grid)
+    tdb_net = harbor_network(n, "grid", seed=seed, field=field)
+    tdb_net.fail_random(ratio, mode=failure_mode)
+    tdb = TinyDBProtocol(levels).run(tdb_net)
+    out["tinydb"] = mean_isoline_hausdorff(field, tdb.band_map, levels, grid=grid)
+    return out
+
+
+def _normalised_row(group: List[Dict[str, Optional[float]]], diag: float) -> Dict[str, float]:
+    row: Dict[str, float] = {}
+    for key in ("isomap_random", "isomap_grid", "tinydb"):
+        mean = _mean_or_none([g[key] for g in group])
+        row[key] = float("nan") if mean is None else mean / diag
+    return row
+
+
 def run_fig12a(
     densities: Sequence[float] = DEFAULT_DENSITIES,
     seeds: Sequence[int] = (1, 2),
     grid: int = 120,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Normalised Hausdorff distance vs node density."""
-    field = make_harbor_field()
-    levels = default_levels()
-    diag = field.bounds.diagonal
+    diag = make_harbor_field().bounds.diagonal
     result = ExperimentResult(
         experiment_id="fig12a",
         title="isoline Hausdorff distance vs node density (normalised)",
         columns=["density", "n_nodes", "isomap_random", "isomap_grid", "tinydb"],
         notes="distance / field diagonal; mean over levels and seeds",
     )
-    for density in densities:
-        n = max(9, round(density * 2500))
-        r = radio_range_for_density(density)
-        series = {"isomap_random": [], "isomap_grid": [], "tinydb": []}
-        for seed in seeds:
-            for deploy, key in (("random", "isomap_random"), ("grid", "isomap_grid")):
-                net = harbor_network(n, deploy, seed=seed, field=field, radio_range=r)
-                iso = run_isomap(net)
-                series[key].append(
-                    mean_isoline_hausdorff(field, iso.contour_map, levels, grid=grid)
-                )
-            tdb_net = harbor_network(n, "grid", seed=seed, field=field, radio_range=r)
-            tdb = TinyDBProtocol(levels).run(tdb_net)
-            series["tinydb"].append(
-                mean_isoline_hausdorff(field, tdb.band_map, levels, grid=grid)
-            )
-        row = {"density": density, "n_nodes": n}
-        for key, vals in series.items():
-            mean = _mean_or_none(vals)
-            row[key] = float("nan") if mean is None else mean / diag
-        result.add_row(**row)
+    points = grid_points(
+        fig12a_point, [{"density": d, "grid": grid} for d in densities], seeds
+    )
+    groups = group_by_config(run_sweep(points, jobs, cache_dir), len(seeds))
+    for density, group in zip(densities, groups):
+        result.add_row(
+            density=density,
+            n_nodes=max(9, round(density * 2500)),
+            **_normalised_row(group, diag),
+        )
     return result
 
 
@@ -79,36 +116,26 @@ def run_fig12b(
     seeds: Sequence[int] = (1, 2),
     grid: int = 120,
     failure_mode: str = "sensing",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Normalised Hausdorff distance vs node-failure ratio at density 1."""
-    field = make_harbor_field()
-    levels = default_levels()
-    diag = field.bounds.diagonal
+    diag = make_harbor_field().bounds.diagonal
     result = ExperimentResult(
         experiment_id="fig12b",
         title="isoline Hausdorff distance vs node failures (normalised)",
         columns=["failure_ratio", "isomap_random", "isomap_grid", "tinydb"],
         notes=f"n={n}, failure mode={failure_mode!r}",
     )
-    for ratio in failures:
-        series = {"isomap_random": [], "isomap_grid": [], "tinydb": []}
-        for seed in seeds:
-            for deploy, key in (("random", "isomap_random"), ("grid", "isomap_grid")):
-                net = harbor_network(n, deploy, seed=seed, field=field)
-                net.fail_random(ratio, mode=failure_mode)
-                iso = run_isomap(net)
-                series[key].append(
-                    mean_isoline_hausdorff(field, iso.contour_map, levels, grid=grid)
-                )
-            tdb_net = harbor_network(n, "grid", seed=seed, field=field)
-            tdb_net.fail_random(ratio, mode=failure_mode)
-            tdb = TinyDBProtocol(levels).run(tdb_net)
-            series["tinydb"].append(
-                mean_isoline_hausdorff(field, tdb.band_map, levels, grid=grid)
-            )
-        row = {"failure_ratio": ratio}
-        for key, vals in series.items():
-            mean = _mean_or_none(vals)
-            row[key] = float("nan") if mean is None else mean / diag
-        result.add_row(**row)
+    points = grid_points(
+        fig12b_point,
+        [
+            {"ratio": r, "n": n, "grid": grid, "failure_mode": failure_mode}
+            for r in failures
+        ],
+        seeds,
+    )
+    groups = group_by_config(run_sweep(points, jobs, cache_dir), len(seeds))
+    for ratio, group in zip(failures, groups):
+        result.add_row(failure_ratio=ratio, **_normalised_row(group, diag))
     return result

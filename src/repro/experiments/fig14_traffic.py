@@ -4,11 +4,15 @@ Paper claims: TinyDB's and INLR's traffic grows rapidly with the network
 diameter (field size at density 1) while Iso-Map's grows far slower
 (O(sqrt(n)) sources instead of O(n)); against density all three grow, but
 Iso-Map with a much smaller factor.
+
+Both sweeps run through :mod:`repro.experiments.runner`: one point per
+(configuration, seed), parallelisable with ``jobs`` and cacheable with
+``cache_dir``, with tables byte-identical at any job count.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.baselines import INLRProtocol, TinyDBProtocol
 from repro.experiments.common import (
@@ -17,6 +21,12 @@ from repro.experiments.common import (
     harbor_network,
     radio_range_for_density,
     run_isomap,
+)
+from repro.experiments.runner import (
+    grid_points,
+    group_by_config,
+    run_sweep,
+    seed_mean,
 )
 from repro.field import WindowField, make_harbor_field
 from repro.geometry import BoundingBox
@@ -42,42 +52,59 @@ def _scaled_harbor(side: float) -> WindowField:
     return WindowField(inner, BoundingBox(lo, lo, lo + side, lo + side))
 
 
+def fig14a_point(side: int, seed: int) -> Dict[str, float]:
+    """Traffic of the three protocols for one (field side, seed) point."""
+    levels = default_levels()
+    n = side * side
+    field = _scaled_harbor(side)
+    iso_net = harbor_network(n, "random", seed=seed, field=field)
+    grid_net = harbor_network(n, "grid", seed=seed, field=field)
+    return {
+        "diameter": iso_net.diameter_hops,
+        "isomap": run_isomap(iso_net).costs.total_traffic_kb(),
+        "tinydb": TinyDBProtocol(levels).run(grid_net).costs.total_traffic_kb(),
+        "inlr": INLRProtocol(levels).run(grid_net).costs.total_traffic_kb(),
+    }
+
+
+def fig14b_point(density: float, side: int, seed: int) -> Dict[str, float]:
+    """Traffic of the three protocols for one (density, seed) point."""
+    levels = default_levels()
+    field = _scaled_harbor(side)
+    n = max(9, round(density * side * side))
+    r = radio_range_for_density(density)
+    iso_net = harbor_network(n, "random", seed=seed, field=field, radio_range=r)
+    grid_net = harbor_network(n, "grid", seed=seed, field=field, radio_range=r)
+    return {
+        "isomap": run_isomap(iso_net).costs.total_traffic_kb(),
+        "tinydb": TinyDBProtocol(levels).run(grid_net).costs.total_traffic_kb(),
+        "inlr": INLRProtocol(levels).run(grid_net).costs.total_traffic_kb(),
+    }
+
+
 def run_fig14a(
     sides: Sequence[int] = DEFAULT_SIDES,
     seeds: Sequence[int] = (1, 2),
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Traffic (KB) vs network diameter (hops) at density 1."""
-    levels = default_levels()
     result = ExperimentResult(
         experiment_id="fig14a",
         title="network traffic (KB) vs network diameter",
         columns=["field_side", "n_nodes", "diameter_hops", "isomap_kb", "tinydb_kb", "inlr_kb"],
         notes="density 1; diameter measured as routing-tree depth",
     )
-    for side in sides:
-        n = side * side
-        field = _scaled_harbor(side)
-        acc: Dict[str, List[float]] = {"isomap": [], "tinydb": [], "inlr": []}
-        diameters = []
-        for seed in seeds:
-            iso_net = harbor_network(n, "random", seed=seed, field=field)
-            diameters.append(iso_net.diameter_hops)
-            acc["isomap"].append(run_isomap(iso_net).costs.total_traffic_kb())
-            grid_net = harbor_network(n, "grid", seed=seed, field=field)
-            acc["tinydb"].append(
-                TinyDBProtocol(levels).run(grid_net).costs.total_traffic_kb()
-            )
-            acc["inlr"].append(
-                INLRProtocol(levels).run(grid_net).costs.total_traffic_kb()
-            )
-        k = len(seeds)
+    points = grid_points(fig14a_point, [{"side": s} for s in sides], seeds)
+    groups = group_by_config(run_sweep(points, jobs, cache_dir), len(seeds))
+    for side, group in zip(sides, groups):
         result.add_row(
             field_side=side,
-            n_nodes=n,
-            diameter_hops=sum(diameters) / k,
-            isomap_kb=sum(acc["isomap"]) / k,
-            tinydb_kb=sum(acc["tinydb"]) / k,
-            inlr_kb=sum(acc["inlr"]) / k,
+            n_nodes=side * side,
+            diameter_hops=seed_mean(group, "diameter"),
+            isomap_kb=seed_mean(group, "isomap"),
+            tinydb_kb=seed_mean(group, "tinydb"),
+            inlr_kb=seed_mean(group, "inlr"),
         )
     return result
 
@@ -86,36 +113,26 @@ def run_fig14b(
     densities: Sequence[float] = DEFAULT_DENSITIES,
     side: int = 30,
     seeds: Sequence[int] = (1, 2),
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Traffic (KB) vs node density on a fixed field."""
-    levels = default_levels()
-    field = _scaled_harbor(side)
     result = ExperimentResult(
         experiment_id="fig14b",
         title="network traffic (KB) vs node density",
         columns=["density", "n_nodes", "isomap_kb", "tinydb_kb", "inlr_kb"],
         notes=f"{side}x{side} field",
     )
-    for density in densities:
-        n = max(9, round(density * side * side))
-        r = radio_range_for_density(density)
-        acc: Dict[str, List[float]] = {"isomap": [], "tinydb": [], "inlr": []}
-        for seed in seeds:
-            iso_net = harbor_network(n, "random", seed=seed, field=field, radio_range=r)
-            acc["isomap"].append(run_isomap(iso_net).costs.total_traffic_kb())
-            grid_net = harbor_network(n, "grid", seed=seed, field=field, radio_range=r)
-            acc["tinydb"].append(
-                TinyDBProtocol(levels).run(grid_net).costs.total_traffic_kb()
-            )
-            acc["inlr"].append(
-                INLRProtocol(levels).run(grid_net).costs.total_traffic_kb()
-            )
-        k = len(seeds)
+    points = grid_points(
+        fig14b_point, [{"density": d, "side": side} for d in densities], seeds
+    )
+    groups = group_by_config(run_sweep(points, jobs, cache_dir), len(seeds))
+    for density, group in zip(densities, groups):
         result.add_row(
             density=density,
-            n_nodes=n,
-            isomap_kb=sum(acc["isomap"]) / k,
-            tinydb_kb=sum(acc["tinydb"]) / k,
-            inlr_kb=sum(acc["inlr"]) / k,
+            n_nodes=max(9, round(density * side * side)),
+            isomap_kb=seed_mean(group, "isomap"),
+            tinydb_kb=seed_mean(group, "tinydb"),
+            inlr_kb=seed_mean(group, "inlr"),
         )
     return result

@@ -4,11 +4,14 @@ Paper claims: Iso-Map's per-node energy is far below TinyDB's and INLR's,
 and -- unlike theirs -- barely grows with the network size (the scalability
 headline).  Energy combines the counted traffic and computation under the
 Mica2 model (Section 5.3).
+
+The sweep runs through :mod:`repro.experiments.runner` (``jobs`` workers,
+optional result cache); tables are byte-identical at any job count.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.baselines import INLRProtocol, TinyDBProtocol
 from repro.energy import energy_from_costs
@@ -19,48 +22,55 @@ from repro.experiments.common import (
     run_isomap,
 )
 from repro.experiments.fig14_traffic import _scaled_harbor
+from repro.experiments.runner import (
+    grid_points,
+    group_by_config,
+    run_sweep,
+    seed_mean,
+)
 
 DEFAULT_SIDES: Sequence[int] = (15, 25, 35, 50)
+
+
+def fig16_point(side: int, seed: int) -> Dict[str, float]:
+    """Per-node energy of the three protocols at one (side, seed) point."""
+    levels = default_levels()
+    n = side * side
+    field = _scaled_harbor(side)
+    iso_net = harbor_network(n, "random", seed=seed, field=field)
+    grid_net = harbor_network(n, "grid", seed=seed, field=field)
+    return {
+        "isomap": energy_from_costs(run_isomap(iso_net).costs).per_node_mean_mj(),
+        "tinydb": energy_from_costs(
+            TinyDBProtocol(levels).run(grid_net).costs
+        ).per_node_mean_mj(),
+        "inlr": energy_from_costs(
+            INLRProtocol(levels).run(grid_net).costs
+        ).per_node_mean_mj(),
+    }
 
 
 def run_fig16(
     sides: Sequence[int] = DEFAULT_SIDES,
     seeds: Sequence[int] = (1, 2),
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Mean per-node energy (mJ) for the three protocols."""
-    levels = default_levels()
     result = ExperimentResult(
         experiment_id="fig16",
         title="per-node energy (mJ) vs network size",
         columns=["field_side", "n_nodes", "isomap_mj", "tinydb_mj", "inlr_mj"],
         notes="Mica2 model: 42/29 mW CC1000 at 38.4 kbps, 242 MIPS/W CPU",
     )
-    for side in sides:
-        n = side * side
-        field = _scaled_harbor(side)
-        acc: Dict[str, List[float]] = {"isomap": [], "tinydb": [], "inlr": []}
-        for seed in seeds:
-            iso_net = harbor_network(n, "random", seed=seed, field=field)
-            acc["isomap"].append(
-                energy_from_costs(run_isomap(iso_net).costs).per_node_mean_mj()
-            )
-            grid_net = harbor_network(n, "grid", seed=seed, field=field)
-            acc["tinydb"].append(
-                energy_from_costs(
-                    TinyDBProtocol(levels).run(grid_net).costs
-                ).per_node_mean_mj()
-            )
-            acc["inlr"].append(
-                energy_from_costs(
-                    INLRProtocol(levels).run(grid_net).costs
-                ).per_node_mean_mj()
-            )
-        k = len(seeds)
+    points = grid_points(fig16_point, [{"side": s} for s in sides], seeds)
+    groups = group_by_config(run_sweep(points, jobs, cache_dir), len(seeds))
+    for side, group in zip(sides, groups):
         result.add_row(
             field_side=side,
-            n_nodes=n,
-            isomap_mj=sum(acc["isomap"]) / k,
-            tinydb_mj=sum(acc["tinydb"]) / k,
-            inlr_mj=sum(acc["inlr"]) / k,
+            n_nodes=side * side,
+            isomap_mj=seed_mean(group, "isomap"),
+            tinydb_mj=seed_mean(group, "tinydb"),
+            inlr_mj=seed_mean(group, "inlr"),
         )
     return result

@@ -17,7 +17,14 @@ operations.
 
 from repro.network.node import SensorNode
 from repro.network.deployment import grid_deployment, uniform_random_deployment
-from repro.network.topology import build_adjacency, average_degree, is_connected
+from repro.network.topology import (
+    CsrAdjacency,
+    average_degree,
+    build_adjacency,
+    build_adjacency_reference,
+    build_csr_adjacency,
+    is_connected,
+)
 from repro.network.routing_tree import RoutingTree, build_routing_tree
 from repro.network.accounting import CostAccountant
 from repro.network.network import SensorNetwork
@@ -27,6 +34,9 @@ __all__ = [
     "grid_deployment",
     "uniform_random_deployment",
     "build_adjacency",
+    "build_adjacency_reference",
+    "build_csr_adjacency",
+    "CsrAdjacency",
     "average_degree",
     "is_connected",
     "RoutingTree",

@@ -10,16 +10,18 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Set
 
+import numpy as np
+
 from repro.field.base import ScalarField
 from repro.geometry import BoundingBox, Vec, dist
 from repro.network.deployment import grid_deployment, uniform_random_deployment
 from repro.network.node import SensorNode
 from repro.network.routing_tree import RoutingTree, build_routing_tree
 from repro.network.topology import (
+    CsrAdjacency,
     average_degree,
-    build_adjacency,
+    build_csr_adjacency,
     is_connected,
-    k_hop_neighbors,
 )
 
 #: The paper's radio range in normalised units: "to keep a connected
@@ -67,7 +69,16 @@ class SensorNetwork:
             if sensing_noise > 0:
                 v += self._rng.gauss(0.0, sensing_noise)
             self.nodes.append(SensorNode(node_id=i, position=p, value=v))
-        self.adjacency: List[Set[int]] = build_adjacency(positions, radio_range)
+        # CSR is the primary adjacency: the edge set never changes
+        # (failures only flip per-node flags), so it is built once with the
+        # batched kernel; per-node neighbour lists serve the traversal
+        # loops, and legacy set views are materialised lazily on demand.
+        self.positions_array: np.ndarray = np.asarray(positions, dtype=float)
+        self.csr: CsrAdjacency = build_csr_adjacency(
+            self.positions_array, radio_range
+        )
+        self.neighbor_lists: List[List[int]] = self.csr.to_lists()
+        self._adjacency_sets: Optional[List[Set[int]]] = None
         if sink_index is None:
             centre = field.bounds.center
             sink_index = min(
@@ -143,19 +154,24 @@ class SensorNetwork:
     def alive_count(self) -> int:
         return sum(1 for node in self.nodes if node.alive)
 
+    @property
+    def adjacency(self) -> List[Set[int]]:
+        """Per-node neighbour sets (legacy view, materialised on demand)."""
+        if self._adjacency_sets is None:
+            self._adjacency_sets = self.csr.to_sets()
+        return self._adjacency_sets
+
     def alive_neighbors(self, i: int) -> List[int]:
         """Alive disk-radio neighbours of node ``i``."""
-        return [j for j in self.adjacency[i] if self.nodes[j].alive]
+        return [j for j in self.neighbor_lists[i] if self.nodes[j].alive]
 
     def sensing_neighbors(self, i: int) -> List[int]:
         """Neighbours of ``i`` that can answer value queries."""
-        return [j for j in self.adjacency[i] if self.nodes[j].can_sense]
+        return [j for j in self.neighbor_lists[i] if self.nodes[j].can_sense]
 
     def k_hop_alive_neighbors(self, i: int, k: int) -> List[int]:
         """Alive nodes within k hops of node ``i`` (excluding ``i``)."""
-        return sorted(
-            k_hop_neighbors(self.adjacency, i, k, alive=self.alive_mask())
-        )
+        return self.csr.k_hop_neighbors(i, k, alive=self.alive_mask()).tolist()
 
     def k_hop_sensing_neighbors(self, i: int, k: int) -> List[int]:
         """Sensing-capable nodes within k (alive-routed) hops of node ``i``.
@@ -164,15 +180,15 @@ class SensorNetwork:
         past sensing-failed ones); the returned set keeps only nodes that
         can actually answer a value query.
         """
-        reachable = k_hop_neighbors(self.adjacency, i, k, alive=self.alive_mask())
-        return sorted(j for j in reachable if self.nodes[j].can_sense)
+        reachable = self.csr.k_hop_neighbors(i, k, alive=self.alive_mask())
+        return [j for j in reachable.tolist() if self.nodes[j].can_sense]
 
     def average_degree(self) -> float:
         """Mean alive-neighbour count over alive nodes."""
-        return average_degree(self.adjacency, self.alive_mask())
+        return average_degree(self.neighbor_lists, self.alive_mask())
 
     def is_connected(self) -> bool:
-        return is_connected(self.adjacency, self.alive_mask())
+        return is_connected(self.neighbor_lists, self.alive_mask())
 
     # ------------------------------------------------------------------
     # Routing
@@ -181,7 +197,7 @@ class SensorNetwork:
     def _build_tree(self) -> RoutingTree:
         positions = [node.position for node in self.nodes]
         tree = build_routing_tree(
-            positions, self.adjacency, self.sink_index, self.alive_mask()
+            positions, self.neighbor_lists, self.sink_index, self.alive_mask()
         )
         for node in self.nodes:
             node.reset_routing()

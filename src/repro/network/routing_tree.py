@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.geometry import Vec, dist
 
@@ -84,7 +84,7 @@ class RoutingTree:
 
 def build_routing_tree(
     positions: Sequence[Vec],
-    adjacency: Sequence[Set[int]],
+    adjacency: Sequence[Iterable[int]],
     sink: int,
     alive: Optional[Sequence[bool]] = None,
 ) -> RoutingTree:
@@ -92,7 +92,10 @@ def build_routing_tree(
 
     Args:
         positions: node positions (used for deterministic parent choice).
-        adjacency: disk-radio neighbour sets.
+        adjacency: disk-radio neighbours per node (any iterable: sets,
+            lists, or CSR rows).  Levels and parents are independent of
+            the iteration order -- BFS levels are hop distances, and the
+            parent choice tie-breaks explicitly on ``(distance, id)``.
         sink: root node index (must be alive).
         alive: liveness mask; dead nodes are excluded entirely.
     """

@@ -4,13 +4,24 @@ Two nodes can communicate iff their distance is at most the radio range
 (unit-disk model, perfect links -- Section 5 of the paper).  Adjacency is
 computed with a spatial hash so building the graph is O(n) expected for
 bounded density.
+
+The hot kernels here are vectorized over a positions array: candidate
+pairs come from bucketed block comparisons on a sorted cell code instead
+of nested Python loops, and k-hop collection runs a frontier BFS on a CSR
+adjacency.  The pure-Python originals are kept as ``*_reference``
+implementations; differential tests assert the two agree exactly
+(including nodes exactly at ``radio_range`` and on bucket borders), and
+``benchmarks/bench_kernel.py`` tracks the speedup.
 """
 
 from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Dict, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.geometry import Vec
 
@@ -18,7 +29,7 @@ from repro.geometry import Vec
 def build_adjacency(
     positions: Sequence[Vec], radio_range: float
 ) -> List[Set[int]]:
-    """Neighbour sets under the unit-disk model.
+    """Neighbour sets under the unit-disk model (vectorized).
 
     Args:
         positions: node positions.
@@ -28,7 +39,115 @@ def build_adjacency(
     Returns:
         ``adj[i]`` = set of node indices within ``radio_range`` of node i
         (excluding i itself).
+
+    The distance test is the same ``dx*dx + dy*dy <= r*r`` the reference
+    implementation evaluates, in the same IEEE-754 arithmetic, so the
+    result is identical set-for-set -- only the candidate enumeration is
+    batched.
     """
+    return build_csr_adjacency(positions, radio_range).to_sets()
+
+
+def build_csr_adjacency(
+    positions: Sequence[Vec], radio_range: float
+) -> "CsrAdjacency":
+    """Unit-disk adjacency straight into CSR form (the hot-path kernel).
+
+    This is what :class:`repro.network.SensorNetwork` consumes: the edge
+    list is produced by the bucketed batch pass of :func:`_disk_edges`
+    and laid out as CSR without ever materialising per-node Python sets
+    (which dominate the cost of :func:`build_adjacency`).  Accepts a
+    positions list or an ``(n, 2)`` array; pass the array on hot paths.
+    """
+    ii, jj = _disk_edges(positions, radio_range)
+    return CsrAdjacency.from_edges(len(positions), ii, jj)
+
+
+def _disk_edges(
+    positions: Sequence[Vec], radio_range: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unique unit-disk edges as parallel index arrays (each pair once).
+
+    Candidate pairs are generated per spatial-hash bucket: nodes are
+    sorted by an integer cell code, and for each of the five forward cell
+    offsets (0,0), (1,0), (0,1), (1,1), (1,-1) every node is paired with
+    the contiguous sorted block of its offset cell.  Each unordered cell
+    pair is visited exactly once, so no edge is produced twice.
+    """
+    if radio_range <= 0:
+        raise ValueError("radio range must be positive")
+    n = len(positions)
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return empty, empty
+    pts = np.asarray(positions, dtype=float).reshape(n, 2)
+    cell = radio_range
+    cx = np.floor(pts[:, 0] / cell).astype(np.int64)
+    cy = np.floor(pts[:, 1] / cell).astype(np.int64)
+    # One collision-free integer per cell, with a +-1 margin in y so the
+    # dy offsets of neighbouring cells never wrap across an x stripe.
+    cy -= cy.min()
+    span = int(cy.max()) + 3
+    code = (cx - cx.min() + 1) * span + cy + 1
+    order = np.argsort(code, kind="stable")
+    sorted_codes = code[order]
+
+    # Occupied cells as runs of the sorted codes.  All block lookups
+    # happen per unique cell (a few hundred of them) rather than per
+    # node, then broadcast back to nodes through ``cell_of``.
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(sorted_codes[1:], sorted_codes[:-1], out=is_start[1:])
+    cell_starts = np.flatnonzero(is_start)
+    unique_codes = sorted_codes[cell_starts]
+    cell_ends = np.append(cell_starts[1:], n)
+    cell_sizes = cell_ends - cell_starts
+    cell_of = np.cumsum(is_start) - 1  # sorted-domain node -> cell index
+    n_cells = len(unique_codes)
+
+    # Per cell, per forward offset: the sorted-domain block of candidate
+    # partners.  Offset 0 (same cell) matches trivially; the other four
+    # resolve with one searchsorted over the unique codes.
+    offsets = np.array([span, 1, span + 1, span - 1], dtype=np.int64)
+    targets = unique_codes[None, :] + offsets[:, None]
+    pos = np.searchsorted(unique_codes, targets)
+    pos_c = np.minimum(pos, n_cells - 1)
+    hit = unique_codes[pos_c] == targets
+    block_left = np.empty((5, n_cells), dtype=np.int64)
+    block_count = np.empty((5, n_cells), dtype=np.int64)
+    block_left[0] = cell_starts
+    block_count[0] = cell_sizes
+    block_left[1:] = np.where(hit, cell_starts[pos_c], 0)
+    block_count[1:] = np.where(hit, cell_sizes[pos_c], 0)
+
+    # Broadcast to nodes (sorted domain) and run one ragged gather.  The
+    # flattened layout keeps the same-cell offset first, so its
+    # candidates occupy a known prefix of the gathered arrays.
+    left = block_left[:, cell_of].ravel()
+    counts = block_count[:, cell_of].ravel()
+    total = int(counts.sum())
+    if total == 0:
+        return empty, empty
+    ii_sorted = np.repeat(np.tile(np.arange(n, dtype=np.int64), 5), counts)
+    ends = np.cumsum(counts)
+    j_sorted = np.arange(total) + np.repeat(left - (ends - counts), counts)
+    xs_sorted = pts[:, 0][order]
+    ys_sorted = pts[:, 1][order]
+    dx = xs_sorted[ii_sorted] - xs_sorted[j_sorted]
+    dy = ys_sorted[ii_sorted] - ys_sorted[j_sorted]
+    valid = dx * dx + dy * dy <= radio_range * radio_range
+    # Same-cell candidates (the first block) pair every cell-mate twice
+    # and include the node itself; keep each unordered pair once.
+    same_cell_total = int(counts[:n].sum())
+    valid[:same_cell_total] &= j_sorted[:same_cell_total] > ii_sorted[:same_cell_total]
+    return order[ii_sorted[valid]], order[j_sorted[valid]]
+
+
+def build_adjacency_reference(
+    positions: Sequence[Vec], radio_range: float
+) -> List[Set[int]]:
+    """The original per-node spatial-hash loop, kept as the differential
+    and performance baseline for :func:`build_adjacency`."""
     if radio_range <= 0:
         raise ValueError("radio range must be positive")
     n = len(positions)
@@ -58,6 +177,114 @@ def build_adjacency(
                         adj[i].add(j)
                         adj[j].add(i)
     return adj
+
+
+@dataclass(frozen=True)
+class CsrAdjacency:
+    """Compressed-sparse-row view of an adjacency, for batched traversal.
+
+    ``indices[indptr[i]:indptr[i+1]]`` are node ``i``'s neighbours in
+    ascending order.  The structure is immutable; liveness filtering is a
+    per-query mask, so one CSR serves the whole failure-injection
+    lifecycle of a network.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @classmethod
+    def from_edges(
+        cls, n: int, ii: np.ndarray, jj: np.ndarray
+    ) -> "CsrAdjacency":
+        """CSR of the symmetric graph given each undirected edge once.
+
+        Rows come out in ascending neighbour order (the same order
+        ``sorted(set)`` gives), so traversals are deterministic.
+        """
+        if len(ii) == 0:
+            return cls(
+                indptr=np.zeros(n + 1, dtype=np.int64),
+                indices=np.empty(0, dtype=np.int64),
+            )
+        a = np.concatenate([ii, jj])
+        b = np.concatenate([jj, ii])
+        order = np.argsort(a * np.int64(n) + b, kind="stable")
+        indices = b[order]
+        counts = np.bincount(a, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr=indptr, indices=indices)
+
+    @classmethod
+    def from_sets(cls, adj: Sequence[Set[int]]) -> "CsrAdjacency":
+        n = len(adj)
+        counts = np.fromiter((len(s) for s in adj), dtype=np.int64, count=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.fromiter(
+            (j for s in adj for j in sorted(s)),
+            dtype=np.int64,
+            count=int(counts.sum()),
+        )
+        return cls(indptr=indptr, indices=indices)
+
+    def to_sets(self) -> List[Set[int]]:
+        """Materialise per-node neighbour sets (the legacy adjacency view)."""
+        idx = self.indices.tolist()
+        ptr = self.indptr.tolist()
+        return [set(idx[ptr[v] : ptr[v + 1]]) for v in range(self.n_nodes)]
+
+    def to_lists(self) -> List[List[int]]:
+        """Per-node neighbour lists (ascending), cheaper than sets to build."""
+        idx = self.indices.tolist()
+        ptr = self.indptr.tolist()
+        return [idx[ptr[v] : ptr[v + 1]] for v in range(self.n_nodes)]
+
+    def neighbors(self, i: int) -> np.ndarray:
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def k_hop_neighbors(
+        self, start: int, k: int, alive: Optional[Sequence[bool]] = None
+    ) -> np.ndarray:
+        """All nodes within ``k`` hops of ``start`` (excluding ``start``).
+
+        Vectorized frontier BFS: each hop gathers every frontier node's
+        CSR block in one ragged batch, masks dead/visited nodes, and
+        dedupes with ``np.unique``.  Returns a sorted int64 array; agrees
+        exactly with the set-based :func:`k_hop_neighbors`.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        n = self.n_nodes
+        alive_arr = None if alive is None else np.asarray(alive, dtype=bool)
+        seen = np.zeros(n, dtype=bool)
+        seen[start] = True
+        out = np.zeros(n, dtype=bool)
+        frontier = np.array([start], dtype=np.int64)
+        for _ in range(k):
+            starts = self.indptr[frontier]
+            counts = self.indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            base = np.repeat(starts, counts)
+            within = np.arange(total) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            cand = self.indices[base + within]
+            if alive_arr is not None:
+                cand = cand[alive_arr[cand]]
+            cand = cand[~seen[cand]]
+            if cand.size == 0:
+                break
+            frontier = np.unique(cand)
+            seen[frontier] = True
+            out[frontier] = True
+        return np.nonzero(out)[0]
 
 
 def average_degree(adj: Sequence[Set[int]], alive: Sequence[bool] = None) -> float:
@@ -99,6 +326,9 @@ def k_hop_neighbors(
     Iso-Map's gradient estimation queries the k-hop neighbourhood
     (Section 3.3: "the query scope can be adjusted within k-hop
     neighbors"); k = 1 is the default.
+
+    This is the set-based reference; the hot path goes through
+    :meth:`CsrAdjacency.k_hop_neighbors`, which returns the same nodes.
     """
     if k < 0:
         raise ValueError("k must be non-negative")

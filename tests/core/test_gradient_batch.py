@@ -1,0 +1,165 @@
+"""Property tests: batched gradient regression vs the per-node reference.
+
+:func:`estimate_gradients_batch` promises to return exactly
+``[estimate_gradient(*t) for t in tasks]`` -- the same direction and
+coefficient floats bit-for-bit, the same ``ops`` charge, the same
+``None`` for degenerate neighbourhoods.  These tests pin that promise on
+random neighbourhoods, on the degenerate paths (too few samples,
+collinear positions, flat planes), and on mixed batches that interleave
+good and degenerate tasks (where a mis-aligned mask would scramble
+results across rows).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gradient import (
+    estimate_gradient,
+    estimate_gradients_batch,
+    fallback_direction,
+)
+
+
+def _random_task(rng, degree, span=1.5):
+    cx, cy = rng.uniform(0, 50), rng.uniform(0, 50)
+    cv = rng.uniform(0, 30)
+    nbrs = [
+        ((cx + rng.uniform(-span, span), cy + rng.uniform(-span, span)),
+         rng.uniform(0, 30))
+        for _ in range(degree)
+    ]
+    return ((cx, cy), cv, nbrs)
+
+
+def assert_batch_matches_scalar(tasks):
+    batch = estimate_gradients_batch(tasks)
+    assert len(batch) == len(tasks)
+    for got, task in zip(batch, tasks):
+        want = estimate_gradient(*task)
+        if want is None:
+            assert got is None
+        else:
+            # Dataclass equality compares every field; the floats must be
+            # identical bits, not merely close.
+            assert got == want
+            assert got.ops == want.ops
+            assert math.isfinite(got.direction[0])
+
+
+def test_empty_batch():
+    assert estimate_gradients_batch([]) == []
+
+
+def test_random_neighbourhoods_bitwise_equal():
+    rng = random.Random(42)
+    tasks = [_random_task(rng, rng.randint(2, 12)) for _ in range(300)]
+    assert_batch_matches_scalar(tasks)
+
+
+def test_large_coordinates_and_tiny_gradients():
+    rng = random.Random(7)
+    tasks = [_random_task(rng, 6, span=1e-4) for _ in range(50)]
+    tasks += [
+        (((x0 := rng.uniform(1e5, 1e6)), rng.uniform(1e5, 1e6)), 10.0,
+         [((x0 + rng.uniform(-1, 1), rng.uniform(1e5, 1e6)), rng.uniform(0, 30))
+          for _ in range(5)])
+        for _ in range(20)
+    ]
+    assert_batch_matches_scalar(tasks)
+
+
+def test_too_few_samples_is_none():
+    tasks = [
+        ((0.0, 0.0), 1.0, []),
+        ((0.0, 0.0), 1.0, [((1.0, 0.0), 2.0)]),
+    ]
+    assert estimate_gradients_batch(tasks) == [None, None]
+
+
+def test_collinear_positions_are_none_and_fallback_covers_them():
+    # All samples on one line: V^T V is rank deficient, the regression
+    # cannot define a plane, and the protocol falls back to the two-point
+    # direction instead.
+    center, cv = (2.0, 3.0), 9.0
+    nbrs = [((2.0 + t, 3.0 + 2.0 * t), 9.0 - t) for t in (0.5, 1.0, 1.5, 2.0)]
+    task = (center, cv, nbrs)
+    assert estimate_gradient(*task) is None
+    assert estimate_gradients_batch([task]) == [None]
+
+    d = fallback_direction(center, cv, nbrs[0][0], nbrs[0][1])
+    assert d is not None
+    assert math.hypot(d[0], d[1]) == pytest.approx(1.0)
+    # Descent: points from the higher value (centre) towards the lower.
+    assert d[0] > 0 and d[1] > 0
+
+
+def test_flat_plane_is_none():
+    rng = random.Random(1)
+    center = (5.0, 5.0)
+    nbrs = [((5 + rng.uniform(-1, 1), 5 + rng.uniform(-1, 1)), 7.0) for _ in range(6)]
+    task = (center, 7.0, nbrs)
+    assert estimate_gradient(*task) is None
+    assert estimate_gradients_batch([task]) == [None]
+
+
+def test_mixed_batch_keeps_rows_aligned():
+    rng = random.Random(13)
+    tasks = []
+    for k in range(120):
+        if k % 4 == 0:
+            tasks.append(((1.0, 1.0), 5.0, []))  # m < 3
+        elif k % 4 == 1:
+            tasks.append(
+                ((0.0, 0.0), 3.0, [((t, t), 3.0 - t) for t in (1.0, 2.0, 3.0)])
+            )  # collinear
+        else:
+            tasks.append(_random_task(rng, rng.randint(3, 9)))
+    assert_batch_matches_scalar(tasks)
+    batch = estimate_gradients_batch(tasks)
+    assert batch[0] is None and batch[1] is None and batch[2] is not None
+
+
+def test_ops_charge_matches_sample_count():
+    rng = random.Random(99)
+    tasks = [_random_task(rng, d) for d in (2, 5, 11)]
+    for got, task in zip(estimate_gradients_batch(tasks), tasks):
+        want = estimate_gradient(*task)
+        assert (got is None) == (want is None)
+        if want is not None:
+            assert got.sample_count == len(task[2]) + 1
+            assert got.ops == want.ops
+
+
+finite = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.tuples(finite, finite),
+            finite,
+            st.lists(st.tuples(st.tuples(finite, finite), finite), max_size=8),
+        ),
+        max_size=12,
+    )
+)
+def test_property_batch_equals_scalar(tasks):
+    batch = estimate_gradients_batch(tasks)
+    for got, task in zip(batch, tasks):
+        want = estimate_gradient(*task)
+        if want is None:
+            assert got is None
+        else:
+            assert got.ops == want.ops
+            assert got.sample_count == want.sample_count
+            for g, w in zip(got.direction, want.direction):
+                assert g == pytest.approx(w, abs=1e-9)
+            for g, w in zip(got.coefficients, want.coefficients):
+                assert g == w

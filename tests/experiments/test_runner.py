@@ -1,0 +1,152 @@
+"""Tests for the parallel sweep runner.
+
+The load-bearing property is determinism: a sweep must produce
+byte-identical tables at any ``jobs`` count, because each point derives
+all randomness from the explicit seed in its kwargs and results come
+back in submission order.  The cache must be a pure memo -- hits skip
+computation, corrupt entries fall back to recomputation, and keys depend
+only on (function identity, kwargs).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.fig14_traffic import run_fig14a
+from repro.experiments.runner import (
+    SweepPoint,
+    grid_points,
+    group_by_config,
+    run_sweep,
+    seed_mean,
+)
+
+
+def square_point(x, seed):
+    """Deterministic toy point function (top-level: picklable)."""
+    return {"sq": float(x * x), "seed": seed}
+
+
+# ----------------------------------------------------------------------
+# Grid helpers
+# ----------------------------------------------------------------------
+
+
+def test_grid_points_is_config_major_seed_minor():
+    pts = grid_points(square_point, [{"x": 1}, {"x": 2}], seeds=(7, 8))
+    assert [p.kwargs for p in pts] == [
+        {"x": 1, "seed": 7},
+        {"x": 1, "seed": 8},
+        {"x": 2, "seed": 7},
+        {"x": 2, "seed": 8},
+    ]
+    assert all(p.fn is square_point for p in pts)
+
+
+def test_group_by_config_round_trips_the_grid():
+    results = [{"v": k} for k in range(6)]
+    assert group_by_config(results, 3) == [
+        [{"v": 0}, {"v": 1}, {"v": 2}],
+        [{"v": 3}, {"v": 4}, {"v": 5}],
+    ]
+    with pytest.raises(ValueError):
+        group_by_config(results, 4)
+    with pytest.raises(ValueError):
+        group_by_config(results, 0)
+
+
+def test_seed_mean_matches_serial_sum_order():
+    group = [{"a": 0.1}, {"a": 0.2}, {"a": 0.3}]
+    # Identical arithmetic to the serial drivers: left-to-right sum / k.
+    assert seed_mean(group, "a") == (0.1 + 0.2 + 0.3) / 3
+
+
+def test_cache_key_depends_on_fn_and_kwargs_only():
+    a = SweepPoint(square_point, {"x": 1, "seed": 7})
+    b = SweepPoint(square_point, {"seed": 7, "x": 1})  # key order irrelevant
+    c = SweepPoint(square_point, {"x": 2, "seed": 7})
+    assert a.cache_key() == b.cache_key()
+    assert a.cache_key() != c.cache_key()
+    assert len(a.cache_key()) == 64
+
+
+# ----------------------------------------------------------------------
+# run_sweep
+# ----------------------------------------------------------------------
+
+
+def test_run_sweep_preserves_submission_order():
+    pts = grid_points(square_point, [{"x": x} for x in (3, 1, 2)], seeds=(0,))
+    assert [r["sq"] for r in run_sweep(pts)] == [9.0, 1.0, 4.0]
+
+
+def test_run_sweep_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        run_sweep([], jobs=0)
+
+
+def test_run_sweep_parallel_matches_serial_on_toy_grid():
+    pts = grid_points(square_point, [{"x": x} for x in range(8)], seeds=(1, 2))
+    assert run_sweep(pts, jobs=1) == run_sweep(pts, jobs=4)
+
+
+def test_cache_hit_skips_computation(tmp_path):
+    cache = str(tmp_path)
+    pts = [SweepPoint(square_point, {"x": 5, "seed": 1})]
+    first = run_sweep(pts, jobs=1, cache_dir=cache)
+    assert first == [{"sq": 25.0, "seed": 1}]
+    entries = [e for e in os.listdir(cache) if e.endswith(".json")]
+    assert len(entries) == 1
+
+    # Tamper with the stored result: if the second run returns the
+    # tampered value, it came from the cache, not from recomputation.
+    path = os.path.join(cache, entries[0])
+    entry = json.load(open(path))
+    assert entry["fn"].endswith("square_point")
+    assert entry["kwargs"] == {"x": 5, "seed": 1}
+    entry["result"]["sq"] = -1.0
+    json.dump(entry, open(path, "w"))
+    assert run_sweep(pts, jobs=1, cache_dir=cache) == [{"sq": -1.0, "seed": 1}]
+
+
+def test_corrupt_cache_entry_is_recomputed(tmp_path):
+    cache = str(tmp_path)
+    pts = [SweepPoint(square_point, {"x": 3, "seed": 1})]
+    run_sweep(pts, cache_dir=cache)
+    (entry,) = [e for e in os.listdir(cache) if e.endswith(".json")]
+    with open(os.path.join(cache, entry), "w") as f:
+        f.write("not json{")
+    assert run_sweep(pts, cache_dir=cache) == [{"sq": 9.0, "seed": 1}]
+
+
+def test_partial_cache_computes_only_missing_points(tmp_path):
+    cache = str(tmp_path)
+    warm = grid_points(square_point, [{"x": 1}], seeds=(1, 2))
+    run_sweep(warm, cache_dir=cache)
+    full = grid_points(square_point, [{"x": 1}, {"x": 2}], seeds=(1, 2))
+    out = run_sweep(full, jobs=2, cache_dir=cache)
+    assert [r["sq"] for r in out] == [1.0, 1.0, 4.0, 4.0]
+    assert len(os.listdir(cache)) == 4
+
+
+# ----------------------------------------------------------------------
+# End-to-end determinism on a real figure sweep
+# ----------------------------------------------------------------------
+
+
+def test_fig14a_rows_identical_at_any_job_count():
+    # The satellite claim of the PR: --jobs 1 and --jobs 4 produce the
+    # exact same table rows (floats included) on a real figure sweep.
+    serial = run_fig14a(sides=(15,), seeds=(1, 2), jobs=1)
+    parallel = run_fig14a(sides=(15,), seeds=(1, 2), jobs=4)
+    assert serial.rows == parallel.rows
+    assert serial.to_csv() == parallel.to_csv()
+
+
+def test_fig14a_cache_round_trip(tmp_path):
+    cache = str(tmp_path)
+    first = run_fig14a(sides=(15,), seeds=(1,), jobs=1, cache_dir=cache)
+    again = run_fig14a(sides=(15,), seeds=(1,), jobs=1, cache_dir=cache)
+    assert first.rows == again.rows
+    assert len(os.listdir(cache)) == 1

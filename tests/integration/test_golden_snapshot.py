@@ -1,0 +1,87 @@
+"""Golden-snapshot regression test for the full Iso-Map pipeline.
+
+``golden/isomap_n2500_seed1.json`` was captured from the pre-vectorization
+implementation at the paper's main operating point (2500 nodes, harbor
+field, seed 1).  Every delivered report is stored as ``float.hex`` strings
+and the per-node cost arrays as SHA-256 digests, so this test proves the
+vectorized kernels changed *nothing* observable: not one report float,
+not one charged op, not one byte of counted traffic.
+
+If a future change legitimately alters the output, regenerate the file
+with ``snapshot_run()`` below -- but treat any diff as a red flag first:
+the whole point of the vectorization was bit-compatibility.
+"""
+
+import hashlib
+import json
+import pathlib
+
+from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
+from repro.field import make_harbor_field
+from repro.network import SensorNetwork
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "isomap_n2500_seed1.json"
+
+
+def _report_dict(report):
+    return {
+        "direction": [float.hex(report.direction[0]), float.hex(report.direction[1])],
+        "isolevel": float.hex(report.isolevel),
+        "position": [float.hex(report.position[0]), float.hex(report.position[1])],
+        "source": report.source,
+    }
+
+
+def _sha(array):
+    return hashlib.sha256(array.tobytes()).hexdigest()
+
+
+def snapshot_run(config):
+    """Re-run the pipeline for ``config`` and serialise it golden-style."""
+    field = make_harbor_field()
+    network = SensorNetwork.random_deploy(field, config["n"], seed=config["seed"])
+    query = ContourQuery(*config["query"])
+    result = IsoMapProtocol(query, FilterConfig(*config["filter"])).run(network)
+    costs = result.costs
+    return {
+        "config": config,
+        "costs": {
+            "ops_sha256": _sha(costs.ops),
+            "ops_total": int(costs.ops.sum()),
+            "reports_delivered": costs.reports_delivered,
+            "reports_generated": costs.reports_generated,
+            "rx_sha256": _sha(costs.rx_bytes),
+            "rx_total": int(costs.rx_bytes.sum()),
+            "tx_sha256": _sha(costs.tx_bytes),
+            "tx_total": int(costs.tx_bytes.sum()),
+        },
+        "delivered_reports": [_report_dict(r) for r in result.delivered_reports],
+        "dropped_by_filter": result.dropped_by_filter,
+        "generated_reports": len(result.generated_reports),
+    }
+
+
+def test_pipeline_matches_golden_snapshot():
+    golden = json.loads(GOLDEN.read_text())
+    fresh = snapshot_run(golden["config"])
+
+    # Compare piecewise for a readable failure before the full-dict check.
+    assert fresh["costs"] == golden["costs"]
+    assert fresh["generated_reports"] == golden["generated_reports"]
+    assert fresh["dropped_by_filter"] == golden["dropped_by_filter"]
+    assert len(fresh["delivered_reports"]) == len(golden["delivered_reports"])
+    for k, (got, want) in enumerate(
+        zip(fresh["delivered_reports"], golden["delivered_reports"])
+    ):
+        assert got == want, f"delivered report {k} diverged"
+    assert fresh == golden
+
+
+def test_golden_file_sanity():
+    golden = json.loads(GOLDEN.read_text())
+    assert golden["config"]["n"] == 2500
+    assert golden["config"]["field"] == "harbor-default"
+    assert golden["generated_reports"] >= len(golden["delivered_reports"]) > 0
+    for key in ("ops", "tx", "rx"):
+        assert len(golden["costs"][f"{key}_sha256"]) == 64
+        assert golden["costs"][f"{key}_total"] > 0
