@@ -20,6 +20,7 @@ from repro.field.contours import band_of, extract_isolines
 from repro.field.grid_field import SampledGridField
 from repro.geometry import BoundingBox, Vec
 from repro.network import CostAccountant, SensorNetwork
+from repro.network.transport import DegradationReport, EpochTransport
 
 
 @dataclass
@@ -32,12 +33,15 @@ class ProtocolRun:
             and ``isolines(level)``.
         costs: the per-node cost counters.
         reports_delivered: application reports that reached the sink.
+        degradation: the collection transport's account of this epoch
+            (None only for code paths that predate the transport).
     """
 
     name: str
     band_map: "NearestReportBandMap"
     costs: CostAccountant
     reports_delivered: int
+    degradation: Optional[DegradationReport] = None
 
 
 class NearestReportBandMap:
@@ -146,25 +150,50 @@ def forward_reports_to_sink(
     report_bytes: int,
     costs: CostAccountant,
     ops_per_forward: int = 1,
+    transport: Optional[EpochTransport] = None,
 ) -> List[int]:
-    """Hop-by-hop store-and-forward of one report per source node.
+    """Store-and-forward of one report per source node over the transport.
 
     Charges tx/rx on every hop and ``ops_per_forward`` at every relay (the
     minimal store-and-forward bookkeeping that makes TinyDB the paper's
-    per-node computation lower bound).  Returns the sources whose report
-    reached the sink (all routed sources, under the perfect link layer).
+    per-node computation lower bound).  The walk is the TAG bottom-up
+    schedule, which charges exactly what the per-source path walk charged
+    under a perfect link layer; under a fault plan the transport's
+    ARQ/CRC/dedup/re-parenting defenses apply.  Returns the sources whose
+    report reached the sink, in ``sources`` order.
     """
-    delivered: List[int] = []
     tree = network.tree
+    if transport is None:
+        transport = EpochTransport(network, costs)
+    outbox: dict = {}
+    delivered: set = set()
     for s in sources:
         if tree.level[s] is None:
             continue
-        path = tree.path_to_sink(s)
-        for u, v in zip(path[:-1], path[1:]):
-            costs.charge_hop(u, v, report_bytes)
-            costs.charge_ops(u, ops_per_forward)
-        delivered.append(s)
-    return delivered
+        rid = transport.register()
+        if s == tree.sink:
+            # The sink's own reading needs no transmission.
+            if transport.deliver_at_sink(rid):
+                delivered.add(s)
+            continue
+        outbox.setdefault(s, []).append((s, rid))
+    for hop in transport.walk():
+        items = outbox.pop(hop.node, [])
+        if hop.parent is None:
+            transport.strand([rid for _, rid in items], hop.reason)
+            continue
+        for src, rid in items:
+            costs.charge_ops(hop.node, ops_per_forward)
+            outcome = transport.send(
+                hop.node, hop.parent, report_bytes, rids=(rid,), payload=src
+            )
+            for arrived, _is_dup in outcome.arrivals:
+                if hop.parent == tree.sink:
+                    if transport.deliver_at_sink(rid):
+                        delivered.add(src)
+                else:
+                    outbox.setdefault(hop.parent, []).append((arrived, rid))
+    return [s for s in sources if s in delivered]
 
 
 def disseminate_query(network: SensorNetwork, query_bytes: int, costs: CostAccountant) -> None:

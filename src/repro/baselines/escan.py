@@ -27,6 +27,10 @@ from repro.baselines.base import (
 from repro.core.wire import BYTES_PER_PARAM, QUERY_BYTES
 from repro.geometry import Vec, dist_sq
 from repro.network import CostAccountant, SensorNetwork
+from repro.network.faults import FaultPlan
+from repro.network.transport import EpochTransport, TransportConfig
+
+from typing import Optional
 
 #: Maximum coverage points serialised per tuple.
 MAX_WIRE_POINTS = 10
@@ -47,12 +51,14 @@ class ScanTuple:
         vmin, vmax: the VALUE interval.
         points: retained coverage positions.
         size: true member count.
+        rids: transport tracking ids of the aggregated member reports.
     """
 
     vmin: float
     vmax: float
     points: List[Vec] = field(default_factory=list)
     size: int = 1
+    rids: List[int] = field(default_factory=list)
 
     def wire_bytes(self) -> int:
         k = min(len(self.points), MAX_WIRE_POINTS)
@@ -67,8 +73,19 @@ class ScanTuple:
         self.vmax = max(self.vmax, other.vmax)
         self.points.extend(other.points)
         self.size += other.size
+        self.rids.extend(other.rids)
         if len(self.points) > MAX_KEPT_POINTS:
             self.points = self.points[::2][:MAX_KEPT_POINTS]
+
+    def clone(self) -> "ScanTuple":
+        """Independent copy (a duplicated frame's second arrival)."""
+        return ScanTuple(
+            vmin=self.vmin,
+            vmax=self.vmax,
+            points=list(self.points),
+            size=self.size,
+            rids=list(self.rids),
+        )
 
 
 class EScanProtocol:
@@ -83,42 +100,72 @@ class EScanProtocol:
 
     name = "escan"
 
-    def __init__(self, levels: Sequence[float], value_tolerance: float = None):
+    def __init__(
+        self,
+        levels: Sequence[float],
+        value_tolerance: float = None,
+        fault_plan: Optional[FaultPlan] = None,
+        transport_config: Optional[TransportConfig] = None,
+    ):
         if not levels:
             raise ValueError("need at least one isolevel")
         self.levels = sorted(levels)
         if value_tolerance is None and len(self.levels) >= 2:
             value_tolerance = self.levels[1] - self.levels[0]
         self.value_tolerance = value_tolerance if value_tolerance else 1.0
+        self.fault_plan = fault_plan
+        self.transport_config = transport_config
 
     def run(self, network: SensorNetwork) -> ProtocolRun:
         costs = CostAccountant(network.n_nodes)
         disseminate_query(network, QUERY_BYTES, costs)
         adjacency_sq = (2.0 * network.radio_range) ** 2
+        transport = EpochTransport(
+            network, costs, config=self.transport_config, plan=self.fault_plan
+        )
 
         buffers: Dict[int, List[ScanTuple]] = {}
         generated = 0
         for node in network.nodes:
             if node.can_sense and node.level is not None:
                 buffers[node.node_id] = [
-                    ScanTuple(node.value, node.value, [node.position], 1)
+                    ScanTuple(
+                        node.value,
+                        node.value,
+                        [node.position],
+                        1,
+                        rids=[transport.register()],
+                    )
                 ]
                 generated += 1
 
         tree = network.tree
-        for u in tree.subtree_order_bottom_up():
-            if u == tree.sink:
+        for hop in transport.walk():
+            outgoing = buffers.pop(hop.node, [])
+            if hop.parent is None:
+                for tup in outgoing:
+                    transport.strand(tup.rids, hop.reason)
                 continue
-            parent = tree.parent[u]
-            if parent is None:
-                continue
-            for tup in buffers.get(u, []):
-                costs.charge_hop(u, parent, tup.wire_bytes())
-            parent_buffer = buffers.setdefault(parent, [])
-            for tup in buffers.get(u, []):
-                self._absorb(parent_buffer, tup, parent, adjacency_sq, costs)
+            parent_buffer = buffers.setdefault(hop.parent, [])
+            for tup in outgoing:
+                outcome = transport.send(
+                    hop.node,
+                    hop.parent,
+                    tup.wire_bytes(),
+                    rids=tup.rids,
+                    payload=tup,
+                )
+                for arrived, is_dup in outcome.arrivals:
+                    instance = arrived.clone() if is_dup else arrived
+                    self._absorb(
+                        parent_buffer, instance, hop.parent, adjacency_sq, costs
+                    )
 
         final_tuples = buffers.get(tree.sink, [])
+        for tup in final_tuples:
+            for rid in tup.rids:
+                transport.deliver_at_sink(rid)
+        degradation = transport.finalize()
         costs.reports_generated = generated
         costs.reports_delivered = len(final_tuples)
 
@@ -136,6 +183,7 @@ class EScanProtocol:
             band_map=band_map,
             costs=costs,
             reports_delivered=len(final_tuples),
+            degradation=degradation,
         )
 
     def _absorb(

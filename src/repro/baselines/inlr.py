@@ -32,6 +32,10 @@ from repro.core.wire import BYTES_PER_PARAM, QUERY_BYTES
 from repro.field.contours import band_of
 from repro.geometry import Vec, dist_sq
 from repro.network import CostAccountant, SensorNetwork
+from repro.network.faults import FaultPlan
+from repro.network.transport import EpochTransport, TransportConfig
+
+from typing import Optional
 
 #: Maximum boundary points serialised per region report.
 MAX_WIRE_POINTS = 10
@@ -57,12 +61,15 @@ class Region:
         values: the corresponding readings.
         size: TRUE member count (used for cost accounting even when the
             retained point list is subsampled).
+        rids: transport tracking ids of the member reports aggregated in
+            (empty when the run has no transport bookkeeping).
     """
 
     band: int
     points: List[Vec] = field(default_factory=list)
     values: List[float] = field(default_factory=list)
     size: int = 1
+    rids: List[int] = field(default_factory=list)
 
     @property
     def mean_value(self) -> float:
@@ -76,10 +83,21 @@ class Region:
         self.points.extend(other.points)
         self.values.extend(other.values)
         self.size += other.size
+        self.rids.extend(other.rids)
         if len(self.points) > MAX_KEPT_POINTS:
             # Deterministic thinning: keep every other point.
             self.points = self.points[::2][:MAX_KEPT_POINTS]
             self.values = self.values[::2][:MAX_KEPT_POINTS]
+
+    def clone(self) -> "Region":
+        """Independent copy (a duplicated frame's second arrival)."""
+        return Region(
+            band=self.band,
+            points=list(self.points),
+            values=list(self.values),
+            size=self.size,
+            rids=list(self.rids),
+        )
 
 
 class INLRProtocol:
@@ -94,11 +112,19 @@ class INLRProtocol:
 
     name = "inlr"
 
-    def __init__(self, levels: Sequence[float], adjacency_range: float = None):
+    def __init__(
+        self,
+        levels: Sequence[float],
+        adjacency_range: float = None,
+        fault_plan: Optional[FaultPlan] = None,
+        transport_config: Optional[TransportConfig] = None,
+    ):
         if not levels:
             raise ValueError("need at least one isolevel")
         self.levels = sorted(levels)
         self.adjacency_range = adjacency_range
+        self.fault_plan = fault_plan
+        self.transport_config = transport_config
 
     def run(self, network: SensorNetwork) -> ProtocolRun:
         costs = CostAccountant(network.n_nodes)
@@ -107,6 +133,9 @@ class INLRProtocol:
             self.adjacency_range
             if self.adjacency_range is not None
             else 2.0 * network.radio_range
+        )
+        transport = EpochTransport(
+            network, costs, config=self.transport_config, plan=self.fault_plan
         )
 
         # Per-node region buffers, filled bottom-up.
@@ -119,27 +148,40 @@ class INLRProtocol:
                     points=[node.position],
                     values=[node.value],
                     size=1,
+                    rids=[transport.register()],
                 )
                 buffers[node.node_id] = [region]
                 generated += 1
 
         tree = network.tree
-        for u in tree.subtree_order_bottom_up():
-            if u == tree.sink:
+        for hop in transport.walk():
+            outgoing = buffers.pop(hop.node, [])
+            if hop.parent is None:
+                for region in outgoing:
+                    transport.strand(region.rids, hop.reason)
                 continue
-            parent = tree.parent[u]
-            if parent is None:
-                continue
-            outgoing = buffers.get(u, [])
-            # Transmit the (already aggregated) region list to the parent.
+            # Transmit each (already aggregated) region to the parent,
+            # which merges the arrivals into its own buffer.
+            parent_buffer = buffers.setdefault(hop.parent, [])
             for region in outgoing:
-                costs.charge_hop(u, parent, region.wire_bytes())
-            # The parent merges them into its own buffer.
-            parent_buffer = buffers.setdefault(parent, [])
-            for region in outgoing:
-                self._absorb(parent_buffer, region, parent, adjacency, costs)
+                outcome = transport.send(
+                    hop.node,
+                    hop.parent,
+                    region.wire_bytes(),
+                    rids=region.rids,
+                    payload=region,
+                )
+                for arrived, is_dup in outcome.arrivals:
+                    instance = arrived.clone() if is_dup else arrived
+                    self._absorb(
+                        parent_buffer, instance, hop.parent, adjacency, costs
+                    )
 
         final_regions = buffers.get(tree.sink, [])
+        for region in final_regions:
+            for rid in region.rids:
+                transport.deliver_at_sink(rid)
+        degradation = transport.finalize()
         costs.reports_generated = generated
         costs.reports_delivered = len(final_regions)
 
@@ -149,6 +191,7 @@ class INLRProtocol:
             band_map=band_map,
             costs=costs,
             reports_delivered=len(final_regions),
+            degradation=degradation,
         )
 
     # ------------------------------------------------------------------

@@ -28,13 +28,15 @@ implies but never runs.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.baselines.base import NearestReportBandMap, ProtocolRun, disseminate_query
 from repro.core.query import ContourQuery
 from repro.core.wire import BYTES_PER_PARAM, LOCAL_QUERY_BYTES, QUERY_BYTES, VALUE_REPORT_BYTES
 from repro.geometry import Vec, dist_sq
 from repro.network import CostAccountant, SensorNetwork
+from repro.network.faults import FaultPlan
+from repro.network.transport import EpochTransport, TransportConfig
 
 #: A value-only probe reply (the neighbour's reading).
 VALUE_REPLY_BYTES = 1 * BYTES_PER_PARAM
@@ -58,18 +60,30 @@ class IsolineAggregationProtocol:
 
     name = "isoline-agg"
 
-    def __init__(self, query: ContourQuery, distance_separation: float = 4.0):
+    def __init__(
+        self,
+        query: ContourQuery,
+        distance_separation: float = 4.0,
+        fault_plan: Optional[FaultPlan] = None,
+        transport_config: Optional[TransportConfig] = None,
+    ):
         if distance_separation < 0:
             raise ValueError("distance separation must be non-negative")
         self.query = query
         self.distance_separation = distance_separation
+        self.fault_plan = fault_plan
+        self.transport_config = transport_config
 
     def run(self, network: SensorNetwork) -> ProtocolRun:
         costs = CostAccountant(network.n_nodes)
         disseminate_query(network, QUERY_BYTES, costs)
 
         isoline_nodes = self._detect(network, costs)
-        delivered = self._collect(network, isoline_nodes, costs)
+        transport = EpochTransport(
+            network, costs, config=self.transport_config, plan=self.fault_plan
+        )
+        delivered = self._collect(network, isoline_nodes, costs, transport)
+        degradation = transport.finalize()
         costs.reports_generated = len(isoline_nodes)
         costs.reports_delivered = len(delivered)
 
@@ -84,6 +98,7 @@ class IsolineAggregationProtocol:
             band_map=band_map,
             costs=costs,
             reports_delivered=len(delivered),
+            degradation=degradation,
         )
 
     # ------------------------------------------------------------------
@@ -124,13 +139,14 @@ class IsolineAggregationProtocol:
         network: SensorNetwork,
         isoline_nodes: Dict[int, float],
         costs: CostAccountant,
+        transport: EpochTransport,
     ) -> List[int]:
         """Tree collection with distance-only in-network thinning."""
         tree = network.tree
         sd2 = self.distance_separation**2
         # Per-node kept positions per level (the thinning state).
         kept: Dict[int, Dict[float, List[Vec]]] = {}
-        outbox: Dict[int, List[int]] = {}
+        outbox: Dict[int, List[tuple]] = {}
         delivered: List[int] = []
 
         def offer(holder: int, source: int, level: float) -> bool:
@@ -144,19 +160,30 @@ class IsolineAggregationProtocol:
             return True
 
         for source, level in isoline_nodes.items():
+            rid = transport.register(group=level)
             if offer(source, source, level):
-                outbox.setdefault(source, []).append(source)
+                outbox.setdefault(source, []).append((source, rid))
+            else:
+                transport.mark_filtered(rid)
 
-        for u in tree.subtree_order_bottom_up():
-            if u == tree.sink:
+        for hop in transport.walk():
+            u = hop.node
+            if hop.parent is None:
+                transport.strand(
+                    [rid for _, rid in outbox.pop(u, [])], hop.reason
+                )
                 continue
-            parent = tree.parent[u]
-            if parent is None:
-                continue
-            for source in outbox.get(u, ()):
-                costs.charge_hop(u, parent, VALUE_REPORT_BYTES)
-                if parent == tree.sink:
-                    delivered.append(source)
-                elif offer(parent, source, isoline_nodes[source]):
-                    outbox.setdefault(parent, []).append(source)
+            parent = hop.parent
+            for source, rid in outbox.get(u, ()):
+                outcome = transport.send(
+                    u, parent, VALUE_REPORT_BYTES, rids=(rid,), payload=source
+                )
+                for arrived, _is_dup in outcome.arrivals:
+                    if parent == tree.sink:
+                        if transport.deliver_at_sink(rid):
+                            delivered.append(arrived)
+                    elif offer(parent, arrived, isoline_nodes[arrived]):
+                        outbox.setdefault(parent, []).append((arrived, rid))
+                    else:
+                        transport.mark_filtered(rid)
         return delivered

@@ -17,7 +17,7 @@ interpolation and smoothing.
 
 from __future__ import annotations
 
-from typing import Sequence, Set
+from typing import Optional, Sequence, Set
 
 from repro.baselines.base import (
     NearestReportBandMap,
@@ -27,6 +27,8 @@ from repro.baselines.base import (
 )
 from repro.core.wire import QUERY_BYTES, VALUE_REPORT_BYTES
 from repro.network import CostAccountant, SensorNetwork
+from repro.network.faults import FaultPlan
+from repro.network.transport import EpochTransport, TransportConfig
 
 #: Ops per similarity comparison against a candidate representative.
 OPS_PER_COMPARISON = 2
@@ -44,9 +46,17 @@ class DataSuppressionProtocol:
 
     name = "suppression"
 
-    def __init__(self, levels: Sequence[float], similarity: float = None):
+    def __init__(
+        self,
+        levels: Sequence[float],
+        similarity: float = None,
+        fault_plan: Optional[FaultPlan] = None,
+        transport_config: Optional[TransportConfig] = None,
+    ):
         if not levels:
             raise ValueError("need at least one isolevel")
+        self.fault_plan = fault_plan
+        self.transport_config = transport_config
         self.levels = sorted(levels)
         if similarity is None:
             similarity = (
@@ -63,9 +73,17 @@ class DataSuppressionProtocol:
         disseminate_query(network, QUERY_BYTES, costs)
 
         representatives = self._elect_representatives(network, costs)
-        delivered = forward_reports_to_sink(
-            network, sorted(representatives), VALUE_REPORT_BYTES, costs
+        transport = EpochTransport(
+            network, costs, config=self.transport_config, plan=self.fault_plan
         )
+        delivered = forward_reports_to_sink(
+            network,
+            sorted(representatives),
+            VALUE_REPORT_BYTES,
+            costs,
+            transport=transport,
+        )
+        degradation = transport.finalize()
         costs.reports_generated = len(representatives)
         costs.reports_delivered = len(delivered)
 
@@ -80,6 +98,7 @@ class DataSuppressionProtocol:
             band_map=band_map,
             costs=costs,
             reports_delivered=len(delivered),
+            degradation=degradation,
         )
 
     def _elect_representatives(

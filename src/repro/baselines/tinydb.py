@@ -15,7 +15,7 @@ Report size: on a grid deployment a reading addresses its cell
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.baselines.base import (
     NearestReportBandMap,
@@ -25,6 +25,8 @@ from repro.baselines.base import (
 )
 from repro.core.wire import GRID_REPORT_BYTES, QUERY_BYTES, VALUE_REPORT_BYTES
 from repro.network import CostAccountant, SensorNetwork
+from repro.network.faults import FaultPlan
+from repro.network.transport import EpochTransport, TransportConfig
 
 
 class TinyDBProtocol:
@@ -34,15 +36,25 @@ class TinyDBProtocol:
         levels: the isolevels of the requested contour map.
         grid_addressing: use the 2-parameter grid report format (set True
             when the network uses TinyDB's native grid deployment).
+        fault_plan: optional faults applied during the collection epoch.
+        transport_config: collection-transport defense knobs.
     """
 
     name = "tinydb"
 
-    def __init__(self, levels: Sequence[float], grid_addressing: bool = True):
+    def __init__(
+        self,
+        levels: Sequence[float],
+        grid_addressing: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        transport_config: Optional[TransportConfig] = None,
+    ):
         if not levels:
             raise ValueError("need at least one isolevel")
         self.levels = sorted(levels)
         self.grid_addressing = grid_addressing
+        self.fault_plan = fault_plan
+        self.transport_config = transport_config
 
     @property
     def report_bytes(self) -> int:
@@ -58,9 +70,13 @@ class TinyDBProtocol:
             for node in network.nodes
             if node.can_sense and node.level is not None
         ]
-        delivered = forward_reports_to_sink(
-            network, sources, self.report_bytes, costs
+        transport = EpochTransport(
+            network, costs, config=self.transport_config, plan=self.fault_plan
         )
+        delivered = forward_reports_to_sink(
+            network, sources, self.report_bytes, costs, transport=transport
+        )
+        degradation = transport.finalize()
         costs.reports_generated = len(sources)
         costs.reports_delivered = len(delivered)
 
@@ -75,4 +91,5 @@ class TinyDBProtocol:
             band_map=band_map,
             costs=costs,
             reports_delivered=len(delivered),
+            degradation=degradation,
         )

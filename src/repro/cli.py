@@ -40,6 +40,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         run_lossy_links,
     )
     from repro.experiments.fig07_gradient_error import run_fig07
+    from repro.experiments.fig_faults import run_fig_faults
     from repro.experiments.fig10_maps import run_fig10
     from repro.experiments.fig11_accuracy import run_fig11a, run_fig11b
     from repro.experiments.fig12_hausdorff import run_fig12a, run_fig12b
@@ -74,6 +75,9 @@ def _experiment_registry() -> Dict[str, Callable]:
         ),
         "fig15": lambda jobs, cache: run_fig15(seeds=(1,)),
         "fig16": lambda jobs, cache: run_fig16(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig_faults": lambda jobs, cache: run_fig_faults(
             seeds=(1,), jobs=jobs, cache_dir=cache
         ),
         "table1": lambda jobs, cache: run_table1(seeds=(1,)),

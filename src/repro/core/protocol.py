@@ -9,10 +9,10 @@ the point it is simulated.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.codec import ReportCodec
 from repro.core.contour_map import ContourMap, build_contour_map
 from repro.core.detection import DetectionResult, detect_isoline_nodes
 from repro.core.filtering import FilterConfig, InNetworkFilter
@@ -25,10 +25,47 @@ from repro.core.query import ContourQuery
 from repro.core.reports import IsolineReport
 from repro.core.wire import QUERY_BYTES
 from repro.network import CostAccountant, SensorNetwork
-from repro.network.links import LossyLinkModel, charge_lossy_hop
+from repro.network.faults import FaultEngine, FaultPlan
+from repro.network.links import LossyLinkModel
+from repro.network.transport import (
+    DegradationReport,
+    EpochTransport,
+    TransportConfig,
+)
 
 #: Ops charged for the two-point fallback direction estimate.
 OPS_FALLBACK = 6
+
+
+def make_report_mangler(query: ContourQuery, bounds):
+    """Receiver-side decoding of a corrupted isoline-report frame.
+
+    Without a CRC the receiver decodes whatever bits arrived: the frame
+    is re-encoded through the real :class:`ReportCodec`, the fault
+    engine flips bits in it, and the decode of the damaged frame is the
+    poisoned report that keeps flowing.  A mangled isolevel almost never
+    lands exactly on a query level after quantisation, so the receiver
+    files the report under the nearest level -- the misfiling a naive
+    stack commits.
+    """
+    levels = query.isolevels
+
+    def mangle(report: IsolineReport, engine: FaultEngine):
+        codec = ReportCodec.for_query(query, bounds)
+        damaged = engine.corrupt_payload(codec.encode(report))
+        try:
+            decoded = codec.decode(damaged, source=report.source)
+        except ValueError:  # pragma: no cover - sizes never change
+            return None
+        snapped = min(levels, key=lambda lv: abs(lv - decoded.isolevel))
+        return IsolineReport(
+            isolevel=snapped,
+            position=decoded.position,
+            direction=decoded.direction,
+            source=decoded.source,
+        )
+
+    return mangle
 
 
 @dataclass
@@ -42,6 +79,9 @@ class IsoMapResult:
         generated_reports: reports created at isoline nodes.
         delivered_reports: reports that reached the sink after filtering.
         dropped_by_filter: reports discarded by in-network filtering.
+        degradation: the collection transport's account of what was
+            delivered, lost, repaired and discarded -- how trustworthy
+            the map is (always present; trivially clean at zero faults).
     """
 
     contour_map: ContourMap
@@ -50,6 +90,7 @@ class IsoMapResult:
     generated_reports: List[IsolineReport] = field(default_factory=list)
     delivered_reports: List[IsolineReport] = field(default_factory=list)
     dropped_by_filter: int = 0
+    degradation: Optional[DegradationReport] = None
 
 
 class IsoMapProtocol:
@@ -70,6 +111,12 @@ class IsoMapProtocol:
             charged and exhausted reports are lost in transit.
         link_seed: seed for the link-loss randomness (kept separate from
             deployment randomness so runs stay reproducible).
+        fault_plan: optional :class:`FaultPlan` applied during collection
+            (mid-epoch crashes, burst loss, corruption, duplication);
+            mutually exclusive with ``link_model``.
+        transport_config: defense knobs of the collection transport;
+            defaults to every defense on (which charges nothing extra at
+            zero faults).
     """
 
     name = "iso-map"
@@ -82,6 +129,8 @@ class IsoMapProtocol:
         regression: str = "linear",
         link_model: Optional["LossyLinkModel"] = None,
         link_seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        transport_config: Optional[TransportConfig] = None,
     ):
         if regression not in ("linear", "quadratic"):
             raise ValueError(f"unknown regression model {regression!r}")
@@ -93,6 +142,8 @@ class IsoMapProtocol:
         self.regression = regression
         self.link_model = link_model
         self.link_seed = link_seed
+        self.fault_plan = fault_plan
+        self.transport_config = transport_config
 
     # ------------------------------------------------------------------
     # Public API
@@ -104,7 +155,17 @@ class IsoMapProtocol:
         self._disseminate_query(network, costs)
         detection = detect_isoline_nodes(network, self.query, costs)
         generated = self._generate_reports(network, detection, costs)
-        delivered, dropped = self._collect(network, generated, costs)
+        transport = EpochTransport(
+            network,
+            costs,
+            config=self.transport_config,
+            plan=self.fault_plan,
+            link_model=self.link_model,
+            link_seed=self.link_seed,
+            mangler=make_report_mangler(self.query, network.bounds),
+        )
+        delivered, dropped = self._collect(network, generated, costs, transport)
+        degradation = transport.finalize()
         costs.reports_generated = len(generated)
         costs.reports_delivered = len(delivered)
 
@@ -124,6 +185,7 @@ class IsoMapProtocol:
             generated_reports=generated,
             delivered_reports=delivered,
             dropped_by_filter=dropped,
+            degradation=degradation,
         )
 
     # ------------------------------------------------------------------
@@ -217,19 +279,21 @@ class IsoMapProtocol:
         network: SensorNetwork,
         reports: List[IsolineReport],
         costs: CostAccountant,
+        transport: EpochTransport,
     ):
         """Forward reports up the tree with per-node in-network filtering.
 
         Children transmit before their parents (the TAG epoch schedule),
         so by the time a node forwards, every report routed through it has
-        been offered to its filter.
+        been offered to its filter.  All hop traffic goes through the
+        fault-tolerant transport, which degenerates to the classic
+        perfect-link walk (byte-identical charges) under a null plan.
         """
         tree = network.tree
         filters: Dict[int, InNetworkFilter] = {}
-        outbox: Dict[int, List[IsolineReport]] = {}
+        outbox: Dict[int, List[Tuple[IsolineReport, int]]] = {}
         delivered: List[IsolineReport] = []
         dropped = 0
-        link_rng = random.Random(self.link_seed)
 
         def filter_at(node_id: int) -> InNetworkFilter:
             if node_id not in filters:
@@ -238,30 +302,34 @@ class IsoMapProtocol:
 
         # Each source offers its own report to its own filter first.
         for r in reports:
+            rid = transport.register(group=r.isolevel)
             if filter_at(r.source).offer(r, r.source, costs):
-                outbox.setdefault(r.source, []).append(r)
+                outbox.setdefault(r.source, []).append((r, rid))
             else:
                 dropped += 1  # duplicate position at the same node
+                transport.mark_filtered(rid)
 
-        for u in tree.subtree_order_bottom_up():
-            if u == tree.sink:
+        for hop in transport.walk():
+            u = hop.node
+            if hop.parent is None:
+                # Crashed mid-epoch or orphaned beyond local repair: the
+                # reports buffered here never leave.
+                transport.strand(
+                    [rid for _, rid in outbox.pop(u, [])], hop.reason
+                )
                 continue
-            parent = tree.parent[u]
-            if parent is None:
-                continue
-            for r in outbox.get(u, ()):
-                if self.link_model is not None:
-                    ok = charge_lossy_hop(
-                        self.link_model, u, parent, r.wire_bytes, costs, link_rng
-                    )
-                    if not ok:
-                        continue  # lost in transit after retries
-                else:
-                    costs.charge_hop(u, parent, r.wire_bytes)
-                if parent == tree.sink:
-                    delivered.append(r)
-                elif filter_at(parent).offer(r, parent, costs):
-                    outbox.setdefault(parent, []).append(r)
-                else:
-                    dropped += 1
+            parent = hop.parent
+            for r, rid in outbox.get(u, ()):
+                outcome = transport.send(
+                    u, parent, r.wire_bytes, rids=(rid,), payload=r
+                )
+                for arrived, _is_dup in outcome.arrivals:
+                    if parent == tree.sink:
+                        if transport.deliver_at_sink(rid):
+                            delivered.append(arrived)
+                    elif filter_at(parent).offer(arrived, parent, costs):
+                        outbox.setdefault(parent, []).append((arrived, rid))
+                    else:
+                        dropped += 1
+                        transport.mark_filtered(rid)
         return delivered, dropped

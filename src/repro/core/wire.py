@@ -28,3 +28,59 @@ LOCAL_QUERY_BYTES = 1 * BYTES_PER_PARAM
 
 #: A neighbour's (value, x, y) answer to a local probe.
 LOCAL_REPLY_BYTES = 3 * BYTES_PER_PARAM
+
+# ----------------------------------------------------------------------
+# Fault-tolerant transport framing (repro.network.transport)
+# ----------------------------------------------------------------------
+#
+# Frames carry a CRC-16 trailer and a per-source sequence number.  Both
+# ride inside the per-hop framing the paper's 2-byte-per-parameter
+# budget already implies (preambles, addresses and checksums are part of
+# any real MAC frame), so they add no *extra* charged bytes: the
+# transport charges only work that would not happen on a perfect link --
+# retransmitted frames, duplicate frames, backoff listen windows, and
+# tree-repair messages.
+
+#: CRC-16/CCITT-FALSE trailer protecting an encoded report frame.
+FRAME_CRC_BYTES = 2
+
+#: An orphaned node's local probe asking alive neighbours for their
+#: tree level (one parameter).
+REPAIR_PROBE_BYTES = 1 * BYTES_PER_PARAM
+
+#: A neighbour's (level) answer to a repair probe.
+REPAIR_REPLY_BYTES = 1 * BYTES_PER_PARAM
+
+#: The join message an orphan unicasts to its adopted parent.
+REPAIR_JOIN_BYTES = 1 * BYTES_PER_PARAM
+
+
+def crc16(payload: bytes, init: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE over ``payload`` (poly 0x1021, MSB-first).
+
+    Pure-python bitwise implementation -- frames are 8 bytes, so table
+    lookups would buy nothing.
+    """
+    crc = init
+    for byte in payload:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def frame_with_crc(payload: bytes) -> bytes:
+    """Append the big-endian CRC-16 trailer to an encoded frame."""
+    c = crc16(payload)
+    return payload + bytes((c >> 8, c & 0xFF))
+
+
+def check_crc(frame: bytes) -> bool:
+    """True when ``frame`` (payload + 2-byte trailer) passes the CRC."""
+    if len(frame) < FRAME_CRC_BYTES:
+        return False
+    payload, trailer = frame[:-FRAME_CRC_BYTES], frame[-FRAME_CRC_BYTES:]
+    return crc16(payload) == (trailer[0] << 8 | trailer[1])

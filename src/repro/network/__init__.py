@@ -13,6 +13,9 @@ operations.
 - :mod:`repro.network.routing_tree` -- BFS spanning tree and levels.
 - :mod:`repro.network.accounting` -- per-node traffic/computation counters.
 - :mod:`repro.network.network` -- the :class:`SensorNetwork` facade.
+- :mod:`repro.network.faults` -- seeded mid-epoch fault injection.
+- :mod:`repro.network.transport` -- the fault-tolerant collection
+  transport shared by Iso-Map and every baseline.
 """
 
 from repro.network.node import SensorNode
@@ -28,6 +31,18 @@ from repro.network.topology import (
 from repro.network.routing_tree import RoutingTree, build_routing_tree
 from repro.network.accounting import CostAccountant
 from repro.network.network import SensorNetwork
+from repro.network.faults import (
+    BernoulliLink,
+    FaultEngine,
+    FaultEvent,
+    FaultPlan,
+    GilbertElliottLink,
+)
+from repro.network.transport import (
+    DegradationReport,
+    EpochTransport,
+    TransportConfig,
+)
 
 __all__ = [
     "SensorNode",
@@ -43,4 +58,12 @@ __all__ = [
     "build_routing_tree",
     "CostAccountant",
     "SensorNetwork",
+    "BernoulliLink",
+    "GilbertElliottLink",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultEngine",
+    "DegradationReport",
+    "EpochTransport",
+    "TransportConfig",
 ]

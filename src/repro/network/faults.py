@@ -1,0 +1,389 @@
+"""Deterministic, seeded fault injection for the collection phase.
+
+The paper assumes a perfect link layer and evaluates node failures only
+as a static pre-epoch ratio (Figs. 11b/12b).  This module models the
+regimes real deployments actually see -- and applies them *during* the
+collection epoch, riding the TAG slot structure of
+:mod:`repro.network.schedule` (one slot per tree level, deepest level
+first):
+
+- **mid-epoch node crashes and recoveries**, scheduled at a tree-level
+  slot: a node that crashes at slot ``s`` stops relaying before the
+  nodes of level ``s`` transmit, stranding any reports buffered in it;
+- **burst link loss** via a two-state Gilbert-Elliott chain per directed
+  link (alongside the existing i.i.d. Bernoulli model of
+  :mod:`repro.network.links`);
+- **payload corruption**: a delivered frame's bits are flipped, which a
+  CRC-checking receiver detects (and the sender retries) and a naive
+  receiver accepts as a poisoned report;
+- **packet duplication**: a delivered frame arrives twice (the classic
+  lost-ACK retransmission), which sequence numbers can suppress.
+
+Everything is driven by explicit :class:`random.Random` instances
+derived from the plan's single seed, with independent streams per
+concern (schedule, per-link loss, corruption, duplication), so a plan
+replays byte-identically regardless of which protocol runs under it --
+the property that makes Iso-Map-vs-baseline comparisons under faults
+apples-to-apples.  The engine never mutates the :class:`SensorNetwork`;
+crash state is kept internally so one deployment can be reused across
+protocol runs and seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.network.links import LossyLinkModel
+from repro.network.network import SensorNetwork
+
+
+@dataclass(frozen=True)
+class BernoulliLink:
+    """Memoryless per-attempt loss: each attempt delivers with fixed odds.
+
+    The stateful-interface twin of :class:`LossyLinkModel` (which bundles
+    the same distribution with an ARQ budget); the transport owns the
+    retry budget now, so the link model only answers "did this attempt
+    get through".
+    """
+
+    delivery_probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.delivery_probability <= 1.0:
+            raise ValueError("delivery probability must be in [0, 1]")
+
+    def initial_state(self, rng: random.Random) -> None:
+        return None
+
+    def step(self, state: None, rng: random.Random) -> None:
+        return None
+
+    def delivers(self, state: None, rng: random.Random) -> bool:
+        return rng.random() < self.delivery_probability
+
+    def average_delivery(self) -> float:
+        """Long-run per-attempt delivery probability (closed form)."""
+        return self.delivery_probability
+
+
+@dataclass(frozen=True)
+class GilbertElliottLink:
+    """Two-state burst-loss chain: a link is *good* or *bad* per attempt.
+
+    Attributes:
+        p_enter_bad: good -> bad transition probability per attempt.
+        p_exit_bad: bad -> good transition probability per attempt
+            (mean burst length = 1 / p_exit_bad attempts).
+        deliver_good: delivery probability while good.
+        deliver_bad: delivery probability while bad.
+    """
+
+    p_enter_bad: float = 0.15
+    p_exit_bad: float = 0.4
+    deliver_good: float = 1.0
+    deliver_bad: float = 0.7
+
+    def __post_init__(self) -> None:
+        for name in ("p_enter_bad", "p_exit_bad", "deliver_good", "deliver_bad"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.p_enter_bad + self.p_exit_bad <= 0.0:
+            raise ValueError("the chain must be able to move between states")
+
+    def steady_state_bad(self) -> float:
+        """Stationary probability of the bad state."""
+        return self.p_enter_bad / (self.p_enter_bad + self.p_exit_bad)
+
+    def initial_state(self, rng: random.Random) -> bool:
+        """Sample the stationary distribution (True = bad)."""
+        return rng.random() < self.steady_state_bad()
+
+    def step(self, bad: bool, rng: random.Random) -> bool:
+        if bad:
+            return not (rng.random() < self.p_exit_bad)
+        return rng.random() < self.p_enter_bad
+
+    def delivers(self, bad: bool, rng: random.Random) -> bool:
+        p = self.deliver_bad if bad else self.deliver_good
+        return rng.random() < p
+
+    def average_delivery(self) -> float:
+        """Long-run per-attempt delivery probability (closed form)."""
+        sb = self.steady_state_bad()
+        return (1.0 - sb) * self.deliver_good + sb * self.deliver_bad
+
+
+LinkFault = Union[BernoulliLink, GilbertElliottLink]
+
+#: Slot-scheduled node event kinds.
+CRASH = "crash"
+RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled node event.
+
+    Attributes:
+        slot: the tree-level slot at which the event fires.  Collection
+            proceeds deepest level first, so slot ``s`` fires *before*
+            the nodes of level ``s`` transmit; larger slots are earlier
+            in the epoch.
+        node: the affected node id (never the sink).
+        kind: :data:`CRASH` or :data:`RECOVER`.
+    """
+
+    slot: int
+    node: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in (CRASH, RECOVER):
+            raise ValueError(f"unknown fault event kind {self.kind!r}")
+        if self.slot < 0:
+            raise ValueError("event slot must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seeded description of one epoch's faults.
+
+    The plan stores *specifications* (ratios, link model, probabilities);
+    the :class:`FaultEngine` instantiates concrete events deterministically
+    from ``(seed, network)`` at run start, so the same plan object can be
+    applied to every protocol on the same deployment and each sees the
+    identical fault sequence.
+
+    Attributes:
+        seed: master seed; every stochastic stream derives from it.
+        crash_ratio: fraction of routed non-sink nodes that crash
+            mid-epoch, at a uniform-random tree-level slot.
+        recover_ratio: fraction of the mid-epoch crashers that recover at
+            a later (shallower) slot of the same epoch.
+        link: per-attempt link-loss model (None = lossless).
+        corruption: probability a delivered frame arrives bit-damaged.
+        duplication: probability a delivered frame arrives twice.
+        events: explicit extra events (tests and hand-written scenarios).
+    """
+
+    seed: int = 0
+    crash_ratio: float = 0.0
+    recover_ratio: float = 0.0
+    link: Optional[LinkFault] = None
+    corruption: float = 0.0
+    duplication: float = 0.0
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("crash_ratio", "recover_ratio", "corruption", "duplication"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.crash_ratio == 0.0
+            and self.link is None
+            and self.corruption == 0.0
+            and self.duplication == 0.0
+            and not self.events
+        )
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        """The zero-fault plan (perfect link layer, no events)."""
+        return FaultPlan()
+
+    @staticmethod
+    def at_intensity(intensity: float, seed: int = 0) -> "FaultPlan":
+        """The fig_faults sweep's one-knob family of plans.
+
+        ``intensity`` in [0, 1] scales every fault source together; 1.0
+        is the "moderate" operating point: 10% mid-epoch crashes (30% of
+        which recover), Gilbert-Elliott burst loss dropping 30% of
+        attempts in the bad state, 1% frame corruption and 1%
+        duplication.
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError("intensity must be in [0, 1]")
+        if intensity == 0.0:
+            return FaultPlan(seed=seed)
+        return FaultPlan(
+            seed=seed,
+            crash_ratio=0.10 * intensity,
+            recover_ratio=0.3,
+            link=GilbertElliottLink(
+                p_enter_bad=0.15,
+                p_exit_bad=0.4,
+                deliver_good=1.0,
+                deliver_bad=1.0 - 0.3 * intensity,
+            ),
+            corruption=0.01 * intensity,
+            duplication=0.01 * intensity,
+        )
+
+    @staticmethod
+    def moderate(seed: int = 0) -> "FaultPlan":
+        """The all-sources-on moderate plan (intensity 1.0)."""
+        return FaultPlan.at_intensity(1.0, seed=seed)
+
+
+class FaultEngine:
+    """Applies a :class:`FaultPlan` to one collection epoch.
+
+    Instantiated per protocol run.  Crash/recovery state is internal --
+    the engine never mutates the network's nodes -- and all randomness
+    flows from named streams derived from the plan seed:
+
+    - ``schedule``: which nodes crash/recover and at which slots;
+    - ``link|u|v``: one stream per directed link for loss sampling (so
+      the loss a link sees is independent of how many frames other links
+      carried);
+    - ``corrupt`` / ``dup``: frame corruption and duplication draws, in
+      walk order.
+    """
+
+    def __init__(self, plan: FaultPlan, network: SensorNetwork):
+        self.plan = plan
+        self.network = network
+        self._down: set = set()
+        self._crashed: List[int] = []
+        self._recovered: List[int] = []
+        self._corrupt_rng = random.Random(f"{plan.seed}|corrupt")
+        self._dup_rng = random.Random(f"{plan.seed}|dup")
+        self._link_rngs: Dict[Tuple[int, int], random.Random] = {}
+        self._link_state: Dict[Tuple[int, int], object] = {}
+        self._pending = self._build_schedule()
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Schedule
+    # ------------------------------------------------------------------
+
+    def _build_schedule(self) -> List[FaultEvent]:
+        """Instantiate the plan's concrete events for this network."""
+        rng = random.Random(f"{self.plan.seed}|schedule")
+        tree = self.network.tree
+        depth = max(1, tree.depth)
+        candidates = [
+            i
+            for i in range(self.network.n_nodes)
+            if i != self.network.sink_index
+            and self.network.nodes[i].alive
+            and tree.level[i] is not None
+        ]
+        k = min(
+            int(self.plan.crash_ratio * len(candidates) + 0.5), len(candidates)
+        )
+        crashers = rng.sample(candidates, k) if k else []
+        events: List[FaultEvent] = []
+        crash_slot: Dict[int, int] = {}
+        for i in crashers:
+            slot = rng.randint(1, depth)
+            crash_slot[i] = slot
+            events.append(FaultEvent(slot, i, CRASH))
+        n_recover = int(self.plan.recover_ratio * len(crashers) + 0.5)
+        for i in crashers[:n_recover]:
+            if crash_slot[i] > 1:
+                events.append(FaultEvent(rng.randint(1, crash_slot[i] - 1), i, RECOVER))
+        for e in self.plan.events:
+            if e.node == self.network.sink_index:
+                raise ValueError("the sink cannot be a fault-event target")
+            events.append(e)
+        # Time order: larger slots fire first; stable within a slot.
+        return sorted(events, key=lambda e: -e.slot)
+
+    def advance_to_slot(self, level: int) -> None:
+        """Fire every not-yet-fired event with ``slot >= level``.
+
+        Called by the transport when collection starts processing the
+        nodes of ``level``; events scheduled at that slot (or missed
+        deeper slots with no transmitting nodes) take effect first.
+        """
+        while self._cursor < len(self._pending):
+            e = self._pending[self._cursor]
+            if e.slot < level:
+                break
+            if e.kind == CRASH:
+                if e.node not in self._down:
+                    self._down.add(e.node)
+                    self._crashed.append(e.node)
+            else:
+                if e.node in self._down:
+                    self._down.discard(e.node)
+                    self._recovered.append(e.node)
+            self._cursor += 1
+
+    def finish_epoch(self) -> None:
+        """Fire any remaining events (slots below the last level walked)."""
+        self.advance_to_slot(0)
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+
+    def alive(self, node: int) -> bool:
+        """Engine-view liveness: network liveness minus mid-epoch crashes."""
+        return self.network.nodes[node].alive and node not in self._down
+
+    @property
+    def crashed_nodes(self) -> Tuple[int, ...]:
+        return tuple(self._crashed)
+
+    @property
+    def recovered_nodes(self) -> Tuple[int, ...]:
+        return tuple(self._recovered)
+
+    # ------------------------------------------------------------------
+    # Per-frame draws
+    # ------------------------------------------------------------------
+
+    def link_attempt(self, sender: int, receiver: int) -> bool:
+        """One transmission attempt on the directed link; True = on air OK."""
+        model = self.plan.link
+        if model is None:
+            return True
+        key = (sender, receiver)
+        rng = self._link_rngs.get(key)
+        if rng is None:
+            rng = random.Random(f"{self.plan.seed}|link|{sender}|{receiver}")
+            self._link_rngs[key] = rng
+            self._link_state[key] = model.initial_state(rng)
+        self._link_state[key] = model.step(self._link_state[key], rng)
+        return model.delivers(self._link_state[key], rng)
+
+    def corrupts(self) -> bool:
+        """Does the next delivered frame arrive bit-damaged?"""
+        return (
+            self.plan.corruption > 0.0
+            and self._corrupt_rng.random() < self.plan.corruption
+        )
+
+    def corrupt_payload(self, payload: bytes) -> bytes:
+        """Flip 1-3 distinct random bits of ``payload`` (the injected
+        damage; distinct so the frame is always genuinely altered)."""
+        if not payload:
+            return payload
+        damaged = bytearray(payload)
+        flips = 1 + self._corrupt_rng.randrange(3)
+        for bit in self._corrupt_rng.sample(range(len(damaged) * 8), flips):
+            damaged[bit // 8] ^= 1 << (bit % 8)
+        return bytes(damaged)
+
+    def duplicates(self) -> bool:
+        """Does the next delivered frame arrive twice?"""
+        return (
+            self.plan.duplication > 0.0
+            and self._dup_rng.random() < self.plan.duplication
+        )
+
+
+def bernoulli_from_lossy(model: LossyLinkModel) -> BernoulliLink:
+    """Adapt the legacy ARQ-bundled model to the stateful link interface."""
+    return BernoulliLink(delivery_probability=model.delivery_probability)

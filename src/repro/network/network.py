@@ -237,6 +237,13 @@ class SensorNetwork:
           accuracy additionally collapses through disconnection; the
           failure-injection tests cover this harsher model too.
 
+        Edge semantics (pinned by ``tests/network/test_network.py``): the
+        sink never fails, and ``ratio`` is taken over the *non-sink*
+        candidate pool -- ``k = round_half_up(ratio * (n_nodes - 1))``
+        nodes fail.  Rounding is explicit round-half-up (0.5 rounds
+        towards more failures) rather than Python's banker's ``round``,
+        so sweep points are bit-reproducible across Python versions.
+
         Returns the failed node ids.
         """
         if not 0 <= ratio <= 1:
@@ -245,7 +252,7 @@ class SensorNetwork:
             raise ValueError(f"unknown failure mode {mode!r}")
         r = rng if rng is not None else self._rng
         candidates = [i for i in range(self.n_nodes) if i != self.sink_index]
-        k = min(round(ratio * self.n_nodes), len(candidates))
+        k = min(int(ratio * len(candidates) + 0.5), len(candidates))
         failed = r.sample(candidates, k)
         for i in failed:
             if mode == "crash":

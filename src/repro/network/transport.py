@@ -1,0 +1,604 @@
+"""Fault-tolerant collection transport shared by Iso-Map and every baseline.
+
+One :class:`EpochTransport` instance drives one collection epoch: it
+walks the routing tree bottom-up (the TAG slot schedule), fires the
+:class:`~repro.network.faults.FaultPlan`'s scheduled events at the level
+boundaries, and carries each protocol's frames hop by hop with the
+defenses a real deployment would run:
+
+- **ARQ** with capped exponential backoff: a frame lost or CRC-rejected
+  on air is retransmitted up to ``max_retries`` times; every attempt
+  burns tx energy at the sender and listen energy at the receiver, and
+  each backoff window is charged as ops at the sender.
+- **CRC**: corrupted frames are detected at the receiver and treated as
+  losses (retried under ARQ).  CRC-16/CCITT-FALSE detects every burst of
+  up to 3 flipped bits (Hamming distance 4 for frames this short), which
+  is exactly the damage :meth:`FaultEngine.corrupt_payload` injects, so
+  detection is modelled as certain; ``tests/network/test_transport.py``
+  ties the model to the real :func:`repro.core.wire.check_crc`.  With
+  the CRC *off*, a damaged frame is accepted: protocols that own a codec
+  decode a poisoned report (the silently-wrong-map failure mode), the
+  rest discard an unparseable frame.
+- **Sequence-number duplicate suppression**: a duplicated frame (the
+  classic lost-ACK retransmission) is dropped by the receiver's seq
+  filter; with dedup off the copy propagates, costing energy and
+  polluting filters/aggregates downstream.
+- **Local orphan re-parenting**: a node whose parent crashed probes its
+  alive neighbours and re-attaches to one at level <= its own -- an
+  O(degree) repair instead of the global ``rebuild_tree()``; probe,
+  reply and join traffic is charged.
+
+Framing note: the CRC trailer, sequence numbers and link-layer ACKs ride
+inside the per-hop framing the paper's byte budget already implies (see
+:mod:`repro.core.wire`), so a fault-free epoch through this transport
+charges *exactly* the bytes the direct ``charge_hop`` path charged --
+the golden snapshot is byte-identical under a zero-fault plan.  The
+transport charges only work that would not happen on a perfect link:
+retransmissions, duplicate frames, backoff windows and repair messages.
+
+Accounting is per frame *instance*: ``generated`` report instances plus
+``duplicates_created`` copies each end in exactly one terminal bucket
+(``delivered``, ``dropped_by_filter``, ``lost``, ``corrupted_discarded``
+or ``duplicate_discarded``), which is the conservation law
+:meth:`DegradationReport.is_conserved` checks.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.geometry import dist
+from repro.network.accounting import CostAccountant
+from repro.network.faults import FaultEngine, FaultPlan
+from repro.network.links import LossyLinkModel, charge_lossy_hop
+from repro.network.network import SensorNetwork
+
+#: Terminal buckets (DegradationReport counter names) an instance can hit.
+_LOST = "lost"
+_CORRUPTED = "corrupted_discarded"
+
+#: Strand reasons reported by :meth:`EpochTransport.walk`.
+STRAND_CRASHED = "crashed"
+STRAND_ORPHANED = "orphaned"
+
+#: A receiver-side payload mangler: called when a corrupted frame is
+#: accepted (CRC off); returns the poisoned payload the receiver decodes,
+#: or None when the damage makes the frame unparseable.
+Mangler = Callable[[Any, FaultEngine], Optional[Any]]
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Defense knobs of the fault-tolerant transport.
+
+    Attributes:
+        arq: retransmit frames lost or CRC-rejected on air.
+        max_retries: retransmissions after the first attempt (so at most
+            ``max_retries + 1`` attempts per frame), matching
+            :class:`LossyLinkModel`'s budget shape.
+        backoff_base / backoff_cap: retry ``k`` (k >= 1) charges
+            ``min(backoff_base << (k - 1), backoff_cap)`` ops at the
+            sender -- the capped exponential backoff listen window.
+        crc: receivers CRC-check frames and reject damaged ones.
+        dedup: receivers drop duplicate frames by sequence number.
+        reparent: nodes whose parent crashed locally re-attach to an
+            alive neighbour at level <= their own (repair traffic is
+            charged) instead of stranding their buffered reports.
+    """
+
+    arq: bool = True
+    max_retries: int = 3
+    backoff_base: int = 1
+    backoff_cap: int = 8
+    crc: bool = True
+    dedup: bool = True
+    reparent: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff parameters must be non-negative")
+
+    @staticmethod
+    def hardened() -> "TransportConfig":
+        """Every defense on (the default)."""
+        return TransportConfig()
+
+    @staticmethod
+    def vanilla() -> "TransportConfig":
+        """The paper's implicit transport: no defenses at all."""
+        return TransportConfig(
+            arq=False, max_retries=0, crc=False, dedup=False, reparent=False
+        )
+
+
+@dataclass
+class DegradationReport:
+    """What one epoch's collection lost, repaired and discarded.
+
+    Instance conservation: ``delivered + dropped_by_filter + lost +
+    corrupted_discarded + duplicate_discarded == generated +
+    duplicates_created`` (each generated report instance and each
+    injected copy ends in exactly one bucket).
+
+    Attributes:
+        generated: report instances registered by the protocol.
+        delivered: distinct reports that reached the sink.
+        dropped_by_filter: instances rejected by in-network filtering.
+        lost: instances lost on air (retries exhausted) or stranded in a
+            crashed/orphaned node's buffer.
+        corrupted_discarded: instances discarded because their frame
+            arrived damaged beyond use (retries exhausted under CRC, or
+            unparseable without one).
+        duplicate_discarded: injected copies suppressed by seq-number
+            dedup, plus extra sink arrivals of an already-delivered
+            report.
+        duplicates_created: copies injected by the fault plan.
+        corrupted_detected: damaged frames caught by the CRC (each was
+            retried or finally discarded).
+        corrupted_accepted: damaged frames accepted without a CRC and
+            decoded into poisoned reports that kept flowing.
+        retransmissions: ARQ retry attempts that went on air.
+        repaired_orphans: nodes locally re-attached after their parent
+            crashed.
+        stranded_crashed / stranded_orphaned: instances stranded in a
+            crashed node's buffer / in an orphan that found no new parent
+            (both also counted in ``lost``).
+        crashed_nodes / recovered_nodes: mid-epoch node events fired.
+        disconnected_regions: connected components of the end-of-epoch
+            alive communication graph that cannot reach the sink.
+        per_group: group key -> [generated, delivered]; Iso-Map groups by
+            isolevel, giving the per-isolevel delivery rate.
+    """
+
+    generated: int = 0
+    delivered: int = 0
+    dropped_by_filter: int = 0
+    lost: int = 0
+    corrupted_discarded: int = 0
+    duplicate_discarded: int = 0
+    duplicates_created: int = 0
+    corrupted_detected: int = 0
+    corrupted_accepted: int = 0
+    retransmissions: int = 0
+    repaired_orphans: int = 0
+    stranded_crashed: int = 0
+    stranded_orphaned: int = 0
+    crashed_nodes: int = 0
+    recovered_nodes: int = 0
+    disconnected_regions: int = 0
+    per_group: Dict[Any, List[int]] = field(default_factory=dict)
+
+    @property
+    def is_conserved(self) -> bool:
+        """Does every instance land in exactly one terminal bucket?"""
+        return (
+            self.delivered
+            + self.dropped_by_filter
+            + self.lost
+            + self.corrupted_discarded
+            + self.duplicate_discarded
+            == self.generated + self.duplicates_created
+        )
+
+    def delivery_rate(self) -> float:
+        """Fraction of generated reports that reached the sink."""
+        return self.delivered / self.generated if self.generated else 1.0
+
+    def group_delivery_rates(self) -> Dict[Any, float]:
+        """Per-group (per-isolevel for Iso-Map) delivery rates."""
+        return {
+            g: (d / g_gen if g_gen else 1.0)
+            for g, (g_gen, d) in self.per_group.items()
+        }
+
+    @property
+    def is_degraded(self) -> bool:
+        """Anything at all to worry about in this epoch's map?"""
+        return (
+            self.lost > 0
+            or self.corrupted_discarded > 0
+            or self.corrupted_accepted > 0
+            or self.crashed_nodes > 0
+            or self.disconnected_regions > 0
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict convenient for experiment tables."""
+        return {
+            "generated": float(self.generated),
+            "delivered": float(self.delivered),
+            "delivery_rate": self.delivery_rate(),
+            "dropped_by_filter": float(self.dropped_by_filter),
+            "lost": float(self.lost),
+            "corrupted_discarded": float(self.corrupted_discarded),
+            "corrupted_accepted": float(self.corrupted_accepted),
+            "duplicate_discarded": float(self.duplicate_discarded),
+            "retransmissions": float(self.retransmissions),
+            "repaired_orphans": float(self.repaired_orphans),
+            "crashed_nodes": float(self.crashed_nodes),
+            "disconnected_regions": float(self.disconnected_regions),
+        }
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One transmission opportunity yielded by :meth:`EpochTransport.walk`.
+
+    ``parent`` is None when the node cannot transmit this epoch; then
+    ``reason`` says why (:data:`STRAND_CRASHED` or
+    :data:`STRAND_ORPHANED`) and the caller must
+    :meth:`~EpochTransport.strand` the node's buffered instances.
+    """
+
+    node: int
+    parent: Optional[int]
+    reason: Optional[str] = None
+
+
+@dataclass
+class SendOutcome:
+    """Result of one :meth:`EpochTransport.send`.
+
+    Attributes:
+        delivered: did (at least one copy of) the frame reach the
+            receiver?
+        arrivals: ``(payload, is_duplicate)`` per frame instance the
+            receiver accepted -- empty on failure, one entry normally,
+            two when a duplicate slipped past dedup.  A duplicate's
+            payload is the *same object*; callers that mutate payloads
+            (region aggregation) must clone it.
+    """
+
+    delivered: bool
+    arrivals: List[Tuple[Any, bool]]
+
+
+class EpochTransport:
+    """Carries one protocol's collection epoch over a faulty network.
+
+    Args:
+        network: the deployment (never mutated; crash state lives in the
+            fault engine).
+        costs: the run's accountant; all transport work is charged here.
+        config: defense knobs; defaults to :meth:`TransportConfig.hardened`.
+        plan: the fault plan; None or a null plan selects the exact
+            fast path of the pre-transport code (byte-identical charges).
+        link_model: the legacy Bernoulli+ARQ model of
+            :mod:`repro.network.links`, honoured verbatim (same rng
+            consumption order) for backward compatibility; mutually
+            exclusive with a non-null ``plan``.
+        link_seed: seed for the legacy link model's randomness.
+        mangler: optional receiver-side decoder for corrupted frames
+            accepted without a CRC (protocols with a real codec pass
+            one; without it such frames are discarded as unparseable).
+    """
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        costs: CostAccountant,
+        config: Optional[TransportConfig] = None,
+        plan: Optional[FaultPlan] = None,
+        link_model: Optional[LossyLinkModel] = None,
+        link_seed: int = 0,
+        mangler: Optional[Mangler] = None,
+    ):
+        self.network = network
+        self.costs = costs
+        self.config = config if config is not None else TransportConfig.hardened()
+        self.mangler = mangler
+        self.link_model = link_model
+        self._legacy_rng = random.Random(link_seed)
+        if plan is not None and not plan.is_null:
+            if link_model is not None:
+                raise ValueError(
+                    "pass the link loss inside the FaultPlan (e.g. "
+                    "BernoulliLink), not as a separate legacy link_model"
+                )
+            self.engine: Optional[FaultEngine] = FaultEngine(plan, network)
+        else:
+            self.engine = None
+        self._report = DegradationReport()
+        self._open = 0  # instances registered/injected but not yet bucketed
+        self._next_rid = 0
+        self._group_of: Dict[int, Any] = {}
+        self._delivered_rids: set = set()
+        self._processed: set = set()  # nodes whose slot already passed
+
+    # ------------------------------------------------------------------
+    # Report registration and terminal buckets
+    # ------------------------------------------------------------------
+
+    def register(self, group: Any = None) -> int:
+        """Register one generated report; returns its tracking id."""
+        rid = self._next_rid
+        self._next_rid += 1
+        self._report.generated += 1
+        self._open += 1
+        if group is not None:
+            self._group_of[rid] = group
+            self._report.per_group.setdefault(group, [0, 0])[0] += 1
+        return rid
+
+    def mark_filtered(self, rid: int) -> None:
+        """One instance of ``rid`` was rejected by in-network filtering."""
+        self._report.dropped_by_filter += 1
+        self._open -= 1
+
+    def strand(self, rids: Sequence[int], reason: str) -> None:
+        """Instances buffered in a node that cannot transmit are lost."""
+        n = len(rids)
+        self._report.lost += n
+        self._open -= n
+        if reason == STRAND_CRASHED:
+            self._report.stranded_crashed += n
+        else:
+            self._report.stranded_orphaned += n
+
+    def deliver_at_sink(self, rid: int) -> bool:
+        """One instance of ``rid`` arrived at the sink.
+
+        Returns True on the first arrival (count the report delivered);
+        later arrivals are duplicate-discarded by the sink's seq filter.
+        """
+        self._open -= 1
+        if rid in self._delivered_rids:
+            self._report.duplicate_discarded += 1
+            return False
+        self._delivered_rids.add(rid)
+        self._report.delivered += 1
+        group = self._group_of.get(rid)
+        if group is not None:
+            self._report.per_group[group][1] += 1
+        return True
+
+    def _terminal(self, rids: Sequence[int], bucket: str) -> None:
+        n = len(rids)
+        if bucket == _LOST:
+            self._report.lost += n
+        else:
+            self._report.corrupted_discarded += n
+        self._open -= n
+
+    # ------------------------------------------------------------------
+    # The slotted bottom-up walk
+    # ------------------------------------------------------------------
+
+    def walk(self) -> Iterator[Hop]:
+        """Yield one :class:`Hop` per routed non-sink node, children first.
+
+        The fault-free path reproduces the classic
+        ``subtree_order_bottom_up`` loop exactly.  Under a plan, node
+        events fire at each level boundary, crashed holders yield a
+        strand, and dead parents are locally repaired when the config
+        allows.
+        """
+        tree = self.network.tree
+        order = tree.subtree_order_bottom_up()
+        if self.engine is None:
+            for u in order:
+                if u == tree.sink:
+                    continue
+                parent = tree.parent[u]
+                if parent is None:
+                    continue
+                yield Hop(u, parent)
+            return
+
+        current_level: Optional[int] = None
+        for u in order:
+            level = tree.level[u] or 0
+            if current_level is None or level < current_level:
+                self.engine.advance_to_slot(level)
+                current_level = level
+            if u == tree.sink:
+                continue
+            parent = tree.parent[u]
+            if parent is None:
+                continue
+            if not self.engine.alive(u):
+                self._processed.add(u)
+                yield Hop(u, None, STRAND_CRASHED)
+                continue
+            if not self.engine.alive(parent):
+                parent = self._reparent(u) if self.config.reparent else None
+            if parent is None:
+                self._processed.add(u)
+                yield Hop(u, None, STRAND_ORPHANED)
+                continue
+            yield Hop(u, parent)
+            self._processed.add(u)
+        self.engine.finish_epoch()
+
+    def _reparent(self, u: int) -> Optional[int]:
+        """Locally re-attach ``u`` after its parent crashed.
+
+        ``u`` broadcasts a probe; every alive routed neighbour answers
+        with its tree level; ``u`` adopts the best neighbour at a level
+        below its own, or at its own level if that neighbour's slot has
+        not passed yet (so the adopted reports still get forwarded this
+        epoch).  Tie-break: (level, distance to sink, id).  All repair
+        traffic is charged.  Returns the new parent or None.
+        """
+        # Imported here: repro.core.wire would otherwise close an import
+        # cycle through repro.core.__init__ -> protocol -> repro.network.
+        from repro.core.wire import (
+            REPAIR_JOIN_BYTES,
+            REPAIR_PROBE_BYTES,
+            REPAIR_REPLY_BYTES,
+        )
+
+        engine = self.engine
+        assert engine is not None
+        tree = self.network.tree
+        my_level = tree.level[u] or 0
+        responders = [
+            w
+            for w in self.network.neighbor_lists[u]
+            if engine.alive(w) and tree.level[w] is not None
+        ]
+        self.costs.charge_local_broadcast(u, responders, REPAIR_PROBE_BYTES)
+        for w in responders:
+            self.costs.charge_hop(w, u, REPAIR_REPLY_BYTES)
+        candidates = [
+            w
+            for w in responders
+            if (tree.level[w] or 0) < my_level
+            or ((tree.level[w] or 0) == my_level and w not in self._processed)
+        ]
+        if not candidates:
+            return None
+        sink_pos = self.network.nodes[tree.sink].position
+        best = min(
+            candidates,
+            key=lambda w: (
+                tree.level[w],
+                dist(self.network.nodes[w].position, sink_pos),
+                w,
+            ),
+        )
+        self.costs.charge_hop(u, best, REPAIR_JOIN_BYTES)
+        self._report.repaired_orphans += 1
+        return best
+
+    # ------------------------------------------------------------------
+    # Frame transmission
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        sender: int,
+        receiver: int,
+        nbytes: int,
+        rids: Sequence[int] = (),
+        payload: Any = None,
+    ) -> SendOutcome:
+        """Carry one frame of ``nbytes`` over one hop.
+
+        ``rids`` are the tracked report instances riding the frame (one
+        for a plain report, many for an aggregate); on terminal failure
+        they are bucketed here, so the caller only handles arrivals.
+        """
+        if self.engine is None:
+            if self.link_model is not None:
+                ok = charge_lossy_hop(
+                    self.link_model,
+                    sender,
+                    receiver,
+                    nbytes,
+                    self.costs,
+                    self._legacy_rng,
+                )
+                if not ok:
+                    self._terminal(rids, _LOST)
+                    return SendOutcome(False, [])
+            else:
+                self.costs.charge_hop(sender, receiver, nbytes)
+            return SendOutcome(True, [(payload, False)])
+
+        cfg = self.config
+        engine = self.engine
+        max_attempts = (cfg.max_retries + 1) if cfg.arq else 1
+        last_was_corruption = False
+        for attempt in range(1, max_attempts + 1):
+            if attempt >= 2:
+                self._report.retransmissions += 1
+                self.costs.charge_ops(
+                    sender,
+                    min(cfg.backoff_base << (attempt - 2), cfg.backoff_cap),
+                )
+            self.costs.charge_hop(sender, receiver, nbytes)
+            if not engine.link_attempt(sender, receiver):
+                last_was_corruption = False
+                continue
+            if engine.corrupts():
+                if cfg.crc:
+                    # Receiver CRC-rejects; under ARQ the sender retries.
+                    self._report.corrupted_detected += 1
+                    last_was_corruption = True
+                    continue
+                accepted = (
+                    self.mangler(payload, engine) if self.mangler else None
+                )
+                if accepted is None:
+                    # No codec can make sense of the damage: discarded.
+                    self._terminal(rids, _CORRUPTED)
+                    return SendOutcome(False, [])
+                self._report.corrupted_accepted += 1
+            else:
+                accepted = payload
+            arrivals: List[Tuple[Any, bool]] = [(accepted, False)]
+            if rids and engine.duplicates():
+                # The duplicate frame still occupies both radios.
+                self.costs.charge_hop(sender, receiver, nbytes)
+                n = len(rids)
+                self._report.duplicates_created += n
+                self._open += n
+                if cfg.dedup:
+                    self._report.duplicate_discarded += n
+                    self._open -= n
+                else:
+                    arrivals.append((accepted, True))
+            return SendOutcome(True, arrivals)
+        self._terminal(rids, _CORRUPTED if last_was_corruption else _LOST)
+        return SendOutcome(False, [])
+
+    # ------------------------------------------------------------------
+    # Epoch close-out
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> DegradationReport:
+        """Fire remaining events, sweep leftovers, return the report."""
+        if self.engine is not None:
+            self.engine.finish_epoch()
+            self._report.crashed_nodes = len(self.engine.crashed_nodes)
+            self._report.recovered_nodes = len(self.engine.recovered_nodes)
+        if self._open > 0:
+            # Instances still buffered when the epoch ended (e.g. a report
+            # generated at an undeliverable holder) never reached any
+            # terminal bucket: they are lost to the sink.
+            self._report.lost += self._open
+            self._open = 0
+        self._report.disconnected_regions = self._count_disconnected()
+        return self._report
+
+    def _count_disconnected(self) -> int:
+        """Components of the end-of-epoch alive graph cut off the sink."""
+        n = self.network.n_nodes
+        alive = [
+            self.network.nodes[i].alive
+            and (self.engine is None or self.engine.alive(i))
+            for i in range(n)
+        ]
+        seen = [False] * n
+        regions = 0
+        for start in range(n):
+            if not alive[start] or seen[start]:
+                continue
+            seen[start] = True
+            queue = deque([start])
+            contains_sink = start == self.network.sink_index
+            while queue:
+                x = queue.popleft()
+                for y in self.network.neighbor_lists[x]:
+                    if alive[y] and not seen[y]:
+                        seen[y] = True
+                        contains_sink = contains_sink or y == self.network.sink_index
+                        queue.append(y)
+            if not contains_sink:
+                regions += 1
+        return regions

@@ -130,3 +130,33 @@ class TestTable1:
         counts = res.column("isoline_nodes")
         # Counts grow sublinearly in n: n grows ~11x, counts far less.
         assert counts[-1] < 6 * counts[0]
+
+
+class TestFigFaults:
+    def test_reduced_sweep_structure_and_defense_effect(self):
+        from repro.experiments.fig_faults import run_fig_faults
+
+        # Reduced scale: 600 nodes need range 2.8 on the 50x50 field to
+        # stay connected (same density scaling as fig07's reduced runs).
+        res = run_fig_faults(
+            seeds=(1,), n=600, intensities=(0.0, 1.0), radio_range=2.8
+        )
+        assert res.experiment_id == "fig_faults"
+        assert len(res.rows) == 2 * 2 * 4  # intensities x defenses x protocols
+        by = {
+            (r["intensity"], r["defenses"], r["protocol"]): r for r in res.rows
+        }
+        for protocol in ("iso-map", "isoline-agg", "tinydb", "inlr"):
+            # Zero faults: the defense knobs change nothing at all.
+            on0 = {k: v for k, v in by[(0.0, "on", protocol)].items()
+                   if k != "defenses"}
+            off0 = {k: v for k, v in by[(0.0, "off", protocol)].items()
+                    if k != "defenses"}
+            assert on0 == off0
+            assert on0["retransmissions"] == 0
+            # Full intensity: defended delivery dominates undefended.
+            on1 = by[(1.0, "on", protocol)]
+            off1 = by[(1.0, "off", protocol)]
+            assert on1["delivery_rate"] >= off1["delivery_rate"]
+        assert sum(by[(1.0, "on", p)]["retransmissions"]
+                   for p in ("iso-map", "tinydb", "inlr")) > 0

@@ -14,6 +14,7 @@ the whole point of the vectorization was bit-compatibility.
 
 import hashlib
 import json
+import os
 import pathlib
 
 from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
@@ -61,9 +62,50 @@ def snapshot_run(config):
     }
 
 
+def _flatten(prefix, value, out):
+    if isinstance(value, dict):
+        for k, v in sorted(value.items()):
+            _flatten(f"{prefix}.{k}" if prefix else str(k), v, out)
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            _flatten(f"{prefix}[{i}]", v, out)
+    else:
+        out[prefix] = value
+
+
+def _dump_diff(golden, fresh):
+    """On mismatch, leave a reviewable trail in ``$GOLDEN_DIFF_DIR``.
+
+    CI uploads the directory as an artifact when the job fails, so a
+    broken byte-compatibility guarantee comes with the fresh snapshot
+    and a field-by-field diff instead of just a red cross.
+    """
+    out_dir = os.environ.get("GOLDEN_DIFF_DIR")
+    if not out_dir:
+        return
+    path = pathlib.Path(out_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / "fresh_snapshot.json").write_text(
+        json.dumps(fresh, indent=2, sort_keys=True) + "\n"
+    )
+    want, got = {}, {}
+    _flatten("", golden, want)
+    _flatten("", fresh, got)
+    lines = []
+    for key in sorted(set(want) | set(got)):
+        if want.get(key) != got.get(key):
+            lines.append(
+                f"{key}: golden={want.get(key, '<absent>')!r} "
+                f"fresh={got.get(key, '<absent>')!r}"
+            )
+    (path / "diff.txt").write_text("\n".join(lines) + "\n")
+
+
 def test_pipeline_matches_golden_snapshot():
     golden = json.loads(GOLDEN.read_text())
     fresh = snapshot_run(golden["config"])
+    if fresh != golden:
+        _dump_diff(golden, fresh)
 
     # Compare piecewise for a readable failure before the full-dict check.
     assert fresh["costs"] == golden["costs"]

@@ -1,0 +1,80 @@
+"""Differential test: LossyLinkModel closed forms vs Monte-Carlo.
+
+``expected_attempts`` and ``end_to_end_delivery`` are closed-form
+expressions over the truncated-geometric retry process; ``charge_lossy_hop``
+*samples* that process and charges the accountant per attempt.  This test
+pins the two to each other: a seeded Monte-Carlo of the sampling path must
+reproduce the closed forms within law-of-large-numbers tolerance, so
+neither side can drift without the other noticing.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.network import CostAccountant
+from repro.network.links import LossyLinkModel, charge_lossy_hop
+
+N_TRIALS = 20_000
+NBYTES = 6
+
+
+def simulate(model, seed, trials=N_TRIALS, hops=1):
+    """Monte-Carlo ``trials`` reports over ``hops`` consecutive hops."""
+    rng = random.Random(seed)
+    costs = CostAccountant(2)
+    survived = 0
+    for _ in range(trials):
+        ok = True
+        for _ in range(hops):
+            if not charge_lossy_hop(model, 0, 1, NBYTES, costs, rng):
+                ok = False
+                break
+        survived += ok
+    attempts = costs.tx_bytes[0] / NBYTES
+    return survived / trials, attempts
+
+
+@pytest.mark.parametrize(
+    "p,retries",
+    [(0.9, 3), (0.7, 3), (0.5, 1), (0.95, 0), (0.6, 5)],
+)
+def test_single_hop_closed_forms(p, retries):
+    model = LossyLinkModel(delivery_probability=p, max_retries=retries)
+    delivery, attempts = simulate(model, seed=hash((p, retries)) % 2**31)
+
+    want_delivery = model.end_to_end_delivery(1)
+    # 4-sigma binomial tolerance on the delivery estimate.
+    tol = 4.0 * math.sqrt(want_delivery * (1 - want_delivery) / N_TRIALS) + 1e-9
+    assert delivery == pytest.approx(want_delivery, abs=tol)
+
+    # Attempts per hop are bounded by retries+1, so 4-sigma is at most
+    # 4 * (retries+1) / sqrt(N) -- a loose but sufficient envelope.
+    want_attempts = model.expected_attempts()
+    assert attempts / N_TRIALS == pytest.approx(
+        want_attempts, abs=4.0 * (retries + 1) / math.sqrt(N_TRIALS)
+    )
+
+
+def test_multi_hop_end_to_end():
+    model = LossyLinkModel(delivery_probability=0.8, max_retries=2)
+    for hops in (2, 5):
+        delivery, _ = simulate(model, seed=hops, hops=hops)
+        want = model.end_to_end_delivery(hops)
+        tol = 4.0 * math.sqrt(want * (1 - want) / N_TRIALS)
+        assert delivery == pytest.approx(want, abs=tol)
+
+
+def test_charges_follow_attempts_exactly():
+    # Accounting identity, not statistics: tx at the sender and rx at the
+    # receiver must both equal NBYTES * attempts-on-air.
+    model = LossyLinkModel(delivery_probability=0.5, max_retries=2)
+    rng = random.Random(7)
+    costs = CostAccountant(2)
+    for _ in range(500):
+        charge_lossy_hop(model, 0, 1, NBYTES, costs, rng)
+    assert costs.tx_bytes[0] == costs.rx_bytes[1]
+    assert costs.tx_bytes[0] % NBYTES == 0
+    max_total = 500 * (model.max_retries + 1) * NBYTES
+    assert 500 * NBYTES <= costs.tx_bytes[0] <= max_total

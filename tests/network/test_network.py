@@ -98,12 +98,18 @@ class TestNeighbourhoods:
         assert len(two) > len(one)
 
 
+def expected_failures(ratio, n_nodes):
+    """The documented edge semantics: the sink never fails, and the count
+    is round-half-up of ratio over the n_nodes - 1 non-sink candidates."""
+    return min(int(ratio * (n_nodes - 1) + 0.5), n_nodes - 1)
+
+
 class TestFailures:
     def test_sensing_mode_keeps_routing(self):
         net = small_net(n=300, seed=5)
         before = net.tree.reachable_count()
         failed = net.fail_random(0.3, mode="sensing")
-        assert len(failed) == round(0.3 * 300)
+        assert len(failed) == expected_failures(0.3, 300) == 90
         assert net.tree.reachable_count() == before
         assert all(not net.nodes[i].sensing_ok for i in failed)
         assert all(net.nodes[i].alive for i in failed)
@@ -111,15 +117,29 @@ class TestFailures:
     def test_crash_mode_rebuilds_tree(self):
         net = small_net(n=300, seed=6)
         net.fail_random(0.2, mode="crash")
-        assert net.alive_count() == 300 - round(0.2 * 300)
+        assert net.alive_count() == 300 - expected_failures(0.2, 300)
+        assert net.alive_count() == 300 - 60
         for i, node in enumerate(net.nodes):
             if not node.alive:
                 assert node.level is None
 
     def test_sink_never_fails(self):
         net = small_net(n=100, seed=7)
-        net.fail_random(1.0, mode="crash")
+        failed = net.fail_random(1.0, mode="crash")
         assert net.nodes[net.sink_index].alive
+        assert len(failed) == 99  # every non-sink node, not round(1.0 * 100)
+
+    def test_half_counts_round_up(self):
+        # ratio * candidates = 12.5 exactly: round-half-up gives 13 where
+        # Python's banker's round() would give 12.
+        net = small_net(n=101, seed=10)
+        failed = net.fail_random(0.125, mode="sensing")
+        assert len(failed) == expected_failures(0.125, 101) == 13
+
+    def test_zero_ratio_fails_nobody(self):
+        net = small_net(n=120, seed=11)
+        assert net.fail_random(0.0, mode="crash") == []
+        assert net.alive_count() == 120
 
     def test_invalid_ratio(self):
         net = small_net(n=50)
