@@ -9,15 +9,14 @@ pure-Python originals they replaced (and are bit-compatible with) and
 writes the measured speedups to ``BENCH_kernels.json`` at the repo root.
 """
 
-import json
 import math
 import pathlib
-import platform
 import random
-import time
 
 import numpy as np
 import pytest
+
+import record
 
 from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
 from repro.core.gradient import estimate_gradient, estimate_gradients_batch
@@ -122,16 +121,6 @@ def _bench_gradient_tasks(n=BENCH_N, seed=7, degree=8):
     return tasks
 
 
-def _best_of(fn, repeats):
-    """Min-of-repeats wall time in ms (robust against machine noise)."""
-    times = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    return min(times) * 1e3
-
-
 def test_kernel_adjacency_reference_2500_nodes(benchmark):
     pts = _bench_positions()
     adj = benchmark(build_adjacency_reference, pts, 1.5)
@@ -181,36 +170,31 @@ def test_kernel_speedups_vs_reference():
     for got, i in zip(batch, spot):
         assert got == estimate_gradient(*tasks[i])
 
-    adj_ref_ms = _best_of(lambda: build_adjacency_reference(pts, 1.5), repeats=12)
-    adj_vec_ms = _best_of(lambda: build_csr_adjacency(arr, 1.5), repeats=40)
-    grad_ref_ms = _best_of(
+    adj_ref_ms = record.best_of(lambda: build_adjacency_reference(pts, 1.5), repeats=12)
+    adj_vec_ms = record.best_of(lambda: build_csr_adjacency(arr, 1.5), repeats=40)
+    grad_ref_ms = record.best_of(
         lambda: [estimate_gradient(*t) for t in tasks], repeats=8
     )
-    grad_vec_ms = _best_of(lambda: estimate_gradients_batch(tasks), repeats=20)
+    grad_vec_ms = record.best_of(lambda: estimate_gradients_batch(tasks), repeats=20)
 
-    report = {
-        "n": BENCH_N,
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "timing": "min over repeats, wall clock (ms)",
-        "kernels": {
-            "adjacency": {
-                "reference": "build_adjacency_reference (per-node spatial hash)",
-                "vectorized": "build_csr_adjacency (bucketed batch pass)",
-                "reference_ms": round(adj_ref_ms, 3),
-                "vectorized_ms": round(adj_vec_ms, 3),
-                "speedup": round(adj_ref_ms / adj_vec_ms, 2),
-            },
-            "gradient_regression": {
-                "reference": "estimate_gradient per node (scalar 3x3 solve)",
-                "vectorized": "estimate_gradients_batch (stacked solve)",
-                "reference_ms": round(grad_ref_ms, 3),
-                "vectorized_ms": round(grad_vec_ms, 3),
-                "speedup": round(grad_ref_ms / grad_vec_ms, 2),
-            },
+    report = record.report(
+        BENCH_N,
+        {
+            "adjacency": record.kernel_entry(
+                "build_adjacency_reference (per-node spatial hash)",
+                "build_csr_adjacency (bucketed batch pass)",
+                adj_ref_ms,
+                adj_vec_ms,
+            ),
+            "gradient_regression": record.kernel_entry(
+                "estimate_gradient per node (scalar 3x3 solve)",
+                "estimate_gradients_batch (stacked solve)",
+                grad_ref_ms,
+                grad_vec_ms,
+            ),
         },
-    }
-    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    )
+    record.write_report(BENCH_JSON, report)
 
     assert adj_ref_ms / adj_vec_ms > 2.0, report
     assert grad_ref_ms / grad_vec_ms > 2.0, report

@@ -1,0 +1,100 @@
+"""Shared helpers for the before/after benchmark reports.
+
+Both ``bench_kernel.py`` (node-side kernels, ``BENCH_kernels.json``) and
+``bench_sink.py`` (sink-side pipeline, ``BENCH_sink.json``) publish the
+same JSON shape::
+
+    {
+      "n": 2500,
+      "python": "3.11.7",
+      "numpy": "2.4.6",
+      "timing": "min over repeats, wall clock (ms)",
+      "kernels": {
+        "<stage>": {
+          "reference": "<what the scalar reference is>",
+          "vectorized": "<what replaced it>",
+          "reference_ms": 9.064,
+          "vectorized_ms": 2.371,
+          "speedup": 3.82
+        },
+        ...
+      }
+    }
+
+plus optional extra sections (``bench_sink.py`` adds a ``quick`` section
+with the same ``{"n", "kernels"}`` shape for the CI smoke sizes).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+
+def best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Min-of-repeats wall time in ms (robust against machine noise)."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times) * 1e3
+
+
+def kernel_entry(
+    reference: str, vectorized: str, reference_ms: float, vectorized_ms: float
+) -> Dict[str, Any]:
+    """One ``kernels`` record: descriptions, timings and the speedup."""
+    return {
+        "reference": reference,
+        "vectorized": vectorized,
+        "reference_ms": round(reference_ms, 3),
+        "vectorized_ms": round(vectorized_ms, 3),
+        "speedup": round(reference_ms / vectorized_ms, 2),
+    }
+
+
+def report(
+    n: int, kernels: Dict[str, Dict[str, Any]], **extra: Any
+) -> Dict[str, Any]:
+    """Assemble a full report dict in the shared schema."""
+    rep: Dict[str, Any] = {
+        "n": n,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "timing": "min over repeats, wall clock (ms)",
+        "kernels": kernels,
+    }
+    rep.update(extra)
+    return rep
+
+
+def write_report(path: pathlib.Path, rep: Dict[str, Any]) -> None:
+    path.write_text(json.dumps(rep, indent=2) + "\n")
+
+
+def load_report(path: pathlib.Path) -> Optional[Dict[str, Any]]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def format_kernels(kernels: Dict[str, Dict[str, Any]]) -> str:
+    """Aligned text table of a ``kernels`` section."""
+    name_w = max([len("stage")] + [len(k) for k in kernels])
+    header = (
+        f"{'stage':<{name_w}} {'reference ms':>13} {'vectorized ms':>14} {'speedup':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, e in kernels.items():
+        lines.append(
+            f"{name:<{name_w}} {e['reference_ms']:>13.3f} "
+            f"{e['vectorized_ms']:>14.3f} {e['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)

@@ -124,10 +124,19 @@ class NearestReportBandMap:
     # ------------------------------------------------------------------
 
     def isolines(self, level: float, grid: int = 100) -> List[List[Vec]]:
-        """Isolines of the interpolated surface via marching squares."""
+        """Isolines of the interpolated surface via marching squares.
+
+        The interpolated surface is memoised per resolution (the readings
+        are fixed once the map is built), so the Hausdorff metric's
+        per-level calls interpolate once instead of once per level.
+        """
         if not self.positions:
             return []
-        surface = self._interpolated_field(grid)
+        cache = self.__dict__.setdefault("_surface_cache", {})
+        surface = cache.get(grid)
+        if surface is None:
+            surface = self._interpolated_field(grid)
+            cache[grid] = surface
         return extract_isolines(surface, level, nx=grid, ny=grid)
 
     def _interpolated_field(self, grid: int) -> SampledGridField:

@@ -102,6 +102,7 @@ def _experiment_registry() -> Dict[str, Callable]:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
+    from repro import profiling
     from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
     from repro.energy import energy_from_costs
     from repro.field import make_harbor_field
@@ -110,6 +111,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
     from repro.network import SensorNetwork
     from repro.viz import render_band_map
 
+    if args.profile:
+        profiling.reset()
+        profiling.enable()
     field = make_harbor_field(seed=args.field_seed)
     network = SensorNetwork.random_deploy(
         field, args.nodes, radio_range=args.radio_range, seed=args.seed
@@ -129,6 +133,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
     if args.render:
         print()
         print(render_band_map(result.contour_map, nx=args.width, ny=args.height))
+    if args.profile:
+        print()
+        print(profiling.format_table("sink-side stage profile"))
     return 0
 
 
@@ -173,6 +180,8 @@ def _cmd_compare_impl(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import profiling
+
     registry = _experiment_registry()
     if args.id not in registry:
         print(f"unknown experiment {args.id!r}; try: python -m repro list",
@@ -181,8 +190,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.profile:
+        profiling.reset()
+        profiling.enable()
     result = registry[args.id](args.jobs, args.cache)
     print(result.to_table())
+    if args.profile:
+        print()
+        print(profiling.format_table("stage profile (all workers)"))
     return 0
 
 
@@ -221,6 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--render", action="store_true", help="print the ASCII map")
     p_map.add_argument("--width", type=int, default=64)
     p_map.add_argument("--height", type=int, default=28)
+    p_map.add_argument("--profile", action="store_true",
+                       help="print a sink-side stage timing breakdown")
     p_map.set_defaults(func=_cmd_map)
 
     p_cmp = sub.add_parser("compare", help="run all five protocols")
@@ -235,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
                        "(results are identical at any job count)")
     p_exp.add_argument("--cache", default=None, metavar="DIR",
                        help="cache sweep-point results in DIR and reuse them")
+    p_exp.add_argument("--profile", action="store_true",
+                       help="print a stage timing breakdown after the table "
+                       "(worker-process stages are merged in)")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_theory = sub.add_parser("theory", help="print the analytical Table 1")

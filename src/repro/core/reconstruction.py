@@ -23,11 +23,14 @@ pipeline.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import profiling
 from repro.core.reports import IsolineReport
 from repro.geometry import (
     BORDER_LABEL,
@@ -205,18 +208,67 @@ def build_level_region(
         ValueError: when no reports are given (an empty level is handled
             one layer up, by :class:`repro.core.contour_map.ContourMap`).
     """
-    deduped = _dedupe_reports(reports)
+    with profiling.stage("reconstruction.dedupe"):
+        deduped = _dedupe_reports(reports)
     if not deduped:
         raise ValueError("cannot reconstruct a level without reports")
 
     sites = [r.position for r in deduped]
-    cells = bounded_voronoi(sites, bounds)
+    with profiling.stage("reconstruction.voronoi"):
+        cells = bounded_voronoi(sites, bounds)
 
-    inner_polys: List[ConvexPolygon] = []
-    for cell, report in zip(cells, deduped):
-        inner_polys.append(_inner_part(cell, report))
+    with profiling.stage("reconstruction.inner_cut"):
+        inner_polys: List[ConvexPolygon] = []
+        for cell, report in zip(cells, deduped):
+            inner_polys.append(_inner_part(cell, report))
 
-    segments = _boundary_segments(cells, inner_polys, sites)
+    with profiling.stage("reconstruction.boundary"):
+        segments = _boundary_segments(cells, inner_polys, sites)
+        loops = stitch_segments_into_loops(segments)
+
+    region = LevelRegion(
+        isolevel=isolevel,
+        bounds=bounds,
+        reports=deduped,
+        cells=cells,
+        inner_polys=inner_polys,
+        loops=loops,
+    )
+    if regulate:
+        from repro.core.regulation import regulate_loops
+
+        with profiling.stage("reconstruction.regulate"):
+            region.regulated_loops, region.regulation_stats = regulate_loops(
+                loops, deduped
+            )
+    else:
+        region.regulated_loops = loops
+        region.regulation_stats = {"rule1": 0, "rule2": 0}
+    return region
+
+
+def build_level_region_reference(
+    isolevel: float,
+    reports: Sequence[IsolineReport],
+    bounds: BoundingBox,
+    regulate: bool = True,
+) -> LevelRegion:
+    """Reconstruction composed entirely of the retained scalar reference
+    kernels (pairwise dedupe, per-site-sorted Voronoi, rescanning boundary
+    extraction).  Exists so the differential tests can pin the fast
+    pipeline against it end to end; produces bit-identical regions.
+    """
+    from repro.geometry.voronoi import bounded_voronoi_reference
+
+    deduped = _dedupe_reports_reference(reports)
+    if not deduped:
+        raise ValueError("cannot reconstruct a level without reports")
+
+    sites = [r.position for r in deduped]
+    cells = bounded_voronoi_reference(sites, bounds)
+
+    inner_polys = [_inner_part(c, r) for c, r in zip(cells, deduped)]
+    segments = _boundary_segments_reference(cells, inner_polys, sites)
     loops = stitch_segments_into_loops(segments)
 
     region = LevelRegion(
@@ -245,7 +297,44 @@ def build_level_region(
 
 
 def _dedupe_reports(reports: Sequence[IsolineReport]) -> List[IsolineReport]:
-    """Drop reports whose position coincides with an earlier one."""
+    """Drop reports whose position coincides with an earlier one.
+
+    Spatial-hash pass: kept positions are bucketed on a DEDUPE_TOL-sized
+    grid, so each report only compares against kept reports in its 3x3
+    bucket neighbourhood (any position within DEDUPE_TOL is at most one
+    bucket away).  First-report-wins order is identical to the pairwise
+    :func:`_dedupe_reports_reference`, which the tests pin; expected cost
+    is O(k) instead of O(k^2).
+    """
+    kept: List[IsolineReport] = []
+    buckets: Dict[Tuple[int, int], List[Vec]] = {}
+    inv = 1.0 / DEDUPE_TOL
+    tol_sq = DEDUPE_TOL**2
+    for r in reports:
+        x, y = r.position
+        bx = math.floor(x * inv)
+        by = math.floor(y * inv)
+        coincides = False
+        for kx in (bx - 1, bx, bx + 1):
+            for ky in (by - 1, by, by + 1):
+                for pos in buckets.get((kx, ky), ()):
+                    if dist_sq(r.position, pos) <= tol_sq:
+                        coincides = True
+                        break
+                if coincides:
+                    break
+            if coincides:
+                break
+        if not coincides:
+            kept.append(r)
+            buckets.setdefault((bx, by), []).append(r.position)
+    return kept
+
+
+def _dedupe_reports_reference(
+    reports: Sequence[IsolineReport],
+) -> List[IsolineReport]:
+    """All-pairs dedupe (retained reference for :func:`_dedupe_reports`)."""
     kept: List[IsolineReport] = []
     for r in reports:
         if all(dist_sq(r.position, k.position) > DEDUPE_TOL**2 for k in kept):
@@ -278,7 +367,68 @@ def _boundary_segments(
     - A shared Voronoi edge contributes the portions covered by exactly
       one of the two adjacent inner parts (symmetric difference), found by
       1-D interval subtraction along the bisector line; these are type-2.
+
+    Each inner part's edges are indexed by label once (lazily), so every
+    type-2 edge finds its twin edges in one dict lookup instead of
+    rescanning the neighbour's whole edge list -- O(edges) overall where
+    the retained :func:`_boundary_segments_reference` is O(edges * degree).
+    Hole order within a label follows ``edges()`` order either way, so the
+    interval subtraction (and hence the output) is bit-identical.
     """
+    by_site = {c.site_index: k for k, c in enumerate(cells)}
+    edge_index: List[Optional[Dict[int, List[Tuple[Vec, Vec]]]]] = [None] * len(
+        inner_polys
+    )
+
+    def twins(poly_k: int, label: int) -> List[Tuple[Vec, Vec]]:
+        index = edge_index[poly_k]
+        if index is None:
+            index = {}
+            for c, d, lab in inner_polys[poly_k].edges():
+                index.setdefault(lab, []).append((c, d))
+            edge_index[poly_k] = index
+        return index.get(label, [])
+
+    segments: List[BoundarySegment] = []
+    for k, (cell, inner) in enumerate(zip(cells, inner_polys)):
+        if inner.is_empty:
+            continue
+        i = cell.site_index
+        for a, b, label in inner.edges():
+            if label == CUT_LABEL:
+                segments.append(BoundarySegment(a, b, TYPE1, cell=i))
+            elif label == BORDER_LABEL:
+                segments.append(BoundarySegment(a, b, BORDER, cell=i))
+            else:
+                j = label
+                bisector = _bisector_line(sites[i], sites[j])
+                ta = param_on_line(bisector, a)
+                tb = param_on_line(bisector, b)
+                holes = [
+                    Interval(param_on_line(bisector, c), param_on_line(bisector, d))
+                    for (c, d) in twins(by_site[j], i)
+                ]
+                remaining = subtract_intervals(Interval(ta, tb), holes)
+                for iv in remaining:
+                    segments.append(
+                        BoundarySegment(
+                            _point_at_param(bisector, iv.lo),
+                            _point_at_param(bisector, iv.hi),
+                            TYPE2,
+                            cell=i,
+                            other=j,
+                        )
+                    )
+    return segments
+
+
+def _boundary_segments_reference(
+    cells: List[VoronoiCell],
+    inner_polys: List[ConvexPolygon],
+    sites: List[Vec],
+) -> List[BoundarySegment]:
+    """Rescanning extraction (retained reference for
+    :func:`_boundary_segments`)."""
     by_site = {c.site_index: k for k, c in enumerate(cells)}
     segments: List[BoundarySegment] = []
 

@@ -20,6 +20,11 @@ while keeping three guarantees the figure drivers rely on:
   under a SHA-256 of (function identity, kwargs); re-running a sweep
   recomputes only missing points.  The cache key deliberately excludes
   anything environmental, so a cache can be shared across machines.
+
+When stage profiling is enabled in the parent process (see
+:mod:`repro.profiling`), worker processes run their points with
+profiling on and ship a stage snapshot back with each result; the parent
+merges the snapshots, so ``--profile`` tables cover all workers.
 """
 
 from __future__ import annotations
@@ -30,6 +35,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro import profiling
 
 #: A sweep-point function: picklable top-level callable returning a
 #: JSON-able dict of measurements for one (configuration, seed) point.
@@ -92,6 +99,15 @@ def run_sweep(
     if jobs == 1 or len(todo) <= 1:
         for i in todo:
             results[i] = points[i].fn(**points[i].kwargs)
+    elif profiling.is_enabled():
+        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+            futures = [
+                (i, pool.submit(_invoke_profiled, points[i].fn, points[i].kwargs))
+                for i in todo
+            ]
+            for i, fut in futures:
+                results[i], snap = fut.result()
+                profiling.merge_snapshot(snap)
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
             futures = [
@@ -154,6 +170,23 @@ def seed_mean(group: Sequence[Dict[str, Any]], key: str) -> float:
 
 def _invoke(fn: PointFn, kwargs: Dict[str, Any]) -> Dict[str, Any]:
     return fn(**kwargs)
+
+
+def _invoke_profiled(fn: PointFn, kwargs: Dict[str, Any]):
+    """Worker-side wrapper: run the point with profiling on and return
+    ``(result, stage snapshot)`` for the parent to merge.
+
+    Workers are fresh processes (or at least ran other points through
+    this same wrapper), so the snapshot is reset per point to avoid
+    double-counting when an executor reuses a worker.
+    """
+    profiling.reset()
+    profiling.enable()
+    try:
+        result = fn(**kwargs)
+    finally:
+        profiling.disable()
+    return result, profiling.snapshot()
 
 
 def _cache_path(cache_dir: str, key: str) -> str:

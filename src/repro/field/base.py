@@ -58,7 +58,29 @@ class ScalarField(abc.ABC):
 
         Returns an array of shape ``(ny, nx)`` with ``[j, i]`` the value at
         the centre of raster cell ``(i, j)`` (x-index i, y-index j).
+
+        Fields are immutable by construction, so the sampled grid is
+        memoised per resolution: the evaluation pipeline asks for the same
+        ground-truth raster once per isolevel and once per protocol under
+        comparison, and re-evaluating ``value`` point by point dominated
+        the Fig. 11/12 sweeps before this cache.  The returned array is
+        marked read-only because it is shared between callers.
         """
+        cache = self.__dict__.setdefault("_sample_grid_cache", {})
+        key = (int(nx), int(ny))
+        hit = cache.get(key)
+        if hit is None:
+            from repro import profiling
+
+            with profiling.stage("field.sample_grid"):
+                hit = self._sample_grid(nx, ny)
+            hit.setflags(write=False)
+            cache[key] = hit
+        return hit
+
+    def _sample_grid(self, nx: int, ny: int) -> np.ndarray:
+        """Uncached grid evaluation; subclasses with a vectorized (and
+        bit-compatible) evaluation override this, not :meth:`sample_grid`."""
         b = self.bounds
         dx = b.width / nx
         dy = b.height / ny

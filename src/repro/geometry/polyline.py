@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.geometry.primitives import Vec, dist
 
 #: Segment kind labels used by the reconstruction pipeline.
@@ -78,6 +80,48 @@ def resample_polyline(points: Sequence[Vec], spacing: float) -> List[Vec]:
             out.append((a[0] + f * (b[0] - a[0]), a[1] + f * (b[1] - a[1])))
             t += spacing
         carried = (carried + seg_len) % spacing
+    if out[-1] != points[-1]:
+        out.append(points[-1])
+    return out
+
+
+def resample_polyline_fast(points: Sequence[Vec], spacing: float) -> List[Vec]:
+    """Vectorized :func:`resample_polyline` (cumulative-arclength sampling).
+
+    Mathematically identical to the scalar walk -- samples sit at global
+    arclengths ``spacing, 2 * spacing, ...`` plus the first and last input
+    points -- but the interpolation is evaluated in one NumPy pass.  The
+    two implementations can differ by one boundary sample (and by ULPs in
+    sample positions) when a sample lands exactly on a vertex, which the
+    differential tests bound; the Hausdorff metric is insensitive to it.
+    """
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    n = len(points)
+    if n == 0:
+        return []
+    if n == 1:
+        return [points[0]]
+    pts = np.asarray(points, dtype=float)
+    dx = np.diff(pts[:, 0])
+    dy = np.diff(pts[:, 1])
+    seg = np.hypot(dx, dy)
+    cum = np.concatenate(([0.0], np.cumsum(seg)))
+    total = float(cum[-1])
+    out: List[Vec] = [points[0]]
+    if total > 0.0:
+        k = int(total / spacing)
+        s = spacing * np.arange(1, k + 1)
+        s = s[s <= total]
+        if len(s):
+            # Segment owning each sample: first i with cum[i] >= s, minus 1.
+            idx = np.searchsorted(cum, s, side="left") - 1
+            idx = np.clip(idx, 0, len(seg) - 1)
+            f = (s - cum[idx]) / np.where(seg[idx] > 0, seg[idx], 1.0)
+            f = np.clip(f, 0.0, 1.0)
+            px = pts[idx, 0] + f * dx[idx]
+            py = pts[idx, 1] + f * dy[idx]
+            out.extend(zip(px.tolist(), py.tolist()))
     if out[-1] != points[-1]:
         out.append(points[-1])
     return out

@@ -14,8 +14,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.geometry.polygon import BORDER_LABEL, ConvexPolygon, HalfPlane
-from repro.geometry.primitives import BoundingBox, Vec, dist, dist_sq
+from repro.geometry.primitives import EPS, BoundingBox, Vec, dist, dist_sq
+
+#: Site count above which :func:`bounded_voronoi` switches from the
+#: per-site Python sort to the blocked NumPy candidate prefilter.  Both
+#: paths produce bit-identical diagrams (the differential tests pin it);
+#: the threshold only marks where the array setup starts paying off.
+_BATCH_MIN_SITES = 48
+
+#: Float budget for one block of the pairwise distance matrix (~32 MB).
+_PREFILTER_BLOCK_FLOATS = 1 << 22
+
+#: How many scalar clips to run between vectorized no-op prunes in
+#: :func:`_clip_cell_filtered`.  Smaller values prune more aggressively
+#: (fewer wasted scalar no-op clips) at the cost of more NumPy passes;
+#: the output is bit-identical for any value.
+_PRUNE_EVERY = 16
 
 
 @dataclass
@@ -48,9 +65,21 @@ def bounded_voronoi(sites: Sequence[Vec], box: BoundingBox) -> List[VoronoiCell]
     The construction clips each site's cell against other sites in order of
     increasing distance and stops as soon as the remaining sites are too far
     to affect the cell (farther than twice the current circumradius) -- the
-    standard early-exit that makes the whole diagram roughly
-    O(m * k log m) for m sites with k average neighbours.
+    standard early-exit that makes each cell cost O(local neighbours)
+    clips.  Above :data:`_BATCH_MIN_SITES` the distance ordering (the
+    O(m^2) part) comes from a blocked NumPy prefilter instead of one
+    Python sort per site; outputs are bit-identical either way.
     """
+    if len(sites) < _BATCH_MIN_SITES:
+        return bounded_voronoi_reference(sites, box)
+    return bounded_voronoi_batched(sites, box)
+
+
+def bounded_voronoi_reference(
+    sites: Sequence[Vec], box: BoundingBox
+) -> List[VoronoiCell]:
+    """Per-site scalar construction (retained reference for the batched
+    path; see :func:`bounded_voronoi`)."""
     m = len(sites)
     cells: List[VoronoiCell] = []
     if m == 0:
@@ -58,26 +87,154 @@ def bounded_voronoi(sites: Sequence[Vec], box: BoundingBox) -> List[VoronoiCell]
     _check_distinct(sites)
 
     for i, site in enumerate(sites):
-        if not box.contains(site, tol=1e-6):
-            raise ValueError(f"site {i} at {site} lies outside the bounding box")
-        poly = ConvexPolygon.from_box(box.xmin, box.ymin, box.xmax, box.ymax)
         others = sorted(
             (j for j in range(m) if j != i), key=lambda j: dist_sq(site, sites[j])
         )
-        for j in others:
-            d = dist(site, sites[j])
-            # A site farther than twice the current circumradius cannot cut
-            # the cell: every cell point is within circumradius of `site`,
-            # hence closer to `site` than to `sites[j]`.
-            if d > 2.0 * poly.max_vertex_distance(site) + 1e-12:
-                break
-            hp = HalfPlane.bisector(site, sites[j])
-            poly = poly.clip(hp, j)
-            if poly.is_empty:
-                break
-        neighbors = {lab for lab in poly.labels if lab != BORDER_LABEL}
-        cells.append(VoronoiCell(i, site, poly, neighbors))
+        cells.append(_clip_cell(i, site, sites, box, others))
     return cells
+
+
+def bounded_voronoi_batched(
+    sites: Sequence[Vec], box: BoundingBox
+) -> List[VoronoiCell]:
+    """Prefiltered construction, bit-identical to the reference.
+
+    Two ingredients:
+
+    1. Candidate *order*: pairwise squared distances are evaluated
+       block-by-block (bounded scratch) and stable-argsorted,
+       reproducing exactly the per-site ``sorted(..., key=dist_sq)``
+       order of the reference including its tie-breaking (ascending
+       site index).
+
+    2. Candidate *pruning*: per cell, a vectorized no-op test replaces
+       the scalar clip-everything loop (see :func:`_clip_cell_filtered`).
+
+    So each cell pays O(local neighbours) scalar clips plus a few
+    array passes, instead of up to O(m) Python clip calls.
+    """
+    m = len(sites)
+    cells: List[VoronoiCell] = []
+    if m == 0:
+        return cells
+    _check_distinct(sites)
+
+    arr = np.asarray(sites, dtype=float)
+    xs = arr[:, 0]
+    ys = arr[:, 1]
+    block = max(1, _PREFILTER_BLOCK_FLOATS // m)
+    for lo in range(0, m, block):
+        hi = min(lo + block, m)
+        chunk = arr[lo:hi]
+        d2 = (chunk[:, 0:1] - xs[None, :]) ** 2
+        d2 += (chunk[:, 1:2] - ys[None, :]) ** 2
+        # Self-distance sorts last instead of being removed, keeping row
+        # lengths uniform; the no-op test never selects it (violation 0).
+        d2[np.arange(hi - lo), np.arange(lo, hi)] = np.inf
+        order = np.argsort(d2, axis=1, kind="stable")
+        for i in range(lo, hi):
+            cells.append(
+                _clip_cell_filtered(i, sites[i], box, order[i - lo], xs, ys)
+            )
+    return cells
+
+
+def _clip_cell_filtered(
+    i: int,
+    site: Vec,
+    box: BoundingBox,
+    cand: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
+) -> VoronoiCell:
+    """Clip one cell, pruning candidates whose clip provably cannot change it.
+
+    ``ConvexPolygon.clip`` returns ``self`` (the very same object)
+    whenever every vertex satisfies ``signed_violation(v) <= EPS``.  That
+    violation -- ``nx*vx + ny*vy - offset`` with ``n = other - site`` and
+    ``offset = n . midpoint`` -- is plain elementwise arithmetic, so
+    evaluating it for all remaining candidates at once in NumPy yields
+    bit-for-bit the numbers the scalar clip would compute.  Every
+    :data:`_PRUNE_EVERY` clips we re-test the remaining candidates
+    against the current polygon and permanently drop the no-ops
+    (clipping only shrinks the cell, and the violation of any new vertex
+    is a convex combination of old-vertex violations, so a no-op stays a
+    no-op forever); survivors between prunes go through the ordinary
+    scalar clip, which handles any that became no-ops mid-batch.
+
+    This reproduces the reference cell exactly: dropped candidates would
+    have returned the polygon unchanged, and candidates beyond the
+    reference's circumradius early-exit are mathematically inside by a
+    margin (``(d/2 - R) * d``, at least ~1e-11 for the 1e-12 exit slack)
+    that dwarfs both float rounding and the EPS test slack, so the fast
+    path never clips a candidate the reference would have skipped.
+    """
+    if not box.contains(site, tol=1e-6):
+        raise ValueError(f"site {i} at {site} lies outside the bounding box")
+    poly = ConvexPolygon.from_box(box.xmin, box.ymin, box.xmax, box.ymax)
+    sx, sy = site
+    # Bisector half-plane coefficients for every candidate, computed with
+    # the exact operation order of HalfPlane.bisector.
+    nx = xs[cand] - sx
+    ny = ys[cand] - sy
+    mx = (sx + xs[cand]) / 2.0
+    my = (sy + ys[cand]) / 2.0
+    off = nx * mx + ny * my
+
+    idx = np.arange(len(cand))
+    pos = 0  # next unprocessed survivor
+    since_prune = _PRUNE_EVERY  # force a prune before the first clip
+    while pos < len(idx) and not poly.is_empty:
+        if since_prune >= _PRUNE_EVERY:
+            verts = np.asarray(poly.vertices)
+            rest = idx[pos:]
+            viol = nx[rest, None] * verts[None, :, 0]
+            viol += ny[rest, None] * verts[None, :, 1]
+            viol -= off[rest, None]
+            idx = rest[(viol > EPS).any(axis=1)]
+            pos = 0
+            since_prune = 0
+            continue
+        k = int(idx[pos])
+        pos += 1
+        since_prune += 1
+        hp = HalfPlane((float(nx[k]), float(ny[k])), float(off[k]))
+        poly = poly.clip(hp, int(cand[k]))
+    neighbors = {lab for lab in poly.labels if lab != BORDER_LABEL}
+    return VoronoiCell(i, site, poly, neighbors)
+
+
+def _clip_cell(
+    i: int,
+    site: Vec,
+    sites: Sequence[Vec],
+    box: BoundingBox,
+    candidates: Sequence[int],
+) -> VoronoiCell:
+    """Clip one site's cell against ``candidates`` (nearest first).
+
+    ``candidates`` may include ``i`` itself at the far end (the batched
+    prefilter leaves it with infinite distance); the early exit stops
+    before it can matter.
+    """
+    if not box.contains(site, tol=1e-6):
+        raise ValueError(f"site {i} at {site} lies outside the bounding box")
+    poly = ConvexPolygon.from_box(box.xmin, box.ymin, box.xmax, box.ymax)
+    for j in candidates:
+        if j == i:
+            continue
+        d = dist(site, sites[j])
+        # A site farther than twice the current circumradius cannot cut
+        # the cell: every cell point is within circumradius of `site`,
+        # hence closer to `site` than to `sites[j]`.
+        if d > 2.0 * poly.max_vertex_distance(site) + 1e-12:
+            break
+        hp = HalfPlane.bisector(site, sites[j])
+        poly = poly.clip(hp, j)
+        if poly.is_empty:
+            break
+    neighbors = {lab for lab in poly.labels if lab != BORDER_LABEL}
+    return VoronoiCell(i, site, poly, neighbors)
 
 
 def cells_by_site(cells: Sequence[VoronoiCell]) -> Dict[int, VoronoiCell]:

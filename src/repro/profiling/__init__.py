@@ -1,0 +1,192 @@
+"""Per-stage wall-clock profiling of the sink-side pipeline.
+
+The reconstruction and evaluation code is instrumented with named stages
+(``voronoi``, ``hausdorff``, ``marching_squares``, ...).  Profiling is
+*off* by default and the instrumentation is designed to cost nothing in
+that state: :func:`stage` returns a shared no-op context manager and the
+:func:`profiled` decorator wraps functions in a two-branch shim whose
+disabled path is a single global check.
+
+Usage::
+
+    from repro import profiling
+
+    profiling.enable()
+    ...  # run the pipeline
+    print(profiling.format_table())
+
+The CLI exposes this as ``python -m repro experiment <id> --profile`` and
+the sweep runner merges worker-process snapshots back into the parent
+(see :mod:`repro.experiments.runner`).
+
+Counters are per-process and not thread-safe; the pipeline is
+single-threaded per process (parallelism happens across sweep-point
+worker processes).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "stage",
+    "profiled",
+    "snapshot",
+    "merge_snapshot",
+    "format_table",
+]
+
+#: Global profiling switch.  Checked once per instrumented call.
+_enabled: bool = False
+
+#: ``stage name -> (total seconds, call count)``.
+_stats: Dict[str, List[float]] = {}
+
+F = TypeVar("F", bound=Callable)
+
+
+def enable() -> None:
+    """Turn stage timing on (counters keep accumulating until reset)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn stage timing off.  Recorded stats are kept."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Drop all recorded stats."""
+    _stats.clear()
+
+
+def _record(name: str, seconds: float) -> None:
+    entry = _stats.get(name)
+    if entry is None:
+        _stats[name] = [seconds, 1]
+    else:
+        entry[0] += seconds
+        entry[1] += 1
+
+
+class _StageTimer:
+    """Context manager that records one timed run of a named stage."""
+
+    __slots__ = ("_name", "_t0")
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __enter__(self) -> "_StageTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _record(self._name, time.perf_counter() - self._t0)
+
+
+class _NoopTimer:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NOOP = _NoopTimer()
+
+
+def stage(name: str):
+    """Context manager timing one named stage (no-op when disabled).
+
+    ::
+
+        with profiling.stage("voronoi"):
+            cells = bounded_voronoi(sites, box)
+    """
+    if not _enabled:
+        return _NOOP
+    return _StageTimer(name)
+
+
+def profiled(name: str) -> Callable[[F], F]:
+    """Decorator form of :func:`stage`.
+
+    The disabled fast path is one global-flag check before delegating, so
+    decorating hot functions is safe.
+    """
+
+    def deco(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            t0 = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                _record(name, time.perf_counter() - t0)
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco
+
+
+def snapshot() -> Dict[str, Tuple[float, int]]:
+    """A copy of the accumulated stats: ``name -> (seconds, calls)``.
+
+    The dict is JSON-friendly (tuples serialise as lists) so worker
+    processes can ship it back to the parent for :func:`merge_snapshot`.
+    """
+    return {name: (entry[0], entry[1]) for name, entry in _stats.items()}
+
+
+def merge_snapshot(snap: Dict[str, Tuple[float, int]]) -> None:
+    """Fold another process's :func:`snapshot` into this one's counters."""
+    for name, (seconds, calls) in snap.items():
+        entry = _stats.get(name)
+        if entry is None:
+            _stats[name] = [float(seconds), int(calls)]
+        else:
+            entry[0] += float(seconds)
+            entry[1] += int(calls)
+
+
+def format_table(title: Optional[str] = "stage profile") -> str:
+    """The accumulated stats as an aligned text table, slowest first."""
+    if not _stats:
+        return "(no stages recorded -- was profiling enabled?)"
+    rows = sorted(_stats.items(), key=lambda kv: kv[1][0], reverse=True)
+    name_w = max(len("stage"), max(len(n) for n, _ in rows))
+    total = sum(e[0] for _, e in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'stage':<{name_w}} {'total ms':>10} {'calls':>8} {'ms/call':>10} {'share':>7}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, (seconds, calls) in rows:
+        ms = seconds * 1e3
+        share = seconds / total if total > 0 else 0.0
+        lines.append(
+            f"{name:<{name_w}} {ms:>10.2f} {calls:>8d} {ms / calls:>10.3f} {share:>6.1%}"
+        )
+    lines.append("-" * len(header))
+    lines.append(f"{'(sum of stages)':<{name_w}} {total * 1e3:>10.2f}")
+    return "\n".join(lines)

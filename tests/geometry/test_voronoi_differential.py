@@ -1,0 +1,128 @@
+"""Differential tests: batched Voronoi construction vs the scalar reference.
+
+``bounded_voronoi_batched`` replaces the per-site Python sort with a
+blocked NumPy prefilter and prunes provably-no-op clips with a vectorized
+signed-violation test.  Both transformations are argued bit-exact in the
+module docstrings; these tests *pin* that argument on adversarial site
+sets -- uniform scatter, sites on a closed curve (sliver cells whose
+clipping the early exit barely helps), exact-tie lattices (the stable
+argsort must reproduce Python ``sorted`` tie-breaking), and clusters.
+
+Equality is exact -- vertex tuples, edge labels and neighbor sets must
+match float-for-float, the same discipline as the network-layer
+differential tests.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import BoundingBox
+from repro.geometry.voronoi import (
+    _BATCH_MIN_SITES,
+    bounded_voronoi,
+    bounded_voronoi_batched,
+    bounded_voronoi_reference,
+    total_cell_area,
+)
+
+BOX = BoundingBox(0, 0, 50, 50)
+
+
+def uniform_sites(m, seed):
+    rng = random.Random(seed)
+    return [(rng.uniform(0.5, 49.5), rng.uniform(0.5, 49.5)) for _ in range(m)]
+
+
+def curve_sites(m, seed=0):
+    """Sites on a wiggly closed curve: the realistic Iso-Map shape and the
+    adversarial one (sliver cells meeting at the medial axis)."""
+    rng = random.Random(seed)
+    out = []
+    for k in range(m):
+        ang = 2 * math.pi * k / m + rng.uniform(-0.5, 0.5) * math.pi / m
+        r = 15 + 4 * math.sin(5 * ang) + rng.uniform(-0.3, 0.3)
+        out.append((25 + r * math.cos(ang), 25 + r * math.sin(ang)))
+    return out
+
+
+def lattice_sites(side, jitter=0.0, seed=0):
+    """Regular lattice: every interior site has 4-8 *exactly* equidistant
+    neighbours, exercising the sort's tie-breaking on every row."""
+    rng = random.Random(seed)
+    step = 50.0 / (side + 1)
+    return [
+        (step * (i + 1) + rng.uniform(-jitter, jitter),
+         step * (j + 1) + rng.uniform(-jitter, jitter))
+        for j in range(side)
+        for i in range(side)
+    ]
+
+
+def cluster_sites(m, seed):
+    rng = random.Random(seed)
+    centers = [(12, 12), (38, 12), (25, 40)]
+    out = []
+    for k in range(m):
+        cx, cy = centers[k % len(centers)]
+        out.append((cx + rng.gauss(0, 2.5), cy + rng.gauss(0, 2.5)))
+    return [(min(49.5, max(0.5, x)), min(49.5, max(0.5, y))) for x, y in out]
+
+
+def assert_cells_identical(got, want):
+    assert len(got) == len(want)
+    for cg, cw in zip(got, want):
+        assert cg.site_index == cw.site_index
+        assert cg.site == cw.site
+        assert cg.polygon.vertices == cw.polygon.vertices
+        assert cg.polygon.labels == cw.polygon.labels
+        assert cg.neighbors == cw.neighbors
+
+
+@pytest.mark.parametrize(
+    "sites",
+    [
+        uniform_sites(_BATCH_MIN_SITES, seed=1),
+        uniform_sites(90, seed=2),
+        uniform_sites(170, seed=3),
+        curve_sites(150),
+        lattice_sites(9),           # 81 sites, exact ties everywhere
+        lattice_sites(8, jitter=1e-3, seed=4),
+        cluster_sites(120, seed=5),
+    ],
+    ids=["uniform-min", "uniform-90", "uniform-170", "curve", "lattice-exact",
+         "lattice-jitter", "clusters"],
+)
+def test_batched_matches_reference_exactly(sites):
+    assert_cells_identical(
+        bounded_voronoi_batched(sites, BOX), bounded_voronoi_reference(sites, BOX)
+    )
+
+
+def test_dispatch_is_equivalent_across_threshold():
+    for m in (_BATCH_MIN_SITES - 1, _BATCH_MIN_SITES, _BATCH_MIN_SITES + 1):
+        sites = uniform_sites(m, seed=m)
+        assert_cells_identical(
+            bounded_voronoi(sites, BOX), bounded_voronoi_reference(sites, BOX)
+        )
+
+
+def test_batched_partitions_box():
+    cells = bounded_voronoi_batched(curve_sites(100, seed=7), BOX)
+    assert total_cell_area(cells) == pytest.approx(BOX.width * BOX.height, rel=1e-9)
+    assert all(not c.polygon.is_empty for c in cells)
+
+
+def test_batched_rejects_coincident_sites():
+    sites = uniform_sites(60, seed=9)
+    sites.append(sites[17])
+    with pytest.raises(ValueError, match="coincident"):
+        bounded_voronoi_batched(sites, BOX)
+
+
+def test_batched_rejects_site_outside_box():
+    sites = uniform_sites(60, seed=10)
+    sites[30] = (55.0, 25.0)
+    with pytest.raises(ValueError, match="outside"):
+        bounded_voronoi_batched(sites, BOX)

@@ -1,0 +1,73 @@
+"""Golden-snapshot test for the Fig. 10 contour maps.
+
+``golden/fig10_map.json`` was captured from the pre-vectorization
+implementation: the per-protocol report counts and accuracies at two
+densities (``float.hex`` strings) plus SHA-256 digests of the rendered
+band rasters, ground truth included.  The vectorized sink pipeline must
+reproduce every byte of it -- this is the acceptance check that the
+reconstruction/evaluation rewrite changed *nothing* observable in the
+paper's headline figure.
+
+The density-4 panel (10000 nodes) is deliberately left out of the golden
+config to keep the test's runtime reasonable; the two retained panels
+cover both deployment regimes (dense random/grid and sparse).
+"""
+
+import hashlib
+import json
+import pathlib
+
+from repro.experiments.fig10_maps import run_fig10
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "fig10_map.json"
+
+
+def snapshot_fig10(config):
+    """Re-run Fig. 10 for ``config`` and serialise it golden-style."""
+    result = run_fig10(
+        densities=[tuple(d) for d in config["densities"]],
+        seed=config["seed"],
+        raster=config["raster"],
+        collect_rasters=True,
+    )
+    rows = [
+        {
+            "accuracy": float.hex(float(r["accuracy"])),
+            "density": float.hex(float(r["density"])),
+            "n_nodes": int(r["n_nodes"]),
+            "protocol": r["protocol"],
+            "reports_at_sink": int(r["reports_at_sink"]),
+        }
+        for r in result.rows
+    ]
+    hashes = {
+        f"{proto}|{density}": hashlib.sha256(arr.tobytes()).hexdigest()
+        for (proto, density), arr in result.rasters.items()
+    }
+    return {
+        "densities": [list(d) for d in config["densities"]],
+        "raster": config["raster"],
+        "raster_sha256": hashes,
+        "rows": rows,
+        "seed": config["seed"],
+    }
+
+
+def test_fig10_matches_golden_snapshot():
+    golden = json.loads(GOLDEN.read_text())
+    fresh = snapshot_fig10(
+        {k: golden[k] for k in ("densities", "raster", "seed")}
+    )
+    # Piecewise first for readable failures, then the full-dict check.
+    assert fresh["raster_sha256"] == golden["raster_sha256"]
+    assert fresh["rows"] == golden["rows"]
+    assert fresh == golden
+
+
+def test_fig10_golden_file_sanity():
+    golden = json.loads(GOLDEN.read_text())
+    assert golden["raster"] >= 64
+    assert any(key.startswith("truth|") for key in golden["raster_sha256"])
+    assert len(golden["rows"]) == 2 * len(golden["densities"])
+    for digest in golden["raster_sha256"].values():
+        assert len(digest) == 64

@@ -1,0 +1,142 @@
+"""Unit tests for the stage-profiling harness.
+
+The contract the instrumented pipeline relies on: disabled profiling is
+free (a shared no-op object, no stats mutation), enabled profiling
+accumulates per-stage totals/counts, and worker snapshots merge
+additively into the parent's counters.
+"""
+
+import time
+
+import pytest
+
+from repro import profiling
+
+
+@pytest.fixture(autouse=True)
+def clean_profiling_state():
+    profiling.disable()
+    profiling.reset()
+    yield
+    profiling.disable()
+    profiling.reset()
+
+
+class TestDisabledPath:
+    def test_stage_returns_shared_noop(self):
+        assert profiling.stage("a") is profiling.stage("b")
+
+    def test_nothing_recorded_when_disabled(self):
+        with profiling.stage("quiet"):
+            pass
+        assert profiling.snapshot() == {}
+
+    def test_decorator_passes_through(self):
+        @profiling.profiled("fn")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert profiling.snapshot() == {}
+
+    def test_format_table_empty_message(self):
+        assert "no stages recorded" in profiling.format_table()
+
+
+class TestEnabledPath:
+    def test_stage_records_time_and_calls(self):
+        profiling.enable()
+        for _ in range(3):
+            with profiling.stage("work"):
+                time.sleep(0.001)
+        snap = profiling.snapshot()
+        seconds, calls = snap["work"]
+        assert calls == 3
+        assert seconds >= 0.003
+
+    def test_decorator_records_and_preserves_result(self):
+        profiling.enable()
+
+        @profiling.profiled("fn")
+        def mul(a, b):
+            return a * b
+
+        assert mul(6, 7) == 42
+        assert mul.__name__ == "mul"
+        assert profiling.snapshot()["fn"][1] == 1
+
+    def test_decorator_records_on_exception(self):
+        profiling.enable()
+
+        @profiling.profiled("boom")
+        def explode():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            explode()
+        assert profiling.snapshot()["boom"][1] == 1
+
+    def test_nested_stages_both_recorded(self):
+        profiling.enable()
+        with profiling.stage("outer"):
+            with profiling.stage("inner"):
+                pass
+        snap = profiling.snapshot()
+        assert snap["outer"][1] == 1
+        assert snap["inner"][1] == 1
+
+    def test_disable_keeps_stats_reset_clears(self):
+        profiling.enable()
+        with profiling.stage("kept"):
+            pass
+        profiling.disable()
+        assert "kept" in profiling.snapshot()
+        profiling.reset()
+        assert profiling.snapshot() == {}
+
+    def test_is_enabled_tracks_switch(self):
+        assert not profiling.is_enabled()
+        profiling.enable()
+        assert profiling.is_enabled()
+        profiling.disable()
+        assert not profiling.is_enabled()
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters(self):
+        profiling.enable()
+        with profiling.stage("shared"):
+            pass
+        profiling.merge_snapshot({"shared": (0.5, 4), "worker_only": (0.25, 2)})
+        snap = profiling.snapshot()
+        assert snap["shared"][1] == 5
+        assert snap["shared"][0] >= 0.5
+        assert snap["worker_only"] == (0.25, 2)
+
+    def test_merge_accepts_json_roundtrip_shape(self):
+        # Worker snapshots cross a pickle/JSON boundary as lists.
+        profiling.merge_snapshot({"s": [0.125, 3]})
+        assert profiling.snapshot()["s"] == (0.125, 3)
+
+    def test_snapshot_is_a_copy(self):
+        profiling.enable()
+        with profiling.stage("iso"):
+            pass
+        snap = profiling.snapshot()
+        snap["iso"] = (999.0, 999)
+        assert profiling.snapshot()["iso"] != (999.0, 999)
+
+
+class TestFormatTable:
+    def test_table_contains_stages_and_totals(self):
+        profiling.merge_snapshot({"slow": (0.75, 3), "fast": (0.25, 5)})
+        table = profiling.format_table("my title")
+        assert "my title" in table
+        assert "slow" in table and "fast" in table
+        assert "(sum of stages)" in table
+        # Slowest first.
+        assert table.index("slow") < table.index("fast")
+
+    def test_title_can_be_suppressed(self):
+        profiling.merge_snapshot({"s": (0.1, 1)})
+        assert not profiling.format_table(title=None).startswith("stage profile")
