@@ -40,6 +40,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         run_lossy_links,
     )
     from repro.experiments.fig07_gradient_error import run_fig07
+    from repro.experiments.fig_continuous import run_fig_continuous
     from repro.experiments.fig_faults import run_fig_faults
     from repro.experiments.fig10_maps import run_fig10
     from repro.experiments.fig11_accuracy import run_fig11a, run_fig11b
@@ -75,6 +76,9 @@ def _experiment_registry() -> Dict[str, Callable]:
         ),
         "fig15": lambda jobs, cache: run_fig15(seeds=(1,)),
         "fig16": lambda jobs, cache: run_fig16(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig_continuous": lambda jobs, cache: run_fig_continuous(
             seeds=(1,), jobs=jobs, cache_dir=cache
         ),
         "fig_faults": lambda jobs, cache: run_fig_faults(

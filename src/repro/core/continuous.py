@@ -13,7 +13,11 @@ report cache at the sink:
   by more than ``angle_delta_deg``;
 - a node that stops being an isoline node sends a small *retraction*
   (its position only), and the sink evicts the cached report;
-- the sink rebuilds the contour map from the cache each epoch.
+- the sink updates the contour map from the cache each epoch -- by
+  default *incrementally*, splicing the delta into a retained per-level
+  map (:class:`repro.core.contour_map.SinkReconstructor`, bit-identical
+  to a from-scratch rebuild) rather than paying the full Voronoi +
+  boundary cost for the mostly-unchanged remainder.
 
 In steady state traffic collapses to the churn rate; after a local event
 only the affected stretch of isolines re-reports.  This is the natural
@@ -29,9 +33,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.core.contour_map import ContourMap, build_contour_map
+from repro.core.contour_map import ContourMap, SinkReconstructor, build_contour_map
 from repro.core.detection import detect_isoline_nodes
 from repro.core.protocol import IsoMapProtocol
 from repro.core.query import ContourQuery
@@ -75,6 +79,13 @@ class ContinuousIsoMap:
             a node re-reports; the value trade-off mirrors the filter's
             ``s_a``.
         regulate: apply boundary regulation when rebuilding maps.
+        incremental: when True (default) the sink applies each epoch's
+            delta to a retained per-level map via
+            :class:`~repro.core.contour_map.SinkReconstructor` instead of
+            rebuilding from scratch; the resulting maps are bit-identical
+            either way (the reconstructor's contract).
+        full_rebuild_threshold: dirty-cell fraction above which the
+            incremental sink falls back to a full per-level rebuild.
     """
 
     def __init__(
@@ -82,20 +93,36 @@ class ContinuousIsoMap:
         query: ContourQuery,
         angle_delta_deg: float = 10.0,
         regulate: bool = True,
+        incremental: bool = True,
+        full_rebuild_threshold: float = 0.35,
     ):
         if angle_delta_deg < 0:
             raise ValueError("angle_delta_deg must be non-negative")
         self.query = query
         self.angle_delta_rad = math.radians(angle_delta_deg)
         self.regulate = regulate
+        self.incremental = incremental
+        self.full_rebuild_threshold = full_rebuild_threshold
         self._protocol = IsoMapProtocol(query, regulate=regulate)
         self._node_state: Dict[int, IsolineReport] = {}
         self._sink_cache: Dict[int, IsolineReport] = {}
+        self._reconstructor: Optional[SinkReconstructor] = None
         self._first_epoch = True
 
     @property
     def cache_size(self) -> int:
         return len(self._sink_cache)
+
+    @property
+    def sink_reports(self) -> List[IsolineReport]:
+        """The sink's current cached reports (insertion-ordered)."""
+        return list(self._sink_cache.values())
+
+    @property
+    def reconstructor(self) -> Optional[SinkReconstructor]:
+        """The incremental sink state (None before the first epoch, or
+        when running with ``incremental=False``)."""
+        return self._reconstructor
 
     def epoch(self, network: SensorNetwork) -> EpochResult:
         """Run one sensing epoch and return the delta outcome."""
@@ -139,13 +166,26 @@ class ContinuousIsoMap:
         costs.reports_delivered = len(delivered_reports)
 
         sink_node = network.nodes[network.sink_index]
-        contour_map = build_contour_map(
-            list(self._sink_cache.values()),
-            self.query.isolevels,
-            network.bounds,
-            sink_value=sink_node.value if sink_node.can_sense else None,
-            regulate=self.regulate,
-        )
+        sink_value = sink_node.value if sink_node.can_sense else None
+        if self.incremental:
+            if self._reconstructor is None:
+                self._reconstructor = SinkReconstructor(
+                    self.query.isolevels,
+                    network.bounds,
+                    regulate=self.regulate,
+                    full_rebuild_threshold=self.full_rebuild_threshold,
+                )
+            contour_map = self._reconstructor.reconstruct(
+                list(self._sink_cache.values()), sink_value=sink_value
+            )
+        else:
+            contour_map = build_contour_map(
+                list(self._sink_cache.values()),
+                self.query.isolevels,
+                network.bounds,
+                sink_value=sink_value,
+                regulate=self.regulate,
+            )
         return EpochResult(
             contour_map=contour_map,
             costs=costs,

@@ -18,12 +18,18 @@ is a sensor too).
 
 from __future__ import annotations
 
+import time
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.reconstruction import LevelRegion, build_level_region
+from repro.core.reconstruction import (
+    LevelRegion,
+    ReconstructionCache,
+    build_level_region,
+)
 from repro.core.reports import IsolineReport
 from repro.geometry import BoundingBox, Vec
 
@@ -153,3 +159,102 @@ def build_contour_map(
                 cmap.full_levels.append(v)
             # else: empty region -- the level is simply absent.
     return cmap
+
+
+class SinkReconstructor:
+    """Stateful multi-level map assembly across monitoring epochs.
+
+    Drop-in incremental counterpart of :func:`build_contour_map`: one
+    :class:`~repro.core.reconstruction.ReconstructionCache` per queried
+    isolevel, the same per-level grouping, and the same empty-level
+    inference (full vs. absent), so :meth:`reconstruct` returns a map
+    bit-identical to a from-scratch build of the same reports -- the
+    differential tests pin this across drift and storm epoch sequences.
+
+    Level membership is part of the per-level diff: reports are grouped
+    by their *current* isolevel each epoch, so a source whose value
+    crosses to a different level simply stops appearing in the old
+    level's group and is evicted there as a retraction-like removal
+    (and a level whose group empties entirely has its cache reset).
+    A source can therefore never leave a stale cell behind on a level
+    it no longer belongs to.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[float],
+        bounds: BoundingBox,
+        regulate: bool = True,
+        full_rebuild_threshold: float = 0.35,
+    ):
+        self.levels = sorted(levels)
+        self.bounds = bounds
+        self.regulate = regulate
+        self._caches: Dict[float, ReconstructionCache] = {
+            v: ReconstructionCache(
+                v,
+                bounds,
+                regulate=regulate,
+                full_rebuild_threshold=full_rebuild_threshold,
+            )
+            for v in self.levels
+        }
+        #: Wall-clock seconds of the most recent :meth:`reconstruct`.
+        self.last_seconds: float = 0.0
+        self.last_cells_total: int = 0
+        self.last_cells_recomputed: int = 0
+        self.last_full_rebuilds: int = 0
+
+    def cache(self, level: float) -> ReconstructionCache:
+        """The per-level cache (for stats inspection and tests)."""
+        return self._caches[level]
+
+    def last_dirty_fraction(self) -> float:
+        """Recomputed-cell share of the last epoch (1.0 when nothing ran)."""
+        if self.last_cells_total == 0:
+            return 1.0
+        return self.last_cells_recomputed / self.last_cells_total
+
+    def reconstruct(
+        self,
+        reports: Sequence[IsolineReport],
+        sink_value: Optional[float] = None,
+    ) -> ContourMap:
+        """Assemble the epoch's map, reusing retained per-level geometry.
+
+        Takes the sink's *complete* current report cache (same contract
+        as :func:`build_contour_map`); the per-level caches derive the
+        epoch deltas themselves.
+        """
+        t0 = time.perf_counter()
+        by_level: Dict[float, List[IsolineReport]] = {v: [] for v in self.levels}
+        for r in reports:
+            if r.isolevel in by_level:
+                by_level[r.isolevel].append(r)
+
+        cmap = ContourMap(bounds=self.bounds, levels=list(self.levels))
+        cells_total = 0
+        cells_recomputed = 0
+        full_rebuilds = 0
+        for i, v in enumerate(self.levels):
+            cache = self._caches[v]
+            if by_level[v]:
+                cmap.regions[v] = cache.update(by_level[v])
+                cells_total += cache.stats.last_cells_total
+                cells_recomputed += cache.stats.last_cells_recomputed
+                full_rebuilds += int(cache.stats.last_full_rebuild)
+            else:
+                # The level emptied: retained cells would be stale, and a
+                # later non-empty epoch must rebuild from scratch.
+                cache.reset()
+                higher_evidence = any(
+                    by_level[w] for w in self.levels[i + 1 :]
+                )
+                sink_above = sink_value is not None and sink_value >= v
+                if higher_evidence or sink_above:
+                    cmap.full_levels.append(v)
+        self.last_seconds = time.perf_counter() - t0
+        self.last_cells_total = cells_total
+        self.last_cells_recomputed = cells_recomputed
+        self.last_full_rebuilds = full_rebuilds
+        return cmap

@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -55,7 +55,7 @@ from repro.geometry.polyline import (
     loop_points,
     stitch_segments_into_loops,
 )
-from repro.geometry.voronoi import VoronoiCell
+from repro.geometry.voronoi import CellLocality, VoronoiCell, recompute_cell
 
 #: Edge label for the type-1 cut chord inside a Voronoi cell.  Distinct
 #: from BORDER_LABEL (-1) and from all site indices (>= 0).
@@ -212,7 +212,22 @@ def build_level_region(
         deduped = _dedupe_reports(reports)
     if not deduped:
         raise ValueError("cannot reconstruct a level without reports")
+    region, _ = _region_from_deduped(isolevel, deduped, bounds, regulate)
+    return region
 
+
+def _region_from_deduped(
+    isolevel: float,
+    deduped: List[IsolineReport],
+    bounds: BoundingBox,
+    regulate: bool,
+) -> Tuple[LevelRegion, List[List[BoundarySegment]]]:
+    """From-scratch reconstruction of already-deduplicated reports.
+
+    Shared by :func:`build_level_region` and the full-rebuild path of
+    :class:`ReconstructionCache`; additionally returns the boundary
+    segments grouped per cell, which the cache retains for splicing.
+    """
     sites = [r.position for r in deduped]
     with profiling.stage("reconstruction.voronoi"):
         cells = bounded_voronoi(sites, bounds)
@@ -223,8 +238,10 @@ def build_level_region(
             inner_polys.append(_inner_part(cell, report))
 
     with profiling.stage("reconstruction.boundary"):
-        segments = _boundary_segments(cells, inner_polys, sites)
-        loops = stitch_segments_into_loops(segments)
+        cell_segments = _boundary_segments_by_cell(cells, inner_polys, sites)
+        loops = stitch_segments_into_loops(
+            [s for segs in cell_segments for s in segs]
+        )
 
     region = LevelRegion(
         isolevel=isolevel,
@@ -234,15 +251,20 @@ def build_level_region(
         inner_polys=inner_polys,
         loops=loops,
     )
+    return _finish_region(region, regulate), cell_segments
+
+
+def _finish_region(region: LevelRegion, regulate: bool) -> LevelRegion:
+    """Apply (or skip) boundary regulation -- the common assembly tail."""
     if regulate:
         from repro.core.regulation import regulate_loops
 
         with profiling.stage("reconstruction.regulate"):
             region.regulated_loops, region.regulation_stats = regulate_loops(
-                loops, deduped
+                region.loops, region.reports
             )
     else:
-        region.regulated_loops = loops
+        region.regulated_loops = region.loops
         region.regulation_stats = {"rule1": 0, "rule2": 0}
     return region
 
@@ -289,6 +311,314 @@ def build_level_region_reference(
         region.regulated_loops = loops
         region.regulation_stats = {"rule1": 0, "rule2": 0}
     return region
+
+
+# ----------------------------------------------------------------------
+# Incremental (epoch-delta) reconstruction
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ReconstructionStats:
+    """Counters describing how a :class:`ReconstructionCache` ran.
+
+    ``last_*`` fields describe the most recent :meth:`update`; the rest
+    accumulate over the cache's lifetime.  A full rebuild counts every
+    cell as recomputed.
+    """
+
+    epochs: int = 0
+    full_rebuilds: int = 0
+    incremental_updates: int = 0
+    cells_recomputed: int = 0
+    cells_retained: int = 0
+    last_full_rebuild: bool = False
+    last_dirty_fraction: float = 1.0
+    last_cells_total: int = 0
+    last_cells_recomputed: int = 0
+    last_segments_rebuilt: int = 0
+
+
+class ReconstructionCache:
+    """Incremental single-level reconstruction across monitoring epochs.
+
+    The continuous-monitoring sink receives a small *delta* of its report
+    cache each epoch (new/changed reports, retractions), yet
+    :func:`build_level_region` pays the full Voronoi + boundary cost --
+    ~90% of it in the Voronoi construction -- for the mostly-unchanged
+    remainder.  This cache exploits Voronoi locality instead: a changed
+    site can only perturb cells whose guard neighbourhood it touches
+    (:func:`repro.geometry.voronoi.cell_guard_radius`), so each
+    :meth:`update`
+
+    1. dedupes the reports and diffs them against the previous epoch by
+       source (added / removed / moved / rotated);
+    2. marks dirty every cell the changed positions can reach
+       (:class:`repro.geometry.voronoi.CellLocality`, an exact per-cell
+       test from the last-cutter radius and the final ring) and rebuilds
+       only those cells (:func:`repro.geometry.voronoi.recompute_cell`);
+    3. retains every other cell and inner part verbatim (renumbering
+       edge labels when retractions shift site indices), recomputes the
+       type-1 cut only where the gradient direction changed, and splices
+       retained boundary segments with freshly extracted ones for the
+       dirty cells and their Voronoi neighbours;
+    4. restitches loops and re-regulates globally (both are cheap
+       relative to the Voronoi stage).
+
+    The result is **bit-identical** to ``build_level_region`` on the same
+    reports -- retained geometry is reused object-for-object and dirty
+    geometry is recomputed with the exact kernels of the full path, so
+    not a single float differs (the differential tests assert exact
+    equality across seeded epoch sequences).  When the dirty fraction
+    exceeds ``full_rebuild_threshold`` the cache falls back to the full
+    path, which is faster than splicing a mostly-dirty map.
+
+    Not thread-safe; one cache serves one isolevel.
+    """
+
+    def __init__(
+        self,
+        isolevel: float,
+        bounds: BoundingBox,
+        regulate: bool = True,
+        full_rebuild_threshold: float = 0.35,
+    ):
+        if not 0.0 <= full_rebuild_threshold <= 1.0:
+            raise ValueError("full_rebuild_threshold must be within [0, 1]")
+        self.isolevel = isolevel
+        self.bounds = bounds
+        self.regulate = regulate
+        self.full_rebuild_threshold = full_rebuild_threshold
+        self.stats = ReconstructionStats()
+        self._region: Optional[LevelRegion] = None
+        self._index_of: Dict[int, int] = {}
+        self._cell_segments: List[List[BoundarySegment]] = []
+        self._locality: Optional[CellLocality] = None
+
+    @property
+    def region(self) -> Optional[LevelRegion]:
+        """The retained region of the last :meth:`update` (None initially)."""
+        return self._region
+
+    def reset(self) -> None:
+        """Drop all retained state; the next :meth:`update` rebuilds fully."""
+        self._region = None
+        self._index_of = {}
+        self._cell_segments = []
+        self._locality = None
+
+    def update(self, reports: Sequence[IsolineReport]) -> LevelRegion:
+        """Reconstruct this level's region for the epoch's report set.
+
+        ``reports`` is the *complete* current report set (the sink cache
+        for this isolevel), not the delta -- the cache derives the delta
+        itself by source id, which keeps it correct even when callers
+        and dedupe disagree about which duplicate report survives.
+
+        Raises:
+            ValueError: when ``reports`` is empty (an empty level is
+                handled one layer up; see :func:`build_level_region`).
+        """
+        self.stats.epochs += 1
+        with profiling.stage("reconstruction.dedupe"):
+            deduped = _dedupe_reports(reports)
+        if not deduped:
+            raise ValueError("cannot reconstruct a level without reports")
+        if self._region is None:
+            return self._install_full(deduped)
+
+        prev = self._region
+        old_reports = prev.reports
+        old_index = self._index_of
+        m_new = len(deduped)
+
+        with profiling.stage("reconstruction.delta.diff"):
+            new_index = {r.source: k for k, r in enumerate(deduped)}
+            recompute: Set[int] = set()  # new indices needing a fresh cell
+            cut_dirty: Set[int] = set()  # retained cells, changed cut line
+            remap: Dict[int, int] = {}  # old -> new index, stable positions
+            added_pts: List[Vec] = []
+            removed_pts: List[Vec] = []
+            for k, r in enumerate(deduped):
+                ok = old_index.get(r.source)
+                if ok is None:
+                    recompute.add(k)
+                    added_pts.append(r.position)
+                    continue
+                old_r = old_reports[ok]
+                if old_r.position != r.position:
+                    recompute.add(k)
+                    removed_pts.append(old_r.position)
+                    added_pts.append(r.position)
+                else:
+                    remap[ok] = k
+                    if old_r.direction != r.direction:
+                        cut_dirty.add(k)
+            for source, ok in old_index.items():
+                if source not in new_index:
+                    removed_pts.append(old_reports[ok].position)
+
+        with profiling.stage("reconstruction.delta.locality"):
+            # A position-stable survivor keeps its cell only when the
+            # exact locality test clears it against every changed point.
+            old_of_new: Dict[int, int] = {}
+            if remap:
+                affected = self._locality.affected(added_pts, removed_pts)
+                for ok, k in remap.items():
+                    if affected[ok]:
+                        recompute.add(k)
+                    else:
+                        old_of_new[k] = ok
+
+        dirty_fraction = len(recompute) / m_new
+        if dirty_fraction > self.full_rebuild_threshold:
+            return self._install_full(deduped, dirty_fraction=dirty_fraction)
+
+        # Retained labels reference position-stable survivors only (any
+        # neighbour that changed would have dirtied the cell), so `remap`
+        # covers them; when no retraction shifted indices the remap is
+        # the identity and retained objects are reused without copying.
+        identity = all(ok == k for ok, k in remap.items())
+        sites = [r.position for r in deduped]
+        arr = np.asarray(sites, dtype=float)
+        xs = arr[:, 0]
+        ys = arr[:, 1]
+        old_cells = prev.cells
+
+        with profiling.stage("reconstruction.delta.cells"):
+            cells: List[VoronoiCell] = []
+            for k, r in enumerate(deduped):
+                ok = old_of_new.get(k)
+                if ok is None:
+                    cells.append(
+                        recompute_cell(k, r.position, xs, ys, self.bounds)
+                    )
+                elif identity:
+                    cells.append(old_cells[ok])
+                else:
+                    oc = old_cells[ok]
+                    labels = [
+                        remap[lab] if lab >= 0 else lab
+                        for lab in oc.polygon.labels
+                    ]
+                    cells.append(
+                        VoronoiCell(
+                            k,
+                            oc.site,
+                            oc.polygon.with_labels(labels),
+                            {remap[j] for j in oc.neighbors},
+                        )
+                    )
+
+        with profiling.stage("reconstruction.delta.inner"):
+            old_inner = prev.inner_polys
+            inner_polys: List[ConvexPolygon] = []
+            for k, r in enumerate(deduped):
+                ok = old_of_new.get(k)
+                if ok is None or k in cut_dirty:
+                    inner_polys.append(_inner_part(cells[k], r))
+                elif identity:
+                    inner_polys.append(old_inner[ok])
+                else:
+                    op = old_inner[ok]
+                    labels = [
+                        remap[lab] if lab >= 0 else lab for lab in op.labels
+                    ]
+                    inner_polys.append(op.with_labels(labels))
+
+        with profiling.stage("reconstruction.delta.boundary"):
+            # A cell's segments depend on its own inner part and its
+            # neighbours' (twin-edge interval subtraction), so the dirty
+            # set for segments is the inner-dirty cells plus neighbours.
+            inner_dirty = recompute | cut_dirty
+            seg_dirty = set(inner_dirty)
+            for k in inner_dirty:
+                seg_dirty.update(cells[k].neighbors)
+            by_site = {c.site_index: k for k, c in enumerate(cells)}
+            edge_index: _EdgeIndex = [None] * m_new
+            cell_segments: List[List[BoundarySegment]] = []
+            rebuilt = 0
+            for k in range(m_new):
+                ok = old_of_new.get(k)
+                if ok is None or k in seg_dirty:
+                    rebuilt += 1
+                    segs = _cell_boundary_segments(
+                        k, cells, inner_polys, sites, by_site, edge_index
+                    )
+                elif identity:
+                    segs = self._cell_segments[ok]
+                else:
+                    segs = [
+                        BoundarySegment(
+                            s.a,
+                            s.b,
+                            s.kind,
+                            cell=remap[s.cell],
+                            other=remap[s.other] if s.other >= 0 else s.other,
+                        )
+                        for s in self._cell_segments[ok]
+                    ]
+                cell_segments.append(segs)
+
+        with profiling.stage("reconstruction.delta.stitch"):
+            loops = stitch_segments_into_loops(
+                [s for segs in cell_segments for s in segs]
+            )
+
+        region = LevelRegion(
+            isolevel=self.isolevel,
+            bounds=self.bounds,
+            reports=deduped,
+            cells=cells,
+            inner_polys=inner_polys,
+            loops=loops,
+        )
+        region = _finish_region(region, self.regulate)
+
+        with profiling.stage("reconstruction.delta.locality_table"):
+            locality = CellLocality.splice(self._locality, old_of_new, cells, arr)
+
+        self._region = region
+        self._index_of = new_index
+        self._cell_segments = cell_segments
+        self._locality = locality
+
+        st = self.stats
+        st.incremental_updates += 1
+        st.last_full_rebuild = False
+        st.last_dirty_fraction = dirty_fraction
+        st.last_cells_total = m_new
+        st.last_cells_recomputed = len(recompute)
+        st.last_segments_rebuilt = rebuilt
+        st.cells_recomputed += len(recompute)
+        st.cells_retained += m_new - len(recompute)
+        return region
+
+    def _install_full(
+        self, deduped: List[IsolineReport], dirty_fraction: float = 1.0
+    ) -> LevelRegion:
+        """From-scratch build; retains everything the delta path needs."""
+        region, cell_segments = _region_from_deduped(
+            self.isolevel, deduped, self.bounds, self.regulate
+        )
+        self._region = region
+        self._index_of = {r.source: k for k, r in enumerate(deduped)}
+        self._cell_segments = cell_segments
+        with profiling.stage("reconstruction.delta.locality_table"):
+            self._locality = CellLocality.from_cells(
+                region.cells,
+                np.asarray([r.position for r in deduped], dtype=float),
+            )
+        st = self.stats
+        m = len(region.cells)
+        st.full_rebuilds += 1
+        st.last_full_rebuild = True
+        st.last_dirty_fraction = dirty_fraction
+        st.last_cells_total = m
+        st.last_cells_recomputed = m
+        st.last_segments_rebuilt = m
+        st.cells_recomputed += m
+        return region
 
 
 # ----------------------------------------------------------------------
@@ -375,50 +705,90 @@ def _boundary_segments(
     Hole order within a label follows ``edges()`` order either way, so the
     interval subtraction (and hence the output) is bit-identical.
     """
-    by_site = {c.site_index: k for k, c in enumerate(cells)}
-    edge_index: List[Optional[Dict[int, List[Tuple[Vec, Vec]]]]] = [None] * len(
-        inner_polys
-    )
-
-    def twins(poly_k: int, label: int) -> List[Tuple[Vec, Vec]]:
-        index = edge_index[poly_k]
-        if index is None:
-            index = {}
-            for c, d, lab in inner_polys[poly_k].edges():
-                index.setdefault(lab, []).append((c, d))
-            edge_index[poly_k] = index
-        return index.get(label, [])
-
     segments: List[BoundarySegment] = []
-    for k, (cell, inner) in enumerate(zip(cells, inner_polys)):
-        if inner.is_empty:
-            continue
-        i = cell.site_index
-        for a, b, label in inner.edges():
-            if label == CUT_LABEL:
-                segments.append(BoundarySegment(a, b, TYPE1, cell=i))
-            elif label == BORDER_LABEL:
-                segments.append(BoundarySegment(a, b, BORDER, cell=i))
-            else:
-                j = label
-                bisector = _bisector_line(sites[i], sites[j])
-                ta = param_on_line(bisector, a)
-                tb = param_on_line(bisector, b)
-                holes = [
-                    Interval(param_on_line(bisector, c), param_on_line(bisector, d))
-                    for (c, d) in twins(by_site[j], i)
-                ]
-                remaining = subtract_intervals(Interval(ta, tb), holes)
-                for iv in remaining:
-                    segments.append(
-                        BoundarySegment(
-                            _point_at_param(bisector, iv.lo),
-                            _point_at_param(bisector, iv.hi),
-                            TYPE2,
-                            cell=i,
-                            other=j,
-                        )
+    for segs in _boundary_segments_by_cell(cells, inner_polys, sites):
+        segments.extend(segs)
+    return segments
+
+
+#: Lazily-built per-inner-polygon edge index: ``label -> twin edges``.
+_EdgeIndex = List[Optional[Dict[int, List[Tuple[Vec, Vec]]]]]
+
+
+def _boundary_segments_by_cell(
+    cells: List[VoronoiCell],
+    inner_polys: List[ConvexPolygon],
+    sites: List[Vec],
+) -> List[List[BoundarySegment]]:
+    """The segments of :func:`_boundary_segments`, grouped per cell.
+
+    Flattening in cell order reproduces the flat extraction exactly;
+    the grouping exists so :class:`ReconstructionCache` can retain and
+    splice clean cells' segments across epochs.
+    """
+    by_site = {c.site_index: k for k, c in enumerate(cells)}
+    edge_index: _EdgeIndex = [None] * len(inner_polys)
+    return [
+        _cell_boundary_segments(k, cells, inner_polys, sites, by_site, edge_index)
+        for k in range(len(cells))
+    ]
+
+
+def _twin_edges(
+    inner_polys: List[ConvexPolygon],
+    edge_index: _EdgeIndex,
+    poly_k: int,
+    label: int,
+) -> List[Tuple[Vec, Vec]]:
+    index = edge_index[poly_k]
+    if index is None:
+        index = {}
+        for c, d, lab in inner_polys[poly_k].edges():
+            index.setdefault(lab, []).append((c, d))
+        edge_index[poly_k] = index
+    return index.get(label, [])
+
+
+def _cell_boundary_segments(
+    k: int,
+    cells: List[VoronoiCell],
+    inner_polys: List[ConvexPolygon],
+    sites: List[Vec],
+    by_site: Dict[int, int],
+    edge_index: _EdgeIndex,
+) -> List[BoundarySegment]:
+    """Boundary segments contributed by cell ``k`` alone."""
+    cell = cells[k]
+    inner = inner_polys[k]
+    segments: List[BoundarySegment] = []
+    if inner.is_empty:
+        return segments
+    i = cell.site_index
+    for a, b, label in inner.edges():
+        if label == CUT_LABEL:
+            segments.append(BoundarySegment(a, b, TYPE1, cell=i))
+        elif label == BORDER_LABEL:
+            segments.append(BoundarySegment(a, b, BORDER, cell=i))
+        else:
+            j = label
+            bisector = _bisector_line(sites[i], sites[j])
+            ta = param_on_line(bisector, a)
+            tb = param_on_line(bisector, b)
+            holes = [
+                Interval(param_on_line(bisector, c), param_on_line(bisector, d))
+                for (c, d) in _twin_edges(inner_polys, edge_index, by_site[j], i)
+            ]
+            remaining = subtract_intervals(Interval(ta, tb), holes)
+            for iv in remaining:
+                segments.append(
+                    BoundarySegment(
+                        _point_at_param(bisector, iv.lo),
+                        _point_at_param(bisector, iv.hi),
+                        TYPE2,
+                        cell=i,
+                        other=j,
                     )
+                )
     return segments
 
 

@@ -1,0 +1,201 @@
+"""Continuous monitoring: incremental vs full-rebuild sink, per epoch.
+
+The continuous extension already showed delta *traffic* collapsing to
+the churn rate (``ext_continuous``).  This sweep adds the sink side of
+the same story: with the incremental reconstructor
+(:class:`~repro.core.contour_map.SinkReconstructor`) the per-epoch sink
+CPU also collapses to the churn rate, because only Voronoi cells whose
+neighborhoods saw a changed report are recomputed.  Both sinks build
+*bit-identical* maps (the reconstructor's contract, pinned by the
+differential tests), so the comparison is purely about cost.
+
+Two workloads, each an epoch timeline over the harbor field:
+
+- ``steady_drift``: a silt bump creeps along the channel a little each
+  epoch -- localized churn every epoch, the steady-state tide shape;
+- ``local_storm``: calm epochs, then one epoch deposits a large mound
+  at once -- a high-dirty-fraction epoch that trips the incremental
+  sink's full-rebuild fallback, then a new steady state.
+
+Per epoch the table reports delta vs snapshot traffic, incremental vs
+from-scratch sink CPU on the *same* cached reports, the dirty fraction
+the locality query certified, and map accuracy against the current
+field.  Runs through the parallel sweep runner (``--jobs``/``--cache``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from repro.core import FilterConfig, IsoMapProtocol
+from repro.core.continuous import ContinuousIsoMap
+from repro.core.contour_map import build_contour_map
+from repro.experiments.common import (
+    PAPER_QUERY,
+    ExperimentResult,
+    default_levels,
+    harbor_network,
+)
+from repro.experiments.runner import (
+    grid_points,
+    group_by_config,
+    run_sweep,
+    seed_mean,
+)
+from repro.field import CompositeField, GaussianBumpField, make_harbor_field
+from repro.metrics import mapping_accuracy
+
+#: Epochs per timeline; the storm hits at ``EPOCHS // 2``.
+EPOCHS = 6
+
+WORKLOADS = ("steady_drift", "local_storm")
+
+
+def _field_at(workload: str, epoch: int, epochs: int = EPOCHS):
+    """The evolving harbor field for one workload at one epoch.
+
+    The storm workload's event lands at ``epochs // 2``.
+    """
+    calm = make_harbor_field()
+    if workload == "steady_drift":
+        # A modest mound creeping along the channel: every epoch moves
+        # it a little, so churn is localized but never zero.
+        cx = 24.0 + 1.2 * epoch
+        bump = GaussianBumpField(calm.bounds, 0.0, [(-1.5, (cx, 26.0), 3.0)])
+        return CompositeField(calm.bounds, [calm, bump])
+    if workload == "local_storm":
+        if epoch < epochs // 2:
+            return calm
+        # One epoch deposits a large mound at once; it then persists.
+        bump = GaussianBumpField(calm.bounds, 0.0, [(-3.0, (28.0, 26.0), 5.0)])
+        return CompositeField(calm.bounds, [calm, bump])
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def continuous_point(
+    workload: str,
+    n: int,
+    seed: int,
+    epochs: int = EPOCHS,
+    radio_range: float = 1.5,
+    raster: int = 60,
+) -> Dict[str, Any]:
+    """One sweep point: a full epoch timeline on one deployment seed.
+
+    Returns per-epoch keys ``e{i}.<metric>`` so the flat sweep runner
+    can average them across seeds.
+    """
+    levels = default_levels()
+    net = harbor_network(
+        n,
+        "random",
+        seed=seed,
+        radio_range=radio_range,
+        field=_field_at(workload, 0, epochs),
+    )
+    monitor = ContinuousIsoMap(PAPER_QUERY)
+    snapshot = IsoMapProtocol(PAPER_QUERY, FilterConfig.disabled())
+
+    out: Dict[str, Any] = {}
+    for epoch in range(epochs):
+        field_now = _field_at(workload, epoch, epochs)
+        net.resense(field_now)
+
+        delta = monitor.epoch(net)
+        recon = monitor.reconstructor
+        # From-scratch sink cost on the SAME cached reports (what a
+        # non-incremental sink would pay this epoch for the same map).
+        sink_node = net.nodes[net.sink_index]
+        t0 = time.perf_counter()
+        build_contour_map(
+            monitor.sink_reports,
+            PAPER_QUERY.isolevels,
+            net.bounds,
+            sink_value=sink_node.value if sink_node.can_sense else None,
+        )
+        full_seconds = time.perf_counter() - t0
+        snap = snapshot.run(net)
+
+        p = f"e{epoch}."
+        out[p + "delta_kb"] = delta.costs.total_traffic_kb()
+        out[p + "snapshot_kb"] = snap.costs.total_traffic_kb()
+        out[p + "sink_inc_ms"] = recon.last_seconds * 1000.0
+        out[p + "sink_full_ms"] = full_seconds * 1000.0
+        out[p + "dirty_fraction"] = recon.last_dirty_fraction()
+        out[p + "cells_recomputed"] = float(recon.last_cells_recomputed)
+        out[p + "full_rebuilds"] = float(recon.last_full_rebuilds)
+        out[p + "accuracy"] = mapping_accuracy(
+            field_now, delta.contour_map, levels, raster, raster
+        )
+    return out
+
+
+def run_fig_continuous(
+    seeds: Sequence[int] = (1,),
+    n: int = 2500,
+    epochs: int = EPOCHS,
+    workloads: Sequence[str] = WORKLOADS,
+    radio_range: float = 1.5,
+    raster: int = 60,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> ExperimentResult:
+    """Incremental vs full-rebuild sink across drift and storm timelines.
+
+    Timing columns (``sink_inc_ms``/``sink_full_ms``) are wall-clock and
+    therefore machine-dependent; everything else in the table is
+    deterministic per seed.  Smaller ``n`` needs a larger
+    ``radio_range`` to keep the deployment connected (density scaling,
+    as in fig07's reduced runs).
+    """
+    configs = [
+        {
+            "workload": w,
+            "n": n,
+            "epochs": epochs,
+            "radio_range": radio_range,
+            "raster": raster,
+        }
+        for w in workloads
+    ]
+    results = run_sweep(
+        grid_points(continuous_point, configs, list(seeds)), jobs, cache_dir
+    )
+    table = ExperimentResult(
+        experiment_id="fig_continuous",
+        title="incremental vs full-rebuild sink reconstruction, per epoch",
+        columns=[
+            "workload",
+            "epoch",
+            "delta_kb",
+            "snapshot_kb",
+            "sink_inc_ms",
+            "sink_full_ms",
+            "dirty_fraction",
+            "cells_recomputed",
+            "full_rebuilds",
+            "accuracy",
+        ],
+        notes=(
+            f"n={n}, seeds={list(seeds)}; storm hits at epoch {epochs // 2}; "
+            "sink_*_ms are wall-clock (same reports, bit-identical maps); "
+            "epoch 0 is the cold start (full build either way)"
+        ),
+    )
+    for cfg, group in zip(configs, group_by_config(results, len(seeds))):
+        for epoch in range(epochs):
+            p = f"e{epoch}."
+            table.add_row(
+                workload=cfg["workload"],
+                epoch=epoch,
+                delta_kb=seed_mean(group, p + "delta_kb"),
+                snapshot_kb=seed_mean(group, p + "snapshot_kb"),
+                sink_inc_ms=seed_mean(group, p + "sink_inc_ms"),
+                sink_full_ms=seed_mean(group, p + "sink_full_ms"),
+                dirty_fraction=seed_mean(group, p + "dirty_fraction"),
+                cells_recomputed=seed_mean(group, p + "cells_recomputed"),
+                full_rebuilds=seed_mean(group, p + "full_rebuilds"),
+                accuracy=seed_mean(group, p + "accuracy"),
+            )
+    return table

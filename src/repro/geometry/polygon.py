@@ -190,6 +190,21 @@ class ConvexPolygon:
             ((v[0] - p[0]) ** 2 + (v[1] - p[1]) ** 2) ** 0.5 for v in self.vertices
         )
 
+    def with_labels(self, labels: Sequence[int]) -> "ConvexPolygon":
+        """Copy with the same vertices but new edge labels.
+
+        Bypasses the constructor's ring dedupe (the vertices are already
+        a normalised ring), so the geometry is shared verbatim -- the
+        incremental reconstruction uses this to renumber retained cells
+        after a site-index remap without perturbing a single bit.
+        """
+        if len(labels) != len(self.labels):
+            raise ValueError("labels must parallel the existing edges")
+        result = ConvexPolygon.__new__(ConvexPolygon)
+        result.vertices = list(self.vertices)
+        result.labels = list(labels)
+        return result
+
     # ------------------------------------------------------------------
     # Clipping
     # ------------------------------------------------------------------

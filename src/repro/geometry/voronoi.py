@@ -34,6 +34,13 @@ _PREFILTER_BLOCK_FLOATS = 1 << 22
 #: the output is bit-identical for any value.
 _PRUNE_EVERY = 16
 
+#: Absolute inflation of :func:`cell_guard_radius` over the geometric
+#: bound ``2 * circumradius``.  The bound itself is exact (see the guard
+#: docstring); the slack absorbs the 1e-12 early-exit tolerance of
+#: :func:`_clip_cell` and the EPS slack of the no-op clip test, with
+#: orders of magnitude to spare at the simulation's O(100)-unit scale.
+GUARD_SLACK = 1e-6
+
 
 @dataclass
 class VoronoiCell:
@@ -235,6 +242,239 @@ def _clip_cell(
             break
     neighbors = {lab for lab in poly.labels if lab != BORDER_LABEL}
     return VoronoiCell(i, site, poly, neighbors)
+
+
+# ----------------------------------------------------------------------
+# Incremental locality (epoch-delta reconstruction support)
+# ----------------------------------------------------------------------
+
+
+def cell_guard_radius(cell: VoronoiCell) -> float:
+    """Outer guard radius of a finished cell: ``2 * circumradius``.
+
+    No candidate beyond this radius is ever *processed* against a
+    polygon it could cut: the construction's early exit stops at the
+    first candidate past ``2 * max_vertex_distance``, and any candidate
+    before that point but beyond ``2 * R`` (R = final circumradius)
+    clips as a bit-level no-op -- every final vertex is inside its
+    half-plane by margin ``(d/2 - R) * d``, far beyond the EPS test
+    slack once inflated by :data:`GUARD_SLACK`.  See
+    :class:`CellLocality` for how this combines with the last-cutter
+    radius into an exact dirty test.
+    """
+    return 2.0 * cell.polygon.max_vertex_distance(cell.site) + GUARD_SLACK
+
+
+class CellLocality:
+    """Retained per-cell data deciding which cells an epoch delta dirties.
+
+    The question the epoch-delta reconstruction asks per retained cell
+    ``i``: if these site positions are *added* and those *removed* (a
+    moved site is one of each), does re-running the construction produce
+    cell ``i`` bit-identical?  Distance-ordered half-plane clipping
+    answers it from three retained quantities:
+
+    - ``lastcut2[i]``: squared distance of the cell's *last cutter*.
+      The final cutter's chord provably survives to the final ring (its
+      chord endpoints lie at ``>= d/2`` from the site; clipping only
+      shrinks the circumradius, so a later removal of the chord would
+      contradict the cutters' increasing distances), hence the last
+      cutter is a surviving *neighbour* and ``lastcut2`` is simply the
+      max squared site distance over ``cell.neighbors``.  Every cutter
+      lies at or below this distance, so any candidate strictly beyond
+      it was a bit-level no-op, and no-op clips can be inserted or
+      deleted without touching a single output bit.
+
+    - the final ``verts[i]``: a candidate beyond ``lastcut2`` is
+      processed only after the running polygon has already reached its
+      final ring, so whether an *added* site clips as a no-op is decided
+      by evaluating the clip's own vertex test (``violation <= EPS``,
+      same arithmetic bit for bit) against the final vertices.
+
+    - ``guard2[i]`` (:func:`cell_guard_radius`, squared): beyond it an
+      added site is a no-op by a margin that dwarfs EPS, so the vertex
+      test is skipped.
+
+    So a retained cell stays provably bit-identical when every removed
+    position is strictly beyond ``lastcut2`` and every added position is
+    strictly beyond ``lastcut2`` and either beyond ``guard2`` or passes
+    the exact no-op vertex test.  (Unchanged sites only ever reorder
+    within equal-distance ties, which the stable candidate sort breaks
+    identically before and after as long as survivors keep their
+    relative index order -- which report streams do.)
+
+    ``verts`` is padded to the widest ring with the site's own position,
+    whose violation ``-d^2/2`` is always negative, so padding can never
+    mark a cell dirty.
+    """
+
+    __slots__ = ("positions", "verts", "lastcut2", "guard2")
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        verts: np.ndarray,
+        lastcut2: np.ndarray,
+        guard2: np.ndarray,
+    ):
+        self.positions = positions
+        self.verts = verts
+        self.lastcut2 = lastcut2
+        self.guard2 = guard2
+
+    @staticmethod
+    def from_cells(
+        cells: Sequence[VoronoiCell], positions: np.ndarray
+    ) -> "CellLocality":
+        """Build the table for a full diagram.
+
+        ``cells`` must be the complete diagram with ``cells[k].site_index
+        == k`` (what :func:`bounded_voronoi` returns), and ``positions``
+        the matching ``(m, 2)`` float array of sites.
+        """
+        m = len(cells)
+        vmax = max((len(c.polygon.vertices) for c in cells), default=0)
+        verts = np.empty((m, vmax, 2), dtype=float)
+        lastcut2 = np.empty(m, dtype=float)
+        guard2 = np.empty(m, dtype=float)
+        table = CellLocality(positions, verts, lastcut2, guard2)
+        for k, cell in enumerate(cells):
+            table.fill_row(k, cell)
+        return table
+
+    def fill_row(self, k: int, cell: VoronoiCell) -> None:
+        """(Re)compute row ``k`` from a freshly built cell."""
+        px, py = self.positions[k]
+        ring = cell.polygon.vertices
+        self.verts[k, :, 0] = px
+        self.verts[k, :, 1] = py
+        for v, vert in enumerate(ring):
+            self.verts[k, v, 0] = vert[0]
+            self.verts[k, v, 1] = vert[1]
+        if cell.neighbors:
+            nb = np.fromiter(cell.neighbors, dtype=int, count=len(cell.neighbors))
+            d2 = (self.positions[nb, 0] - px) ** 2
+            d2 += (self.positions[nb, 1] - py) ** 2
+            self.lastcut2[k] = d2.max()
+        else:
+            self.lastcut2[k] = 0.0
+        self.guard2[k] = cell_guard_radius(cell) ** 2
+
+    @staticmethod
+    def splice(
+        old: "CellLocality",
+        old_of_new: Dict[int, int],
+        cells: Sequence[VoronoiCell],
+        positions: np.ndarray,
+    ) -> "CellLocality":
+        """The next epoch's table: retained rows copied, dirty rows rebuilt.
+
+        ``old_of_new`` maps retained new indices to their old row;
+        ``cells``/``positions`` describe the new diagram.
+        """
+        m = len(cells)
+        vmax_old = old.verts.shape[1] if len(old.verts) else 0
+        vmax = vmax_old
+        fresh = [k for k in range(m) if k not in old_of_new]
+        for k in fresh:
+            vmax = max(vmax, len(cells[k].polygon.vertices))
+        verts = np.empty((m, vmax, 2), dtype=float)
+        lastcut2 = np.empty(m, dtype=float)
+        guard2 = np.empty(m, dtype=float)
+        table = CellLocality(positions, verts, lastcut2, guard2)
+        for k in range(m):
+            ok = old_of_new.get(k)
+            if ok is None:
+                table.fill_row(k, cells[k])
+            else:
+                verts[k, :vmax_old] = old.verts[ok]
+                verts[k, vmax_old:, 0] = positions[k, 0]
+                verts[k, vmax_old:, 1] = positions[k, 1]
+                lastcut2[k] = old.lastcut2[ok]
+                guard2[k] = old.guard2[ok]
+        return table
+
+    def affected(
+        self, added: Sequence[Vec], removed: Sequence[Vec]
+    ) -> np.ndarray:
+        """Boolean mask of cells that may differ under the given delta.
+
+        ``False`` entries are *guaranteed* bit-identical (see the class
+        docstring); ``True`` entries must be recomputed.
+        """
+        m = len(self.positions)
+        out = np.zeros(m, dtype=bool)
+        if m == 0:
+            return out
+        px = self.positions[:, 0]
+        py = self.positions[:, 1]
+        for (qx, qy) in removed:
+            d2 = (qx - px) ** 2 + (qy - py) ** 2
+            out |= d2 <= self.lastcut2
+        for (qx, qy) in added:
+            d2 = (qx - px) ** 2 + (qy - py) ** 2
+            out |= d2 <= self.lastcut2
+            test = np.nonzero(~out & (d2 <= self.guard2))[0]
+            if len(test):
+                # Exact emulation of the clip's no-op test against the
+                # final ring: same bisector coefficients, same violation
+                # arithmetic, same EPS threshold, bit for bit.
+                nx = qx - px[test]
+                ny = qy - py[test]
+                mx = (px[test] + qx) / 2.0
+                my = (py[test] + qy) / 2.0
+                off = nx * mx + ny * my
+                ring = self.verts[test]
+                viol = nx[:, None] * ring[:, :, 0]
+                viol += ny[:, None] * ring[:, :, 1]
+                viol -= off[:, None]
+                out[test[(viol > EPS).any(axis=1)]] = True
+        return out
+
+
+#: Initial nearest-candidate count for :func:`recompute_cell`.  Local
+#: cells finish within the first batch; the escalation loop guarantees
+#: correctness for the rest, so this is purely a performance knob.
+_RECOMPUTE_K0 = 64
+
+
+def recompute_cell(
+    i: int, site: Vec, xs: np.ndarray, ys: np.ndarray, box: BoundingBox
+) -> VoronoiCell:
+    """Rebuild the single cell ``i`` against the full site set.
+
+    Produces bit-for-bit the cell :func:`bounded_voronoi` would emit at
+    position ``i`` of a full run, without paying a full ``argsort`` per
+    cell: the nearest ``K`` candidates (argpartition, widened to the
+    whole tie group at the cut-off, then sorted with the same stable
+    (distance, index) order as the full run) are clipped first, and the
+    result is accepted once every unselected candidate is provably a
+    bit-level no-op -- farther than the finished cell's guard radius
+    (see :func:`cell_guard_radius`; a clip sequence keeps its output
+    bits when no-op clips are dropped from it).  Cells that reach
+    farther than the first batch escalate ``K`` geometrically up to the
+    full, plain-argsort construction.
+
+    The squared-distance row uses the exact elementwise arithmetic of
+    the batched prefilter, so candidate order -- including
+    ascending-index tie-breaking -- matches a full run bit for bit.
+    """
+    m = len(xs)
+    d2 = (xs[i] - xs) ** 2 + (ys[i] - ys) ** 2
+    d2[i] = np.inf
+    k = _RECOMPUTE_K0
+    while k < m - 1:
+        part = np.argpartition(d2, k)[:k]
+        cutoff = d2[part].max()
+        sel = np.nonzero(d2 <= cutoff)[0]
+        order = sel[np.argsort(d2[sel], kind="stable")]
+        cell = _clip_cell_filtered(i, site, box, order, xs, ys)
+        guard = 2.0 * cell.polygon.max_vertex_distance(site) + GUARD_SLACK
+        if cutoff >= guard * guard:
+            return cell
+        k *= 4
+    order = np.argsort(d2, kind="stable")
+    return _clip_cell_filtered(i, site, box, order, xs, ys)
 
 
 def cells_by_site(cells: Sequence[VoronoiCell]) -> Dict[int, VoronoiCell]:

@@ -129,3 +129,136 @@ class TestMapConsistency:
     def test_invalid_angle_delta(self):
         with pytest.raises(ValueError):
             ContinuousIsoMap(ContourQuery(0, 10, 2), angle_delta_deg=-1)
+
+
+class TestRetractionEdgeCases:
+    def test_retraction_of_disconnected_source_is_not_charged(self):
+        """A cached source whose node crash-fails (falling off the routing
+        tree) still retracts cleanly: the sink evicts it, and no hop
+        traffic is charged for the unroutable retraction."""
+        net = radial_net()
+        mon = monitor()
+        first = mon.epoch(net)
+        victim = first.new_reports[0].source
+        assert victim in (r.source for r in mon.sink_reports)
+        net.nodes[victim].alive = False
+        net.nodes[victim].sensing_ok = False
+        net.rebuild_tree()
+        assert net.tree.level[victim] is None  # precondition: unroutable
+        r = mon.epoch(net)
+        assert victim in r.retractions
+        assert all(rep.source != victim for rep in mon.sink_reports)
+        assert r.costs.tx_bytes[victim] == 0
+
+    def test_retraction_of_never_cached_source(self):
+        """The module docstring warns a dropped delta desynchronises the
+        sink cache; a later retraction of that never-cached source must
+        still be a clean no-op eviction, not an error."""
+        net = radial_net()
+        mon = monitor()
+        first = mon.epoch(net)
+        victim = first.new_reports[0].source
+        # Simulate the lost delivery: the node believes it reported, the
+        # sink never received it.
+        del mon._sink_cache[victim]
+        flat = RadialField(BOX, center=(10, 10), peak=5, slope=0.1)
+        net.resense(flat)
+        r = mon.epoch(net)
+        assert victim in r.retractions
+        assert all(rep.source != victim for rep in mon.sink_reports)
+        assert r.cached_reports == mon.cache_size
+
+
+class TestZeroIsolineEpochs:
+    def test_epoch_with_no_isoline_nodes(self):
+        """A field entirely below every queried level yields an epoch with
+        zero isoline nodes and an empty (not full) map."""
+        flat = RadialField(BOX, center=(10, 10), peak=5, slope=0.1)
+        net = SensorNetwork.random_deploy(flat, 600, radio_range=2.2, seed=1)
+        mon = monitor()
+        r = mon.epoch(net)
+        assert r.new_reports == []
+        assert r.cached_reports == 0
+        assert r.contour_map.regions == {}
+        assert r.contour_map.full_levels == []
+        assert r.contour_map.band_at((10, 10)) == 0
+
+    def test_all_retract_then_recover(self):
+        """Populated -> empty -> repopulated: the incremental sink must
+        reset on the empty epoch and rebuild from scratch after it,
+        matching the non-incremental monitor bit for bit."""
+        net_inc = radial_net(seed=3)
+        net_full = radial_net(seed=3)
+        mon_inc = monitor()
+        mon_full = ContinuousIsoMap(
+            ContourQuery(14.0, 16.0, 2.0, epsilon_fraction=0.2),
+            angle_delta_deg=10.0,
+            incremental=False,
+        )
+        fields = [
+            net_inc.field,
+            RadialField(BOX, center=(10, 10), peak=5, slope=0.1),  # empty
+            RadialField(BOX, center=(10, 10), peak=20, slope=1),  # recover
+        ]
+        for f in fields:
+            net_inc.resense(f)
+            net_full.resense(f)
+            r_inc = mon_inc.epoch(net_inc)
+            r_full = mon_full.epoch(net_full)
+            assert sorted(r_inc.retractions) == sorted(r_full.retractions)
+            import numpy as np
+
+            assert np.array_equal(
+                r_inc.contour_map.classify_raster(30, 30),
+                r_full.contour_map.classify_raster(30, 30),
+            )
+        # The empty epoch reset the per-level caches; the recovery epoch
+        # was therefore a full rebuild, not a splice against stale cells.
+        assert mon_inc.reconstructor is not None
+        assert mon_inc.reconstructor.last_full_rebuilds >= 1
+        assert mon_inc.cache_size > 0
+
+
+class TestAngleThreshold:
+    """The re-report predicate is ``angle <= angle_delta``: a rotation of
+    *exactly* the configured threshold is still suppressed."""
+
+    def _mon(self, deg):
+        return ContinuousIsoMap(
+            ContourQuery(14.0, 16.0, 2.0, epsilon_fraction=0.2),
+            angle_delta_deg=deg,
+        )
+
+    def _report(self, direction):
+        from repro.core.reports import IsolineReport
+
+        return IsolineReport(14.0, (1.0, 2.0), direction, source=0)
+
+    def test_rotation_exactly_at_threshold_is_suppressed(self):
+        import math
+
+        mon = self._mon(90.0)
+        prev = self._report((1.0, 0.0))
+        new = self._report((0.0, 1.0))  # exactly 90 degrees
+        assert math.acos(0.0) == math.radians(90.0)  # exact in floats
+        assert mon._unchanged(prev, new)
+
+    def test_rotation_just_past_threshold_reports(self):
+        mon = self._mon(90.0)
+        prev = self._report((1.0, 0.0))
+        new = self._report((-1e-9, 1.0))  # a hair past 90 degrees
+        assert not mon._unchanged(prev, new)
+
+    def test_zero_threshold_suppresses_only_identical_direction(self):
+        mon = self._mon(0.0)
+        prev = self._report((1.0, 0.0))
+        assert mon._unchanged(prev, self._report((1.0, 0.0)))
+        assert not mon._unchanged(prev, self._report((1.0, 1e-7)))
+
+    def test_level_change_always_reports(self):
+        from repro.core.reports import IsolineReport
+
+        mon = self._mon(90.0)
+        prev = self._report((1.0, 0.0))
+        new = IsolineReport(16.0, (1.0, 2.0), (1.0, 0.0), source=0)
+        assert not mon._unchanged(prev, new)

@@ -160,3 +160,48 @@ class TestFigFaults:
             assert on1["delivery_rate"] >= off1["delivery_rate"]
         assert sum(by[(1.0, "on", p)]["retransmissions"]
                    for p in ("iso-map", "tinydb", "inlr")) > 0
+
+
+class TestFigContinuous:
+    def test_reduced_timeline_structure(self):
+        from repro.experiments.fig_continuous import run_fig_continuous
+
+        # Reduced scale: 600 nodes need range 2.8 on the 50x50 field to
+        # stay connected (same density scaling as fig07's reduced runs).
+        res = run_fig_continuous(
+            seeds=(1,), n=600, epochs=4, radio_range=2.8, raster=40
+        )
+        assert res.experiment_id == "fig_continuous"
+        assert len(res.rows) == 2 * 4  # workloads x epochs
+        by = {(r["workload"], r["epoch"]): r for r in res.rows}
+
+        n_levels = 4  # default_levels() on the harbor field
+        for workload in ("steady_drift", "local_storm"):
+            # Cold start is a full rebuild; the map is usable right away.
+            first = by[(workload, 0)]
+            assert first["full_rebuilds"] >= 1
+            assert first["dirty_fraction"] == 1.0
+            for epoch in range(4):
+                row = by[(workload, epoch)]
+                assert row["accuracy"] > 0.6
+                # Delta traffic never exceeds the snapshot re-run.
+                assert row["delta_kb"] <= row["snapshot_kb"]
+
+        # Steady drift settles into (at least partly) incremental
+        # epochs: churn is localized, so not every level falls back.
+        # (At this reduced scale each level has only ~15 reports, so the
+        # dirty fraction is far noisier than at n=2500.)
+        for epoch in (1, 2, 3):
+            row = by[("steady_drift", epoch)]
+            assert row["full_rebuilds"] < n_levels
+            assert row["dirty_fraction"] < 1.0
+
+        # The storm (epoch 2 = epochs // 2) changes far more cells than
+        # the calm epoch before it, and its dirty fraction trips the
+        # full-rebuild fallback.
+        calm = by[("local_storm", 1)]
+        storm = by[("local_storm", 2)]
+        assert storm["cells_recomputed"] > calm["cells_recomputed"]
+        assert storm["full_rebuilds"] >= 1
+        # Post-storm steady state is quiet again.
+        assert by[("local_storm", 3)]["dirty_fraction"] < 1.0

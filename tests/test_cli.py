@@ -68,7 +68,7 @@ class TestRegistry:
         for key in (
             "fig07", "fig09", "fig10", "fig11a", "fig11b", "fig12a",
             "fig12b", "fig13", "fig14a", "fig14b", "fig15", "fig16",
-            "fig_faults", "table1", "theorem41",
+            "fig_continuous", "fig_faults", "table1", "theorem41",
         ):
             assert key in registry
 

@@ -1,0 +1,88 @@
+"""Intra-repo reference checking for the user-facing documentation.
+
+Two kinds of references are checked across ``README.md``,
+``EXPERIMENTS.md`` and ``docs/*.md``:
+
+- markdown links ``[text](target)`` whose target is not an external URL
+  or a pure fragment must resolve to a file or directory in the repo
+  (relative to the document, fragments stripped);
+- backticked path-like tokens (`` `docs/performance.md` ``,
+  `` `../benchmarks/record.py` ``) must resolve too -- these are how
+  this repo's docs cross-reference files, so a renamed module or a
+  typo'd path is doc rot just like a dead link.
+
+The CI ``docs`` job runs this next to the executable walkthrough.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).parent.parent
+
+DOC_FILES = sorted(
+    [REPO / "README.md", REPO / "EXPERIMENTS.md"]
+    + list((REPO / "docs").glob("*.md"))
+)
+
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: A backticked token counts as a path claim when it has a directory
+#: separator and a known source/doc/config suffix, with no spaces,
+#: wildcards or placeholders.
+_TICKED = re.compile(r"`([^`\s]+)`")
+_PATHLIKE = re.compile(
+    r"^[\w.\-/]+\.(?:py|md|json|yml|yaml|toml|txt|csv)$"
+)
+
+#: Paths documented as *generated at run time* (never committed).
+_GENERATED = frozenset({"benchmarks/results"})
+
+
+def _iter_targets(text):
+    """Yield (target, is_link) for every checkable reference."""
+    for m in _MD_LINK.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if target:
+            yield target, True
+    for m in _TICKED.finditer(text):
+        token = m.group(1)
+        if "/" in token and _PATHLIKE.match(token):
+            yield token, False
+
+
+def _resolves(doc: pathlib.Path, target: str) -> bool:
+    if any(target.strip("/").startswith(g) for g in _GENERATED):
+        return True
+    candidates = [doc.parent / target]
+    if not target.startswith("."):
+        # Backticked paths are conventionally repo-root-relative even in
+        # docs/ ("tests/core/test_reconstruction.py" in the walkthrough).
+        candidates.append(REPO / target)
+    return any(c.exists() for c in candidates)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_intra_repo_references_resolve(doc):
+    assert doc.exists(), f"documentation file vanished: {doc}"
+    broken = []
+    for target, is_link in _iter_targets(doc.read_text()):
+        if not _resolves(doc, target):
+            kind = "link" if is_link else "path"
+            broken.append(f"{kind}: {target}")
+    assert not broken, (
+        f"{doc.relative_to(REPO)} has broken intra-repo references:\n  "
+        + "\n  ".join(broken)
+    )
+
+
+def test_doc_set_is_nonempty():
+    # The parametrization above silently passes if the glob breaks.
+    assert len(DOC_FILES) >= 5
+    names = {p.name for p in DOC_FILES}
+    assert {"README.md", "EXPERIMENTS.md", "architecture.md",
+            "walkthrough.md", "performance.md"} <= names

@@ -18,7 +18,7 @@ def _code_blocks(text: str):
 def test_walkthrough_blocks_execute_in_order():
     text = WALKTHROUGH.read_text()
     blocks = _code_blocks(text)
-    assert len(blocks) >= 6, "the walkthrough should keep all its snippets"
+    assert len(blocks) >= 11, "the walkthrough should keep all its snippets"
     namespace: dict = {}
     for i, block in enumerate(blocks):
         try:
@@ -32,3 +32,12 @@ def test_walkthrough_blocks_execute_in_order():
 def test_walkthrough_mentions_tests_that_pin_it():
     text = WALKTHROUGH.read_text()
     assert "tests/core/test_reconstruction.py" in text
+    # The continuous section must keep pointing at the differential
+    # suite that pins the incremental sink's bit-identity contract.
+    assert "tests/core/test_reconstruction_incremental.py" in text
+
+
+def test_walkthrough_covers_continuous_monitoring():
+    text = WALKTHROUGH.read_text()
+    assert "ContinuousIsoMap" in text
+    assert "SinkReconstructor" in text
