@@ -28,7 +28,7 @@ from repro.core.wire import BYTES_PER_PARAM, QUERY_BYTES
 from repro.geometry import Vec, dist_sq
 from repro.network import CostAccountant, SensorNetwork
 from repro.network.faults import FaultPlan
-from repro.network.transport import EpochTransport, TransportConfig
+from repro.network.transport import EpochTransport, OutFrame, TransportConfig
 
 from typing import Optional
 
@@ -140,26 +140,24 @@ class EScanProtocol:
                 generated += 1
 
         tree = network.tree
-        for hop in transport.walk():
-            outgoing = buffers.pop(hop.node, [])
-            if hop.parent is None:
-                for tup in outgoing:
-                    transport.strand(tup.rids, hop.reason)
-                continue
-            parent_buffer = buffers.setdefault(hop.parent, [])
-            for tup in outgoing:
-                outcome = transport.send(
-                    hop.node,
-                    hop.parent,
-                    tup.wire_bytes(),
-                    rids=tup.rids,
-                    payload=tup,
-                )
-                for arrived, is_dup in outcome.arrivals:
-                    instance = arrived.clone() if is_dup else arrived
-                    self._absorb(
-                        parent_buffer, instance, hop.parent, adjacency_sq, costs
-                    )
+
+        def frames_for(u: int) -> List[OutFrame]:
+            return [
+                OutFrame(nbytes=tup.wire_bytes(), rids=tuple(tup.rids), payload=tup)
+                for tup in buffers.pop(u, ())
+            ]
+
+        def on_arrival(_sender, receiver, _frame, arrived, is_dup):
+            instance = arrived.clone() if is_dup else arrived
+            self._absorb(
+                buffers.setdefault(receiver, []),
+                instance,
+                receiver,
+                adjacency_sq,
+                costs,
+            )
+
+        transport.run_collection(frames_for, on_arrival)
 
         final_tuples = buffers.get(tree.sink, [])
         for tup in final_tuples:

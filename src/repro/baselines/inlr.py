@@ -33,7 +33,7 @@ from repro.field.contours import band_of
 from repro.geometry import Vec, dist_sq
 from repro.network import CostAccountant, SensorNetwork
 from repro.network.faults import FaultPlan
-from repro.network.transport import EpochTransport, TransportConfig
+from repro.network.transport import EpochTransport, OutFrame, TransportConfig
 
 from typing import Optional
 
@@ -154,28 +154,26 @@ class INLRProtocol:
                 generated += 1
 
         tree = network.tree
-        for hop in transport.walk():
-            outgoing = buffers.pop(hop.node, [])
-            if hop.parent is None:
-                for region in outgoing:
-                    transport.strand(region.rids, hop.reason)
-                continue
+
+        def frames_for(u: int) -> List[OutFrame]:
             # Transmit each (already aggregated) region to the parent,
             # which merges the arrivals into its own buffer.
-            parent_buffer = buffers.setdefault(hop.parent, [])
-            for region in outgoing:
-                outcome = transport.send(
-                    hop.node,
-                    hop.parent,
-                    region.wire_bytes(),
-                    rids=region.rids,
+            return [
+                OutFrame(
+                    nbytes=region.wire_bytes(),
+                    rids=tuple(region.rids),
                     payload=region,
                 )
-                for arrived, is_dup in outcome.arrivals:
-                    instance = arrived.clone() if is_dup else arrived
-                    self._absorb(
-                        parent_buffer, instance, hop.parent, adjacency, costs
-                    )
+                for region in buffers.pop(u, ())
+            ]
+
+        def on_arrival(_sender, receiver, _frame, arrived, is_dup):
+            instance = arrived.clone() if is_dup else arrived
+            self._absorb(
+                buffers.setdefault(receiver, []), instance, receiver, adjacency, costs
+            )
+
+        transport.run_collection(frames_for, on_arrival)
 
         final_regions = buffers.get(tree.sink, [])
         for region in final_regions:

@@ -36,7 +36,7 @@ from repro.core.wire import BYTES_PER_PARAM, LOCAL_QUERY_BYTES, QUERY_BYTES, VAL
 from repro.geometry import Vec, dist_sq
 from repro.network import CostAccountant, SensorNetwork
 from repro.network.faults import FaultPlan
-from repro.network.transport import EpochTransport, TransportConfig
+from repro.network.transport import EpochTransport, OutFrame, TransportConfig
 
 #: A value-only probe reply (the neighbour's reading).
 VALUE_REPLY_BYTES = 1 * BYTES_PER_PARAM
@@ -166,24 +166,21 @@ class IsolineAggregationProtocol:
             else:
                 transport.mark_filtered(rid)
 
-        for hop in transport.walk():
-            u = hop.node
-            if hop.parent is None:
-                transport.strand(
-                    [rid for _, rid in outbox.pop(u, [])], hop.reason
-                )
-                continue
-            parent = hop.parent
-            for source, rid in outbox.get(u, ()):
-                outcome = transport.send(
-                    u, parent, VALUE_REPORT_BYTES, rids=(rid,), payload=source
-                )
-                for arrived, _is_dup in outcome.arrivals:
-                    if parent == tree.sink:
-                        if transport.deliver_at_sink(rid):
-                            delivered.append(arrived)
-                    elif offer(parent, arrived, isoline_nodes[arrived]):
-                        outbox.setdefault(parent, []).append((arrived, rid))
-                    else:
-                        transport.mark_filtered(rid)
+        def frames_for(u: int) -> List[OutFrame]:
+            return [
+                OutFrame(nbytes=VALUE_REPORT_BYTES, rids=(rid,), payload=source)
+                for source, rid in outbox.pop(u, ())
+            ]
+
+        def on_arrival(_sender, receiver, frame, arrived, _is_dup):
+            rid = frame.rids[0]
+            if receiver == tree.sink:
+                if transport.deliver_at_sink(rid):
+                    delivered.append(arrived)
+            elif offer(receiver, arrived, isoline_nodes[arrived]):
+                outbox.setdefault(receiver, []).append((arrived, rid))
+            else:
+                transport.mark_filtered(rid)
+
+        transport.run_collection(frames_for, on_arrival)
         return delivered

@@ -46,9 +46,13 @@ def _experiment_registry() -> Dict[str, Callable]:
     from repro.experiments.fig11_accuracy import run_fig11a, run_fig11b
     from repro.experiments.fig12_hausdorff import run_fig12a, run_fig12b
     from repro.experiments.fig13_filtering import run_fig09, run_fig13
-    from repro.experiments.fig14_traffic import run_fig14a, run_fig14b
+    from repro.experiments.fig14_traffic import (
+        run_fig14_scaling,
+        run_fig14a,
+        run_fig14b,
+    )
     from repro.experiments.fig15_computation import run_fig15
-    from repro.experiments.fig16_energy import run_fig16
+    from repro.experiments.fig16_energy import run_fig16, run_fig16_scaling
     from repro.experiments.table1_overheads import run_table1, run_theorem41
 
     return {
@@ -74,8 +78,14 @@ def _experiment_registry() -> Dict[str, Callable]:
         "fig14b": lambda jobs, cache: run_fig14b(
             seeds=(1,), jobs=jobs, cache_dir=cache
         ),
+        "fig14_scaling": lambda jobs, cache: run_fig14_scaling(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
         "fig15": lambda jobs, cache: run_fig15(seeds=(1,)),
         "fig16": lambda jobs, cache: run_fig16(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig16_scaling": lambda jobs, cache: run_fig16_scaling(
             seeds=(1,), jobs=jobs, cache_dir=cache
         ),
         "fig_continuous": lambda jobs, cache: run_fig_continuous(

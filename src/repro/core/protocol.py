@@ -30,6 +30,7 @@ from repro.network.links import LossyLinkModel
 from repro.network.transport import (
     DegradationReport,
     EpochTransport,
+    OutFrame,
     TransportConfig,
 )
 
@@ -309,27 +310,23 @@ class IsoMapProtocol:
                 dropped += 1  # duplicate position at the same node
                 transport.mark_filtered(rid)
 
-        for hop in transport.walk():
-            u = hop.node
-            if hop.parent is None:
-                # Crashed mid-epoch or orphaned beyond local repair: the
-                # reports buffered here never leave.
-                transport.strand(
-                    [rid for _, rid in outbox.pop(u, [])], hop.reason
-                )
-                continue
-            parent = hop.parent
-            for r, rid in outbox.get(u, ()):
-                outcome = transport.send(
-                    u, parent, r.wire_bytes, rids=(rid,), payload=r
-                )
-                for arrived, _is_dup in outcome.arrivals:
-                    if parent == tree.sink:
-                        if transport.deliver_at_sink(rid):
-                            delivered.append(arrived)
-                    elif filter_at(parent).offer(arrived, parent, costs):
-                        outbox.setdefault(parent, []).append((arrived, rid))
-                    else:
-                        dropped += 1
-                        transport.mark_filtered(rid)
+        def frames_for(u: int) -> List[OutFrame]:
+            return [
+                OutFrame(nbytes=r.wire_bytes, rids=(rid,), payload=r)
+                for r, rid in outbox.pop(u, ())
+            ]
+
+        def on_arrival(_sender, receiver, frame, arrived, _is_dup):
+            nonlocal dropped
+            rid = frame.rids[0]
+            if receiver == tree.sink:
+                if transport.deliver_at_sink(rid):
+                    delivered.append(arrived)
+            elif filter_at(receiver).offer(arrived, receiver, costs):
+                outbox.setdefault(receiver, []).append((arrived, rid))
+            else:
+                dropped += 1
+                transport.mark_filtered(rid)
+
+        transport.run_collection(frames_for, on_arrival)
         return delivered, dropped

@@ -12,6 +12,7 @@ Both sweeps run through :mod:`repro.experiments.runner`: one point per
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Sequence
 
 from repro.baselines import INLRProtocol, TinyDBProtocol
@@ -36,6 +37,9 @@ DEFAULT_SIDES: Sequence[int] = (15, 25, 35, 50)
 
 #: Densities for the density sweep on a 30 x 30 field.
 DEFAULT_DENSITIES: Sequence[float] = (0.5, 1.0, 2.0, 4.0)
+
+#: Node counts for the large-n scaling sweep (density 1: side = sqrt(n)).
+DEFAULT_SCALING_N: Sequence[int] = (2500, 10000, 40000)
 
 
 def _scaled_harbor(side: float) -> WindowField:
@@ -80,6 +84,87 @@ def fig14b_point(density: float, side: int, seed: int) -> Dict[str, float]:
         "tinydb": TinyDBProtocol(levels).run(grid_net).costs.total_traffic_kb(),
         "inlr": INLRProtocol(levels).run(grid_net).costs.total_traffic_kb(),
     }
+
+
+def fig14_scaling_point(n: int, seed: int) -> Dict[str, float]:
+    """Traffic and report counts for one large-n point at density 1.
+
+    Uses the side-parameterised harbor field (landmarks scale, per-unit
+    gradients fixed -- see :class:`repro.field.harbor.HuanghuaHarborField`)
+    instead of the windowed trace, which cannot exceed side 50.  Only
+    Iso-Map and TinyDB run: the region-merge baselines are quadratic in
+    the subtree sizes near the sink and infeasible at n = 40000.
+    """
+    levels = default_levels()
+    side = round(math.sqrt(n))
+    field = make_harbor_field(side=side)
+    iso_net = harbor_network(n, "random", seed=seed, field=field, reuse_topology=True)
+    iso = run_isomap(iso_net)
+    grid_net = harbor_network(n, "grid", seed=seed, field=field, reuse_topology=True)
+    tdb = TinyDBProtocol(levels).run(grid_net)
+    return {
+        "diameter": iso_net.diameter_hops,
+        "isomap_reports": iso.costs.reports_generated,
+        "isomap": iso.costs.total_traffic_kb(),
+        "tinydb": tdb.costs.total_traffic_kb(),
+    }
+
+
+def run_fig14_scaling(
+    ns: Sequence[int] = DEFAULT_SCALING_N,
+    seeds: Sequence[int] = (1,),
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> ExperimentResult:
+    """Traffic and report scaling at n = 2500..40000 (density 1).
+
+    The headline claim: Iso-Map's report count grows like the isoline
+    length, i.e. O(sqrt(n)) at density 1, while TinyDB's traffic grows
+    superlinearly (n reports times sqrt(n) average hops).  The fitted
+    log-log exponent of the Iso-Map report count is printed in the notes.
+    """
+    result = ExperimentResult(
+        experiment_id="fig14_scaling",
+        title="traffic and report scaling at large n",
+        columns=[
+            "n_nodes",
+            "field_side",
+            "diameter_hops",
+            "isomap_reports",
+            "isomap_kb",
+            "tinydb_kb",
+        ],
+    )
+    points = grid_points(fig14_scaling_point, [{"n": n} for n in ns], seeds)
+    groups = group_by_config(run_sweep(points, jobs, cache_dir), len(seeds))
+    for n, group in zip(ns, groups):
+        result.add_row(
+            n_nodes=n,
+            field_side=round(math.sqrt(n)),
+            diameter_hops=seed_mean(group, "diameter"),
+            isomap_reports=seed_mean(group, "isomap_reports"),
+            isomap_kb=seed_mean(group, "isomap"),
+            tinydb_kb=seed_mean(group, "tinydb"),
+        )
+    exponent = _loglog_slope(
+        result.column("n_nodes"), result.column("isomap_reports")
+    )
+    result.notes = (
+        "density 1; side-parameterised harbor field; Iso-Map report count "
+        f"~ n^{exponent:.2f} (O(sqrt(n)) predicts 0.5)"
+    )
+    return result
+
+
+def _loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x)."""
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    mx = sum(lx) / len(lx)
+    my = sum(ly) / len(ly)
+    var = sum((x - mx) ** 2 for x in lx)
+    cov = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    return cov / var if var else float("nan")
 
 
 def run_fig14a(

@@ -11,6 +11,7 @@ optional result cache); tables are byte-identical at any job count.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Sequence
 
 from repro.baselines import INLRProtocol, TinyDBProtocol
@@ -21,7 +22,8 @@ from repro.experiments.common import (
     harbor_network,
     run_isomap,
 )
-from repro.experiments.fig14_traffic import _scaled_harbor
+from repro.experiments.fig14_traffic import DEFAULT_SCALING_N, _scaled_harbor
+from repro.field import make_harbor_field
 from repro.experiments.runner import (
     grid_points,
     group_by_config,
@@ -72,5 +74,51 @@ def run_fig16(
             isomap_mj=seed_mean(group, "isomap"),
             tinydb_mj=seed_mean(group, "tinydb"),
             inlr_mj=seed_mean(group, "inlr"),
+        )
+    return result
+
+
+def fig16_scaling_point(n: int, seed: int) -> Dict[str, float]:
+    """Per-node energy at one large-n point (Iso-Map + TinyDB only)."""
+    levels = default_levels()
+    side = round(math.sqrt(n))
+    field = make_harbor_field(side=side)
+    iso_net = harbor_network(n, "random", seed=seed, field=field, reuse_topology=True)
+    grid_net = harbor_network(n, "grid", seed=seed, field=field, reuse_topology=True)
+    return {
+        "isomap": energy_from_costs(run_isomap(iso_net).costs).per_node_mean_mj(),
+        "tinydb": energy_from_costs(
+            TinyDBProtocol(levels).run(grid_net).costs
+        ).per_node_mean_mj(),
+    }
+
+
+def run_fig16_scaling(
+    ns: Sequence[int] = DEFAULT_SCALING_N,
+    seeds: Sequence[int] = (1,),
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> ExperimentResult:
+    """Mean per-node energy (mJ) at n = 2500..40000 (density 1).
+
+    Extends Fig. 16 past the paper's 2500-node field: Iso-Map's per-node
+    energy should stay nearly flat while TinyDB's keeps climbing with the
+    diameter.  The region-merge baselines are omitted (quadratic near the
+    sink, infeasible at n = 40000).
+    """
+    result = ExperimentResult(
+        experiment_id="fig16_scaling",
+        title="per-node energy (mJ) at large n",
+        columns=["n_nodes", "field_side", "isomap_mj", "tinydb_mj"],
+        notes="density 1; side-parameterised harbor field; Mica2 model",
+    )
+    points = grid_points(fig16_scaling_point, [{"n": n} for n in ns], seeds)
+    groups = group_by_config(run_sweep(points, jobs, cache_dir), len(seeds))
+    for n, group in zip(ns, groups):
+        result.add_row(
+            n_nodes=n,
+            field_side=round(math.sqrt(n)),
+            isomap_mj=seed_mean(group, "isomap"),
+            tinydb_mj=seed_mean(group, "tinydb"),
         )
     return result

@@ -69,18 +69,49 @@ class HuanghuaHarborField(CompositeField):
         seed: seed for the small-scale noise octaves.
         noise_amplitude: metres of small-scale depth variation; 0 disables
             the noise term entirely (useful for exact-geometry tests).
+        side: field extent in normalised units (default: the paper's 50).
+            A larger side models monitoring a longer stretch of the sea
+            route: landmark *positions* (channel axis, mound centres)
+            scale with the side while every *local* length scale (channel
+            width, mound sigmas, noise period) and the per-unit gradients
+            stay fixed -- so the epsilon-stripe of Theorem 4.1 keeps its
+            width and isoline length grows like the side, which is what
+            makes report counts scale as O(sqrt(n)) at density 1.  At
+            ``side=50`` every coefficient reduces to exactly the paper's
+            (the scale factor multiplies out to the identical floats).
     """
 
-    def __init__(self, seed: int = 2003, noise_amplitude: float = 0.35):
-        bounds = BoundingBox(0.0, 0.0, FIELD_SIDE, FIELD_SIDE)
+    def __init__(
+        self,
+        seed: int = 2003,
+        noise_amplitude: float = 0.35,
+        side: float = FIELD_SIDE,
+    ):
+        if side <= 0:
+            raise ValueError("field side must be positive")
+        s = side / FIELD_SIDE
+        bounds = BoundingBox(0.0, 0.0, side, side)
         parts: List[ScalarField] = [
             # Shelf: ~6.5 m inshore deepening to ~9.5 m at the seaward edge.
             PlaneField(bounds, c0=6.5, cx=0.01, cy=0.06),
             # The dredged navigation channel: a deep corridor entering at
             # the south-west and leaving at the north-east, ~5 m deeper
             # than the shelf at its axis.
-            RidgeField(bounds, a=(0.0, 12.0), b=(50.0, 38.0), amplitude=5.0, width=5.5),
-            GaussianBumpField(bounds, base=0.0, bumps=_SILT_MOUNDS),
+            RidgeField(
+                bounds,
+                a=(0.0, 12.0 * s),
+                b=(side, 38.0 * s),
+                amplitude=5.0,
+                width=5.5,
+            ),
+            GaussianBumpField(
+                bounds,
+                base=0.0,
+                bumps=tuple(
+                    (amp, (cx * s, cy * s), sigma)
+                    for amp, (cx, cy), sigma in _SILT_MOUNDS
+                ),
+            ),
         ]
         if noise_amplitude > 0:
             parts.append(
@@ -95,8 +126,13 @@ class HuanghuaHarborField(CompositeField):
         super().__init__(bounds, parts)
         self.seed = seed
         self.noise_amplitude = noise_amplitude
+        self.side = side
 
 
-def make_harbor_field(seed: int = 2003, noise_amplitude: float = 0.35) -> HuanghuaHarborField:
+def make_harbor_field(
+    seed: int = 2003,
+    noise_amplitude: float = 0.35,
+    side: float = FIELD_SIDE,
+) -> HuanghuaHarborField:
     """Factory for the default experiment field (see :class:`HuanghuaHarborField`)."""
-    return HuanghuaHarborField(seed=seed, noise_amplitude=noise_amplitude)
+    return HuanghuaHarborField(seed=seed, noise_amplitude=noise_amplitude, side=side)

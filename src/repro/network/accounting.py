@@ -80,6 +80,38 @@ class CostAccountant:
             self.charge_rx(r, nbytes)
 
     # ------------------------------------------------------------------
+    # Batched charging (the slot-parallel transport)
+    # ------------------------------------------------------------------
+    #
+    # Counters are int64 and addition is associative, so one scatter-add
+    # per level lands on exactly the bytes/ops the per-frame calls would
+    # -- order-free bit-identity, pinned by the transport differential
+    # tests.  Repeated node indices accumulate (``np.add.at`` semantics).
+
+    def charge_tx_batch(self, nodes: np.ndarray, nbytes: np.ndarray) -> None:
+        """Scatter-add transmissions: ``tx_bytes[nodes[i]] += nbytes[i]``."""
+        self._check_batch(nodes, nbytes)
+        np.add.at(self.tx_bytes, nodes, nbytes)
+
+    def charge_rx_batch(self, nodes: np.ndarray, nbytes: np.ndarray) -> None:
+        """Scatter-add receptions: ``rx_bytes[nodes[i]] += nbytes[i]``."""
+        self._check_batch(nodes, nbytes)
+        np.add.at(self.rx_bytes, nodes, nbytes)
+
+    def charge_ops_batch(self, nodes: np.ndarray, counts: np.ndarray) -> None:
+        """Scatter-add operations: ``ops[nodes[i]] += counts[i]``."""
+        self._check_batch(nodes, counts)
+        np.add.at(self.ops, nodes, counts)
+
+    def _check_batch(self, nodes: np.ndarray, amounts: np.ndarray) -> None:
+        if len(nodes) and (
+            int(nodes.min()) < 0 or int(nodes.max()) >= self.n_nodes
+        ):
+            raise IndexError("node index out of range")
+        if len(amounts) and int(np.min(amounts)) < 0:
+            raise ValueError("cannot charge a negative amount")
+
+    # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
 

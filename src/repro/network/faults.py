@@ -19,24 +19,31 @@ first):
 - **packet duplication**: a delivered frame arrives twice (the classic
   lost-ACK retransmission), which sequence numbers can suppress.
 
-Everything is driven by explicit :class:`random.Random` instances
-derived from the plan's single seed, with independent streams per
-concern (schedule, per-link loss, corruption, duplication), so a plan
-replays byte-identically regardless of which protocol runs under it --
-the property that makes Iso-Map-vs-baseline comparisons under faults
-apples-to-apples.  The engine never mutates the :class:`SensorNetwork`;
-crash state is kept internally so one deployment can be reused across
-protocol runs and seeds.
+Everything is driven by named random streams derived from the plan's
+single seed, with independent streams per concern (schedule, per-link
+loss/corruption/duplication, payload damage), so a plan replays
+byte-identically regardless of which protocol runs under it -- the
+property that makes Iso-Map-vs-baseline comparisons under faults
+apples-to-apples.  The per-link streams are *counter-based*
+(:mod:`repro.network.rngstream`): draw ``i`` of a stream is a pure
+function of the stream key and ``i``, so the batched transport can
+evaluate a whole tree level's draws as arrays and land on exactly the
+variates the scalar walk reads one by one.  The engine never mutates
+the :class:`SensorNetwork`; crash state is kept internally so one
+deployment can be reused across protocol runs and seeds.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.network.links import LossyLinkModel
 from repro.network.network import SensorNetwork
+from repro.network.rngstream import derive_key, uniform_at, uniforms_at_many
 
 
 @dataclass(frozen=True)
@@ -234,6 +241,36 @@ class FaultPlan:
         return FaultPlan.at_intensity(1.0, seed=seed)
 
 
+#: Stream tags of the four counter-based streams each directed edge owns.
+_TAG_STATE = 1  # Gilbert-Elliott chain steps
+_TAG_DELIVER = 2  # per-attempt delivery draws
+_TAG_CORRUPT = 3  # per-attempt corruption draws
+_TAG_DUP = 4  # per-frame duplication draws
+
+
+class _EdgeStreams:
+    """Per-directed-edge stream keys and cursors.
+
+    ``frame`` is the next frame index on the edge; the Gilbert-Elliott
+    checkpoint ``(ge_state, ge_t)`` is the chain state after ``ge_t``
+    steps (``ge_t < 0`` = not yet initialised).  Because the chain state
+    at step ``t`` is a pure function of the state stream's uniforms
+    ``0..t``, the checkpoint can be advanced scalar-ly or in one batched
+    scan and both paths land on identical states.
+    """
+
+    __slots__ = ("frame", "ge_state", "ge_t", "k_state", "k_deliver", "k_corrupt", "k_dup")
+
+    def __init__(self, seed: int, u: int, v: int):
+        self.frame = 0
+        self.ge_state = False
+        self.ge_t = -1
+        self.k_state = derive_key(seed, _TAG_STATE, u, v)
+        self.k_deliver = derive_key(seed, _TAG_DELIVER, u, v)
+        self.k_corrupt = derive_key(seed, _TAG_CORRUPT, u, v)
+        self.k_dup = derive_key(seed, _TAG_DUP, u, v)
+
+
 class FaultEngine:
     """Applies a :class:`FaultPlan` to one collection epoch.
 
@@ -242,11 +279,19 @@ class FaultEngine:
     flows from named streams derived from the plan seed:
 
     - ``schedule``: which nodes crash/recover and at which slots;
-    - ``link|u|v``: one stream per directed link for loss sampling (so
-      the loss a link sees is independent of how many frames other links
-      carried);
-    - ``corrupt`` / ``dup``: frame corruption and duplication draws, in
-      walk order.
+    - four counter-based streams per directed link (chain state,
+      delivery, corruption, duplication), addressed by frame and attempt
+      index so outcomes are independent of evaluation order;
+    - ``corrupt``: the Mersenne damage stream feeding
+      :meth:`corrupt_payload` (consumed in walk order by both paths).
+
+    Each frame on an edge owns a fixed draw budget of
+    :attr:`attempts_per_frame` slots (the transport's ARQ attempt
+    ceiling): frame ``f``'s attempt ``k`` reads delivery/corruption
+    counter ``f * A + (k - 1)`` and chain step ``f * A + k``, and the
+    burst chain advances all ``A`` steps per frame whether or not the
+    later attempts happen (the channel evolves in time, not per packet),
+    which is what makes every draw's address data-independent.
     """
 
     def __init__(self, plan: FaultPlan, network: SensorNetwork):
@@ -257,8 +302,17 @@ class FaultEngine:
         self._recovered: List[int] = []
         self._corrupt_rng = random.Random(f"{plan.seed}|corrupt")
         self._dup_rng = random.Random(f"{plan.seed}|dup")
-        self._link_rngs: Dict[Tuple[int, int], random.Random] = {}
-        self._link_state: Dict[Tuple[int, int], object] = {}
+        #: Attempt slots reserved per frame; the transport sets this to
+        #: its ARQ ceiling before any frame draw happens.
+        self.attempts_per_frame = 1
+        self._edges: Dict[Tuple[int, int], _EdgeStreams] = {}
+        # Liveness snapshot for the batched paths.  Node liveness only
+        # changes between epochs (fail_random / revive_all), never while
+        # an engine is walking one, so the snapshot stays truthful.
+        self._net_alive = np.fromiter(
+            (nd.alive for nd in network.nodes), dtype=bool, count=network.n_nodes
+        )
+        self._down_mask = np.zeros(network.n_nodes, dtype=bool)
         self._pending = self._build_schedule()
         self._cursor = 0
 
@@ -267,7 +321,31 @@ class FaultEngine:
     # ------------------------------------------------------------------
 
     def _build_schedule(self) -> List[FaultEvent]:
-        """Instantiate the plan's concrete events for this network."""
+        """Instantiate the plan's concrete events for this network.
+
+        The result is cached on the network object, keyed by the plan
+        fields the schedule depends on plus the network's routing-tree
+        version (liveness changes always rebuild the tree), so a sweep
+        that runs many protocols under the same plan on one deployment
+        builds the schedule once.
+        """
+        plan = self.plan
+        cache = self.network.__dict__.setdefault("_fault_schedule_cache", {})
+        key = (
+            plan.seed,
+            plan.crash_ratio,
+            plan.recover_ratio,
+            plan.events,
+            getattr(self.network, "_tree_version", 0),
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return list(cached)
+        events = self._build_schedule_uncached()
+        cache[key] = tuple(events)
+        return events
+
+    def _build_schedule_uncached(self) -> List[FaultEvent]:
         rng = random.Random(f"{self.plan.seed}|schedule")
         tree = self.network.tree
         depth = max(1, tree.depth)
@@ -313,10 +391,12 @@ class FaultEngine:
             if e.kind == CRASH:
                 if e.node not in self._down:
                     self._down.add(e.node)
+                    self._down_mask[e.node] = True
                     self._crashed.append(e.node)
             else:
                 if e.node in self._down:
                     self._down.discard(e.node)
+                    self._down_mask[e.node] = False
                     self._recovered.append(e.node)
             self._cursor += 1
 
@@ -332,6 +412,10 @@ class FaultEngine:
         """Engine-view liveness: network liveness minus mid-epoch crashes."""
         return self.network.nodes[node].alive and node not in self._down
 
+    def alive_array(self) -> np.ndarray:
+        """:meth:`alive` for every node at once (batched-walk view)."""
+        return self._net_alive & ~self._down_mask
+
     @property
     def crashed_nodes(self) -> Tuple[int, ...]:
         return tuple(self._crashed)
@@ -344,19 +428,219 @@ class FaultEngine:
     # Per-frame draws
     # ------------------------------------------------------------------
 
-    def link_attempt(self, sender: int, receiver: int) -> bool:
-        """One transmission attempt on the directed link; True = on air OK."""
+    def _edge(self, sender: int, receiver: int) -> _EdgeStreams:
+        key = (sender, receiver)
+        es = self._edges.get(key)
+        if es is None:
+            es = _EdgeStreams(self.plan.seed, sender, receiver)
+            self._edges[key] = es
+        return es
+
+    def next_frame(self, sender: int, receiver: int) -> int:
+        """Allocate the next frame index on the directed edge."""
+        es = self._edge(sender, receiver)
+        f = es.frame
+        es.frame = f + 1
+        return f
+
+    def _ge_state_at(self, es: _EdgeStreams, t: int, model: GilbertElliottLink) -> bool:
+        """Chain state (True = bad) after ``t`` steps, advancing the
+        edge's checkpoint.  Step 0 is the stationary draw; step ``i``
+        reads state-stream counter ``i``.  Callers only move forward in
+        time (frames and attempts are monotone per edge)."""
+        if es.ge_t < 0:
+            es.ge_state = uniform_at(es.k_state, 0) < model.steady_state_bad()
+            es.ge_t = 0
+        state = es.ge_state
+        tt = es.ge_t
+        while tt < t:
+            tt += 1
+            u = uniform_at(es.k_state, tt)
+            if state:
+                state = not (u < model.p_exit_bad)
+            else:
+                state = u < model.p_enter_bad
+        es.ge_state = state
+        es.ge_t = tt
+        return state
+
+    def link_ok(self, sender: int, receiver: int, frame: int, attempt: int) -> bool:
+        """Did attempt ``attempt`` (1-based) of ``frame`` survive the air?"""
         model = self.plan.link
         if model is None:
             return True
-        key = (sender, receiver)
-        rng = self._link_rngs.get(key)
-        if rng is None:
-            rng = random.Random(f"{self.plan.seed}|link|{sender}|{receiver}")
-            self._link_rngs[key] = rng
-            self._link_state[key] = model.initial_state(rng)
-        self._link_state[key] = model.step(self._link_state[key], rng)
-        return model.delivers(self._link_state[key], rng)
+        es = self._edge(sender, receiver)
+        a = self.attempts_per_frame
+        t_del = frame * a + (attempt - 1)
+        if isinstance(model, GilbertElliottLink):
+            bad = self._ge_state_at(es, frame * a + attempt, model)
+            p = model.deliver_bad if bad else model.deliver_good
+        else:
+            p = model.delivery_probability
+        return uniform_at(es.k_deliver, t_del) < p
+
+    def corrupt_at(self, sender: int, receiver: int, frame: int, attempt: int) -> bool:
+        """Does this (frame, attempt) arrive bit-damaged?"""
+        if self.plan.corruption <= 0.0:
+            return False
+        es = self._edge(sender, receiver)
+        t = frame * self.attempts_per_frame + (attempt - 1)
+        return uniform_at(es.k_corrupt, t) < self.plan.corruption
+
+    def dup_at(self, sender: int, receiver: int, frame: int) -> bool:
+        """Does this delivered frame arrive twice?"""
+        if self.plan.duplication <= 0.0:
+            return False
+        es = self._edge(sender, receiver)
+        return uniform_at(es.k_dup, frame) < self.plan.duplication
+
+    def link_attempt(self, sender: int, receiver: int) -> bool:
+        """One stand-alone transmission attempt on the directed link
+        (True = on air OK).  Each call burns one frame of the edge's
+        streams; kept for direct link-model exercises -- the transport
+        addresses attempts explicitly via :meth:`link_ok`."""
+        if self.plan.link is None:
+            return True
+        return self.link_ok(sender, receiver, self.next_frame(sender, receiver), 1)
+
+    # -- batched draws --------------------------------------------------
+
+    def frame_draws_batch(
+        self, edges: Sequence[Tuple[int, int]], counts: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All link/corruption/duplication draws for a batch of frames.
+
+        Args:
+            edges: directed ``(sender, receiver)`` pairs, one per edge.
+            counts: frames per edge (``counts[i] >= 1``).
+
+        Returns ``(air_ok, corrupt, dup)`` where ``air_ok`` and
+        ``corrupt`` are ``(F, A)`` booleans (``F = counts.sum()``,
+        ``A = attempts_per_frame``) and ``dup`` is ``(F,)``; frames are
+        laid out edge-major in the given edge order, ascending frame
+        index within an edge.  Advances every edge's frame cursor and
+        burst-chain checkpoint exactly as ``counts[i]`` scalar frames
+        would -- the returned booleans are bit-identical to the scalar
+        :meth:`link_ok` / :meth:`corrupt_at` / :meth:`dup_at` answers.
+        """
+        a = self.attempts_per_frame
+        model = self.plan.link
+        counts = np.asarray(counts, dtype=np.int64)
+        n_edges = len(edges)
+        total = int(counts.sum())
+        streams = [self._edge(u, v) for (u, v) in edges]
+        f0 = np.fromiter((es.frame for es in streams), np.int64, count=n_edges)
+
+        edge_of = np.repeat(np.arange(n_edges), counts)
+        within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        frames = f0[edge_of] + within
+        t_del = frames[:, None] * a + np.arange(a)[None, :]
+
+        k_del = np.fromiter(
+            (es.k_deliver for es in streams), np.uint64, count=n_edges
+        )
+        u_del = uniforms_at_many(k_del[edge_of][:, None], t_del)
+        if model is None:
+            air_ok = np.ones((total, a), dtype=bool)
+        elif isinstance(model, GilbertElliottLink):
+            bad = self._ge_states_batch(streams, counts, f0, frames, edge_of, model)
+            air_ok = u_del < np.where(bad, model.deliver_bad, model.deliver_good)
+        else:
+            air_ok = u_del < model.delivery_probability
+
+        if self.plan.corruption > 0.0:
+            k_cor = np.fromiter(
+                (es.k_corrupt for es in streams), np.uint64, count=n_edges
+            )
+            corrupt = (
+                uniforms_at_many(k_cor[edge_of][:, None], t_del)
+                < self.plan.corruption
+            )
+        else:
+            corrupt = np.zeros((total, a), dtype=bool)
+
+        if self.plan.duplication > 0.0:
+            k_dup = np.fromiter(
+                (es.k_dup for es in streams), np.uint64, count=n_edges
+            )
+            dup = uniforms_at_many(k_dup[edge_of], frames) < self.plan.duplication
+        else:
+            dup = np.zeros(total, dtype=bool)
+
+        for i, es in enumerate(streams):
+            es.frame = int(f0[i] + counts[i])
+        return air_ok, corrupt, dup
+
+    def _ge_states_batch(
+        self,
+        streams: List[_EdgeStreams],
+        counts: np.ndarray,
+        f0: np.ndarray,
+        frames: np.ndarray,
+        edge_of: np.ndarray,
+        model: GilbertElliottLink,
+    ) -> np.ndarray:
+        """Burst-chain states for every (frame, attempt) of a batch.
+
+        The two-state chain under an i.i.d. uniform stream is an
+        associative scan: classify each step as *swap* (flip whatever
+        the state was), *const* (force good/bad regardless) or
+        *identity*, then the state at any step is the last const value
+        before it, flipped by the parity of the swaps since.  One
+        ``maximum.accumulate`` + ``cumsum`` resolves all edges at once;
+        a virtual const slot carrying each edge's checkpoint state heads
+        its segment so segments can never bleed into each other.
+        """
+        n_edges = len(streams)
+        a = self.attempts_per_frame
+        # Initialise checkpoints (stationary draw at counter 0).
+        sb = model.steady_state_bad()
+        for es in streams:
+            if es.ge_t < 0:
+                es.ge_state = uniform_at(es.k_state, 0) < sb
+                es.ge_t = 0
+        t_cp = np.fromiter((es.ge_t for es in streams), np.int64, count=n_edges)
+        s_cp = np.fromiter((es.ge_state for es in streams), bool, count=n_edges)
+        t_end = (f0 + counts) * a
+        n_steps = t_end - t_cp  # >= 1: counts >= 1 and t_cp <= f0 * a
+        seg_len = n_steps + 1  # one virtual checkpoint slot per edge
+        seg_start = np.concatenate(([0], np.cumsum(seg_len)[:-1]))
+        n_slots = int(seg_len.sum())
+
+        slot_edge = np.repeat(np.arange(n_edges), seg_len)
+        slot_pos = np.arange(n_slots) - seg_start[slot_edge]
+        slot_t = t_cp[slot_edge] + slot_pos  # virtual slot sits at t_cp
+        is_virtual = slot_pos == 0
+
+        k_state = np.fromiter(
+            (es.k_state for es in streams), np.uint64, count=n_edges
+        )
+        u = uniforms_at_many(k_state[slot_edge], slot_t)
+        enter = u < model.p_enter_bad
+        leave = u < model.p_exit_bad
+        is_swap = enter & leave & ~is_virtual
+        is_const = (enter ^ leave) | is_virtual
+        # Const value: forced-bad steps have enter & ~leave (True); the
+        # virtual slots carry the checkpoint state.
+        const_val = np.where(is_virtual, s_cp[slot_edge], enter & ~leave)
+
+        idx = np.arange(n_slots)
+        m = np.maximum.accumulate(np.where(is_const, idx, -1))
+        c = np.cumsum(is_swap)
+        state = const_val[m] ^ (((c - c[m]) & 1) == 1)
+
+        # Checkpoint: the state at each segment's final slot (t_end).
+        seg_last = seg_start + seg_len - 1
+        last_states = state[seg_last]
+        for i, es in enumerate(streams):
+            es.ge_state = bool(last_states[i])
+            es.ge_t = int(t_end[i])
+
+        # Gather the (frame, attempt) states: attempt k of frame f reads
+        # step f*a + k, at slot offset (t - t_cp) within the segment.
+        t_att = frames[:, None] * a + np.arange(1, a + 1)[None, :]
+        pos = seg_start[edge_of][:, None] + (t_att - t_cp[edge_of][:, None])
+        return state[pos]
 
     def corrupts(self) -> bool:
         """Does the next delivered frame arrive bit-damaged?"""

@@ -8,10 +8,12 @@ protocol (Iso-Map and the baselines) runs against.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro import profiling
 from repro.field.base import ScalarField
 from repro.geometry import BoundingBox, Vec, dist
 from repro.network.deployment import grid_deployment, uniform_random_deployment
@@ -30,6 +32,30 @@ from repro.network.topology import (
 DEFAULT_RADIO_RANGE = 1.5
 
 
+@dataclass
+class TopologySkeleton:
+    """The deployment-determined, field-independent part of a network.
+
+    Positions, CSR adjacency, neighbour lists, sink choice and the
+    healthy routing tree depend only on ``(positions, radio_range)`` --
+    not on the sensed field, the noise draw, or any failure state -- so
+    repeated runs over the same deployment (sweep repetitions, epoch
+    sequences, protocol comparisons) can share one skeleton instead of
+    re-hashing the disk graph and re-running BFS every time.  Capture
+    with :meth:`SensorNetwork.skeleton` and pass back via ``prebuilt``.
+
+    Everything here is treated as immutable by :class:`SensorNetwork`
+    (rebuilds after crash-mode failures replace ``tree`` on the network,
+    never mutate the skeleton's).
+    """
+
+    positions_array: np.ndarray
+    csr: "CsrAdjacency"
+    neighbor_lists: List[List[int]]
+    sink_index: int
+    tree: "RoutingTree"
+
+
 class SensorNetwork:
     """A deployed, connected, routed sensor network over a scalar field.
 
@@ -45,6 +71,11 @@ class SensorNetwork:
         sensing_noise: standard deviation of zero-mean Gaussian noise added
             to each node's sensed value (0 disables).
         rng: randomness source for sensing noise and failure injection.
+        prebuilt: a :class:`TopologySkeleton` captured from an earlier
+            network with the identical ``(positions, radio_range)``:
+            adjacency, sink choice and routing tree are adopted instead
+            of recomputed.  Sensing (field sampling + noise draws) still
+            runs normally, so results are byte-identical to a cold build.
     """
 
     def __init__(
@@ -55,6 +86,7 @@ class SensorNetwork:
         sink_index: Optional[int] = None,
         sensing_noise: float = 0.0,
         rng: Optional[random.Random] = None,
+        prebuilt: Optional[TopologySkeleton] = None,
     ):
         if not positions:
             raise ValueError("a network needs at least one node")
@@ -69,16 +101,30 @@ class SensorNetwork:
             if sensing_noise > 0:
                 v += self._rng.gauss(0.0, sensing_noise)
             self.nodes.append(SensorNode(node_id=i, position=p, value=v))
+        self._adjacency_sets: Optional[List[Set[int]]] = None
+        self._tree_version = 0
+        if prebuilt is not None:
+            if len(prebuilt.positions_array) != len(positions):
+                raise ValueError("prebuilt skeleton is for a different size")
+            self.positions_array = prebuilt.positions_array
+            self.csr = prebuilt.csr
+            self.neighbor_lists = prebuilt.neighbor_lists
+            self.sink_index = (
+                sink_index if sink_index is not None else prebuilt.sink_index
+            )
+            self.tree = prebuilt.tree
+            self._adopt_tree(prebuilt.tree)
+            return
         # CSR is the primary adjacency: the edge set never changes
         # (failures only flip per-node flags), so it is built once with the
         # batched kernel; per-node neighbour lists serve the traversal
         # loops, and legacy set views are materialised lazily on demand.
         self.positions_array: np.ndarray = np.asarray(positions, dtype=float)
-        self.csr: CsrAdjacency = build_csr_adjacency(
-            self.positions_array, radio_range
-        )
+        with profiling.stage("topology.build"):
+            self.csr: CsrAdjacency = build_csr_adjacency(
+                self.positions_array, radio_range
+            )
         self.neighbor_lists: List[List[int]] = self.csr.to_lists()
-        self._adjacency_sets: Optional[List[Set[int]]] = None
         if sink_index is None:
             centre = field.bounds.center
             sink_index = min(
@@ -86,6 +132,20 @@ class SensorNetwork:
             )
         self.sink_index = sink_index
         self.tree: RoutingTree = self._build_tree()
+
+    def skeleton(self) -> TopologySkeleton:
+        """Capture the reusable topology (see :class:`TopologySkeleton`).
+
+        Only valid on a fully-alive network (the skeleton's tree is the
+        healthy one); callers cache it right after construction.
+        """
+        return TopologySkeleton(
+            positions_array=self.positions_array,
+            csr=self.csr,
+            neighbor_lists=self.neighbor_lists,
+            sink_index=self.sink_index,
+            tree=self.tree,
+        )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -99,12 +159,23 @@ class SensorNetwork:
         radio_range: float = DEFAULT_RADIO_RANGE,
         seed: int = 0,
         sensing_noise: float = 0.0,
+        prebuilt: Optional[TopologySkeleton] = None,
     ) -> "SensorNetwork":
-        """Uniform-random deployment of ``n`` nodes (Iso-Map's default)."""
+        """Uniform-random deployment of ``n`` nodes (Iso-Map's default).
+
+        ``prebuilt`` skips the adjacency/tree build; positions are still
+        drawn (the shared ``rng`` sequence feeds the noise draws next, so
+        skipping them would desynchronise sensing).
+        """
         rng = random.Random(seed)
         positions = uniform_random_deployment(n, field.bounds, rng)
         return cls(
-            field, positions, radio_range, sensing_noise=sensing_noise, rng=rng
+            field,
+            positions,
+            radio_range,
+            sensing_noise=sensing_noise,
+            rng=rng,
+            prebuilt=prebuilt,
         )
 
     @classmethod
@@ -115,6 +186,7 @@ class SensorNetwork:
         radio_range: float = DEFAULT_RADIO_RANGE,
         seed: int = 0,
         sensing_noise: float = 0.0,
+        prebuilt: Optional[TopologySkeleton] = None,
     ) -> "SensorNetwork":
         """Regular-grid deployment (required by TinyDB-style baselines)."""
         positions = grid_deployment(n, field.bounds)
@@ -124,6 +196,7 @@ class SensorNetwork:
             radio_range,
             sensing_noise=sensing_noise,
             rng=random.Random(seed),
+            prebuilt=prebuilt,
         )
 
     # ------------------------------------------------------------------
@@ -196,16 +269,22 @@ class SensorNetwork:
 
     def _build_tree(self) -> RoutingTree:
         positions = [node.position for node in self.nodes]
-        tree = build_routing_tree(
-            positions, self.neighbor_lists, self.sink_index, self.alive_mask()
-        )
+        with profiling.stage("topology.tree"):
+            tree = build_routing_tree(
+                positions, self.csr, self.sink_index, self.alive_mask()
+            )
+        self._adopt_tree(tree)
+        return tree
+
+    def _adopt_tree(self, tree: RoutingTree) -> None:
+        """Copy a tree's routing state onto the nodes."""
+        self._tree_version += 1
         for node in self.nodes:
             node.reset_routing()
         for i, node in enumerate(self.nodes):
             node.level = tree.level[i]
             node.parent = tree.parent[i]
             node.children = list(tree.children[i])
-        return tree
 
     def rebuild_tree(self) -> None:
         """Recompute routing after topology changes (e.g. failures)."""

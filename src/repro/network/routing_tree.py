@@ -10,11 +10,15 @@ construction deterministic.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.geometry import Vec, dist
+from repro.network.topology import CsrAdjacency
 
 
 @dataclass
@@ -84,7 +88,7 @@ class RoutingTree:
 
 def build_routing_tree(
     positions: Sequence[Vec],
-    adjacency: Sequence[Iterable[int]],
+    adjacency: Union[CsrAdjacency, Sequence[Iterable[int]]],
     sink: int,
     alive: Optional[Sequence[bool]] = None,
 ) -> RoutingTree:
@@ -92,13 +96,125 @@ def build_routing_tree(
 
     Args:
         positions: node positions (used for deterministic parent choice).
-        adjacency: disk-radio neighbours per node (any iterable: sets,
-            lists, or CSR rows).  Levels and parents are independent of
-            the iteration order -- BFS levels are hop distances, and the
-            parent choice tie-breaks explicitly on ``(distance, id)``.
+        adjacency: disk-radio neighbours per node.  A
+            :class:`~repro.network.topology.CsrAdjacency` takes the
+            vectorized frontier-array path; any other per-node iterable
+            (sets, lists) takes the scalar reference.  Both produce the
+            identical tree: BFS levels are hop distances, the parent
+            choice tie-breaks explicitly on ``(distance, id)``, and the
+            frontier path reproduces the FIFO discovery order exactly
+            (pinned by a differential test).
         sink: root node index (must be alive).
         alive: liveness mask; dead nodes are excluded entirely.
     """
+    if isinstance(adjacency, CsrAdjacency):
+        return _build_routing_tree_csr(positions, adjacency, sink, alive)
+    return build_routing_tree_reference(positions, adjacency, sink, alive)
+
+
+def _build_routing_tree_csr(
+    positions: Sequence[Vec],
+    csr: CsrAdjacency,
+    sink: int,
+    alive: Optional[Sequence[bool]],
+) -> RoutingTree:
+    """Array-frontier BFS + segmented parent argmin over a CSR graph.
+
+    Equivalent to :func:`build_routing_tree_reference` result-for-result:
+    each BFS ring is discovered with one gather (first occurrence in the
+    concatenated candidate array is exactly the FIFO discovery order),
+    and parents are picked per node by a segmented ``(distance, id)``
+    argmin using distances computed with the same scalar ``math.hypot``
+    the reference's ``dist`` uses, so float ties break identically.
+    """
+    n = len(positions)
+    if not 0 <= sink < n:
+        raise ValueError("sink index out of range")
+    if alive is None:
+        live = np.ones(n, dtype=bool)
+    else:
+        live = np.asarray(list(alive), dtype=bool)
+    if not live[sink]:
+        raise ValueError("the sink must be alive")
+
+    indptr, indices = csr.indptr, csr.indices
+    level_arr = np.full(n, -1, dtype=np.int64)
+    level_arr[sink] = 0
+    rings = [np.array([sink], dtype=np.int64)]
+    frontier = rings[0]
+    lvl = 0
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        base = np.repeat(starts, counts)
+        within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        cand = indices[base + within]
+        cand = cand[live[cand] & (level_arr[cand] < 0)]
+        if cand.size == 0:
+            break
+        uniq, first = np.unique(cand, return_index=True)
+        ring = uniq[np.argsort(first, kind="stable")]
+        lvl += 1
+        level_arr[ring] = lvl
+        rings.append(ring)
+        frontier = ring
+
+    visited = np.concatenate(rings)
+    non_sink = visited[1:]
+    children: List[List[int]] = [[] for _ in range(n)]
+    parent_arr = np.full(n, -1, dtype=np.int64)
+    if non_sink.size:
+        # Distance of every node to the sink, via the identical scalar
+        # arithmetic the reference path uses (np.hypot may differ in the
+        # last ulp, which would flip distance ties).
+        sx, sy = positions[sink]
+        d = np.fromiter(
+            (math.hypot(p[0] - sx, p[1] - sy) for p in positions),
+            dtype=np.float64,
+            count=n,
+        )
+        starts = indptr[non_sink]
+        counts = indptr[non_sink + 1] - starts
+        total = int(counts.sum())
+        seg = np.repeat(np.arange(len(non_sink)), counts)
+        base = np.repeat(starts, counts)
+        within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        nb = indices[base + within]
+        upstream = live[nb] & (level_arr[nb] == level_arr[non_sink][seg] - 1)
+        nb = nb[upstream]
+        seg = seg[upstream]
+        order_idx = np.lexsort((nb, d[nb], seg))
+        seg_sorted = seg[order_idx]
+        is_first = np.ones(len(seg_sorted), dtype=bool)
+        is_first[1:] = seg_sorted[1:] != seg_sorted[:-1]
+        firsts = order_idx[is_first]
+        assert len(firsts) == len(
+            non_sink
+        ), "BFS-levelled node must have an upstream neighbour"
+        best = nb[firsts]
+        parent_arr[non_sink] = best
+        for u, p in zip(non_sink.tolist(), best.tolist()):
+            children[p].append(u)
+
+    level: List[Optional[int]] = [
+        int(l) if l >= 0 else None for l in level_arr.tolist()
+    ]
+    parent: List[Optional[int]] = [
+        int(p) if p >= 0 else None for p in parent_arr.tolist()
+    ]
+    return RoutingTree(sink=sink, level=level, parent=parent, children=children)
+
+
+def build_routing_tree_reference(
+    positions: Sequence[Vec],
+    adjacency: Sequence[Iterable[int]],
+    sink: int,
+    alive: Optional[Sequence[bool]] = None,
+) -> RoutingTree:
+    """The scalar FIFO-BFS builder (differential-test reference)."""
     n = len(positions)
     live = [True] * n if alive is None else list(alive)
     if not 0 <= sink < n:

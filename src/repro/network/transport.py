@@ -59,6 +59,9 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
+from repro import profiling
 from repro.geometry import dist
 from repro.network.accounting import CostAccountant
 from repro.network.faults import FaultEngine, FaultPlan
@@ -96,6 +99,10 @@ class TransportConfig:
         reparent: nodes whose parent crashed locally re-attach to an
             alive neighbour at level <= their own (repair traffic is
             charged) instead of stranding their buffered reports.
+        batched: resolve each tree level's frames as arrays in
+            :meth:`EpochTransport.run_collection` (bit-identical to the
+            scalar walk by construction; turn off to run the retained
+            per-frame reference path).
     """
 
     arq: bool = True
@@ -105,6 +112,7 @@ class TransportConfig:
     crc: bool = True
     dedup: bool = True
     reparent: bool = True
+    batched: bool = True
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -267,6 +275,34 @@ class SendOutcome:
     arrivals: List[Tuple[Any, bool]]
 
 
+@dataclass
+class OutFrame:
+    """One frame a protocol hands to :meth:`EpochTransport.run_collection`.
+
+    Attributes:
+        nbytes: wire size of the frame.
+        rids: tracked report instances riding it (one for a plain
+            report, many for an aggregate).
+        payload: what the receiver decodes on arrival.
+    """
+
+    nbytes: int
+    rids: Tuple[int, ...]
+    payload: Any = None
+
+
+#: ``frames_for(node)``: pop and return the node's outbox at its slot.
+#: Called exactly once per routed non-sink node, in walk order; for a
+#: stranded node the returned frames are bucketed as lost by the driver.
+FramesFor = Callable[[int], Sequence[OutFrame]]
+
+#: ``on_arrival(sender, receiver, frame, payload, is_duplicate)``: one
+#: accepted frame instance at the receiver (which may be the sink --
+#: aggregating protocols absorb there too, so the driver never
+#: special-cases it).  Payload is the frame's, possibly mangled.
+OnArrival = Callable[[int, int, OutFrame, Any, bool], None]
+
+
 class EpochTransport:
     """Carries one protocol's collection epoch over a faulty network.
 
@@ -310,6 +346,10 @@ class EpochTransport:
                     "BernoulliLink), not as a separate legacy link_model"
                 )
             self.engine: Optional[FaultEngine] = FaultEngine(plan, network)
+            # Fix every frame's draw budget up front: counter-based
+            # streams address (frame, attempt) slots, so the budget must
+            # be known before the first draw and stay constant.
+            self.engine.attempts_per_frame = self._max_attempts()
         else:
             self.engine = None
         self._report = DegradationReport()
@@ -378,6 +418,9 @@ class EpochTransport:
     # The slotted bottom-up walk
     # ------------------------------------------------------------------
 
+    def _max_attempts(self) -> int:
+        return (self.config.max_retries + 1) if self.config.arq else 1
+
     def walk(self) -> Iterator[Hop]:
         """Yield one :class:`Hop` per routed non-sink node, children first.
 
@@ -386,6 +429,10 @@ class EpochTransport:
         events fire at each level boundary, crashed holders yield a
         strand, and dead parents are locally repaired when the config
         allows.
+
+        This is the scalar reference order; :meth:`run_collection`'s
+        batched mode takes the same hops level-wise (see
+        :meth:`walk_reference`, the differential-test anchor).
         """
         tree = self.network.tree
         order = tree.subtree_order_bottom_up()
@@ -424,14 +471,30 @@ class EpochTransport:
             self._processed.add(u)
         self.engine.finish_epoch()
 
+    #: The scalar walk is the differential-test reference the batched
+    #: level resolver is pinned against.
+    walk_reference = walk
+
     def _reparent(self, u: int) -> Optional[int]:
+        """Locally re-attach ``u`` after its parent crashed (scalar walk).
+
+        A same-level neighbour is adoptable while its own slot has not
+        passed, which in the scalar walk means it is not yet in
+        ``_processed``.
+        """
+        return self._reparent_with(u, lambda w: w not in self._processed)
+
+    def _reparent_with(
+        self, u: int, slot_pending: Callable[[int], bool]
+    ) -> Optional[int]:
         """Locally re-attach ``u`` after its parent crashed.
 
         ``u`` broadcasts a probe; every alive routed neighbour answers
         with its tree level; ``u`` adopts the best neighbour at a level
         below its own, or at its own level if that neighbour's slot has
         not passed yet (so the adopted reports still get forwarded this
-        epoch).  Tie-break: (level, distance to sink, id).  All repair
+        epoch) -- ``slot_pending`` answers that for the caller's walk
+        order.  Tie-break: (level, distance to sink, id).  All repair
         traffic is charged.  Returns the new parent or None.
         """
         # Imported here: repro.core.wire would otherwise close an import
@@ -458,7 +521,7 @@ class EpochTransport:
             w
             for w in responders
             if (tree.level[w] or 0) < my_level
-            or ((tree.level[w] or 0) == my_level and w not in self._processed)
+            or ((tree.level[w] or 0) == my_level and slot_pending(w))
         ]
         if not candidates:
             return None
@@ -512,7 +575,8 @@ class EpochTransport:
 
         cfg = self.config
         engine = self.engine
-        max_attempts = (cfg.max_retries + 1) if cfg.arq else 1
+        max_attempts = self._max_attempts()
+        frame = engine.next_frame(sender, receiver)
         last_was_corruption = False
         for attempt in range(1, max_attempts + 1):
             if attempt >= 2:
@@ -522,10 +586,10 @@ class EpochTransport:
                     min(cfg.backoff_base << (attempt - 2), cfg.backoff_cap),
                 )
             self.costs.charge_hop(sender, receiver, nbytes)
-            if not engine.link_attempt(sender, receiver):
+            if not engine.link_ok(sender, receiver, frame, attempt):
                 last_was_corruption = False
                 continue
-            if engine.corrupts():
+            if engine.corrupt_at(sender, receiver, frame, attempt):
                 if cfg.crc:
                     # Receiver CRC-rejects; under ARQ the sender retries.
                     self._report.corrupted_detected += 1
@@ -542,7 +606,7 @@ class EpochTransport:
             else:
                 accepted = payload
             arrivals: List[Tuple[Any, bool]] = [(accepted, False)]
-            if rids and engine.duplicates():
+            if rids and engine.dup_at(sender, receiver, frame):
                 # The duplicate frame still occupies both radios.
                 self.costs.charge_hop(sender, receiver, nbytes)
                 n = len(rids)
@@ -556,6 +620,278 @@ class EpochTransport:
             return SendOutcome(True, arrivals)
         self._terminal(rids, _CORRUPTED if last_was_corruption else _LOST)
         return SendOutcome(False, [])
+
+    # ------------------------------------------------------------------
+    # The collection driver (scalar and slot-batched)
+    # ------------------------------------------------------------------
+
+    def run_collection(
+        self,
+        frames_for: FramesFor,
+        on_arrival: OnArrival,
+        ops_per_frame: int = 0,
+    ) -> None:
+        """Drive one whole collection epoch through protocol callbacks.
+
+        Every protocol's collection loop is the same shape -- pop the
+        node's outbox at its slot, send each frame to the parent, hand
+        accepted frames to the receiver -- so the loop lives here once
+        and the protocol supplies ``frames_for`` / ``on_arrival``.  That
+        is also what lets the transport choose *how* to run the epoch:
+
+        - the scalar reference path replays :meth:`walk` + :meth:`send`
+          frame by frame (always used for the legacy ``link_model``,
+          whose shared Mersenne stream is order-dependent);
+        - with a fault engine and ``config.batched``, each tree level's
+          frames are resolved as arrays (one batch of counter-based
+          draws, one scatter-add per charge kind) -- bit-identical to
+          the scalar path because every random draw has an
+          order-independent address and every charge is an integer sum.
+
+        ``ops_per_frame`` is charged at the sender for every frame
+        handed over with a live parent (the store-and-forward bookkeeping
+        some protocols charge per transmitted frame).
+        """
+        if self.engine is not None and self.config.batched:
+            self._run_batched(frames_for, on_arrival, ops_per_frame)
+        else:
+            self._run_scalar(frames_for, on_arrival, ops_per_frame)
+
+    def _run_scalar(
+        self, frames_for: FramesFor, on_arrival: OnArrival, ops_per_frame: int
+    ) -> None:
+        """The per-frame reference loop (also the legacy-link path)."""
+        for hop in self.walk():
+            if hop.parent is None:
+                for fr in frames_for(hop.node):
+                    self.strand(fr.rids, hop.reason)
+                continue
+            for fr in frames_for(hop.node):
+                if ops_per_frame:
+                    self.costs.charge_ops(hop.node, ops_per_frame)
+                outcome = self.send(
+                    hop.node, hop.parent, fr.nbytes, rids=fr.rids, payload=fr.payload
+                )
+                for payload, is_dup in outcome.arrivals:
+                    on_arrival(hop.node, hop.parent, fr, payload, is_dup)
+
+    def _run_batched(
+        self, frames_for: FramesFor, on_arrival: OnArrival, ops_per_frame: int
+    ) -> None:
+        """Resolve the walk level by level with batched draws.
+
+        Per level (deepest first): fire the slot's fault events, decide
+        each member's fate (crashed members strand, orphans locally
+        re-parent), then send every live member's frames as one batch.
+        A member that adopts a *same-level* neighbour forces a batch cut
+        at the adopted parent, so the adopted frames are dispatched into
+        its outbox before its own ``frames_for`` runs -- preserving the
+        scalar walk's ascending-id semantics exactly (a same-level
+        neighbour is adoptable iff its id is greater, which is the
+        scalar ``not in _processed`` predicate at that point).
+        """
+        engine = self.engine
+        assert engine is not None
+        tree = self.network.tree
+        cfg = self.config
+        levels_arr = np.array(
+            [-1 if l is None else l for l in tree.level], dtype=np.int64
+        )
+        parent_arr = np.array(
+            [-1 if p is None else p for p in tree.parent], dtype=np.int64
+        )
+        for lvl in range(tree.depth, 0, -1):
+            members = np.flatnonzero(levels_arr == lvl)
+            if members.size == 0:
+                continue
+            engine.advance_to_slot(lvl)
+            with profiling.stage("transport.batch.decide"):
+                alive = engine.alive_array()
+                m_alive = alive[members]
+                parents = parent_arr[members]
+                routed = parents >= 0
+                p_alive = m_alive & routed & alive[np.where(routed, parents, 0)]
+                new_parent: Dict[int, int] = {}
+                cuts: set = set()
+                if cfg.reparent:
+                    orphaned = m_alive & routed & ~p_alive
+                    for u in members[orphaned].tolist():
+                        w = self._reparent_with(u, lambda x, _u=u: x > _u)
+                        if w is not None:
+                            new_parent[u] = w
+                            if (tree.level[w] or 0) == lvl:
+                                cuts.add(w)
+            batch: List[Tuple[int, int, Sequence[OutFrame]]] = []
+            members_list = members.tolist()
+            m_alive_list = m_alive.tolist()
+            p_alive_list = p_alive.tolist()
+            parents_list = parents.tolist()
+            for i, u in enumerate(members_list):
+                if u in cuts and batch:
+                    self._send_level_batch(batch, on_arrival, ops_per_frame)
+                    batch = []
+                if parents_list[i] < 0:
+                    continue  # unrouted safety guard, as in the scalar walk
+                if not m_alive_list[i]:
+                    for fr in frames_for(u):
+                        self.strand(fr.rids, STRAND_CRASHED)
+                    continue
+                if p_alive_list[i]:
+                    p = parents_list[i]
+                else:
+                    p = new_parent.get(u)
+                    if p is None:
+                        for fr in frames_for(u):
+                            self.strand(fr.rids, STRAND_ORPHANED)
+                        continue
+                frames = frames_for(u)
+                if frames:
+                    batch.append((u, p, frames))
+            if batch:
+                self._send_level_batch(batch, on_arrival, ops_per_frame)
+        engine.finish_epoch()
+
+    def _backoff_prefix(self, max_attempts: int) -> np.ndarray:
+        """``prefix[j]`` = backoff ops charged over attempts ``2..j``."""
+        cached = getattr(self, "_backoff_prefix_arr", None)
+        if cached is None or len(cached) != max_attempts + 1:
+            cfg = self.config
+            prefix = np.zeros(max_attempts + 1, dtype=np.int64)
+            for a in range(2, max_attempts + 1):
+                prefix[a] = prefix[a - 1] + min(
+                    cfg.backoff_base << (a - 2), cfg.backoff_cap
+                )
+            self._backoff_prefix_arr = prefix
+            cached = prefix
+        return cached
+
+    def _send_level_batch(
+        self,
+        batch: List[Tuple[int, int, Sequence[OutFrame]]],
+        on_arrival: OnArrival,
+        ops_per_frame: int,
+    ) -> None:
+        """Resolve one batch of frames (contiguous per sender) as arrays.
+
+        Mirrors :meth:`send` exactly: the ARQ loop becomes a first-hit
+        search over the precomputed attempt outcomes, the per-attempt
+        charges become closed-form sums, and only the rare receiver-side
+        branches (mangled acceptance, terminal bucketing of mangler
+        discards) drop back to per-frame Python -- in ascending frame
+        order, which keeps the Mersenne damage stream aligned with the
+        scalar walk.
+        """
+        engine = self.engine
+        cfg = self.config
+        report = self._report
+        max_attempts = self._max_attempts()
+
+        with profiling.stage("transport.batch.send"):
+            edges = [(u, p) for (u, p, _) in batch]
+            counts = np.fromiter(
+                (len(frames) for (_, _, frames) in batch),
+                np.int64,
+                count=len(batch),
+            )
+            flat_frames: List[OutFrame] = [
+                fr for (_, _, frames) in batch for fr in frames
+            ]
+            total = len(flat_frames)
+            senders = np.repeat(
+                np.fromiter((u for (u, _, _) in batch), np.int64, count=len(batch)),
+                counts,
+            )
+            receivers = np.repeat(
+                np.fromiter((p for (_, p, _) in batch), np.int64, count=len(batch)),
+                counts,
+            )
+            nbytes = np.fromiter(
+                (fr.nbytes for fr in flat_frames), np.int64, count=total
+            )
+            nrids = np.fromiter(
+                (len(fr.rids) for fr in flat_frames), np.int64, count=total
+            )
+
+            air_ok, corr, dup = engine.frame_draws_batch(edges, counts)
+
+            # An attempt resolves the frame when it survives the air and
+            # -- under a CRC -- arrives undamaged (damaged ones are
+            # rejected and retried); without a CRC any on-air arrival
+            # ends the loop (accepted, possibly mangled).
+            resolves = air_ok & ~corr if cfg.crc else air_ok
+            delivered = resolves.any(axis=1)
+            k_res = np.where(delivered, resolves.argmax(axis=1), max_attempts - 1)
+            attempts_used = k_res + 1
+
+            executed = np.arange(max_attempts)[None, :] < attempts_used[:, None]
+            if cfg.crc:
+                report.corrupted_detected += int((air_ok & corr & executed).sum())
+            report.retransmissions += int((attempts_used - 1).sum())
+
+            # Receiver-side resolution of frames that arrived damaged
+            # without a CRC (rare; per-frame, ascending order).
+            accepted = delivered.copy()
+            mangled: Dict[int, Any] = {}
+            if not cfg.crc:
+                corr_res = corr[np.arange(total), k_res]
+                for j in np.flatnonzero(delivered & corr_res).tolist():
+                    fr = flat_frames[j]
+                    acc = self.mangler(fr.payload, engine) if self.mangler else None
+                    if acc is None:
+                        accepted[j] = False
+                        self._terminal(fr.rids, _CORRUPTED)
+                    else:
+                        report.corrupted_accepted += 1
+                        mangled[j] = acc
+
+            # Duplication applies to accepted frames carrying rids; the
+            # copy occupies both radios either way, dedup decides whether
+            # it propagates.
+            dup_apply = accepted & dup & (nrids > 0)
+            n_dup_rids = int(nrids[dup_apply].sum())
+            if n_dup_rids:
+                report.duplicates_created += n_dup_rids
+                self._open += n_dup_rids
+                if cfg.dedup:
+                    report.duplicate_discarded += n_dup_rids
+                    self._open -= n_dup_rids
+
+            # Terminal buckets for frames that never got through.  A
+            # CRC-rejected final attempt is a corruption discard; plain
+            # exhaustion is a loss.  (Without a CRC only link loss can
+            # exhaust the loop; mangler discards were bucketed above.)
+            failed = ~delivered
+            if failed.any():
+                if cfg.crc:
+                    corr_fail = failed & air_ok[:, -1] & corr[:, -1]
+                else:
+                    corr_fail = np.zeros(total, dtype=bool)
+                n_corr = int(nrids[corr_fail].sum())
+                n_lost = int(nrids[failed & ~corr_fail].sum())
+                report.corrupted_discarded += n_corr
+                report.lost += n_lost
+                self._open -= n_corr + n_lost
+
+            # One scatter-add per counter for the whole batch.
+            total_bytes = attempts_used * nbytes + np.where(dup_apply, nbytes, 0)
+            self.costs.charge_tx_batch(senders, total_bytes)
+            self.costs.charge_rx_batch(receivers, total_bytes)
+            ops_amounts = self._backoff_prefix(max_attempts)[attempts_used]
+            if ops_per_frame:
+                ops_amounts = ops_amounts + ops_per_frame
+            self.costs.charge_ops_batch(senders, ops_amounts)
+
+        with profiling.stage("transport.batch.dispatch"):
+            propagate_dup = not cfg.dedup
+            dup_flags = dup_apply.tolist()
+            senders_list = senders.tolist()
+            receivers_list = receivers.tolist()
+            for j in np.flatnonzero(accepted).tolist():
+                fr = flat_frames[j]
+                payload = mangled.get(j, fr.payload)
+                on_arrival(senders_list[j], receivers_list[j], fr, payload, False)
+                if propagate_dup and dup_flags[j]:
+                    on_arrival(senders_list[j], receivers_list[j], fr, payload, True)
 
     # ------------------------------------------------------------------
     # Epoch close-out
@@ -577,7 +913,63 @@ class EpochTransport:
         return self._report
 
     def _count_disconnected(self) -> int:
-        """Components of the end-of-epoch alive graph cut off the sink."""
+        """Components of the end-of-epoch alive graph cut off the sink.
+
+        First floods the sink's component with an array-frontier BFS over
+        the CSR adjacency (one gather per hop ring instead of a Python
+        loop over every node's neighbour list), then counts components
+        among the -- typically few -- alive nodes left over with the
+        scalar sweep.  Differential-tested against
+        :meth:`_count_disconnected_reference`, the retained full scan.
+        """
+        net = self.network
+        n = net.n_nodes
+        alive = np.fromiter((nd.alive for nd in net.nodes), dtype=bool, count=n)
+        if self.engine is not None:
+            alive &= self.engine.alive_array()
+        csr = net.csr
+        seen = np.zeros(n, dtype=bool)
+        sink = net.sink_index
+        if alive[sink]:
+            seen[sink] = True
+            frontier = np.array([sink], dtype=np.int64)
+            while frontier.size:
+                starts = csr.indptr[frontier]
+                counts = csr.indptr[frontier + 1] - starts
+                total = int(counts.sum())
+                if total == 0:
+                    break
+                base = np.repeat(starts, counts)
+                within = np.arange(total) - np.repeat(
+                    np.cumsum(counts) - counts, counts
+                )
+                cand = csr.indices[base + within]
+                cand = cand[alive[cand] & ~seen[cand]]
+                if cand.size == 0:
+                    break
+                frontier = np.unique(cand)
+                seen[frontier] = True
+        leftover = np.flatnonzero(alive & ~seen)
+        if leftover.size == 0:
+            return 0
+        regions = 0
+        nbrs = net.neighbor_lists
+        for start in leftover.tolist():
+            if seen[start]:
+                continue
+            seen[start] = True
+            regions += 1
+            queue = deque([start])
+            while queue:
+                x = queue.popleft()
+                for y in nbrs[x]:
+                    if alive[y] and not seen[y]:
+                        seen[y] = True
+                        queue.append(y)
+        return regions
+
+    def _count_disconnected_reference(self) -> int:
+        """The scalar full-graph sweep (differential-test reference)."""
         n = self.network.n_nodes
         alive = [
             self.network.nodes[i].alive

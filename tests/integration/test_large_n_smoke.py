@@ -1,0 +1,53 @@
+"""Slow end-to-end smoke at n = 10000 (the large-n scaling path).
+
+Excluded from the default run by the ``slow`` marker (``pytest -m slow``
+runs it; CI has a dedicated step).  One moderate-fault collection epoch
+of Iso-Map and one of TinyDB on the side-100 harbor field: the point is
+that the batched transport and vectorized topology keep a 10k-node epoch
+in single-digit seconds while every invariant still holds.
+"""
+
+import pytest
+
+from repro.baselines import TinyDBProtocol
+from repro.core import IsoMapProtocol
+from repro.experiments.common import (
+    PAPER_FILTER,
+    PAPER_QUERY,
+    default_levels,
+    harbor_network,
+)
+from repro.field import make_harbor_field
+from repro.network.faults import FaultPlan
+
+N = 10000
+SIDE = 100
+
+
+@pytest.mark.slow
+class TestLargeNSmoke:
+    def test_isomap_moderate_fault_epoch(self):
+        field = make_harbor_field(side=SIDE)
+        net = harbor_network(N, "random", seed=1, field=field, reuse_topology=True)
+        res = IsoMapProtocol(
+            PAPER_QUERY, PAPER_FILTER, fault_plan=FaultPlan.moderate(seed=3)
+        ).run(net)
+        deg = res.degradation
+        assert deg is not None and deg.is_conserved
+        assert deg.generated > 0
+        assert len(res.delivered_reports) > 0
+        assert res.contour_map is not None
+        # O(sqrt(n)) sources: a 10k-node field must not report en masse.
+        assert res.costs.reports_generated < N / 5
+
+    def test_tinydb_moderate_fault_epoch(self):
+        field = make_harbor_field(side=SIDE)
+        net = harbor_network(N, "grid", seed=1, field=field, reuse_topology=True)
+        res = TinyDBProtocol(
+            default_levels(), fault_plan=FaultPlan.moderate(seed=3)
+        ).run(net)
+        deg = res.degradation
+        assert deg is not None and deg.is_conserved
+        # Every sensing node generates; faults may strand some.
+        assert deg.generated > 0.9 * N
+        assert res.reports_delivered > 0.5 * N
