@@ -9,6 +9,8 @@ Commands:
 - ``experiment`` -- regenerate one paper figure/table by id (e.g.
                     ``fig11a``, ``fig14a``, ``table1``, ``theorem41``) or
                     an ablation/extension id.
+- ``serve``      -- run the async contour-map serving layer under
+                    simulated client load and print a traffic report.
 - ``theory``     -- print the paper's analytical Table 1.
 - ``list``       -- list available experiment ids.
 """
@@ -215,6 +217,43 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving import MapService, SessionConfig, run_load
+
+    if args.scenario not in ("steady", "tide", "storm", "pulse"):
+        print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
+        return 2
+    config = SessionConfig(
+        query_id="harbor",
+        n_nodes=args.nodes,
+        seed=args.seed,
+        field="harbor",
+        scenario=args.scenario,
+        value_lo=6.0,
+        value_hi=12.0,
+        granularity=2.0,
+        epsilon_fraction=0.05,
+        radio_range=1.5,
+    )
+
+    async def run():
+        service = MapService([config], n_shards=args.shards)
+        return await run_load(
+            service,
+            "harbor",
+            epochs=args.epochs,
+            n_snapshot_clients=args.clients,
+            n_subscribers=args.subscribers,
+            epoch_interval=args.interval,
+        )
+
+    report = asyncio.run(run())
+    print(report.to_table())
+    return 0
+
+
 def _cmd_theory(args: argparse.Namespace) -> int:
     from repro.analysis import table1
 
@@ -270,6 +309,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a stage timing breakdown after the table "
                        "(worker-process stages are merged in)")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the map-serving layer under simulated client load"
+    )
+    p_srv.add_argument("--nodes", type=int, default=2500)
+    p_srv.add_argument("--seed", type=int, default=1)
+    p_srv.add_argument("--epochs", type=int, default=6)
+    p_srv.add_argument("--clients", type=int, default=16,
+                       help="concurrent snapshot-polling clients")
+    p_srv.add_argument("--subscribers", type=int, default=200,
+                       help="concurrent delta-stream subscribers")
+    p_srv.add_argument("--interval", type=float, default=0.0,
+                       help="seconds between epochs")
+    p_srv.add_argument("--shards", type=int, default=0,
+                       help="worker processes (0 = compute inline)")
+    p_srv.add_argument("--scenario", default="tide",
+                       help="field evolution: steady, tide, storm or pulse")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_theory = sub.add_parser("theory", help="print the analytical Table 1")
     p_theory.set_defaults(func=_cmd_theory)

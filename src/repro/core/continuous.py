@@ -59,6 +59,12 @@ class EpochResult:
         retractions: sources whose cached report was evicted.
         suppressed: isoline nodes whose report was unchanged (no tx).
         cached_reports: size of the sink cache after the epoch.
+        delivered_reports: the subset of ``new_reports`` that actually
+            reached the sink (a disconnected source transmits into the
+            void); this is exactly what updated the sink cache, so it is
+            the epoch delta a serving layer must forward to clients.
+        sink_value: the sink's own sensed value this epoch (None when the
+            sink cannot sense) -- the disambiguator for all-empty levels.
     """
 
     contour_map: ContourMap
@@ -67,6 +73,8 @@ class EpochResult:
     retractions: List[int] = field(default_factory=list)
     suppressed: int = 0
     cached_reports: int = 0
+    delivered_reports: List[IsolineReport] = field(default_factory=list)
+    sink_value: Optional[float] = None
 
 
 class ContinuousIsoMap:
@@ -108,10 +116,16 @@ class ContinuousIsoMap:
         self._sink_cache: Dict[int, IsolineReport] = {}
         self._reconstructor: Optional[SinkReconstructor] = None
         self._first_epoch = True
+        self._epochs_run = 0
 
     @property
     def cache_size(self) -> int:
         return len(self._sink_cache)
+
+    @property
+    def epochs_run(self) -> int:
+        """How many epochs this monitor has processed."""
+        return self._epochs_run
 
     @property
     def sink_reports(self) -> List[IsolineReport]:
@@ -186,6 +200,7 @@ class ContinuousIsoMap:
                 sink_value=sink_value,
                 regulate=self.regulate,
             )
+        self._epochs_run += 1
         return EpochResult(
             contour_map=contour_map,
             costs=costs,
@@ -193,6 +208,8 @@ class ContinuousIsoMap:
             retractions=retractions,
             suppressed=suppressed,
             cached_reports=len(self._sink_cache),
+            delivered_reports=delivered_reports,
+            sink_value=sink_value,
         )
 
     def _unchanged(self, previous: IsolineReport, report: IsolineReport) -> bool:

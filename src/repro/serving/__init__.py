@@ -1,0 +1,79 @@
+"""Contour-map serving: the front door over continuous monitoring.
+
+``repro.serving`` turns the simulator's sink pipeline into a service:
+long-lived :class:`MapSession` tasks run
+:class:`~repro.core.continuous.ContinuousIsoMap` epochs (sharded across
+worker processes by :class:`ShardPool`), publish wire-encoded results
+through a per-session :class:`MapStore`, and serve two client paths via
+the :class:`MapService` router --
+
+- ``snapshot(query_id)``: the latest (or a retained historical)
+  rendered map, byte-for-byte reproducible;
+- ``subscribe(query_id, since_epoch)``: a delta stream that replays
+  missed epochs and then follows live updates, with bounded
+  per-subscriber queues and slow-consumer eviction.
+
+The wire contract is pinned by differential tests: a
+:class:`~repro.serving.wire.DeltaReplayer` folding the delta stream from
+epoch 0 renders snapshots byte-identical to the server's, which in turn
+encode exactly the sink cache of a direct ``ContinuousIsoMap`` run under
+the same seed -- regardless of the shard layout.
+"""
+
+from repro.serving.clients import LoadReport, run_load
+from repro.serving.errors import (
+    EpochEvicted,
+    ReplayGapError,
+    ServingError,
+    SlowConsumerEvicted,
+    UnknownQueryError,
+    WireFormatError,
+)
+from repro.serving.router import MapService, ShardPool
+from repro.serving.session import (
+    MapSession,
+    SessionCompute,
+    SessionConfig,
+    SessionStats,
+    Subscription,
+    field_for_epoch,
+)
+from repro.serving.store import MapStore
+from repro.serving.wire import (
+    DELTA,
+    SNAPSHOT,
+    DeltaReplayer,
+    ServedMessage,
+    decode_delta,
+    decode_snapshot,
+    encode_delta,
+    encode_snapshot,
+)
+
+__all__ = [
+    "DELTA",
+    "SNAPSHOT",
+    "DeltaReplayer",
+    "EpochEvicted",
+    "LoadReport",
+    "MapService",
+    "MapSession",
+    "MapStore",
+    "ReplayGapError",
+    "ServedMessage",
+    "ServingError",
+    "SessionCompute",
+    "SessionConfig",
+    "SessionStats",
+    "ShardPool",
+    "SlowConsumerEvicted",
+    "Subscription",
+    "UnknownQueryError",
+    "WireFormatError",
+    "decode_delta",
+    "decode_snapshot",
+    "encode_delta",
+    "encode_snapshot",
+    "field_for_epoch",
+    "run_load",
+]

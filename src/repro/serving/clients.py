@@ -1,0 +1,193 @@
+"""Simulated client load: thousands of subscribers against one router.
+
+The harness drives a :class:`~repro.serving.router.MapService` the way a
+real deployment would be driven: the session advances epochs (compute
+runs in the shard pool, so the event loop stays free), while
+
+- **snapshot clients** hammer ``snapshot(query_id)`` in a tight
+  cooperative loop, measuring per-request latency, and
+- **delta subscribers** sit on ``subscribe(query_id)`` streams and
+  timestamp every delivery against the session's publish instant.
+
+Everything is wall-clock measured; the resulting :class:`LoadReport`
+feeds ``benchmarks/bench_serving.py`` (BENCH_serving.json), the
+``repro serve`` CLI command and ``examples/serving_demo.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.serving.errors import SlowConsumerEvicted
+from repro.serving.router import MapService
+from repro.serving.wire import DELTA
+
+
+def percentile(values: List[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``values`` (nearest-rank; 0 if empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate traffic/latency measurements of one load run."""
+
+    query_id: str
+    epochs: int = 0
+    elapsed_s: float = 0.0
+    snapshot_clients: int = 0
+    snapshot_requests: int = 0
+    snapshot_bytes: int = 0
+    snapshot_latencies_ms: List[float] = field(default_factory=list)
+    subscribers: int = 0
+    deltas_delivered: int = 0
+    delta_bytes: int = 0
+    delta_latencies_ms: List[float] = field(default_factory=list)
+    subscribers_evicted: int = 0
+
+    @property
+    def snapshot_rps(self) -> float:
+        return self.snapshot_requests / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def delta_deliveries_per_s(self) -> float:
+        return self.deltas_delivered / self.elapsed_s if self.elapsed_s else 0.0
+
+    def snapshot_p(self, q: float) -> float:
+        return percentile(self.snapshot_latencies_ms, q)
+
+    def delta_p(self, q: float) -> float:
+        return percentile(self.delta_latencies_ms, q)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able summary (the BENCH_serving.json building block)."""
+        return {
+            "query_id": self.query_id,
+            "epochs": self.epochs,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "snapshot": {
+                "clients": self.snapshot_clients,
+                "requests": self.snapshot_requests,
+                "rps": round(self.snapshot_rps, 1),
+                "p50_ms": round(self.snapshot_p(0.50), 3),
+                "p99_ms": round(self.snapshot_p(0.99), 3),
+                "bytes": self.snapshot_bytes,
+            },
+            "delta_stream": {
+                "subscribers": self.subscribers,
+                "deliveries": self.deltas_delivered,
+                "deliveries_per_s": round(self.delta_deliveries_per_s, 1),
+                "p50_ms": round(self.delta_p(0.50), 3),
+                "p99_ms": round(self.delta_p(0.99), 3),
+                "bytes": self.delta_bytes,
+                "evicted": self.subscribers_evicted,
+            },
+        }
+
+    def to_table(self) -> str:
+        d = self.to_dict()
+        s, ds = d["snapshot"], d["delta_stream"]
+        lines = [
+            f"== serving load: query {self.query_id!r}, {self.epochs} epochs "
+            f"in {self.elapsed_s:.2f}s ==",
+            f"snapshots  : {s['clients']} clients, {s['requests']} requests, "
+            f"{s['rps']:.0f} req/s, p50 {s['p50_ms']:.3f} ms, "
+            f"p99 {s['p99_ms']:.3f} ms",
+            f"deltas     : {ds['subscribers']} subscribers, "
+            f"{ds['deliveries']} deliveries, {ds['deliveries_per_s']:.0f}/s, "
+            f"p50 {ds['p50_ms']:.3f} ms, p99 {ds['p99_ms']:.3f} ms",
+            f"bytes      : {s['bytes']} snapshot, {ds['bytes']} delta",
+            f"evictions  : {ds['evicted']} slow subscribers",
+        ]
+        return "\n".join(lines)
+
+
+async def _snapshot_client(
+    service: MapService,
+    query_id: str,
+    stop: "asyncio.Event",
+    report: LoadReport,
+) -> None:
+    while not stop.is_set():
+        t0 = time.perf_counter()
+        message = service.snapshot(query_id)
+        report.snapshot_latencies_ms.append((time.perf_counter() - t0) * 1e3)
+        report.snapshot_requests += 1
+        report.snapshot_bytes += len(message.payload)
+        # Yield so publishes and other clients interleave.
+        await asyncio.sleep(0)
+
+
+async def _delta_subscriber(
+    service: MapService,
+    query_id: str,
+    report: LoadReport,
+    since_epoch: int = 0,
+) -> None:
+    session = service.session(query_id)
+    subscription = service.subscribe(query_id, since_epoch)
+    try:
+        async for message in subscription:
+            if message.kind != DELTA:
+                continue
+            published = session.publish_walltime(message.epoch)
+            if published is not None:
+                report.delta_latencies_ms.append(
+                    (time.perf_counter() - published) * 1e3
+                )
+            report.deltas_delivered += 1
+            report.delta_bytes += len(message.payload)
+    except SlowConsumerEvicted:
+        pass  # counted from session stats below
+    finally:
+        subscription.close()
+
+
+async def run_load(
+    service: MapService,
+    query_id: str,
+    epochs: int,
+    n_snapshot_clients: int = 16,
+    n_subscribers: int = 100,
+    epoch_interval: float = 0.0,
+) -> LoadReport:
+    """Drive one session under concurrent client load and stop the service.
+
+    Advances ``epochs`` epochs on ``query_id``'s session while the
+    simulated clients run, then gracefully stops the *whole* service
+    (draining subscribers) and returns the measurements.
+    """
+    session = service.session(query_id)
+    report = LoadReport(
+        query_id=query_id,
+        snapshot_clients=n_snapshot_clients,
+        subscribers=n_subscribers,
+    )
+    stop = asyncio.Event()
+    tasks = [
+        asyncio.ensure_future(_delta_subscriber(service, query_id, report))
+        for _ in range(n_subscribers)
+    ]
+    tasks += [
+        asyncio.ensure_future(_snapshot_client(service, query_id, stop, report))
+        for _ in range(n_snapshot_clients)
+    ]
+    t0 = time.perf_counter()
+    for _ in range(epochs):
+        await session.advance()
+        if epoch_interval:
+            await asyncio.sleep(epoch_interval)
+    await service.stop(drain=True)
+    stop.set()
+    await asyncio.gather(*tasks, return_exceptions=True)
+    report.elapsed_s = time.perf_counter() - t0
+    report.epochs = session.stats.epochs
+    report.subscribers_evicted = session.stats.subscribers_evicted
+    return report

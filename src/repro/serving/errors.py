@@ -1,0 +1,43 @@
+"""Exceptions raised by the contour-map serving layer."""
+
+from __future__ import annotations
+
+
+class ServingError(Exception):
+    """Base class for all serving-layer errors."""
+
+
+class WireFormatError(ServingError, ValueError):
+    """A serving payload failed to decode (bad size, bad framing)."""
+
+
+class ReplayGapError(ServingError):
+    """A delta stream skipped an epoch the replayer has not seen.
+
+    Raised by :class:`repro.serving.wire.DeltaReplayer` when a delta's
+    epoch is not exactly one past the replayer's current epoch -- the
+    stream contract (replay-then-live, snapshot resync on retention
+    gaps) guarantees contiguity, so a gap means a protocol bug upstream.
+    """
+
+
+class EpochEvicted(ServingError, KeyError):
+    """The requested ``(query_id, epoch)`` fell out of store retention.
+
+    The store never serves stale bytes: once an epoch's records are
+    evicted, any cached rendering is purged with them and requests for
+    that epoch fail loudly instead of returning the wrong map.
+    """
+
+
+class SlowConsumerEvicted(ServingError):
+    """This subscriber's bounded queue overflowed and it was evicted.
+
+    The session drops the subscriber's backlog and terminates its stream
+    with this error; the client should re-subscribe (getting a snapshot
+    resync if it fell past retention) rather than silently losing deltas.
+    """
+
+
+class UnknownQueryError(ServingError, KeyError):
+    """No session is registered for the requested query id."""

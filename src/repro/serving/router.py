@@ -1,0 +1,145 @@
+"""The async front door: session sharding and the service router.
+
+:class:`ShardPool` spreads session compute across worker processes, one
+single-worker :class:`~concurrent.futures.ProcessPoolExecutor` per
+shard.  A session is pinned to its shard by a stable hash of its query
+id, so its epochs always run sequentially in the same process and the
+worker-side state table (:mod:`repro.serving.worker`) stays warm.  With
+``n_shards = 0`` the same worker function runs in the event loop's
+default thread executor instead -- byte-identical payloads either way
+(the sharding-determinism tests pin inline vs. 1-shard vs. 2-shard).
+
+:class:`MapService` is the single async router in front of the shards:
+it owns one :class:`~repro.serving.session.MapSession` per standing
+query and exposes the two client paths -- ``snapshot(query_id)`` and
+``subscribe(query_id, since_epoch)`` -- plus lifecycle control
+(``start_all`` / ``advance_all`` / ``stop``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.serving.errors import UnknownQueryError
+from repro.serving.session import MapSession, SessionConfig, Subscription
+from repro.serving.wire import ServedMessage
+from repro.serving.worker import compute_epoch
+
+
+class ShardPool:
+    """Process-sharded (or inline) epoch compute.
+
+    Args:
+        n_shards: worker processes; ``0`` computes inline in the default
+            thread executor (no extra processes -- the CI/test mode).
+    """
+
+    def __init__(self, n_shards: int = 0):
+        if n_shards < 0:
+            raise ValueError("n_shards must be >= 0")
+        self.n_shards = n_shards
+        self._pools: List[ProcessPoolExecutor] = [
+            ProcessPoolExecutor(max_workers=1) for _ in range(n_shards)
+        ]
+
+    def shard_of(self, query_id: str) -> int:
+        """The shard a query id is pinned to (stable across runs)."""
+        if not self._pools:
+            return 0
+        return zlib.crc32(query_id.encode("utf-8")) % len(self._pools)
+
+    async def compute(self, config: SessionConfig, epoch: int) -> Dict[str, Any]:
+        """Run one session epoch on the owning shard (or inline)."""
+        loop = asyncio.get_running_loop()
+        executor = (
+            self._pools[self.shard_of(config.query_id)] if self._pools else None
+        )
+        return await loop.run_in_executor(
+            executor, compute_epoch, config.to_dict(), epoch
+        )
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+        self._pools = []
+
+
+class MapService:
+    """Async router over many serving sessions.
+
+    Args:
+        configs: one :class:`SessionConfig` per standing query.
+        n_shards: worker processes for the shard pool (0 = inline).
+        session_kwargs: forwarded to every :class:`MapSession`
+            (``retention``, ``queue_depth``, ``epoch_interval``, ...).
+    """
+
+    def __init__(
+        self,
+        configs: Iterable[SessionConfig],
+        n_shards: int = 0,
+        **session_kwargs: Any,
+    ):
+        self.pool = ShardPool(n_shards)
+        self.sessions: Dict[str, MapSession] = {}
+        for config in configs:
+            if config.query_id in self.sessions:
+                raise ValueError(f"duplicate query id {config.query_id!r}")
+            self.sessions[config.query_id] = MapSession(
+                config, self.pool, **session_kwargs
+            )
+
+    # ------------------------------------------------------------------
+    # Client paths
+    # ------------------------------------------------------------------
+
+    def session(self, query_id: str) -> MapSession:
+        try:
+            return self.sessions[query_id]
+        except KeyError:
+            raise UnknownQueryError(
+                f"no session for query {query_id!r} "
+                f"(serving: {sorted(self.sessions)})"
+            ) from None
+
+    def snapshot(self, query_id: str, epoch: Optional[int] = None) -> ServedMessage:
+        """The latest (or a retained historical) rendered map snapshot."""
+        return self.session(query_id).snapshot(epoch)
+
+    def subscribe(self, query_id: str, since_epoch: int = 0) -> Subscription:
+        """A delta stream that replays from ``since_epoch`` then follows
+        live updates (see :meth:`MapSession.attach` for edge semantics)."""
+        return self.session(query_id).attach(since_epoch)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start_all(self) -> None:
+        """Put every session on its epoch clock."""
+        for session in self.sessions.values():
+            session.start()
+
+    async def advance_all(self) -> Dict[str, Dict[str, Any]]:
+        """Advance every session one epoch (concurrently across shards)."""
+        ids = list(self.sessions)
+        results = await asyncio.gather(
+            *(self.sessions[qid].advance() for qid in ids)
+        )
+        return dict(zip(ids, results))
+
+    async def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop every session (draining subscribers) and the shard pool."""
+        await asyncio.gather(
+            *(s.stop(drain=drain, timeout=timeout) for s in self.sessions.values())
+        )
+        self.pool.close()
+
+    async def __aenter__(self) -> "MapService":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()

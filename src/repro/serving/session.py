@@ -1,0 +1,551 @@
+"""Map-serving sessions: deterministic epoch compute + asyncio fan-out.
+
+A session is one standing contour query kept continuously up to date.
+It has two halves:
+
+- :class:`SessionCompute` -- the synchronous, picklable-config half: a
+  seeded deployment, a :class:`~repro.core.continuous.ContinuousIsoMap`
+  monitor, and a deterministic field *scenario* (the sensed field is a
+  pure function of the epoch index).  Each :meth:`SessionCompute.epoch`
+  advances the monitor one epoch and emits the wire payloads: the delta
+  (delivered records + retracted positions) and the canonical record
+  state.  Because everything derives from the config and the epoch
+  index, the payload stream is byte-identical no matter where (or how
+  often, after a rebuild) it is computed -- the property the sharded
+  router leans on.
+
+- :class:`MapSession` -- the asyncio half: owns a
+  :class:`~repro.serving.store.MapStore`, advances epochs through a
+  shard pool (optionally on a clock), and fans each delta out to
+  subscribers over bounded queues.  A subscriber that stops draining its
+  queue is *evicted* (its backlog is dropped and its stream terminates
+  with :class:`~repro.serving.errors.SlowConsumerEvicted`) so one slow
+  client can never stall the epoch clock or balloon memory.  Graceful
+  shutdown publishes an end-of-stream marker *behind* any queued deltas
+  and waits for subscribers to drain them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.codec import ReportCodec
+from repro.core.continuous import ContinuousIsoMap
+from repro.core.query import ContourQuery
+from repro.field import (
+    CompositeField,
+    GaussianBumpField,
+    RadialField,
+    make_harbor_field,
+)
+from repro.field.base import ScalarField
+from repro.geometry import BoundingBox
+from repro.network import SensorNetwork
+from repro.serving.errors import SlowConsumerEvicted
+from repro.serving.store import MapStore
+from repro.serving.wire import DELTA, SNAPSHOT, ServedMessage, encode_delta
+
+#: Radial test-field extent (matches the continuous-monitoring tests).
+_RADIAL_BOX = BoundingBox(0.0, 0.0, 20.0, 20.0)
+
+
+# ----------------------------------------------------------------------
+# Configuration and deterministic field scenarios
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything that determines a session's payload stream.
+
+    The config is a frozen, JSON-able value: it crosses process
+    boundaries as a plain dict and *is* the session's identity for the
+    worker-side compute cache.
+
+    Attributes:
+        query_id: client-facing session name (also the shard key).
+        n_nodes: deployment size.
+        seed: deployment seed.
+        field: ``"radial"`` (fast 20x20 cone, the test default) or
+            ``"harbor"`` (the paper's 50x50 harbor stand-in).
+        scenario: field evolution per epoch -- ``"steady"`` (no change),
+            ``"tide"`` (smooth periodic drift), ``"storm"`` (a local
+            event ramping in at epoch 3), or ``"pulse"`` (the field
+            collapses below every queried level at epochs 3, 7, 11, ...:
+            the all-retract edge case).
+        value_lo / value_hi / granularity / epsilon_fraction: the
+            standing :class:`~repro.core.query.ContourQuery`.
+        radio_range: deployment radio range.
+        angle_delta_deg: the monitor's re-report threshold.
+    """
+
+    query_id: str
+    n_nodes: int = 600
+    seed: int = 1
+    field: str = "radial"
+    scenario: str = "tide"
+    value_lo: float = 14.0
+    value_hi: float = 16.0
+    granularity: float = 2.0
+    epsilon_fraction: float = 0.2
+    radio_range: float = 2.2
+    angle_delta_deg: float = 10.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: Dict[str, Any]) -> "SessionConfig":
+        return SessionConfig(**d)
+
+    def query(self) -> ContourQuery:
+        return ContourQuery(
+            self.value_lo,
+            self.value_hi,
+            self.granularity,
+            epsilon_fraction=self.epsilon_fraction,
+        )
+
+
+def base_field(config: SessionConfig) -> ScalarField:
+    """The epoch-0 field the deployment is sensed against."""
+    if config.field == "harbor":
+        return make_harbor_field()
+    if config.field == "radial":
+        return RadialField(_RADIAL_BOX, center=(10.0, 10.0), peak=20.0, slope=1.0)
+    raise ValueError(f"unknown field {config.field!r}")
+
+
+def field_for_epoch(config: SessionConfig, epoch: int) -> ScalarField:
+    """The sensed field at ``epoch`` -- a pure function of the config.
+
+    No wall clock, no sequential RNG: any worker can recompute any
+    epoch's field and get the identical object semantics, which is what
+    keeps the payload stream byte-identical across shard layouts.
+    """
+    base = base_field(config)
+    scenario = config.scenario
+    if scenario == "steady" or epoch <= 0:
+        return base
+    bounds = base.bounds
+    if scenario == "tide":
+        # Smooth periodic drift: a broad deposit breathing with an
+        # 8-epoch period, centred off the field middle.
+        amp = 1.5 * math.sin(2.0 * math.pi * epoch / 8.0)
+        if amp == 0.0:
+            return base
+        cx = bounds.xmin + 0.65 * (bounds.xmax - bounds.xmin)
+        cy = bounds.ymin + 0.55 * (bounds.ymax - bounds.ymin)
+        sigma = 0.2 * (bounds.xmax - bounds.xmin)
+        return CompositeField(
+            bounds, [base, GaussianBumpField(bounds, 0.0, [(-amp, (cx, cy), sigma)])]
+        )
+    if scenario == "storm":
+        # A local event ramping in from epoch 3 and holding.
+        severity = min(max(epoch - 2, 0), 4)
+        if severity == 0:
+            return base
+        cx = bounds.xmin + 0.7 * (bounds.xmax - bounds.xmin)
+        cy = bounds.ymin + 0.5 * (bounds.ymax - bounds.ymin)
+        sigma = 0.1 * (bounds.xmax - bounds.xmin)
+        return CompositeField(
+            bounds,
+            [base, GaussianBumpField(bounds, 0.0, [(-float(severity), (cx, cy), sigma)])],
+        )
+    if scenario == "pulse":
+        # Every 4th epoch (3, 7, 11, ...) the field collapses below all
+        # queried levels: every cached report retracts at once.
+        if epoch % 4 == 3:
+            lo = min(0.0, config.value_lo - 2.0 * config.granularity)
+            return _collapsed(bounds, lo)
+        return base
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def _collapsed(bounds: BoundingBox, lo: float) -> ScalarField:
+    """A constant field at ``lo`` (below every queried level)."""
+    return RadialField(bounds, center=(bounds.xmin, bounds.ymin), peak=lo, slope=0.0)
+
+
+# ----------------------------------------------------------------------
+# Synchronous epoch compute (runs inline or inside a shard worker)
+# ----------------------------------------------------------------------
+
+
+class SessionCompute:
+    """The deterministic, stateful compute core of one session.
+
+    Mirrors the sink cache of its :class:`ContinuousIsoMap` as a
+    position-keyed dict of encoded records (the same keying a
+    :class:`~repro.serving.wire.DeltaReplayer` uses), so the delta it
+    emits each epoch reconstructs the record state exactly.
+    """
+
+    def __init__(self, config: SessionConfig):
+        self.config = config
+        self.query = config.query()
+        base = base_field(config)
+        self.network = SensorNetwork.random_deploy(
+            base, config.n_nodes, radio_range=config.radio_range, seed=config.seed
+        )
+        self.monitor = ContinuousIsoMap(
+            self.query, angle_delta_deg=config.angle_delta_deg
+        )
+        self.codec = ReportCodec.for_query(self.query, self.network.bounds)
+        self._state: Dict[Tuple[int, int], bytes] = {}
+        self._source_pos: Dict[int, Tuple[int, int]] = {}
+        self.next_epoch = 1
+
+    def epoch(self, epoch: int) -> Dict[str, Any]:
+        """Advance to ``epoch`` (must be the next one) and emit payloads.
+
+        Returns a picklable dict: ``epoch``, ``delta`` (bytes),
+        ``records`` (canonical sorted record tuple), ``sink`` (quantised
+        sink value or None), and per-epoch stats.
+        """
+        if epoch != self.next_epoch:
+            raise ValueError(
+                f"epoch {epoch} out of order (next is {self.next_epoch})"
+            )
+        self.network.resense(field_for_epoch(self.config, epoch))
+        result = self.monitor.epoch(self.network)
+
+        new_records: List[bytes] = []
+        for report in result.delivered_reports:
+            key = self.codec.quantize_position(report.position)
+            record = self.codec.encode(report)
+            self._state[key] = record
+            self._source_pos[report.source] = key
+            new_records.append(record)
+        retractions: List[Tuple[int, int]] = []
+        for source in result.retractions:
+            key = self._source_pos.pop(source, None)
+            if key is not None and key in self._state:
+                del self._state[key]
+                retractions.append(key)
+
+        sink = (
+            None
+            if result.sink_value is None
+            else self.codec.quantize_value(result.sink_value)
+        )
+        delta = encode_delta(epoch, new_records, retractions, sink)
+        self.next_epoch = epoch + 1
+        return {
+            "epoch": epoch,
+            "delta": delta,
+            "records": tuple(sorted(self._state.values())),
+            "sink": sink,
+            "new_reports": len(result.new_reports),
+            "delivered": len(result.delivered_reports),
+            "retracted": len(result.retractions),
+            "suppressed": result.suppressed,
+            "cached_reports": result.cached_reports,
+            "traffic_bytes": result.costs.total_traffic_bytes(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Asyncio session
+# ----------------------------------------------------------------------
+
+#: Terminal queue markers (identity-compared).
+_CLOSE = object()
+_EVICT = object()
+
+
+@dataclass
+class SessionStats:
+    epochs: int = 0
+    deltas_published: int = 0
+    subscribers_evicted: int = 0
+    subscribers_peak: int = 0
+
+
+@dataclass
+class _SubEntry:
+    queue: "asyncio.Queue"
+    closed: "asyncio.Event"
+
+
+class Subscription:
+    """One subscriber's view of a session's delta stream.
+
+    Async-iterable: yields :class:`~repro.serving.wire.ServedMessage`
+    objects -- first any replayed backlog (deltas, or a snapshot resync
+    when the requested epoch fell out of retention), then live updates.
+    Terminates with ``StopAsyncIteration`` on graceful shutdown and
+    raises :class:`SlowConsumerEvicted` if the session evicted it.
+    """
+
+    def __init__(
+        self,
+        session: "MapSession",
+        sub_id: int,
+        entry: _SubEntry,
+        replay: List[ServedMessage],
+    ):
+        self._session = session
+        self._id = sub_id
+        self._entry = entry
+        self._replay = replay
+        self._replay_idx = 0
+        self._done = False
+
+    def __aiter__(self) -> "Subscription":
+        return self
+
+    async def __anext__(self) -> ServedMessage:
+        if self._done:
+            raise StopAsyncIteration
+        if self._replay_idx < len(self._replay):
+            msg = self._replay[self._replay_idx]
+            self._replay_idx += 1
+            return msg
+        item = await self._entry.queue.get()
+        if item is _CLOSE:
+            self._finish()
+            raise StopAsyncIteration
+        if item is _EVICT:
+            self._finish()
+            raise SlowConsumerEvicted(
+                f"subscriber {self._id} of {self._session.config.query_id!r} "
+                f"overflowed its queue (depth {self._session.queue_depth})"
+            )
+        return item
+
+    def close(self) -> None:
+        """Detach from the session (idempotent)."""
+        self._finish()
+
+    async def __aenter__(self) -> "Subscription":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _finish(self) -> None:
+        if not self._done:
+            self._done = True
+            self._entry.closed.set()
+            self._session._detach(self._id)
+
+
+class MapSession:
+    """A long-lived serving session over one standing query.
+
+    Args:
+        config: the session's deterministic identity.
+        pool: the shard pool epochs are computed through (see
+            :class:`repro.serving.router.ShardPool`).
+        retention: store retention window (epochs).
+        snapshot_cache_size / cache_enabled: rendered-snapshot LRU.
+        queue_depth: per-subscriber bounded queue size.
+        epoch_interval: seconds between epochs when running on the
+            clock (:meth:`start`); ``advance`` can always be called
+            manually.
+        max_epochs: stop the clock after this many epochs (None = run
+            until :meth:`stop`).
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig,
+        pool: Any,
+        retention: int = 128,
+        snapshot_cache_size: int = 8,
+        cache_enabled: bool = True,
+        queue_depth: int = 16,
+        epoch_interval: float = 0.0,
+        max_epochs: Optional[int] = None,
+    ):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.config = config
+        self.queue_depth = queue_depth
+        self.epoch_interval = epoch_interval
+        self.max_epochs = max_epochs
+        self._pool = pool
+        self.store = MapStore(
+            config.query_id,
+            retention=retention,
+            snapshot_cache_size=snapshot_cache_size,
+            cache_enabled=cache_enabled,
+        )
+        self.stats = SessionStats()
+        self._subs: Dict[int, _SubEntry] = {}
+        self._next_sub_id = 0
+        self._publish_walltime: Dict[int, float] = {}
+        self._task: Optional["asyncio.Task"] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Epoch advancement
+    # ------------------------------------------------------------------
+
+    @property
+    def latest_epoch(self) -> int:
+        return self.store.latest_epoch
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subs)
+
+    def publish_walltime(self, epoch: int) -> Optional[float]:
+        """``time.perf_counter()`` at which ``epoch`` was published."""
+        return self._publish_walltime.get(epoch)
+
+    async def advance(self) -> Dict[str, Any]:
+        """Compute and publish the next epoch; returns its stats dict."""
+        if self._stopping:
+            raise RuntimeError("session is stopping")
+        epoch = self.store.latest_epoch + 1
+        result = await self._pool.compute(self.config, epoch)
+        self.store.put_epoch(
+            result["epoch"], result["delta"], result["records"], result["sink"]
+        )
+        now = time.perf_counter()
+        self._publish_walltime[result["epoch"]] = now
+        stale = result["epoch"] - self.store.retention
+        self._publish_walltime.pop(stale, None)
+        message = ServedMessage(DELTA, result["epoch"], result["delta"])
+        for sub_id in list(self._subs):
+            entry = self._subs.get(sub_id)
+            if entry is None:
+                continue
+            try:
+                entry.queue.put_nowait(message)
+            except asyncio.QueueFull:
+                self._evict(sub_id)
+        self.stats.epochs += 1
+        self.stats.deltas_published += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Client paths
+    # ------------------------------------------------------------------
+
+    def snapshot(self, epoch: Optional[int] = None) -> ServedMessage:
+        """The rendered snapshot at ``epoch`` (default latest).
+
+        Raises :class:`~repro.serving.errors.EpochEvicted` for epochs
+        outside retention.
+        """
+        payload = self.store.snapshot(epoch)
+        return ServedMessage(
+            SNAPSHOT, epoch if epoch is not None else self.store.latest_epoch, payload
+        )
+
+    def attach(self, since_epoch: int = 0) -> Subscription:
+        """Subscribe from ``since_epoch``: the stream replays epochs
+        ``since_epoch + 1 .. latest`` and then follows live updates.
+
+        Replay edge cases (all pinned by ``tests/serving``):
+
+        - ``since_epoch`` >= the current epoch: nothing to replay, the
+          stream is live-only (a future ``since_epoch`` is clamped);
+        - ``since_epoch + 1`` fell out of retention: the stream starts
+          with a single snapshot resync at the current epoch instead of
+          an unreplayable (and silently wrong) partial delta sequence;
+        - an all-retract or zero-isoline epoch replays like any other --
+          its delta simply carries retractions (or nothing).
+        """
+        if since_epoch < 0:
+            raise ValueError("since_epoch must be >= 0")
+        entry = _SubEntry(
+            queue=asyncio.Queue(maxsize=self.queue_depth), closed=asyncio.Event()
+        )
+        sub_id = self._next_sub_id
+        self._next_sub_id += 1
+        # Registration and replay-range capture happen atomically w.r.t.
+        # publishes (no awaits): live messages begin at current + 1.
+        self._subs[sub_id] = entry
+        self.stats.subscribers_peak = max(
+            self.stats.subscribers_peak, len(self._subs)
+        )
+        replay: List[ServedMessage] = []
+        current = self.store.latest_epoch
+        start = since_epoch + 1
+        if start <= current:
+            oldest = self.store.oldest_retained()
+            if oldest is not None and start >= oldest:
+                for e in range(start, current + 1):
+                    delta = self.store.delta(e)
+                    assert delta is not None  # inside retention by check above
+                    replay.append(ServedMessage(DELTA, e, delta))
+            else:
+                replay.append(
+                    ServedMessage(SNAPSHOT, current, self.store.snapshot(current))
+                )
+        return Subscription(self, sub_id, entry, replay)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Run epochs on the configured clock until stopped."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def _run(self) -> None:
+        while not self._stopping and (
+            self.max_epochs is None or self.stats.epochs < self.max_epochs
+        ):
+            await self.advance()
+            await asyncio.sleep(self.epoch_interval)
+
+    async def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop the clock and close every subscriber stream.
+
+        With ``drain`` (the default) the end-of-stream marker is queued
+        *behind* any pending deltas and the session waits (up to
+        ``timeout`` seconds) for subscribers to consume their backlog.
+        """
+        self._stopping = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        entries = []
+        for sub_id in list(self._subs):
+            entry = self._subs.get(sub_id)
+            if entry is None:
+                continue
+            try:
+                entry.queue.put_nowait(_CLOSE)
+                entries.append(entry)
+            except asyncio.QueueFull:
+                # A subscriber this far behind at shutdown is evicted --
+                # its stream ends in SlowConsumerEvicted, not silence.
+                self._evict(sub_id)
+        if drain and entries:
+            waiters = [entry.closed.wait() for entry in entries]
+            try:
+                await asyncio.wait_for(asyncio.gather(*waiters), timeout)
+            except asyncio.TimeoutError:
+                pass
+        self._subs.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _evict(self, sub_id: int) -> None:
+        entry = self._subs.pop(sub_id, None)
+        if entry is None:
+            return
+        while not entry.queue.empty():
+            entry.queue.get_nowait()
+        entry.queue.put_nowait(_EVICT)
+        self.stats.subscribers_evicted += 1
+
+    def _detach(self, sub_id: int) -> None:
+        self._subs.pop(sub_id, None)

@@ -1,0 +1,156 @@
+"""Per-session payload store: retention window + rendered-snapshot cache.
+
+A :class:`MapStore` holds, for every epoch inside its retention window:
+
+- the epoch's **delta payload** (what a subscriber replaying missed
+  epochs is sent), and
+- the epoch's canonical **record state** (the position-keyed map records
+  after applying the delta, as a sorted tuple) plus the sink reading,
+  from which the snapshot payload is rendered on demand.
+
+Snapshot payloads are memoised in a small LRU keyed by
+``(query_id, epoch)``.  The cache is *transparent* by construction --
+rendering is a pure function of the retained per-epoch state, so cache
+hits and misses return identical bytes (pinned by a property test) --
+and eviction is safe: dropping an epoch's state also purges its cached
+rendering, so a request for an evicted epoch raises
+:class:`~repro.serving.errors.EpochEvicted` instead of ever serving
+stale bytes.
+
+Epoch 0 (before anything was published) renders as the canonical empty
+snapshot -- the same state a fresh
+:class:`~repro.serving.wire.DeltaReplayer` renders, which is what makes
+the snapshot-vs-replay identity hold from the very start of a stream.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.serving.errors import EpochEvicted
+from repro.serving.wire import encode_snapshot
+
+
+@dataclass(frozen=True)
+class _EpochEntry:
+    delta: bytes
+    records: Tuple[bytes, ...]
+    sink: Optional[int]
+
+
+class MapStore:
+    """Bounded per-session storage of served payloads.
+
+    Args:
+        query_id: the owning session's query id (cache-key component and
+            error-message context).
+        retention: how many most-recent epochs keep their delta payload
+            and record state (>= 1); older epochs are evicted.
+        snapshot_cache_size: LRU capacity for rendered snapshot payloads.
+        cache_enabled: disable to re-render every snapshot request (the
+            transparency property tests compare both modes byte-for-byte).
+    """
+
+    def __init__(
+        self,
+        query_id: str,
+        retention: int = 128,
+        snapshot_cache_size: int = 8,
+        cache_enabled: bool = True,
+    ):
+        if retention < 1:
+            raise ValueError("retention must be >= 1")
+        if snapshot_cache_size < 1:
+            raise ValueError("snapshot_cache_size must be >= 1")
+        self.query_id = query_id
+        self.retention = retention
+        self.snapshot_cache_size = snapshot_cache_size
+        self.cache_enabled = cache_enabled
+        self._epochs: "OrderedDict[int, _EpochEntry]" = OrderedDict()
+        self._rendered: "OrderedDict[int, bytes]" = OrderedDict()
+        self._latest = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def latest_epoch(self) -> int:
+        """The newest published epoch (0 before the first publish)."""
+        return self._latest
+
+    def oldest_retained(self) -> Optional[int]:
+        """The oldest epoch still in retention (None when empty)."""
+        if not self._epochs:
+            return None
+        return next(iter(self._epochs))
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def put_epoch(
+        self,
+        epoch: int,
+        delta: bytes,
+        records: Tuple[bytes, ...],
+        sink: Optional[int],
+    ) -> None:
+        """Publish one epoch's payloads (epochs must arrive in order)."""
+        if epoch != self._latest + 1:
+            raise ValueError(
+                f"epoch {epoch} out of order (latest is {self._latest})"
+            )
+        self._epochs[epoch] = _EpochEntry(delta, tuple(records), sink)
+        self._latest = epoch
+        while len(self._epochs) > self.retention:
+            old, _ = self._epochs.popitem(last=False)
+            # Purge any cached rendering with the state it came from:
+            # eviction must never leave a servable stale snapshot behind.
+            self._rendered.pop(old, None)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def delta(self, epoch: int) -> Optional[bytes]:
+        """The delta payload of ``epoch`` (None once evicted / unknown)."""
+        entry = self._epochs.get(epoch)
+        return None if entry is None else entry.delta
+
+    def snapshot(self, epoch: Optional[int] = None) -> bytes:
+        """The rendered snapshot payload of ``epoch`` (default: latest).
+
+        Raises:
+            EpochEvicted: the epoch fell out of retention (or was never
+                published).
+        """
+        if epoch is None:
+            epoch = self._latest
+        if epoch == 0 and self._latest == 0:
+            # Nothing published yet: the canonical empty map.
+            return encode_snapshot(0, (), None)
+        entry = self._epochs.get(epoch)
+        if entry is None:
+            raise EpochEvicted(
+                f"query {self.query_id!r} epoch {epoch} is outside retention "
+                f"[{self.oldest_retained()}, {self._latest}]"
+            )
+        if self.cache_enabled:
+            cached = self._rendered.get(epoch)
+            if cached is not None:
+                self._rendered.move_to_end(epoch)
+                self.cache_hits += 1
+                return cached
+        self.cache_misses += 1
+        payload = encode_snapshot(epoch, entry.records, entry.sink)
+        if self.cache_enabled:
+            self._rendered[epoch] = payload
+            self._rendered.move_to_end(epoch)
+            while len(self._rendered) > self.snapshot_cache_size:
+                self._rendered.popitem(last=False)
+        return payload

@@ -1,0 +1,272 @@
+"""Wire framing for served contour maps: snapshots, deltas, replay.
+
+The serving layer ships the sink's report cache to clients in the same
+2-byte-per-parameter quantised records the network uses
+(:class:`repro.core.codec.ReportCodec`, 8 bytes per report), wrapped in
+two payload kinds:
+
+- a **snapshot** carries the complete current map: every cached record,
+  in canonical order, plus the sink's own quantised reading;
+- a **delta** carries one epoch's change: the records that were
+  (re)delivered this epoch and the positions whose reports were
+  retracted (a retraction is position-only, 4 bytes -- the serving
+  analogue of :data:`repro.core.continuous.RETRACTION_BYTES`).
+
+Records are keyed by their quantised position (the paper's reports carry
+no source id -- the position identifies the source), so a client that
+folds deltas into a position-keyed dict reconstructs the server's map
+state exactly.  :class:`DeltaReplayer` implements that fold and can
+re-render the snapshot payload at any point; the serving tests pin that
+a replay from epoch 0 is *byte-identical* to the server's ``snapshot()``
+at every epoch.
+
+Canonical ordering: snapshot records are sorted by their raw 8-byte
+encoding.  Any total order would do -- sorting makes the rendering a
+pure function of the map state, which is what byte-identity needs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.codec import ReportCodec
+from repro.core.contour_map import ContourMap, build_contour_map
+from repro.core.reports import IsolineReport
+from repro.core.wire import ISOLINE_REPORT_BYTES
+from repro.geometry import BoundingBox
+from repro.serving.errors import ReplayGapError, WireFormatError
+
+#: Message kinds carried by :class:`ServedMessage`.
+SNAPSHOT = "snapshot"
+DELTA = "delta"
+
+#: Delta header: epoch (u32), new-record count (u16), retraction count
+#: (u16), quantised sink value (u16), sink-present flag (u8).
+_DELTA_HEADER = struct.Struct("<IHHHB")
+
+#: Snapshot header: epoch (u32), record count (u16), quantised sink
+#: value (u16), sink-present flag (u8).
+_SNAPSHOT_HEADER = struct.Struct("<IHHB")
+
+#: A retraction on the serving wire: the quantised (x, y) position.
+_RETRACTION = struct.Struct("<HH")
+
+#: Position offset inside an encoded report record (value is first).
+_RECORD_POS = struct.Struct("<HH")
+
+#: Counts are u16 fields.
+MAX_RECORDS = 0xFFFF
+
+
+@dataclass(frozen=True)
+class ServedMessage:
+    """One unit of the serving protocol as seen by a client.
+
+    Attributes:
+        kind: :data:`SNAPSHOT` or :data:`DELTA`.
+        epoch: the epoch the payload describes (snapshots: the epoch the
+            state is current *as of*; deltas: the epoch the change
+            belongs to).
+        payload: the encoded bytes.
+    """
+
+    kind: str
+    epoch: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class DeltaFrame:
+    """A decoded delta payload."""
+
+    epoch: int
+    records: Tuple[bytes, ...]
+    retractions: Tuple[Tuple[int, int], ...]
+    sink: Optional[int]
+
+
+@dataclass(frozen=True)
+class SnapshotFrame:
+    """A decoded snapshot payload."""
+
+    epoch: int
+    records: Tuple[bytes, ...]
+    sink: Optional[int]
+
+
+def record_position_key(record: bytes) -> Tuple[int, int]:
+    """The quantised (x, y) a record is keyed by in map state."""
+    return _RECORD_POS.unpack_from(record, 2)
+
+
+def _pack_sink(sink: Optional[int]) -> Tuple[int, int]:
+    if sink is None:
+        return 0, 0
+    if not 0 <= sink <= 0xFFFF:
+        raise WireFormatError(f"quantised sink value {sink} out of range")
+    return sink, 1
+
+
+def _unpack_sink(q: int, flag: int) -> Optional[int]:
+    return q if flag else None
+
+
+def _check_records(records: Iterable[bytes]) -> Tuple[bytes, ...]:
+    recs = tuple(records)
+    if len(recs) > MAX_RECORDS:
+        raise WireFormatError(f"{len(recs)} records exceed the u16 count field")
+    for r in recs:
+        if len(r) != ISOLINE_REPORT_BYTES:
+            raise WireFormatError(
+                f"record must be {ISOLINE_REPORT_BYTES} bytes, got {len(r)}"
+            )
+    return recs
+
+
+def encode_delta(
+    epoch: int,
+    records: Iterable[bytes],
+    retractions: Iterable[Tuple[int, int]],
+    sink: Optional[int],
+) -> bytes:
+    """Serialise one epoch's change set."""
+    recs = _check_records(records)
+    rets = tuple(retractions)
+    if len(rets) > MAX_RECORDS:
+        raise WireFormatError(f"{len(rets)} retractions exceed the u16 count field")
+    q_sink, flag = _pack_sink(sink)
+    parts = [_DELTA_HEADER.pack(epoch, len(recs), len(rets), q_sink, flag)]
+    parts.extend(recs)
+    parts.extend(_RETRACTION.pack(qx, qy) for qx, qy in rets)
+    return b"".join(parts)
+
+
+def decode_delta(payload: bytes) -> DeltaFrame:
+    """Deserialise a delta payload; raises :class:`WireFormatError`."""
+    if len(payload) < _DELTA_HEADER.size:
+        raise WireFormatError("delta payload shorter than its header")
+    epoch, n_new, n_ret, q_sink, flag = _DELTA_HEADER.unpack_from(payload)
+    expected = _DELTA_HEADER.size + n_new * ISOLINE_REPORT_BYTES + n_ret * _RETRACTION.size
+    if len(payload) != expected:
+        raise WireFormatError(
+            f"delta payload is {len(payload)} bytes, header implies {expected}"
+        )
+    off = _DELTA_HEADER.size
+    records = tuple(
+        bytes(payload[off + i * ISOLINE_REPORT_BYTES : off + (i + 1) * ISOLINE_REPORT_BYTES])
+        for i in range(n_new)
+    )
+    off += n_new * ISOLINE_REPORT_BYTES
+    retractions = tuple(
+        _RETRACTION.unpack_from(payload, off + i * _RETRACTION.size)
+        for i in range(n_ret)
+    )
+    return DeltaFrame(epoch, records, retractions, _unpack_sink(q_sink, flag))
+
+
+def encode_snapshot(
+    epoch: int, records: Iterable[bytes], sink: Optional[int]
+) -> bytes:
+    """Serialise the full map state in canonical (sorted) record order."""
+    recs = tuple(sorted(_check_records(records)))
+    q_sink, flag = _pack_sink(sink)
+    return b"".join(
+        [_SNAPSHOT_HEADER.pack(epoch, len(recs), q_sink, flag), *recs]
+    )
+
+
+def decode_snapshot(payload: bytes) -> SnapshotFrame:
+    """Deserialise a snapshot payload; raises :class:`WireFormatError`."""
+    if len(payload) < _SNAPSHOT_HEADER.size:
+        raise WireFormatError("snapshot payload shorter than its header")
+    epoch, count, q_sink, flag = _SNAPSHOT_HEADER.unpack_from(payload)
+    expected = _SNAPSHOT_HEADER.size + count * ISOLINE_REPORT_BYTES
+    if len(payload) != expected:
+        raise WireFormatError(
+            f"snapshot payload is {len(payload)} bytes, header implies {expected}"
+        )
+    off = _SNAPSHOT_HEADER.size
+    records = tuple(
+        bytes(payload[off + i * ISOLINE_REPORT_BYTES : off + (i + 1) * ISOLINE_REPORT_BYTES])
+        for i in range(count)
+    )
+    return SnapshotFrame(epoch, records, _unpack_sink(q_sink, flag))
+
+
+class DeltaReplayer:
+    """Client-side map state: fold served messages, re-render snapshots.
+
+    Starts empty at epoch 0 (matching the server's pre-first-epoch
+    state).  Deltas must arrive contiguously (epoch ``n+1`` after ``n``);
+    a snapshot resets the state to the carried epoch, which is how the
+    session resyncs a subscriber whose requested epoch fell out of
+    retention.
+    """
+
+    def __init__(self) -> None:
+        self._state: Dict[Tuple[int, int], bytes] = {}
+        self._sink: Optional[int] = None
+        self.epoch = 0
+
+    @property
+    def record_count(self) -> int:
+        return len(self._state)
+
+    def apply(self, message: ServedMessage) -> None:
+        """Fold one served message into the map state."""
+        if message.kind == DELTA:
+            self.apply_delta(decode_delta(message.payload))
+        elif message.kind == SNAPSHOT:
+            self.apply_snapshot(decode_snapshot(message.payload))
+        else:
+            raise WireFormatError(f"unknown message kind {message.kind!r}")
+
+    def apply_delta(self, frame: DeltaFrame) -> None:
+        if frame.epoch != self.epoch + 1:
+            raise ReplayGapError(
+                f"delta for epoch {frame.epoch} cannot follow epoch {self.epoch}"
+            )
+        for rec in frame.records:
+            self._state[record_position_key(rec)] = rec
+        for key in frame.retractions:
+            self._state.pop(key, None)
+        self._sink = frame.sink
+        self.epoch = frame.epoch
+
+    def apply_snapshot(self, frame: SnapshotFrame) -> None:
+        self._state = {record_position_key(r): r for r in frame.records}
+        self._sink = frame.sink
+        self.epoch = frame.epoch
+
+    def render(self) -> bytes:
+        """The snapshot payload of the current state (canonical order)."""
+        return encode_snapshot(self.epoch, self._state.values(), self._sink)
+
+    # ------------------------------------------------------------------
+    # Decoded views (what an end client actually wants)
+    # ------------------------------------------------------------------
+
+    def reports(self, codec: ReportCodec) -> List[IsolineReport]:
+        """The decoded reports, in canonical record order."""
+        return [codec.decode(r) for r in sorted(self._state.values())]
+
+    def sink_value(self, codec: ReportCodec) -> Optional[float]:
+        return None if self._sink is None else codec.dequantize_value(self._sink)
+
+    def contour_map(
+        self,
+        codec: ReportCodec,
+        levels: List[float],
+        bounds: BoundingBox,
+        regulate: bool = True,
+    ) -> ContourMap:
+        """Reconstruct the multi-level map from the replayed state."""
+        return build_contour_map(
+            self.reports(codec),
+            levels,
+            bounds,
+            sink_value=self.sink_value(codec),
+            regulate=regulate,
+        )

@@ -1,0 +1,53 @@
+"""Shard-worker entry point: per-process session compute with catch-up.
+
+The router pins every session to one shard (a single-worker process
+pool), so a session's epochs always execute sequentially in the same
+process and :func:`compute_epoch` can keep the stateful
+:class:`~repro.serving.session.SessionCompute` in a module-level table,
+exactly like the sweep runner keeps its topology skeletons per worker.
+
+Determinism is the contract: the compute is a pure function of
+``(config, epoch)`` given the sequential epoch history, so if the table
+entry is missing or ahead (a fresh worker, a config change, a test
+re-using a query id), the worker rebuilds the session and fast-forwards
+through epochs ``1 .. epoch - 1`` -- byte-identical to having computed
+them here all along.  That is also why the same function serves the
+inline (``n_shards = 0``) path: where the state lives cannot change
+what it produces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.serving.session import SessionCompute, SessionConfig
+
+#: Per-process session table, keyed by query id.
+_SESSIONS: Dict[str, SessionCompute] = {}
+
+
+def compute_epoch(config_dict: Dict[str, Any], epoch: int) -> Dict[str, Any]:
+    """Compute one session epoch, rebuilding/fast-forwarding as needed.
+
+    Args:
+        config_dict: a :meth:`SessionConfig.to_dict` payload (picklable).
+        epoch: the 1-based epoch to produce.
+
+    Returns:
+        The :meth:`SessionCompute.epoch` payload dict.
+    """
+    if epoch < 1:
+        raise ValueError("epoch must be >= 1")
+    config = SessionConfig.from_dict(config_dict)
+    session = _SESSIONS.get(config.query_id)
+    if session is None or session.config != config or epoch < session.next_epoch:
+        session = SessionCompute(config)
+        _SESSIONS[config.query_id] = session
+    while session.next_epoch < epoch:
+        session.epoch(session.next_epoch)
+    return session.epoch(epoch)
+
+
+def reset() -> None:
+    """Drop all per-process session state (test isolation hook)."""
+    _SESSIONS.clear()

@@ -1,0 +1,53 @@
+"""examples/serving_demo.py and the ``repro serve`` CLI stay runnable."""
+
+import pathlib
+import subprocess
+import sys
+
+from repro.cli import build_parser, main
+
+_REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_serving_demo_runs():
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(_REPO / "examples" / "serving_demo.py"),
+            "--nodes", "200", "--epochs", "4",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PYTHONPATH": str(_REPO / "src")},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+    assert "MISMATCH" not in proc.stdout
+    assert "identical map" in proc.stdout
+
+
+def test_cli_serve_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.subscribers == 200
+    assert args.shards == 0
+    assert args.scenario == "tide"
+
+
+def test_cli_serve_runs(capsys):
+    rc = main(
+        [
+            "serve", "--nodes", "200", "--epochs", "3",
+            "--clients", "2", "--subscribers", "10",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "serving load" in out
+    assert "10 subscribers" in out
+
+
+def test_cli_serve_rejects_unknown_scenario(capsys):
+    rc = main(["serve", "--scenario", "tsunami"])
+    assert rc == 2
+    assert "unknown scenario" in capsys.readouterr().err

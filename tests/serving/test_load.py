@@ -1,0 +1,74 @@
+"""The simulated-client load harness (and the big slow load run)."""
+
+import asyncio
+
+import pytest
+
+from repro.serving.clients import LoadReport, percentile, run_load
+from repro.serving.router import MapService
+from repro.serving.session import SessionConfig
+
+
+def test_percentile_nearest_rank():
+    assert percentile([], 0.99) == 0.0
+    assert percentile([5.0], 0.5) == 5.0
+    values = [float(i) for i in range(1, 101)]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 1.0) == 100.0
+    assert percentile(values, 0.5) == 51.0
+
+
+def test_load_harness_small_run():
+    config = SessionConfig(query_id="load", n_nodes=200, scenario="tide")
+
+    async def main():
+        service = MapService([config], queue_depth=32)
+        return await run_load(
+            service, "load", epochs=3, n_snapshot_clients=4, n_subscribers=20
+        )
+
+    report = asyncio.run(main())
+    assert report.epochs == 3
+    assert report.subscribers == 20
+    # Graceful drain: every subscriber that survived received every delta.
+    survivors = report.subscribers - report.subscribers_evicted
+    assert report.deltas_delivered == survivors * 3
+    assert report.snapshot_requests > 0
+    assert report.snapshot_bytes > 0
+    assert report.elapsed_s > 0
+    d = report.to_dict()
+    assert set(d) == {"query_id", "epochs", "elapsed_s", "snapshot", "delta_stream"}
+    assert d["snapshot"]["rps"] > 0
+    assert d["delta_stream"]["deliveries"] == report.deltas_delivered
+    table = report.to_table()
+    assert "serving load" in table and "subscribers" in table
+
+
+def test_load_report_schema_is_json_stable():
+    d = LoadReport(query_id="x").to_dict()
+    assert set(d["snapshot"]) == {
+        "clients", "requests", "rps", "p50_ms", "p99_ms", "bytes",
+    }
+    assert set(d["delta_stream"]) == {
+        "subscribers", "deliveries", "deliveries_per_s",
+        "p50_ms", "p99_ms", "bytes", "evicted",
+    }
+
+
+@pytest.mark.slow
+def test_load_thousand_subscribers():
+    """The ISSUE acceptance load: >= 1000 concurrent subscribers."""
+    config = SessionConfig(query_id="big", n_nodes=400, scenario="tide")
+
+    async def main():
+        service = MapService([config], queue_depth=8)
+        return await run_load(
+            service, "big", epochs=4, n_snapshot_clients=32, n_subscribers=1000
+        )
+
+    report = asyncio.run(main())
+    assert report.subscribers == 1000
+    survivors = report.subscribers - report.subscribers_evicted
+    assert survivors > 0
+    assert report.deltas_delivered == survivors * 4
+    assert report.snapshot_requests > 0

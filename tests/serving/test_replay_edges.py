@@ -1,0 +1,148 @@
+"""Epoch-replay edge cases: retention misses, live-only joins, and the
+all-retract (zero-isoline) epoch of the pulse scenario."""
+
+import asyncio
+
+from repro.serving.router import MapService
+from repro.serving.session import SessionConfig
+from repro.serving.wire import DELTA, SNAPSHOT, DeltaReplayer, decode_delta
+
+CONFIG_KW = dict(n_nodes=300, seed=7, radio_range=2.2)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_since_epoch_predating_retention_resyncs_with_snapshot():
+    config = SessionConfig(query_id="old", scenario="tide", **CONFIG_KW)
+
+    async def main():
+        async with MapService([config], retention=2) as service:
+            session = service.session("old")
+            for _ in range(5):
+                await session.advance()
+            # Epochs 1..3 are evicted; asking to resume from 0 cannot be
+            # served as deltas, so the stream opens with a snapshot.
+            sub = service.subscribe("old", since_epoch=0)
+            first = await sub.__anext__()
+            assert first.kind == SNAPSHOT and first.epoch == 5
+            replayer = DeltaReplayer()
+            replayer.apply(first)
+            assert replayer.render() == service.snapshot("old").payload
+            # ... and continues live with contiguous deltas.
+            await session.advance()
+            live = await sub.__anext__()
+            assert live.kind == DELTA and live.epoch == 6
+            replayer.apply(live)
+            assert replayer.render() == service.snapshot("old").payload
+            sub.close()
+
+    run(main())
+
+
+def test_since_epoch_at_current_is_live_only():
+    config = SessionConfig(query_id="cur", scenario="tide", **CONFIG_KW)
+
+    async def main():
+        async with MapService([config]) as service:
+            session = service.session("cur")
+            for _ in range(3):
+                await session.advance()
+            sub = service.subscribe("cur", since_epoch=3)
+            await session.advance()
+            first = await sub.__anext__()
+            assert (first.kind, first.epoch) == (DELTA, 4)
+            sub.close()
+
+    run(main())
+
+
+def test_since_epoch_in_future_is_clamped_to_live():
+    config = SessionConfig(query_id="fut", scenario="steady", **CONFIG_KW)
+
+    async def main():
+        async with MapService([config]) as service:
+            session = service.session("fut")
+            await session.advance()
+            sub = service.subscribe("fut", since_epoch=99)
+            await session.advance()
+            assert (await sub.__anext__()).epoch == 2
+            sub.close()
+
+    run(main())
+
+
+def test_subscribe_before_any_epoch_sees_the_whole_stream():
+    config = SessionConfig(query_id="fresh", scenario="tide", **CONFIG_KW)
+
+    async def main():
+        async with MapService([config]) as service:
+            session = service.session("fresh")
+            sub = service.subscribe("fresh", since_epoch=0)
+            replayer = DeltaReplayer()
+            # Nothing published yet: snapshot is the canonical empty map
+            # and already matches the fresh replayer.
+            assert replayer.render() == service.snapshot("fresh").payload
+            for e in range(1, 4):
+                await session.advance()
+                replayer.apply(await sub.__anext__())
+                assert replayer.render() == service.snapshot("fresh").payload
+            sub.close()
+
+    run(main())
+
+
+def test_pulse_all_retract_epoch_replays_byte_identically():
+    config = SessionConfig(query_id="pulse", scenario="pulse", **CONFIG_KW)
+
+    async def main():
+        async with MapService([config]) as service:
+            session = service.session("pulse")
+            sub = service.subscribe("pulse", since_epoch=0)
+            replayer = DeltaReplayer()
+            retract_frames = []
+            for e in range(1, 9):  # epochs 3 and 7 collapse the field
+                await session.advance()
+                message = await sub.__anext__()
+                replayer.apply(message)
+                assert replayer.render() == service.snapshot("pulse").payload
+                frame = decode_delta(message.payload)
+                if e % 4 == 3:
+                    retract_frames.append(frame)
+                    # The collapsed field crosses no level anywhere: the
+                    # delta is pure retraction and the map empties.
+                    assert frame.records == ()
+                    assert replayer.record_count == 0
+            assert len(retract_frames) == 2
+            assert all(f.retractions for f in retract_frames)
+            sub.close()
+
+    run(main())
+
+
+def test_reconnect_across_the_all_retract_epoch():
+    """A client that drops off at epoch 2 and resumes with
+    ``since_epoch=2`` replays exactly the collapse epoch and converges
+    (regression guard for pure-retraction replay)."""
+    config = SessionConfig(query_id="pulse2", scenario="pulse", **CONFIG_KW)
+
+    async def main():
+        async with MapService([config], retention=8) as service:
+            session = service.session("pulse2")
+            replayer = DeltaReplayer()
+            first = service.subscribe("pulse2", since_epoch=0)
+            for _ in range(2):
+                await session.advance()
+                replayer.apply(await first.__anext__())
+            first.close()  # client disconnects holding epoch-2 state
+            await session.advance()  # epoch 3: the collapse
+            resumed = service.subscribe("pulse2", since_epoch=replayer.epoch)
+            message = await resumed.__anext__()
+            assert (message.kind, message.epoch) == (DELTA, 3)
+            replayer.apply(message)
+            assert replayer.record_count == 0
+            assert replayer.render() == service.snapshot("pulse2").payload
+            resumed.close()
+
+    run(main())
