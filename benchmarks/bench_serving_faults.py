@@ -1,0 +1,287 @@
+"""Serving-layer fault-recovery benchmark -> ``BENCH_serving_faults.json``.
+
+Runs the load harness through a :class:`~repro.serving.supervisor.
+SupervisedShardPool` with a seeded moderate :class:`ChaosPlan` injecting
+worker kills, hangs, dropped results and corrupted payloads, and
+measures what self-healing costs and delivers:
+
+- **injected** -- what the chaos engine did (counter-based draws, so
+  the counts are a pure function of the plan: the CI gate checks them
+  for *exact* equality against the committed report);
+- **detected** -- what the supervisors saw and recovered from
+  (crashes, hangs, drops, corruptions, restarts, retries);
+- **recovery** -- MTTR (first failed attempt of an epoch to its
+  successful recompute) and availability (1 - degraded time / run
+  time).
+
+Before anything is measured, a correctness pass asserts the PR's
+acceptance bar on the benchmark configuration itself: the chaos run's
+replayed delta stream and every retained snapshot are byte-identical
+to a fault-free run at the same epoch.
+
+Usage::
+
+    python benchmarks/bench_serving_faults.py           # full + quick, writes the report
+    python benchmarks/bench_serving_faults.py --quick   # CI smoke sizes, no write
+    python benchmarks/bench_serving_faults.py --quick --check BENCH_serving_faults.json
+
+``--check`` fails (exit 1) when the injected counts differ from the
+committed report (a determinism break) or availability falls below half
+its committed value (a recovery regression).  MTTR is reported but not
+gated -- it is wall-clock and machine-dependent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+import sys
+from typing import Any, Dict, List, Optional
+
+_HERE = pathlib.Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution without PYTHONPATH=src
+    sys.path.insert(0, str(_SRC))
+if str(_HERE) not in sys.path:
+    sys.path.insert(0, str(_HERE))
+
+import record
+
+from repro.serving.chaos import ChaosPlan
+from repro.serving.clients import percentile, run_load
+from repro.serving.errors import EpochComputeFailed, ShardUnavailableError
+from repro.serving.router import MapService
+from repro.serving.session import SessionCompute, SessionConfig
+from repro.serving.supervisor import SupervisorConfig
+from repro.serving.wire import DeltaReplayer, encode_snapshot
+
+BENCH_JSON = _HERE.parent / "BENCH_serving_faults.json"
+
+#: The one seed every run uses: the injected-failure counts below are
+#: reproducible *because* the draws are counter-based, and the CI gate
+#: checks them exactly.
+CHAOS_SEED = 6
+
+FULL = dict(
+    n_nodes=600, subscribers=100, snapshot_clients=8, epochs=10, shards=2,
+    compute_timeout=0.75,
+)
+QUICK = dict(
+    n_nodes=300, subscribers=25, snapshot_clients=4, epochs=6, shards=0,
+    compute_timeout=0.3,
+)
+
+
+def _config(n_nodes: int) -> SessionConfig:
+    return SessionConfig(query_id="bench", n_nodes=n_nodes, scenario="tide")
+
+
+def _supervision(compute_timeout: float) -> SupervisorConfig:
+    return SupervisorConfig(
+        compute_timeout=compute_timeout,
+        probe_timeout=1.0,
+        backoff_base=0.002,
+        backoff_cap=0.02,
+    )
+
+
+def verify(sizes: Dict[str, Any]) -> None:
+    """Untimed acceptance pass: chaos costs retries, never bytes."""
+    config = _config(sizes["n_nodes"])
+    compute = SessionCompute(config)
+    truth = []
+    for e in range(1, sizes["epochs"] + 1):
+        r = compute.epoch(e)
+        truth.append(encode_snapshot(e, r["records"], r["sink"]))
+
+    async def main():
+        service = MapService(
+            [config],
+            n_shards=sizes["shards"],
+            supervision=_supervision(sizes["compute_timeout"]),
+            chaos=ChaosPlan.moderate(seed=CHAOS_SEED),
+            retention=sizes["epochs"],
+        )
+        session = service.session("bench")
+        replayer = DeltaReplayer()
+        sub = service.subscribe("bench", since_epoch=0)
+        rounds = 0
+        while session.latest_epoch < sizes["epochs"]:
+            rounds += 1
+            assert rounds <= 60 * sizes["epochs"], "chaos run not converging"
+            try:
+                await session.advance()
+            except (EpochComputeFailed, ShardUnavailableError):
+                await asyncio.sleep(0.002)
+        for e in range(1, sizes["epochs"] + 1):
+            replayer.apply(await sub.__anext__())
+            assert replayer.render() == truth[e - 1], f"replay differs at {e}"
+            assert service.snapshot("bench", epoch=e).payload == truth[e - 1]
+        sub.close()
+        injected = sum(service.pool.chaos.stats.to_dict().values())
+        assert injected > 0, "the seeded plan injected nothing"
+        await service.stop()
+
+    asyncio.run(main())
+
+
+def measure(sizes: Dict[str, Any]) -> Dict[str, Any]:
+    """One chaos load run -> the ``serving_faults`` report section."""
+
+    async def main():
+        service = MapService(
+            [_config(sizes["n_nodes"])],
+            n_shards=sizes["shards"],
+            supervision=_supervision(sizes["compute_timeout"]),
+            chaos=ChaosPlan.moderate(seed=CHAOS_SEED),
+            queue_depth=max(16, sizes["epochs"] + 2),
+        )
+        report = await run_load(
+            service,
+            "bench",
+            epochs=sizes["epochs"],
+            n_snapshot_clients=sizes["snapshot_clients"],
+            n_subscribers=sizes["subscribers"],
+        )
+        return service, report
+
+    service, report = asyncio.run(main())
+    assert report.epochs == sizes["epochs"], "not every epoch recovered"
+
+    shards = service.pool.status()
+    recovery_ms: List[float] = []
+    for sup in service.pool.supervisors:
+        recovery_ms.extend(sup.health.recovery_ms)
+    detected = {
+        key: sum(s[key] for s in shards)
+        for key in ("crashes", "hangs", "drops", "corruptions",
+                    "retries", "restarts", "failures", "breaker_fast_fails")
+    }
+    availability = (
+        1.0 - report.degraded_s / report.elapsed_s if report.elapsed_s else 1.0
+    )
+    section = {
+        "epochs": report.epochs,
+        "elapsed_s": round(report.elapsed_s, 3),
+        "chaos": {"intensity": 1.0, "seed": CHAOS_SEED},
+        "injected": service.pool.chaos.stats.to_dict(),
+        "detected": detected,
+        "recovery": {
+            "recoveries": len(recovery_ms),
+            "mttr_ms_mean": round(
+                sum(recovery_ms) / len(recovery_ms), 3
+            ) if recovery_ms else 0.0,
+            "mttr_ms_p95": round(percentile(recovery_ms, 0.95), 3),
+            "availability": round(availability, 4),
+        },
+        "client_impact": {
+            "epochs_failed": report.epochs_failed,
+            "stale_snapshots": report.stale_snapshots,
+            "degraded_s": round(report.degraded_s, 3),
+            "deltas_delivered": report.deltas_delivered,
+        },
+    }
+    inj, rec = section["injected"], section["recovery"]
+    print(
+        f"injected   : {inj['kills']} kills, {inj['hangs']} hangs, "
+        f"{inj['drops']} drops, {inj['corruptions']} corruptions"
+    )
+    print(
+        f"detected   : {detected['crashes']} crashes, {detected['hangs']} hangs, "
+        f"{detected['drops']} drops, {detected['corruptions']} corruptions, "
+        f"{detected['restarts']} restarts"
+    )
+    print(
+        f"recovery   : {rec['recoveries']} recoveries, "
+        f"MTTR mean {rec['mttr_ms_mean']:.1f} ms / p95 {rec['mttr_ms_p95']:.1f} ms, "
+        f"availability {rec['availability']:.2%}"
+    )
+    return section
+
+
+def check_against(
+    committed: Optional[Dict], measured: Dict[str, Any], quick: bool
+) -> List[str]:
+    """Gate messages (empty = pass): injection determinism + availability."""
+    if committed is None:
+        return ["no committed report to check against"]
+    section = committed.get("quick", {}) if quick else committed
+    baseline = section.get("serving_faults")
+    if not baseline:
+        return ["committed report has no serving_faults section"]
+    problems = []
+    if measured["injected"] != baseline["injected"]:
+        problems.append(
+            f"injected counts changed: measured {measured['injected']} "
+            f"vs committed {baseline['injected']} -- the seeded chaos "
+            f"stream is no longer deterministic"
+        )
+    committed_avail = baseline["recovery"]["availability"]
+    floor = committed_avail / 2.0
+    got = measured["recovery"]["availability"]
+    if got < floor:
+        problems.append(
+            f"availability {got:.2%} < floor {floor:.2%} "
+            f"(committed {committed_avail:.2%})"
+        )
+    if measured["epochs"] != baseline["epochs"]:
+        problems.append(
+            f"run published {measured['epochs']} epochs, committed run "
+            f"published {baseline['epochs']}"
+        )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke sizes only; does not write the report")
+    ap.add_argument("--check", metavar="PATH", default=None,
+                    help="compare against a committed report; exit 1 on an "
+                    "injection-determinism break or halved availability")
+    args = ap.parse_args(argv)
+
+    print("verifying chaos-run byte-identity vs fault-free truth ...")
+    verify(QUICK)
+
+    if args.quick:
+        print(f"\nmeasuring quick chaos run ({QUICK['epochs']} epochs, inline) ...")
+        quick_faults = measure(QUICK)
+        measured, rep = quick_faults, None
+    else:
+        print(
+            f"\nmeasuring full chaos run ({FULL['epochs']} epochs, "
+            f"{FULL['shards']} shards) ..."
+        )
+        full_faults = measure(FULL)
+        print(f"\nmeasuring quick chaos run ({QUICK['epochs']} epochs, inline) ...")
+        quick_faults = measure(QUICK)
+        rep = record.report(
+            FULL["subscribers"],
+            kernels={},
+            timing="one seeded chaos run, wall clock (MTTR ms)",
+            serving_faults=full_faults,
+            quick={"n": QUICK["subscribers"], "serving_faults": quick_faults},
+        )
+        del rep["kernels"]  # this report has no kernel section
+        measured = full_faults
+
+    if args.check:
+        problems = check_against(
+            record.load_report(pathlib.Path(args.check)), measured, args.quick
+        )
+        if problems:
+            print("\nfault-recovery regression vs committed report:")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        print(f"\nno fault-recovery regression vs {args.check}")
+    elif rep is not None:
+        record.write_report(BENCH_JSON, rep)
+        print(f"\nwrote {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -219,11 +219,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
-    from repro.serving import MapService, SessionConfig, run_load
+    from repro.serving import ChaosPlan, MapService, SessionConfig, run_load
+    from repro.serving.supervisor import SupervisorConfig
 
     if args.scenario not in ("steady", "tide", "storm", "pulse"):
         print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.chaos <= 1.0:
+        print("--chaos must be in [0, 1]", file=sys.stderr)
         return 2
     config = SessionConfig(
         query_id="harbor",
@@ -237,19 +242,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         epsilon_fraction=0.05,
         radio_range=1.5,
     )
+    chaos = ChaosPlan.at_intensity(args.chaos, seed=args.chaos_seed)
+    supervision = None
+    if not chaos.is_null:
+        # Injected hangs burn a full compute deadline each; keep it
+        # short so a chaos demo finishes in seconds, not minutes.
+        supervision = SupervisorConfig(
+            compute_timeout=1.0, backoff_base=0.005, backoff_cap=0.04
+        )
 
     async def run():
-        service = MapService([config], n_shards=args.shards)
-        return await run_load(
+        service = MapService(
+            [config], n_shards=args.shards,
+            supervision=supervision, chaos=chaos,
+        )
+        loop = asyncio.get_running_loop()
+        interrupted = asyncio.Event()
+        handled = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, interrupted.set)
+                handled.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # platforms/threads without loop signal support
+        load = asyncio.ensure_future(run_load(
             service,
             "harbor",
             epochs=args.epochs,
             n_snapshot_clients=args.clients,
             n_subscribers=args.subscribers,
             epoch_interval=args.interval,
-        )
+        ))
+        stopper = asyncio.ensure_future(interrupted.wait())
+        try:
+            await asyncio.wait(
+                [load, stopper], return_when=asyncio.FIRST_COMPLETED
+            )
+            if interrupted.is_set() and not load.done():
+                load.cancel()
+                try:
+                    await load
+                except asyncio.CancelledError:
+                    pass
+                # run_load stops the service itself on the happy path;
+                # on interrupt we shut it down here -- draining
+                # subscribers, then closing the shard pool (which kills
+                # stragglers rather than hang).
+                await service.stop(drain=True)
+                return None
+            return await load
+        finally:
+            stopper.cancel()
+            for sig in handled:
+                loop.remove_signal_handler(sig)
 
     report = asyncio.run(run())
+    if report is None:
+        print("interrupted: service stopped cleanly", flush=True)
+        return 0
     print(report.to_table())
     return 0
 
@@ -326,6 +376,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (0 = compute inline)")
     p_srv.add_argument("--scenario", default="tide",
                        help="field evolution: steady, tide, storm or pulse")
+    p_srv.add_argument("--chaos", type=float, default=0.0,
+                       help="seeded failure-injection intensity in [0, 1] "
+                       "(worker kills, hangs, drops, corruption)")
+    p_srv.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the chaos plan's counter-based draws")
     p_srv.set_defaults(func=_cmd_serve)
 
     p_theory = sub.add_parser("theory", help="print the analytical Table 1")

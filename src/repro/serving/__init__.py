@@ -13,18 +13,50 @@ the :class:`MapService` router --
   missed epochs and then follows live updates, with bounded
   per-subscriber queues and slow-consumer eviction.
 
+The service is self-healing: compute runs through a
+:class:`SupervisedShardPool` with per-request deadlines, crash/hang
+detection, kill-and-respawn recovery, deterministically jittered
+retries and per-shard circuit breakers
+(:mod:`repro.serving.supervisor`).  While a shard recovers,
+``snapshot()`` keeps answering with the last retained epoch, tagged
+:data:`SNAPSHOT_STALE` so clients can tell a degraded answer from a
+live one.  A seeded :class:`ChaosPlan` (:mod:`repro.serving.chaos`)
+injects worker kills, hangs, dropped results and corrupted payloads
+from counter-based draws -- the service-level twin of
+:mod:`repro.network.faults` -- so recovery is testable and
+reproducible.
+
 The wire contract is pinned by differential tests: a
 :class:`~repro.serving.wire.DeltaReplayer` folding the delta stream from
 epoch 0 renders snapshots byte-identical to the server's, which in turn
 encode exactly the sink cache of a direct ``ContinuousIsoMap`` run under
-the same seed -- regardless of the shard layout.
+the same seed -- regardless of the shard layout, and regardless of how
+much chaos the recovery machinery had to absorb along the way.
 """
 
+from repro.serving.chaos import (
+    CORRUPT,
+    DROP,
+    HANG,
+    KILL,
+    ChaosEngine,
+    ChaosEvent,
+    ChaosPlan,
+    ChaosStats,
+)
 from repro.serving.clients import LoadReport, run_load
 from repro.serving.errors import (
+    EpochComputeFailed,
     EpochEvicted,
     ReplayGapError,
     ServingError,
+    SessionFailedError,
+    ShardComputeError,
+    ShardCrashError,
+    ShardHangError,
+    ShardResultCorrupted,
+    ShardResultDropped,
+    ShardUnavailableError,
     SlowConsumerEvicted,
     UnknownQueryError,
     WireFormatError,
@@ -39,9 +71,17 @@ from repro.serving.session import (
     field_for_epoch,
 )
 from repro.serving.store import MapStore
+from repro.serving.supervisor import (
+    CircuitBreaker,
+    ShardHealth,
+    ShardSupervisor,
+    SupervisedShardPool,
+    SupervisorConfig,
+)
 from repro.serving.wire import (
     DELTA,
     SNAPSHOT,
+    SNAPSHOT_STALE,
     DeltaReplayer,
     ServedMessage,
     decode_delta,
@@ -51,9 +91,20 @@ from repro.serving.wire import (
 )
 
 __all__ = [
+    "CORRUPT",
     "DELTA",
+    "DROP",
+    "HANG",
+    "KILL",
     "SNAPSHOT",
+    "SNAPSHOT_STALE",
+    "ChaosEngine",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ChaosStats",
+    "CircuitBreaker",
     "DeltaReplayer",
+    "EpochComputeFailed",
     "EpochEvicted",
     "LoadReport",
     "MapService",
@@ -64,10 +115,21 @@ __all__ = [
     "ServingError",
     "SessionCompute",
     "SessionConfig",
+    "SessionFailedError",
     "SessionStats",
+    "ShardComputeError",
+    "ShardCrashError",
+    "ShardHangError",
+    "ShardHealth",
     "ShardPool",
+    "ShardResultCorrupted",
+    "ShardResultDropped",
+    "ShardSupervisor",
+    "ShardUnavailableError",
     "SlowConsumerEvicted",
     "Subscription",
+    "SupervisedShardPool",
+    "SupervisorConfig",
     "UnknownQueryError",
     "WireFormatError",
     "decode_delta",

@@ -1,0 +1,264 @@
+"""Seeded, service-level chaos injection for the serving tier.
+
+The network layer already has a reproducible fault engine
+(:mod:`repro.network.faults`); this module is its serving twin.  A
+:class:`ChaosPlan` declares per-attempt probabilities of the four
+failure modes a sharded service actually sees:
+
+- **kill** -- the shard's worker process is killed mid-request (a real
+  ``SIGKILL`` when the shard runs a process; a simulated crash plus a
+  session-table wipe in inline mode);
+- **hang** -- the request wedges: no result arrives before the
+  supervisor's per-request deadline fires;
+- **drop** -- the compute runs but its result is lost on the way back;
+- **corrupt** -- the returned delta payload arrives bit-damaged (caught
+  by the supervisor's CRC integrity check, exactly as the transport's
+  CRC-16 catches in-network frame damage).
+
+Every decision is a *counter-based* draw (:mod:`repro.network.rngstream`)
+keyed by ``(seed, shard, query, epoch, attempt)``, where the attempt
+index is a monotone per-``(query, epoch)`` cursor that survives across
+retries and across separate ``advance`` calls.  That makes a chaos run
+fully reproducible -- the same plan injects the same failures at the
+same attempts no matter how fast the machine is or how the event loop
+interleaves -- while guaranteeing the retry loop always makes progress
+(a retried attempt reads a *fresh* draw, never the one that failed).
+
+Explicit :class:`ChaosEvent` entries override the probabilistic draws
+for targeted, hand-written scenarios (the tests' way of forcing "kill
+exactly the first attempt of epoch 2").
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.network.rngstream import derive_key, uniform_at
+
+#: Injected action kinds.
+KILL = "kill"
+HANG = "hang"
+DROP = "drop"
+CORRUPT = "corrupt"
+
+_KINDS = (KILL, HANG, DROP, CORRUPT)
+
+#: Stream tags (the serving twins of the fault engine's edge streams).
+_TAG_ACTION = 101
+_TAG_DAMAGE = 102
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One explicitly scheduled injection.
+
+    Attributes:
+        epoch: the epoch compute the event targets.
+        attempt: the 1-based attempt index it fires on (the monotone
+            per-``(query, epoch)`` cursor, so attempt 2 of a retried
+            epoch is the second attempt *ever* made at it).
+        kind: :data:`KILL`, :data:`HANG`, :data:`DROP` or :data:`CORRUPT`.
+        query_id: restrict to one query (None = any query).
+    """
+
+    epoch: int
+    attempt: int
+    kind: str
+    query_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown chaos event kind {self.kind!r}")
+        if self.epoch < 1 or self.attempt < 1:
+            raise ValueError("epoch and attempt are 1-based")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A declarative, seeded description of service-level chaos.
+
+    Attributes:
+        seed: master seed; every draw derives from it.
+        kill / hang / drop / corrupt: per-attempt probabilities of each
+            failure mode (mutually exclusive per attempt: one uniform is
+            carved into stacked intervals, so their sum must be <= 1).
+        events: explicit injections that override the draw for their
+            ``(query, epoch, attempt)`` address.
+    """
+
+    seed: int = 0
+    kill: float = 0.0
+    hang: float = 0.0
+    drop: float = 0.0
+    corrupt: float = 0.0
+    events: Tuple[ChaosEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name in ("kill", "hang", "drop", "corrupt"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+            total += v
+        if total > 1.0:
+            raise ValueError("kill + hang + drop + corrupt must be <= 1")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.kill == 0.0
+            and self.hang == 0.0
+            and self.drop == 0.0
+            and self.corrupt == 0.0
+            and not self.events
+        )
+
+    @staticmethod
+    def none() -> "ChaosPlan":
+        """The zero-chaos plan."""
+        return ChaosPlan()
+
+    @staticmethod
+    def at_intensity(intensity: float, seed: int = 0) -> "ChaosPlan":
+        """The one-knob family of plans (the fig_faults convention).
+
+        ``intensity`` in [0, 1] scales every failure mode together; 1.0
+        is the "moderate" operating point: per attempt, 6% worker kills,
+        5% hangs, 4% dropped results and 5% corrupted payloads -- a 20%
+        chance that any given attempt needs the recovery machinery.
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError("intensity must be in [0, 1]")
+        if intensity == 0.0:
+            return ChaosPlan(seed=seed)
+        return ChaosPlan(
+            seed=seed,
+            kill=0.06 * intensity,
+            hang=0.05 * intensity,
+            drop=0.04 * intensity,
+            corrupt=0.05 * intensity,
+        )
+
+    @staticmethod
+    def moderate(seed: int = 0) -> "ChaosPlan":
+        """The all-modes-on moderate plan (intensity 1.0)."""
+        return ChaosPlan.at_intensity(1.0, seed=seed)
+
+
+@dataclass
+class ChaosStats:
+    """Counts of what the engine actually injected."""
+
+    kills: int = 0
+    hangs: int = 0
+    drops: int = 0
+    corruptions: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "kills": self.kills,
+            "hangs": self.hangs,
+            "drops": self.drops,
+            "corruptions": self.corruptions,
+        }
+
+
+class ChaosEngine:
+    """Draws injection decisions for the supervised shard pool.
+
+    One engine per :class:`~repro.serving.supervisor.SupervisedShardPool`;
+    stateless apart from the per-``(query, epoch)`` attempt cursors and
+    the injection counters, so the decision for any address is a pure
+    function of the plan.
+    """
+
+    def __init__(self, plan: ChaosPlan):
+        self.plan = plan
+        self.stats = ChaosStats()
+        self._cursors: Dict[Tuple[str, int], int] = {}
+
+    def next_attempt(self, query_id: str, epoch: int) -> int:
+        """Allocate the next 1-based attempt index for ``(query, epoch)``.
+
+        Monotone across retries *and* across separate compute calls for
+        the same epoch, which is what keeps a retried epoch from
+        replaying the exact draw that failed it.
+        """
+        key = (query_id, epoch)
+        attempt = self._cursors.get(key, 0) + 1
+        self._cursors[key] = attempt
+        return attempt
+
+    def action(
+        self, shard: int, query_id: str, epoch: int, attempt: int
+    ) -> Optional[str]:
+        """The injected action for one attempt (None = leave it alone)."""
+        plan = self.plan
+        for event in plan.events:
+            if (
+                event.epoch == epoch
+                and event.attempt == attempt
+                and (event.query_id is None or event.query_id == query_id)
+            ):
+                return self._record(event.kind)
+        key = derive_key(
+            plan.seed, _TAG_ACTION, shard, zlib.crc32(query_id.encode("utf-8")),
+            epoch, attempt,
+        )
+        u = uniform_at(key, 0)
+        edge = plan.kill
+        if u < edge:
+            return self._record(KILL)
+        edge += plan.hang
+        if u < edge:
+            return self._record(HANG)
+        edge += plan.drop
+        if u < edge:
+            return self._record(DROP)
+        edge += plan.corrupt
+        if u < edge:
+            return self._record(CORRUPT)
+        return None
+
+    def corrupt_payload(
+        self, payload: bytes, shard: int, query_id: str, epoch: int, attempt: int
+    ) -> bytes:
+        """Deterministically flip 1-3 distinct bits of ``payload``.
+
+        The damage is addressed by the same ``(shard, query, epoch,
+        attempt)`` coordinates as the decision to corrupt, so a chaos
+        run damages the same bits every time.
+        """
+        if not payload:
+            return payload
+        key = derive_key(
+            self.plan.seed, _TAG_DAMAGE, shard,
+            zlib.crc32(query_id.encode("utf-8")), epoch, attempt,
+        )
+        n_bits = len(payload) * 8
+        flips = 1 + int(uniform_at(key, 0) * 3.0)
+        damaged = bytearray(payload)
+        chosen: set = set()
+        counter = 1
+        while len(chosen) < min(flips, n_bits):
+            bit = int(uniform_at(key, counter) * n_bits)
+            counter += 1
+            if bit in chosen:
+                continue
+            chosen.add(bit)
+            damaged[bit // 8] ^= 1 << (bit % 8)
+        return bytes(damaged)
+
+    def _record(self, kind: str) -> str:
+        if kind == KILL:
+            self.stats.kills += 1
+        elif kind == HANG:
+            self.stats.hangs += 1
+        elif kind == DROP:
+            self.stats.drops += 1
+        else:
+            self.stats.corruptions += 1
+        return kind

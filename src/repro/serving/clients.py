@@ -21,7 +21,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
-from repro.serving.errors import SlowConsumerEvicted
+from repro.serving.errors import (
+    EpochComputeFailed,
+    ShardUnavailableError,
+    SlowConsumerEvicted,
+)
 from repro.serving.router import MapService
 from repro.serving.wire import DELTA
 
@@ -51,6 +55,9 @@ class LoadReport:
     delta_bytes: int = 0
     delta_latencies_ms: List[float] = field(default_factory=list)
     subscribers_evicted: int = 0
+    epochs_failed: int = 0
+    stale_snapshots: int = 0
+    degraded_s: float = 0.0
 
     @property
     def snapshot_rps(self) -> float:
@@ -89,6 +96,11 @@ class LoadReport:
                 "bytes": self.delta_bytes,
                 "evicted": self.subscribers_evicted,
             },
+            "resilience": {
+                "epochs_failed": self.epochs_failed,
+                "stale_snapshots": self.stale_snapshots,
+                "degraded_s": round(self.degraded_s, 3),
+            },
         }
 
     def to_table(self) -> str:
@@ -106,6 +118,13 @@ class LoadReport:
             f"bytes      : {s['bytes']} snapshot, {ds['bytes']} delta",
             f"evictions  : {ds['evicted']} slow subscribers",
         ]
+        r = d["resilience"]
+        if r["epochs_failed"] or r["stale_snapshots"]:
+            lines.append(
+                f"resilience : {r['epochs_failed']} failed epoch attempts, "
+                f"{r['stale_snapshots']} stale snapshots, "
+                f"{r['degraded_s']:.3f}s degraded"
+            )
         return "\n".join(lines)
 
 
@@ -163,6 +182,14 @@ async def run_load(
     Advances ``epochs`` epochs on ``query_id``'s session while the
     simulated clients run, then gracefully stops the *whole* service
     (draining subscribers) and returns the measurements.
+
+    The driver is chaos-tolerant: an advance that fails after the
+    supervisor's retries (:class:`EpochComputeFailed`) or hits an open
+    circuit breaker (:class:`ShardUnavailableError`) is counted, waited
+    out, and re-attempted -- the session serves stale snapshots in the
+    meantime, exactly as a production driver would ride through a shard
+    recovery.  The run still always reaches ``epochs`` published epochs
+    (a safety cap turns a shard that never recovers into a hard error).
     """
     session = service.session(query_id)
     report = LoadReport(
@@ -180,8 +207,22 @@ async def run_load(
         for _ in range(n_snapshot_clients)
     ]
     t0 = time.perf_counter()
-    for _ in range(epochs):
-        await session.advance()
+    target = session.latest_epoch + epochs
+    rounds_left = max(50 * epochs, 200)
+    while session.latest_epoch < target:
+        rounds_left -= 1
+        if rounds_left < 0:
+            raise RuntimeError(
+                f"load run stuck: session {query_id!r} reached epoch "
+                f"{session.latest_epoch} of {target} before the retry budget "
+                f"ran out"
+            )
+        try:
+            await session.advance()
+        except (EpochComputeFailed, ShardUnavailableError):
+            report.epochs_failed += 1
+            await asyncio.sleep(epoch_interval or 0.002)
+            continue
         if epoch_interval:
             await asyncio.sleep(epoch_interval)
     await service.stop(drain=True)
@@ -190,4 +231,6 @@ async def run_load(
     report.elapsed_s = time.perf_counter() - t0
     report.epochs = session.stats.epochs
     report.subscribers_evicted = session.stats.subscribers_evicted
+    report.stale_snapshots = session.stats.stale_snapshots
+    report.degraded_s = session.stats.degraded_s
     return report

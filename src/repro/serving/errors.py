@@ -41,3 +41,80 @@ class SlowConsumerEvicted(ServingError):
 
 class UnknownQueryError(ServingError, KeyError):
     """No session is registered for the requested query id."""
+
+
+class ShardComputeError(ServingError):
+    """One shard compute attempt failed for an *infrastructure* reason.
+
+    Base class of the supervisor's retryable failures (crash, hang,
+    dropped result, corrupted result).  Application exceptions raised by
+    the compute itself are never wrapped in this hierarchy -- they are
+    deterministic, so retrying them is pointless and they propagate
+    unchanged (see :class:`SessionFailedError`).
+    """
+
+    def __init__(self, message: str, shard: int = -1):
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardCrashError(ShardComputeError):
+    """The shard's worker process died mid-request (broken pool)."""
+
+
+class ShardHangError(ShardComputeError):
+    """The shard failed to answer within the per-request deadline.
+
+    The supervisor cannot tell a wedged worker from a merely slow one,
+    so it treats both the same way: kill the worker, respawn the shard,
+    and let the deterministic rebuild+fast-forward recompute the epoch.
+    """
+
+
+class ShardResultDropped(ShardComputeError):
+    """The compute ran but its result was lost on the way back."""
+
+
+class ShardResultCorrupted(ShardComputeError):
+    """The returned payload failed its integrity check (CRC mismatch)."""
+
+
+class ShardUnavailableError(ServingError):
+    """The shard's circuit breaker is open: fail fast, do not compute.
+
+    Raised before any attempt is made while the breaker cools down after
+    repeated consecutive failures; callers should degrade gracefully
+    (serve a staleness-tagged snapshot) and retry later.
+    """
+
+    def __init__(self, message: str, shard: int = -1):
+        super().__init__(message)
+        self.shard = shard
+
+
+class EpochComputeFailed(ServingError):
+    """Every supervised attempt at one epoch compute failed.
+
+    The session stays recoverable: the epoch was never published, so a
+    later ``advance`` retries the *same* epoch and -- compute being a
+    pure function of ``(config, epoch)`` -- publishes the byte-identical
+    payload the fault-free run would have.
+    """
+
+    def __init__(self, message: str, query_id: str = "", epoch: int = 0,
+                 attempts: int = 0):
+        super().__init__(message)
+        self.query_id = query_id
+        self.epoch = epoch
+        self.attempts = attempts
+
+
+class SessionFailedError(ServingError):
+    """The session hit a non-recoverable application error.
+
+    An exception inside a session's epoch loop (bad config surfacing at
+    compute time, a bug in the pipeline) is terminal for that session:
+    every subscriber's stream raises this error instead of stalling
+    silently, and the originating exception rides along as
+    ``__cause__``.  Other sessions of the same service are unaffected.
+    """

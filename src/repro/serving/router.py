@@ -14,6 +14,13 @@ it owns one :class:`~repro.serving.session.MapSession` per standing
 query and exposes the two client paths -- ``snapshot(query_id)`` and
 ``subscribe(query_id, since_epoch)`` -- plus lifecycle control
 (``start_all`` / ``advance_all`` / ``stop``).
+
+Since PR 7 the service routes compute through a
+:class:`~repro.serving.supervisor.SupervisedShardPool` -- the
+self-healing wrapper with per-request deadlines, crash/hang recovery,
+retries and per-shard circuit breakers (see
+:mod:`repro.serving.supervisor`).  The plain :class:`ShardPool` remains
+for direct, unsupervised use; both close without ever hanging.
 """
 
 from __future__ import annotations
@@ -23,8 +30,14 @@ import zlib
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.serving.chaos import ChaosPlan
 from repro.serving.errors import UnknownQueryError
 from repro.serving.session import MapSession, SessionConfig, Subscription
+from repro.serving.supervisor import (
+    SupervisedShardPool,
+    SupervisorConfig,
+    drain_executor,
+)
 from repro.serving.wire import ServedMessage
 from repro.serving.worker import compute_epoch
 
@@ -61,10 +74,17 @@ class ShardPool:
             executor, compute_epoch, config.to_dict(), epoch
         )
 
-    def close(self) -> None:
-        for pool in self._pools:
-            pool.shutdown(wait=True)
-        self._pools = []
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut the shards down; never hangs.
+
+        Workers get ``timeout`` seconds to join; stragglers (wedged or
+        killed-but-unreaped processes) are SIGKILLed.  A plain
+        ``shutdown(wait=True)`` here could block ``MapService.stop()``
+        forever behind one stuck worker.
+        """
+        pools, self._pools = self._pools, []
+        for pool in pools:
+            drain_executor(pool, timeout)
 
 
 class MapService:
@@ -73,6 +93,12 @@ class MapService:
     Args:
         configs: one :class:`SessionConfig` per standing query.
         n_shards: worker processes for the shard pool (0 = inline).
+        supervision: deadlines/retry/breaker tuning for the supervised
+            pool (None = production defaults; behaviourally identical to
+            the plain pool on the zero-failure path).
+        chaos: a seeded :class:`~repro.serving.chaos.ChaosPlan` to
+            inject failures between the supervisor and the workers
+            (None = no injection).
         session_kwargs: forwarded to every :class:`MapSession`
             (``retention``, ``queue_depth``, ``epoch_interval``, ...).
     """
@@ -81,9 +107,13 @@ class MapService:
         self,
         configs: Iterable[SessionConfig],
         n_shards: int = 0,
+        supervision: Optional[SupervisorConfig] = None,
+        chaos: Optional[ChaosPlan] = None,
         **session_kwargs: Any,
     ):
-        self.pool = ShardPool(n_shards)
+        self.pool = SupervisedShardPool(
+            n_shards, supervision=supervision, chaos=chaos
+        )
         self.sessions: Dict[str, MapSession] = {}
         for config in configs:
             if config.query_id in self.sessions:
@@ -131,8 +161,42 @@ class MapService:
         )
         return dict(zip(ids, results))
 
+    async def probe_shards(self) -> List[bool]:
+        """Heartbeat every shard (True = it answered within deadline)."""
+        return await self.pool.probe_all()
+
+    def health(self) -> Dict[str, Any]:
+        """A structured view of service health for operators and tests.
+
+        Returns per-shard supervision counters (crashes, hangs,
+        restarts, breaker state), per-session liveness (latest epoch,
+        degraded/failed flags, subscriber count), and -- when chaos is
+        plugged in -- the injected-failure counts.
+        """
+        report: Dict[str, Any] = {
+            "shards": self.pool.status(),
+            "sessions": {
+                qid: {
+                    "latest_epoch": s.latest_epoch,
+                    "degraded": s.degraded,
+                    "failed": s.failure is not None,
+                    "epochs_failed": s.stats.epochs_failed,
+                    "stale_snapshots": s.stats.stale_snapshots,
+                    "subscribers": s.subscriber_count,
+                }
+                for qid, s in self.sessions.items()
+            },
+        }
+        if self.pool.chaos is not None:
+            report["chaos"] = self.pool.chaos.stats.to_dict()
+        return report
+
     async def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
-        """Stop every session (draining subscribers) and the shard pool."""
+        """Stop every session (draining subscribers) and the shard pool.
+
+        Never hangs: worker processes that do not join within the pool's
+        close deadline are killed.  Safe to call more than once.
+        """
         await asyncio.gather(
             *(s.stop(drain=drain, timeout=timeout) for s in self.sessions.values())
         )

@@ -30,6 +30,7 @@ from __future__ import annotations
 import asyncio
 import math
 import time
+import zlib
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -45,9 +46,20 @@ from repro.field import (
 from repro.field.base import ScalarField
 from repro.geometry import BoundingBox
 from repro.network import SensorNetwork
-from repro.serving.errors import SlowConsumerEvicted
+from repro.serving.errors import (
+    EpochComputeFailed,
+    SessionFailedError,
+    ShardUnavailableError,
+    SlowConsumerEvicted,
+)
 from repro.serving.store import MapStore
-from repro.serving.wire import DELTA, SNAPSHOT, ServedMessage, encode_delta
+from repro.serving.wire import (
+    DELTA,
+    SNAPSHOT,
+    SNAPSHOT_STALE,
+    ServedMessage,
+    encode_delta,
+)
 
 #: Radial test-field extent (matches the continuous-monitoring tests).
 _RADIAL_BOX = BoundingBox(0.0, 0.0, 20.0, 20.0)
@@ -238,6 +250,10 @@ class SessionCompute:
         return {
             "epoch": epoch,
             "delta": delta,
+            # Integrity tag: the supervised pool re-checks this on the
+            # router side, so a payload damaged in transit (or by the
+            # chaos engine) is detected and recomputed, never published.
+            "crc": zlib.crc32(delta) & 0xFFFFFFFF,
             "records": tuple(sorted(self._state.values())),
             "sink": sink,
             "new_reports": len(result.new_reports),
@@ -256,6 +272,11 @@ class SessionCompute:
 #: Terminal queue markers (identity-compared).
 _CLOSE = object()
 _EVICT = object()
+_FAIL = object()
+
+#: Clock-loop retry tick while the shard is recovering (seconds); keeps
+#: a zero-interval session from hot-looping on a degraded shard.
+_RETRY_TICK = 0.005
 
 
 @dataclass
@@ -264,6 +285,12 @@ class SessionStats:
     deltas_published: int = 0
     subscribers_evicted: int = 0
     subscribers_peak: int = 0
+    #: Recoverable compute failures (attempts exhausted / breaker open).
+    epochs_failed: int = 0
+    #: Snapshot requests answered with a staleness-tagged payload.
+    stale_snapshots: int = 0
+    #: Total wall time spent degraded (shard recovering), seconds.
+    degraded_s: float = 0.0
 
 
 @dataclass
@@ -316,6 +343,12 @@ class Subscription:
                 f"subscriber {self._id} of {self._session.config.query_id!r} "
                 f"overflowed its queue (depth {self._session.queue_depth})"
             )
+        if item is _FAIL:
+            self._finish()
+            raise SessionFailedError(
+                f"session {self._session.config.query_id!r} failed: "
+                f"{self._session.failure!r}"
+            ) from self._session.failure
         return item
 
     def close(self) -> None:
@@ -382,6 +415,12 @@ class MapSession:
         self._publish_walltime: Dict[int, float] = {}
         self._task: Optional["asyncio.Task"] = None
         self._stopping = False
+        #: True while the owning shard is failing/recovering; snapshot
+        #: requests are answered with a staleness-tagged payload.
+        self.degraded = False
+        self._degraded_since: Optional[float] = None
+        #: The terminal application error, if the session failed.
+        self.failure: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
     # Epoch advancement
@@ -400,11 +439,49 @@ class MapSession:
         return self._publish_walltime.get(epoch)
 
     async def advance(self) -> Dict[str, Any]:
-        """Compute and publish the next epoch; returns its stats dict."""
+        """Compute and publish the next epoch; returns its stats dict.
+
+        Failure semantics:
+
+        - a *recoverable* infrastructure failure (supervised attempts
+          exhausted, circuit breaker open) marks the session degraded
+          and re-raises -- the epoch was not published, so a later call
+          retries the same epoch and, compute being deterministic,
+          publishes the byte-identical payload;
+        - an *application* error is terminal: the session fails, every
+          subscriber's stream raises
+          :class:`~repro.serving.errors.SessionFailedError`, and so does
+          this call.
+        """
         if self._stopping:
             raise RuntimeError("session is stopping")
+        if self.failure is not None:
+            raise SessionFailedError(
+                f"session {self.config.query_id!r} already failed: "
+                f"{self.failure!r}"
+            ) from self.failure
         epoch = self.store.latest_epoch + 1
-        result = await self._pool.compute(self.config, epoch)
+        try:
+            result = await self._pool.compute(self.config, epoch)
+        except (EpochComputeFailed, ShardUnavailableError):
+            self.stats.epochs_failed += 1
+            if not self.degraded:
+                self.degraded = True
+                self._degraded_since = time.perf_counter()
+            raise
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail(exc)
+            raise SessionFailedError(
+                f"session {self.config.query_id!r} epoch {epoch} failed: "
+                f"{exc!r}"
+            ) from exc
+        if self.degraded:
+            self.degraded = False
+            if self._degraded_since is not None:
+                self.stats.degraded_s += time.perf_counter() - self._degraded_since
+                self._degraded_since = None
         self.store.put_epoch(
             result["epoch"], result["delta"], result["records"], result["sink"]
         )
@@ -432,12 +509,22 @@ class MapSession:
     def snapshot(self, epoch: Optional[int] = None) -> ServedMessage:
         """The rendered snapshot at ``epoch`` (default latest).
 
-        Raises :class:`~repro.serving.errors.EpochEvicted` for epochs
-        outside retention.
+        Graceful degradation: while the session is degraded (its shard
+        is failing or recovering) or failed, a latest-snapshot request
+        still answers -- with the last retained epoch, tagged
+        :data:`~repro.serving.wire.SNAPSHOT_STALE` so the client *knows*
+        the map may lag the field -- instead of erroring.
+
+        Raises :class:`~repro.serving.errors.EpochEvicted` for explicit
+        epochs outside retention.
         """
         payload = self.store.snapshot(epoch)
+        kind = SNAPSHOT
+        if epoch is None and (self.degraded or self.failure is not None):
+            kind = SNAPSHOT_STALE
+            self.stats.stale_snapshots += 1
         return ServedMessage(
-            SNAPSHOT, epoch if epoch is not None else self.store.latest_epoch, payload
+            kind, epoch if epoch is not None else self.store.latest_epoch, payload
         )
 
     def attach(self, since_epoch: int = 0) -> Subscription:
@@ -456,6 +543,10 @@ class MapSession:
         """
         if since_epoch < 0:
             raise ValueError("since_epoch must be >= 0")
+        if self.failure is not None:
+            raise SessionFailedError(
+                f"session {self.config.query_id!r} failed: {self.failure!r}"
+            ) from self.failure
         entry = _SubEntry(
             queue=asyncio.Queue(maxsize=self.queue_depth), closed=asyncio.Event()
         )
@@ -496,7 +587,15 @@ class MapSession:
         while not self._stopping and (
             self.max_epochs is None or self.stats.epochs < self.max_epochs
         ):
-            await self.advance()
+            try:
+                await self.advance()
+            except (EpochComputeFailed, ShardUnavailableError):
+                # Recoverable: the epoch was not published; stay on the
+                # clock and retry it (degraded snapshots serve meanwhile).
+                await asyncio.sleep(max(self.epoch_interval, _RETRY_TICK))
+                continue
+            except SessionFailedError:
+                return  # terminal; subscribers were notified by _fail
             await asyncio.sleep(self.epoch_interval)
 
     async def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
@@ -537,6 +636,27 @@ class MapSession:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _fail(self, exc: BaseException) -> None:
+        """Mark the session terminally failed and notify every subscriber.
+
+        The failure marker is queued *behind* any pending deltas, so a
+        subscriber drains what was published before its stream raises
+        :class:`SessionFailedError`; a subscriber too far behind to even
+        queue the marker is evicted (its stream still terminates with a
+        typed error, never a silent stall).
+        """
+        if self.failure is not None:
+            return
+        self.failure = exc
+        for sub_id in list(self._subs):
+            entry = self._subs.get(sub_id)
+            if entry is None:
+                continue
+            try:
+                entry.queue.put_nowait(_FAIL)
+            except asyncio.QueueFull:
+                self._evict(sub_id)
 
     def _evict(self, sub_id: int) -> None:
         entry = self._subs.pop(sub_id, None)

@@ -1,0 +1,560 @@
+"""Shard supervision: deadlines, crash/hang detection, respawn, retries.
+
+PR 6's :class:`~repro.serving.router.ShardPool` assumed perfect workers:
+a crashed or wedged shard process stalled ``compute`` forever and took
+every session pinned to it down with it.  This module wraps the same
+sharded layout in a self-healing control loop:
+
+- every compute attempt runs under a **per-request deadline**
+  (:attr:`SupervisorConfig.compute_timeout`); a worker that crashes
+  raises a broken-pool error, a worker that hangs blows the deadline --
+  both are *detected*, classified, and recovered from;
+- recovery is **kill + respawn + deterministic rebuild**: the shard's
+  process is killed, a fresh single-worker pool is spawned lazily, and
+  the worker-side compute (:func:`repro.serving.worker.compute_epoch`)
+  rebuilds the session and fast-forwards to the requested epoch --
+  byte-identical to an uninterrupted run, because every payload is a
+  pure function of ``(config, epoch)``;
+- failed attempts are retried with **capped, jittered exponential
+  backoff** -- the serving mirror of the transport's ARQ policy
+  (``min(base << (k - 2), cap)`` windows), with the jitter drawn from a
+  counter-based stream keyed ``(query, epoch, attempt)`` so even the
+  retry timing is reproducible;
+- each shard carries a **circuit breaker**: after
+  :attr:`SupervisorConfig.breaker_threshold` consecutive infrastructure
+  failures it opens and the next :attr:`SupervisorConfig.breaker_cooldown`
+  compute calls fail fast (:class:`ShardUnavailableError`) instead of
+  burning deadlines on a shard that is clearly down, then a half-open
+  trial call decides between closing and re-opening.  The cooldown is
+  counted in *calls*, not seconds, so chaos runs replay identically on
+  any machine;
+- results carry a CRC integrity tag; a payload damaged in transit is
+  rejected and recomputed, never published;
+- a :class:`~repro.serving.chaos.ChaosEngine` can be plugged between the
+  supervisor and the workers to inject kills, hangs, drops and
+  corruption from seeded counter-based draws (the reproducible chaos
+  harness).
+
+Health is first-class: per-shard :class:`ShardHealth` counters (crashes,
+hangs, restarts, retries, MTTR samples) feed ``MapService.health()`` and
+``BENCH_serving_faults.json``, and :meth:`ShardSupervisor.probe` runs a
+worker heartbeat (:func:`repro.serving.worker.ping`) under its own
+deadline to tell a wedged shard from an idle one without waiting for a
+real request to fail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import zlib
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.network.rngstream import derive_key, uniform_at
+from repro.serving import worker as worker_mod
+from repro.serving.chaos import CORRUPT, DROP, HANG, KILL, ChaosEngine, ChaosPlan
+from repro.serving.errors import (
+    EpochComputeFailed,
+    ShardComputeError,
+    ShardCrashError,
+    ShardHangError,
+    ShardResultCorrupted,
+    ShardResultDropped,
+    ShardUnavailableError,
+)
+from repro.serving.session import SessionConfig
+
+#: Backoff-jitter stream tag (sibling of the chaos engine's tags).
+_TAG_BACKOFF = 103
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning knobs of the self-healing layer.
+
+    Attributes:
+        compute_timeout: per-request deadline (seconds); a compute that
+            has not answered by then is treated as a hang.
+        probe_timeout: deadline for the worker heartbeat probe.
+        max_attempts: attempts per ``compute`` call (first try included),
+            mirroring the transport's ``max_retries + 1`` ARQ budget.
+        backoff_base / backoff_cap: retry ``k`` (k >= 2) sleeps
+            ``min(backoff_base * 2**(k - 2), backoff_cap)`` seconds,
+            scaled by a deterministic jitter in [0.5, 1.0) -- the capped
+            exponential backoff of the transport, in wall time.
+        backoff_seed: seed of the jitter stream.
+        breaker_threshold: consecutive infrastructure failures that open
+            a shard's circuit breaker.
+        breaker_cooldown: compute *calls* that fail fast while the
+            breaker is open, before the half-open trial (call-counted so
+            chaos runs replay identically on any machine).
+        close_timeout: worker-join deadline on shutdown; stragglers are
+            killed so closing can never hang.
+    """
+
+    compute_timeout: float = 30.0
+    probe_timeout: float = 5.0
+    max_attempts: int = 4
+    backoff_base: float = 0.01
+    backoff_cap: float = 0.08
+    backoff_seed: int = 0
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 2
+    close_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.compute_timeout <= 0 or self.probe_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff parameters must be non-negative")
+        if self.breaker_threshold < 1 or self.breaker_cooldown < 0:
+            raise ValueError("breaker parameters out of range")
+
+
+class CircuitBreaker:
+    """Per-shard three-state breaker with call-counted cooldown.
+
+    Closed: calls flow.  Open: the next ``cooldown`` calls fail fast.
+    Half-open: one trial call runs; success closes the breaker, failure
+    re-opens it.
+    """
+
+    def __init__(self, threshold: int, cooldown: int):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.consecutive_failures = 0
+        self.opens = 0
+        self._budget = 0
+
+    @property
+    def state(self) -> str:
+        if self._budget > 0:
+            return "open"
+        if self.consecutive_failures >= self.threshold:
+            return "half_open"
+        return "closed"
+
+    @property
+    def is_open(self) -> bool:
+        return self._budget > 0
+
+    def allows(self) -> bool:
+        """Gate one compute call; consumes one cooldown slot when open."""
+        if self._budget > 0:
+            self._budget -= 1
+            return False
+        return True
+
+    def on_success(self) -> None:
+        self.consecutive_failures = 0
+        self._budget = 0
+
+    def on_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.threshold and self._budget == 0:
+            self._budget = self.cooldown
+            self.opens += 1
+
+
+@dataclass
+class ShardHealth:
+    """What one shard's supervisor has seen and done."""
+
+    computes: int = 0
+    retries: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    drops: int = 0
+    corruptions: int = 0
+    restarts: int = 0
+    failures: int = 0  # compute calls that exhausted every attempt
+    breaker_fast_fails: int = 0
+    recovery_ms: List[float] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "computes": self.computes,
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "drops": self.drops,
+            "corruptions": self.corruptions,
+            "restarts": self.restarts,
+            "failures": self.failures,
+            "breaker_fast_fails": self.breaker_fast_fails,
+            "recoveries": len(self.recovery_ms),
+        }
+
+
+def drain_executor(executor: ProcessPoolExecutor, timeout: float = 5.0) -> None:
+    """Shut a process pool down without ever hanging the caller.
+
+    Queued-but-unstarted work is cancelled, workers get ``timeout``
+    seconds to join, and stragglers (dead-but-unreaped or genuinely
+    wedged processes) are killed -- so ``MapService.stop()`` can never
+    block on a worker that will not come back.
+    """
+    executor.shutdown(wait=False, cancel_futures=True)
+    # _processes is None once the executor has fully shut down.
+    procs = [
+        p for p in (getattr(executor, "_processes", None) or {}).values()
+        if p is not None
+    ]
+    deadline = time.monotonic() + timeout
+    for p in procs:
+        p.join(max(0.0, deadline - time.monotonic()))
+    for p in procs:
+        if p.is_alive():
+            p.kill()
+    for p in procs:
+        if p.is_alive():
+            p.join(1.0)
+
+
+class ShardSupervisor:
+    """Owns one shard's worker process, breaker, and health counters.
+
+    ``inline=True`` is the processless (``n_shards = 0``) twin: compute
+    runs in the event loop's default thread executor, and "respawn"
+    wipes the in-process session table instead of killing anything --
+    the recovery path still exercises the deterministic rebuild, so
+    inline and sharded chaos runs stay byte-identical.
+    """
+
+    def __init__(self, index: int, config: SupervisorConfig, inline: bool = False):
+        self.index = index
+        self.config = config
+        self.inline = inline
+        self.health = ShardHealth()
+        self.breaker = CircuitBreaker(
+            config.breaker_threshold, config.breaker_cooldown
+        )
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+
+    def executor(self) -> Optional[ProcessPoolExecutor]:
+        """The live executor (respawned lazily); None in inline mode."""
+        if self.inline:
+            return None
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=1)
+        return self._executor
+
+    def kill_workers(self) -> int:
+        """SIGKILL every live worker process of this shard.
+
+        Returns how many processes were actually killed (0 inline, or
+        when the pool has not spawned its worker yet).
+        """
+        if self._executor is None:
+            return 0
+        killed = 0
+        for p in (getattr(self._executor, "_processes", None) or {}).values():
+            if p is not None and p.is_alive():
+                p.kill()
+                killed += 1
+        return killed
+
+    def respawn(self) -> None:
+        """Tear the shard's worker down and arrange a fresh one.
+
+        The replacement pool is created lazily on the next request; the
+        worker-side session table dies with the old process, so the next
+        epoch compute rebuilds and fast-forwards deterministically.
+        """
+        self.health.restarts += 1
+        if self.inline:
+            worker_mod.reset()
+            return
+        if self._executor is not None:
+            self.kill_workers()
+            old = self._executor
+            self._executor = None
+            old.shutdown(wait=False, cancel_futures=True)
+
+    def on_crash(self) -> None:
+        self.health.crashes += 1
+        self.respawn()
+
+    def on_hang(self) -> None:
+        self.health.hangs += 1
+        self.respawn()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            old = self._executor
+            self._executor = None
+            drain_executor(old, self.config.close_timeout)
+
+    # ------------------------------------------------------------------
+    # Health probing
+    # ------------------------------------------------------------------
+
+    async def probe(self) -> bool:
+        """Heartbeat: does the worker answer within the probe deadline?
+
+        A wedged single-worker shard cannot run :func:`worker.ping`
+        until its current (stuck) task finishes, so the probe times out
+        -- the supervisor's way of detecting a hang *between* requests.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            fut = loop.run_in_executor(self.executor(), worker_mod.ping)
+            await asyncio.wait_for(fut, self.config.probe_timeout)
+            return True
+        except (asyncio.TimeoutError, BrokenExecutor, OSError, RuntimeError):
+            return False
+
+    async def ensure_healthy(self) -> bool:
+        """Probe; on failure kill + respawn and probe the replacement."""
+        if await self.probe():
+            return True
+        self.on_hang()
+        return await self.probe()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        d = self.health.to_dict()
+        d["shard"] = self.index
+        d["inline"] = self.inline
+        d["breaker"] = self.breaker.state
+        d["breaker_opens"] = self.breaker.opens
+        return d
+
+
+class SupervisedShardPool:
+    """Self-healing drop-in for :class:`~repro.serving.router.ShardPool`.
+
+    Same sharding (stable crc32 pinning, ``n_shards = 0`` = inline) and
+    the same deterministic payloads, plus the supervision loop described
+    in the module docstring.  With default supervision and no chaos the
+    zero-failure path is behaviourally identical to the plain pool --
+    pinned by the pre-existing serving test suite running through it.
+
+    Args:
+        n_shards: worker processes; 0 computes inline.
+        supervision: deadlines/retry/breaker tuning (defaults are
+            production-shaped: generous deadline, small backoff).
+        chaos: a seeded :class:`~repro.serving.chaos.ChaosPlan` to
+            inject failures (None or a null plan = no injection).
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 0,
+        supervision: Optional[SupervisorConfig] = None,
+        chaos: Optional[ChaosPlan] = None,
+    ):
+        if n_shards < 0:
+            raise ValueError("n_shards must be >= 0")
+        self.n_shards = n_shards
+        self.supervision = supervision if supervision is not None else SupervisorConfig()
+        self.chaos: Optional[ChaosEngine] = None
+        if chaos is not None and not chaos.is_null:
+            self.chaos = ChaosEngine(chaos)
+        if n_shards:
+            self.supervisors = [
+                ShardSupervisor(i, self.supervision) for i in range(n_shards)
+            ]
+        else:
+            self.supervisors = [ShardSupervisor(0, self.supervision, inline=True)]
+        #: perf_counter of the first failed attempt per (query, epoch),
+        #: kept across compute calls so MTTR spans breaker-open gaps.
+        self._first_failure: Dict[Tuple[str, int], float] = {}
+
+    def shard_of(self, query_id: str) -> int:
+        """The shard a query id is pinned to (stable across runs)."""
+        if not self.n_shards:
+            return 0
+        return zlib.crc32(query_id.encode("utf-8")) % self.n_shards
+
+    # ------------------------------------------------------------------
+    # The supervised compute path
+    # ------------------------------------------------------------------
+
+    async def compute(self, config: SessionConfig, epoch: int) -> Dict[str, Any]:
+        """Run one session epoch with supervision, retries and breaker.
+
+        Raises:
+            ShardUnavailableError: the shard's breaker is open (fail
+                fast, nothing was attempted).
+            EpochComputeFailed: every attempt failed; the epoch can be
+                retried later and will produce identical bytes.
+        """
+        qid = config.query_id
+        shard_idx = self.shard_of(qid)
+        sup = self.supervisors[shard_idx]
+        scfg = self.supervision
+        if not sup.breaker.allows():
+            sup.health.breaker_fast_fails += 1
+            raise ShardUnavailableError(
+                f"shard {shard_idx} circuit open "
+                f"(cooling down after {sup.breaker.consecutive_failures} "
+                f"consecutive failures)",
+                shard=shard_idx,
+            )
+        last: Optional[ShardComputeError] = None
+        attempts = 0
+        for k in range(1, scfg.max_attempts + 1):
+            if k > 1:
+                sup.health.retries += 1
+                delay = self._backoff_delay(qid, epoch, k)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            attempt = (
+                self.chaos.next_attempt(qid, epoch) if self.chaos is not None else k
+            )
+            action = (
+                self.chaos.action(shard_idx, qid, epoch, attempt)
+                if self.chaos is not None
+                else None
+            )
+            attempts = k
+            try:
+                result = await self._attempt(sup, config, epoch, action, attempt)
+            except ShardComputeError as exc:
+                last = exc
+                self._first_failure.setdefault((qid, epoch), time.perf_counter())
+                sup.breaker.on_failure()
+                if sup.breaker.is_open:
+                    break  # fail the call; the breaker gates the next ones
+                continue
+            sup.breaker.on_success()
+            sup.health.computes += 1
+            t0 = self._first_failure.pop((qid, epoch), None)
+            if t0 is not None:
+                sup.health.recovery_ms.append((time.perf_counter() - t0) * 1e3)
+            return result
+        sup.health.failures += 1
+        raise EpochComputeFailed(
+            f"epoch {epoch} of {qid!r} failed after {attempts} attempts "
+            f"(last: {last!r})",
+            query_id=qid,
+            epoch=epoch,
+            attempts=attempts,
+        )
+
+    async def _attempt(
+        self,
+        sup: ShardSupervisor,
+        config: SessionConfig,
+        epoch: int,
+        action: Optional[str],
+        attempt: int,
+    ) -> Dict[str, Any]:
+        """One supervised attempt; infrastructure failures raise
+        :class:`ShardComputeError` subclasses (and have already been
+        recovered from -- the shard is respawned before the raise)."""
+        scfg = self.supervision
+        qid = config.query_id
+        loop = asyncio.get_running_loop()
+
+        if action == HANG:
+            # A wedged worker: the deadline passes with no answer.  The
+            # recovery is the real one -- kill whatever the shard runs
+            # and respawn -- so the rebuild path is genuinely exercised.
+            await asyncio.sleep(scfg.compute_timeout)
+            sup.on_hang()
+            raise ShardHangError(
+                f"shard {sup.index} hung on epoch {epoch} of {qid!r} "
+                f"(deadline {scfg.compute_timeout}s)",
+                shard=sup.index,
+            )
+
+        if action == KILL:
+            # A real SIGKILL when the shard has a live worker; the broken
+            # pool then surfaces below.  Inline -- or before the lazy
+            # pool has spawned its worker -- there is nothing to kill,
+            # so the crash (and the state loss) is simulated instead.
+            if sup.kill_workers() == 0:
+                sup.on_crash()
+                raise ShardCrashError(
+                    f"shard {sup.index} worker killed (simulated) "
+                    f"on epoch {epoch} of {qid!r}",
+                    shard=sup.index,
+                )
+
+        try:
+            fut = loop.run_in_executor(
+                sup.executor(), worker_mod.compute_epoch, config.to_dict(), epoch
+            )
+            result = await asyncio.wait_for(fut, scfg.compute_timeout)
+        except asyncio.TimeoutError:
+            sup.on_hang()
+            raise ShardHangError(
+                f"shard {sup.index} blew its {scfg.compute_timeout}s deadline "
+                f"on epoch {epoch} of {qid!r}",
+                shard=sup.index,
+            ) from None
+        except BrokenExecutor as exc:
+            sup.on_crash()
+            raise ShardCrashError(
+                f"shard {sup.index} worker died on epoch {epoch} of {qid!r}: "
+                f"{exc!r}",
+                shard=sup.index,
+            ) from exc
+
+        if action == DROP:
+            sup.health.drops += 1
+            raise ShardResultDropped(
+                f"shard {sup.index} result for epoch {epoch} of {qid!r} "
+                f"dropped in transit",
+                shard=sup.index,
+            )
+        if action == CORRUPT and self.chaos is not None:
+            result = dict(result)
+            result["delta"] = self.chaos.corrupt_payload(
+                result["delta"], sup.index, qid, epoch, attempt
+            )
+
+        crc = result.get("crc")
+        if crc is not None and (zlib.crc32(result["delta"]) & 0xFFFFFFFF) != crc:
+            sup.health.corruptions += 1
+            raise ShardResultCorrupted(
+                f"shard {sup.index} payload for epoch {epoch} of {qid!r} "
+                f"failed its CRC check",
+                shard=sup.index,
+            )
+        return result
+
+    def _backoff_delay(self, query_id: str, epoch: int, k: int) -> float:
+        """Deterministically jittered capped exponential backoff."""
+        scfg = self.supervision
+        window = min(scfg.backoff_base * (2 ** (k - 2)), scfg.backoff_cap)
+        if window <= 0:
+            return 0.0
+        key = derive_key(
+            scfg.backoff_seed, _TAG_BACKOFF,
+            zlib.crc32(query_id.encode("utf-8")), epoch, k,
+        )
+        return window * (0.5 + 0.5 * uniform_at(key, 0))
+
+    # ------------------------------------------------------------------
+    # Health / lifecycle
+    # ------------------------------------------------------------------
+
+    async def probe_all(self) -> List[bool]:
+        """Heartbeat every shard (True = answered within the deadline)."""
+        return [await sup.probe() for sup in self.supervisors]
+
+    def status(self) -> List[Dict[str, Any]]:
+        return [sup.status() for sup in self.supervisors]
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Shut every shard down; never hangs (stragglers are killed)."""
+        join = self.supervision.close_timeout if timeout is None else timeout
+        for sup in self.supervisors:
+            if sup._executor is not None:
+                old = sup._executor
+                sup._executor = None
+                drain_executor(old, join)

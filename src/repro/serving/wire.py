@@ -42,6 +42,13 @@ from repro.serving.errors import ReplayGapError, WireFormatError
 SNAPSHOT = "snapshot"
 DELTA = "delta"
 
+#: A snapshot served while the session's shard is failing or recovering:
+#: the payload is the last *retained* epoch (byte-identical to what
+#: ``snapshot`` served when that epoch was fresh), and the distinct kind
+#: is the explicit staleness marker -- the client knows the map may lag
+#: the field instead of mistaking a degraded answer for a live one.
+SNAPSHOT_STALE = "snapshot_stale"
+
 #: Delta header: epoch (u32), new-record count (u16), retraction count
 #: (u16), quantised sink value (u16), sink-present flag (u8).
 _DELTA_HEADER = struct.Struct("<IHHHB")
@@ -65,7 +72,7 @@ class ServedMessage:
     """One unit of the serving protocol as seen by a client.
 
     Attributes:
-        kind: :data:`SNAPSHOT` or :data:`DELTA`.
+        kind: :data:`SNAPSHOT`, :data:`SNAPSHOT_STALE` or :data:`DELTA`.
         epoch: the epoch the payload describes (snapshots: the epoch the
             state is current *as of*; deltas: the epoch the change
             belongs to).
@@ -75,6 +82,11 @@ class ServedMessage:
     kind: str
     epoch: int
     payload: bytes
+
+    @property
+    def stale(self) -> bool:
+        """True when this is a degraded-mode (staleness-tagged) snapshot."""
+        return self.kind == SNAPSHOT_STALE
 
 
 @dataclass(frozen=True)
@@ -218,7 +230,9 @@ class DeltaReplayer:
         """Fold one served message into the map state."""
         if message.kind == DELTA:
             self.apply_delta(decode_delta(message.payload))
-        elif message.kind == SNAPSHOT:
+        elif message.kind in (SNAPSHOT, SNAPSHOT_STALE):
+            # A stale snapshot resyncs like a live one; its embedded
+            # epoch is the (older) epoch the state is current as of.
             self.apply_snapshot(decode_snapshot(message.payload))
         else:
             raise WireFormatError(f"unknown message kind {message.kind!r}")

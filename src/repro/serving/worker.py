@@ -18,6 +18,8 @@ what it produces.
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Any, Dict
 
 from repro.serving.session import SessionCompute, SessionConfig
@@ -51,3 +53,23 @@ def compute_epoch(config_dict: Dict[str, Any], epoch: int) -> Dict[str, Any]:
 def reset() -> None:
     """Drop all per-process session state (test isolation hook)."""
     _SESSIONS.clear()
+
+
+def ping() -> int:
+    """Health-probe entry point: answers with the worker's pid.
+
+    A healthy shard answers within the supervisor's probe deadline; a
+    wedged worker (its single process stuck in a long compute) cannot,
+    which is how the supervisor tells *hung* apart from *idle*.
+    """
+    return os.getpid()
+
+
+def wedge(seconds: float) -> None:
+    """Occupy the worker for ``seconds`` (supervision test hook).
+
+    Submitted to a single-worker shard this simulates a genuinely wedged
+    process: every queued request (including :func:`ping`) waits behind
+    it until the supervisor's deadline fires and the shard is respawned.
+    """
+    time.sleep(seconds)

@@ -1,0 +1,62 @@
+"""Per-test deadlines for the serving suite.
+
+The serving tests exercise hangs, worker kills and shutdown paths -- the
+one part of the repo where a regression plausibly manifests as a test
+that never returns.  pytest-timeout is not a dependency, so this is the
+stdlib equivalent: a SIGALRM-based deadline around every test in this
+directory (default :data:`DEFAULT_DEADLINE_S`), tightenable per test
+with ``@pytest.mark.deadline(seconds)``.
+
+The alarm only works on the main thread of a POSIX process; anywhere
+else the hook degrades to a no-op (the CI runners are Linux, so the
+guard matters for exotic local runs, not for the gate).
+"""
+
+import signal
+import threading
+
+import pytest
+
+DEFAULT_DEADLINE_S = 90.0
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "deadline(seconds): per-test wall-clock deadline for serving tests "
+        "(SIGALRM-based; default %gs)" % DEFAULT_DEADLINE_S,
+    )
+
+
+def _deadline_for(item) -> float:
+    marker = item.get_closest_marker("deadline")
+    if marker and marker.args:
+        return float(marker.args[0])
+    return DEFAULT_DEADLINE_S
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    deadline = _deadline_for(item)
+    usable = (
+        deadline > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} blew its {deadline:g}s deadline "
+            f"(serving suite per-test watchdog)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, deadline)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,8 +1,12 @@
 """examples/serving_demo.py and the ``repro serve`` CLI stay runnable."""
 
 import pathlib
+import signal
 import subprocess
 import sys
+import time
+
+import pytest
 
 from repro.cli import build_parser, main
 
@@ -51,3 +55,56 @@ def test_cli_serve_rejects_unknown_scenario(capsys):
     rc = main(["serve", "--scenario", "tsunami"])
     assert rc == 2
     assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cli_serve_rejects_bad_chaos_intensity(capsys):
+    rc = main(["serve", "--chaos", "1.5"])
+    assert rc == 2
+    assert "--chaos" in capsys.readouterr().err
+
+
+def test_cli_serve_runs_under_chaos(capsys):
+    """A seeded chaos run finishes, publishes every epoch, and reports
+    what the recovery machinery absorbed."""
+    rc = main(
+        [
+            "serve", "--nodes", "200", "--epochs", "4",
+            "--clients", "2", "--subscribers", "5",
+            "--chaos", "1.0", "--chaos-seed", "6",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "serving load" in out
+    assert "4 epochs" in out
+
+
+@pytest.mark.deadline(120)
+def test_cli_serve_sigint_stops_cleanly():
+    """``repro serve`` must install signal handlers and shut down via
+    ``MapService.stop(drain=True)`` -- exit code 0 and an explicit
+    clean-stop line, not a KeyboardInterrupt traceback."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro", "serve",
+            "--nodes", "200", "--epochs", "1000000",
+            "--clients", "2", "--subscribers", "5",
+            "--interval", "0.05",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": str(_REPO / "src")},
+    )
+    try:
+        time.sleep(3.0)  # let the service start and publish a few epochs
+        assert proc.poll() is None, "serve exited before the signal"
+        proc.send_signal(signal.SIGINT)
+        stdout, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, stderr
+    assert "service stopped cleanly" in stdout
+    assert "Traceback" not in stderr

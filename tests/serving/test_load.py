@@ -37,11 +37,19 @@ def test_load_harness_small_run():
     assert report.snapshot_bytes > 0
     assert report.elapsed_s > 0
     d = report.to_dict()
-    assert set(d) == {"query_id", "epochs", "elapsed_s", "snapshot", "delta_stream"}
+    assert set(d) == {
+        "query_id", "epochs", "elapsed_s", "snapshot", "delta_stream",
+        "resilience",
+    }
     assert d["snapshot"]["rps"] > 0
     assert d["delta_stream"]["deliveries"] == report.deltas_delivered
+    # Zero-chaos runs never degrade and never serve stale answers.
+    assert d["resilience"] == {
+        "epochs_failed": 0, "stale_snapshots": 0, "degraded_s": 0.0,
+    }
     table = report.to_table()
     assert "serving load" in table and "subscribers" in table
+    assert "resilience" not in table  # only shown when something failed
 
 
 def test_load_report_schema_is_json_stable():
@@ -52,6 +60,9 @@ def test_load_report_schema_is_json_stable():
     assert set(d["delta_stream"]) == {
         "subscribers", "deliveries", "deliveries_per_s",
         "p50_ms", "p99_ms", "bytes", "evicted",
+    }
+    assert set(d["resilience"]) == {
+        "epochs_failed", "stale_snapshots", "degraded_s",
     }
 
 
