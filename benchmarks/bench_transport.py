@@ -167,6 +167,7 @@ def measure_large_n() -> Dict[str, float]:
         "n": LARGE_N,
         "topology_build_ms": round(build_ms, 1),
         "epoch_ms": round(epoch_ms, 1),
+        "peak_rss_mb": round(record.peak_rss_mb(), 1),
     }
 
 

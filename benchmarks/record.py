@@ -28,12 +28,54 @@ with the same ``{"n", "kernels"}`` shape for the CI smoke sizes).
 from __future__ import annotations
 
 import json
+import multiprocessing
 import pathlib
 import platform
+import resource
+import sys
 import time
 from typing import Any, Callable, Dict, Optional
 
 import numpy as np
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process so far, in MB.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are
+    high-water marks, so a meaningful per-measurement number needs a
+    fresh process (see :func:`run_isolated`).
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def run_isolated(target: Callable[..., None], *args: Any) -> Dict[str, Any]:
+    """Run ``target(conn, *args)`` in a fresh spawned process.
+
+    ``target`` must be a module-level function (spawn pickles it) that
+    sends exactly one dict through ``conn``.  Spawn -- not fork -- is
+    essential for memory benchmarks: a forked child inherits the
+    parent's ``ru_maxrss`` high-water mark, so its peak-RSS reading
+    would be the *parent's* peak, not the measurement's.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=target, args=(child_conn, *args))
+    proc.start()
+    child_conn.close()
+    try:
+        out = parent_conn.recv()
+    except EOFError:
+        out = {"error": "isolated worker died before reporting"}
+    finally:
+        proc.join()
+        parent_conn.close()
+    if proc.exitcode not in (0, None) and "error" not in out:
+        out = {"error": f"isolated worker exited {proc.exitcode}"}
+    return out
 
 
 def best_of(fn: Callable[[], Any], repeats: int) -> float:

@@ -49,6 +49,8 @@ def _experiment_registry() -> Dict[str, Callable]:
     from repro.experiments.fig12_hausdorff import run_fig12a, run_fig12b
     from repro.experiments.fig13_filtering import run_fig09, run_fig13
     from repro.experiments.fig14_traffic import (
+        MILLION_SCALING_N,
+        TINYDB_MAX_N,
         run_fig14_scaling,
         run_fig14a,
         run_fig14b,
@@ -83,12 +85,23 @@ def _experiment_registry() -> Dict[str, Callable]:
         "fig14_scaling": lambda jobs, cache: run_fig14_scaling(
             seeds=(1,), jobs=jobs, cache_dir=cache
         ),
+        # Million-node regime: faulted, tile-sharded epochs with TinyDB
+        # blanked where its epoch is infeasible.  Hours of single-core
+        # compute at n=10^6 -- run with a cache_dir.
+        "fig14_scaling_xl": lambda jobs, cache: run_fig14_scaling(
+            ns=MILLION_SCALING_N, seeds=(1,), jobs=jobs, cache_dir=cache,
+            fault_intensity=0.5, tile_size="auto", tinydb_max_n=TINYDB_MAX_N,
+        ),
         "fig15": lambda jobs, cache: run_fig15(seeds=(1,)),
         "fig16": lambda jobs, cache: run_fig16(
             seeds=(1,), jobs=jobs, cache_dir=cache
         ),
         "fig16_scaling": lambda jobs, cache: run_fig16_scaling(
             seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig16_scaling_xl": lambda jobs, cache: run_fig16_scaling(
+            ns=MILLION_SCALING_N, seeds=(1,), jobs=jobs, cache_dir=cache,
+            fault_intensity=0.5, tile_size="auto", tinydb_max_n=TINYDB_MAX_N,
         ),
         "fig_continuous": lambda jobs, cache: run_fig_continuous(
             seeds=(1,), jobs=jobs, cache_dir=cache

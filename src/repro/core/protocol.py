@@ -27,6 +27,7 @@ from repro.core.wire import QUERY_BYTES
 from repro.network import CostAccountant, SensorNetwork
 from repro.network.faults import FaultEngine, FaultPlan
 from repro.network.links import LossyLinkModel
+from repro.network.tiling import TilePartition
 from repro.network.transport import (
     DegradationReport,
     EpochTransport,
@@ -118,6 +119,12 @@ class IsoMapProtocol:
         transport_config: defense knobs of the collection transport;
             defaults to every defense on (which charges nothing extra at
             zero faults).
+        tile_size: optional spatial tile edge length; under a fault plan
+            the collection transport resolves each level's draws per
+            sender-tile (:mod:`repro.network.tiling`), bit-identical to
+            the untiled path at any tile size but memory-bounded by the
+            largest tile.  None keeps the single global batch.
+        tile_jobs: worker processes for per-tile resolution (1 = inline).
     """
 
     name = "iso-map"
@@ -132,6 +139,8 @@ class IsoMapProtocol:
         link_seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
         transport_config: Optional[TransportConfig] = None,
+        tile_size: Optional[float] = None,
+        tile_jobs: int = 1,
     ):
         if regression not in ("linear", "quadratic"):
             raise ValueError(f"unknown regression model {regression!r}")
@@ -145,6 +154,8 @@ class IsoMapProtocol:
         self.link_seed = link_seed
         self.fault_plan = fault_plan
         self.transport_config = transport_config
+        self.tile_size = tile_size
+        self.tile_jobs = tile_jobs
 
     # ------------------------------------------------------------------
     # Public API
@@ -156,6 +167,15 @@ class IsoMapProtocol:
         self._disseminate_query(network, costs)
         detection = detect_isoline_nodes(network, self.query, costs)
         generated = self._generate_reports(network, detection, costs)
+        tiling = None
+        if (
+            self.tile_size is not None
+            and self.fault_plan is not None
+            and not self.fault_plan.is_null
+        ):
+            tiling = TilePartition.build(
+                network.positions_array, network.bounds, self.tile_size
+            )
         transport = EpochTransport(
             network,
             costs,
@@ -164,6 +184,8 @@ class IsoMapProtocol:
             link_model=self.link_model,
             link_seed=self.link_seed,
             mangler=make_report_mangler(self.query, network.bounds),
+            tiling=tiling,
+            tile_jobs=self.tile_jobs,
         )
         delivered, dropped = self._collect(network, generated, costs, transport)
         degradation = transport.finalize()

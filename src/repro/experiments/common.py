@@ -6,11 +6,14 @@ paper's parameters, run protocols, collect rows, print a table.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.core import ContourQuery, FilterConfig, IsoMapProtocol
 from repro.core.protocol import IsoMapResult
+from repro.network.faults import FaultPlan
+from repro.network.transport import TransportConfig
 from repro.field import make_harbor_field
 from repro.field.base import ScalarField
 from repro.field.harbor import DEFAULT_ISOLEVELS
@@ -109,7 +112,13 @@ def _fmt(v: Any) -> str:
 #: CSR adjacency nor the BFS tree.  Worker processes each hold their own
 #: copy (the runner forks per job), which is still a win for the
 #: multi-epoch and multi-protocol points that dominate the sweeps.
-_SKELETON_CACHE: Dict[tuple, Any] = {}
+#:
+#: Bounded LRU: at large n one skeleton pins hundreds of MB of arrays
+#: (a 10^6-node CSR plus neighbour lists), so a sweep that walks many
+#: geometries must evict.  Capacity 4 covers the common random+grid
+#: pair at two sizes in flight; hits refresh recency.
+_SKELETON_CACHE: "OrderedDict[tuple, Any]" = OrderedDict()
+_SKELETON_CACHE_CAPACITY = 4
 
 
 def harbor_network(
@@ -151,6 +160,8 @@ def harbor_network(
         b = f.bounds
         key = (n, deployment, seed, radio_range, b.xmin, b.ymin, b.xmax, b.ymax)
         prebuilt = _SKELETON_CACHE.get(key)
+        if prebuilt is not None:
+            _SKELETON_CACHE.move_to_end(key)
     net = deploy(
         f,
         n,
@@ -161,6 +172,8 @@ def harbor_network(
     )
     if reuse_topology and prebuilt is None:
         _SKELETON_CACHE[key] = net.skeleton()
+        while len(_SKELETON_CACHE) > _SKELETON_CACHE_CAPACITY:
+            _SKELETON_CACHE.popitem(last=False)
     return net
 
 
@@ -168,11 +181,27 @@ def run_isomap(
     network: SensorNetwork,
     query: Optional[ContourQuery] = None,
     filter_config: Optional[FilterConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    transport_config: Optional[TransportConfig] = None,
+    tile_size: Optional[float] = None,
+    tile_jobs: int = 1,
 ) -> IsoMapResult:
-    """Run Iso-Map with the paper's defaults unless overridden."""
+    """Run Iso-Map with the paper's defaults unless overridden.
+
+    ``fault_plan`` / ``transport_config`` / ``tile_size`` / ``tile_jobs``
+    forward straight to :class:`IsoMapProtocol`; the tile arguments only
+    matter under a non-null fault plan (see :mod:`repro.network.tiling`).
+    """
     q = query if query is not None else PAPER_QUERY
     cfg = filter_config if filter_config is not None else PAPER_FILTER
-    return IsoMapProtocol(q, cfg).run(network)
+    return IsoMapProtocol(
+        q,
+        cfg,
+        fault_plan=fault_plan,
+        transport_config=transport_config,
+        tile_size=tile_size,
+        tile_jobs=tile_jobs,
+    ).run(network)
 
 
 def default_levels() -> List[float]:

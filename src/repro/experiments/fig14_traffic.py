@@ -41,6 +41,20 @@ DEFAULT_DENSITIES: Sequence[float] = (0.5, 1.0, 2.0, 4.0)
 #: Node counts for the large-n scaling sweep (density 1: side = sqrt(n)).
 DEFAULT_SCALING_N: Sequence[int] = (2500, 10000, 40000)
 
+#: The million-node extension (the tile-sharded, memory-bounded regime).
+MILLION_SCALING_N: Sequence[int] = (2500, 10000, 40000, 100000, 1000000)
+
+#: TinyDB's n reports x sqrt(n) hops epoch is infeasible past this size;
+#: the xl sweeps blank its column above it rather than extrapolate.
+TINYDB_MAX_N = 40000
+
+
+def auto_tile_size(side: float) -> float:
+    """The ``tile_size="auto"`` rule: ~8 tiles per axis, never below the
+    paper's 1.5 radio range (the tiled adjacency build requires
+    ``tile_size >= radio_range``)."""
+    return max(1.5, side / 8.0)
+
 
 def _scaled_harbor(side: float) -> WindowField:
     """A centred ``side x side`` window of the harbor field.
@@ -86,7 +100,30 @@ def fig14b_point(density: float, side: int, seed: int) -> Dict[str, float]:
     }
 
 
-def fig14_scaling_point(n: int, seed: int) -> Dict[str, float]:
+def _scaling_plan(fault_intensity: float, seed: int):
+    """The shared fault plan of a scaling point (None at zero intensity,
+    which keeps the tiled and untiled epochs on the identical no-engine
+    path and the historical cache keys unchanged)."""
+    from repro.network.faults import FaultPlan
+
+    if fault_intensity <= 0.0:
+        return None
+    return FaultPlan.at_intensity(fault_intensity, seed=seed)
+
+
+def _resolve_tile_size(tile_size, side: float) -> Optional[float]:
+    if tile_size == "auto":
+        return auto_tile_size(side)
+    return tile_size
+
+
+def fig14_scaling_point(
+    n: int,
+    seed: int,
+    fault_intensity: float = 0.0,
+    tile_size=None,
+    tinydb: bool = True,
+) -> Dict[str, float]:
     """Traffic and report counts for one large-n point at density 1.
 
     Uses the side-parameterised harbor field (landmarks scale, per-unit
@@ -94,20 +131,62 @@ def fig14_scaling_point(n: int, seed: int) -> Dict[str, float]:
     instead of the windowed trace, which cannot exceed side 50.  Only
     Iso-Map and TinyDB run: the region-merge baselines are quadratic in
     the subtree sizes near the sink and infeasible at n = 40000.
+
+    Args:
+        fault_intensity: shared :meth:`FaultPlan.at_intensity` knob; 0
+            keeps the historical perfect-link point (and its cache key).
+        tile_size: spatial tile edge for the memory-bounded tiled epoch
+            (``"auto"`` = :func:`auto_tile_size`); only meaningful with
+            faults on.  Bit-identical to untiled at any value.
+        tinydb: run the TinyDB baseline too.  Off past
+            :data:`TINYDB_MAX_N`, where its n x sqrt(n) epoch is
+            infeasible; the column reports NaN.
     """
     levels = default_levels()
     side = round(math.sqrt(n))
     field = make_harbor_field(side=side)
+    plan = _scaling_plan(fault_intensity, seed)
+    ts = _resolve_tile_size(tile_size, side)
     iso_net = harbor_network(n, "random", seed=seed, field=field, reuse_topology=True)
-    iso = run_isomap(iso_net)
-    grid_net = harbor_network(n, "grid", seed=seed, field=field, reuse_topology=True)
-    tdb = TinyDBProtocol(levels).run(grid_net)
-    return {
+    iso = run_isomap(iso_net, fault_plan=plan, tile_size=ts)
+    out = {
         "diameter": iso_net.diameter_hops,
         "isomap_reports": iso.costs.reports_generated,
         "isomap": iso.costs.total_traffic_kb(),
-        "tinydb": tdb.costs.total_traffic_kb(),
+        "tinydb": float("nan"),
     }
+    if tinydb:
+        grid_net = harbor_network(
+            n, "grid", seed=seed, field=field, reuse_topology=True
+        )
+        tdb = TinyDBProtocol(levels, fault_plan=plan).run(grid_net)
+        out["tinydb"] = tdb.costs.total_traffic_kb()
+    return out
+
+
+def _scaling_kwargs(
+    ns: Sequence[int],
+    fault_intensity: float,
+    tile_size,
+    tinydb_max_n: Optional[int],
+) -> list:
+    """Per-point kwargs for the scaling sweeps.
+
+    New knobs enter a point's kwargs only when they differ from the
+    point function's defaults, so historical sweep cache keys (a hash of
+    the kwargs dict) are untouched for the classic zero-fault points.
+    """
+    out = []
+    for n in ns:
+        kw: Dict[str, object] = {"n": n}
+        if fault_intensity > 0.0:
+            kw["fault_intensity"] = fault_intensity
+        if tile_size is not None:
+            kw["tile_size"] = tile_size
+        if tinydb_max_n is not None and n > tinydb_max_n:
+            kw["tinydb"] = False
+        out.append(kw)
+    return out
 
 
 def run_fig14_scaling(
@@ -115,13 +194,21 @@ def run_fig14_scaling(
     seeds: Sequence[int] = (1,),
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    fault_intensity: float = 0.0,
+    tile_size=None,
+    tinydb_max_n: Optional[int] = None,
 ) -> ExperimentResult:
-    """Traffic and report scaling at n = 2500..40000 (density 1).
+    """Traffic and report scaling at n = 2500..10^6 (density 1).
 
     The headline claim: Iso-Map's report count grows like the isoline
     length, i.e. O(sqrt(n)) at density 1, while TinyDB's traffic grows
     superlinearly (n reports times sqrt(n) average hops).  The fitted
     log-log exponent of the Iso-Map report count is printed in the notes.
+
+    ``fault_intensity`` / ``tile_size`` / ``tinydb_max_n`` extend the
+    sweep into the million-node regime (``ns=MILLION_SCALING_N``): faults
+    exercise the epoch transport, tiling bounds its memory, and TinyDB
+    is blanked (NaN) above ``tinydb_max_n``.
     """
     result = ExperimentResult(
         experiment_id="fig14_scaling",
@@ -135,7 +222,11 @@ def run_fig14_scaling(
             "tinydb_kb",
         ],
     )
-    points = grid_points(fig14_scaling_point, [{"n": n} for n in ns], seeds)
+    points = grid_points(
+        fig14_scaling_point,
+        _scaling_kwargs(ns, fault_intensity, tile_size, tinydb_max_n),
+        seeds,
+    )
     groups = group_by_config(run_sweep(points, jobs, cache_dir), len(seeds))
     for n, group in zip(ns, groups):
         result.add_row(
@@ -149,9 +240,14 @@ def run_fig14_scaling(
     exponent = _loglog_slope(
         result.column("n_nodes"), result.column("isomap_reports")
     )
+    extras = ""
+    if fault_intensity > 0.0:
+        extras += f"; fault intensity {fault_intensity:g}"
+    if tile_size is not None:
+        extras += f"; tiled epochs (tile_size={tile_size})"
     result.notes = (
         "density 1; side-parameterised harbor field; Iso-Map report count "
-        f"~ n^{exponent:.2f} (O(sqrt(n)) predicts 0.5)"
+        f"~ n^{exponent:.2f} (O(sqrt(n)) predicts 0.5){extras}"
     )
     return result
 

@@ -22,7 +22,13 @@ from repro.experiments.common import (
     harbor_network,
     run_isomap,
 )
-from repro.experiments.fig14_traffic import DEFAULT_SCALING_N, _scaled_harbor
+from repro.experiments.fig14_traffic import (
+    DEFAULT_SCALING_N,
+    _resolve_tile_size,
+    _scaled_harbor,
+    _scaling_kwargs,
+    _scaling_plan,
+)
 from repro.field import make_harbor_field
 from repro.experiments.runner import (
     grid_points,
@@ -78,19 +84,38 @@ def run_fig16(
     return result
 
 
-def fig16_scaling_point(n: int, seed: int) -> Dict[str, float]:
-    """Per-node energy at one large-n point (Iso-Map + TinyDB only)."""
+def fig16_scaling_point(
+    n: int,
+    seed: int,
+    fault_intensity: float = 0.0,
+    tile_size=None,
+    tinydb: bool = True,
+) -> Dict[str, float]:
+    """Per-node energy at one large-n point (Iso-Map + TinyDB only).
+
+    The knobs mirror :func:`fig14_scaling_point`: faults exercise the
+    epoch transport, tiling bounds its memory (bit-identical result),
+    and ``tinydb=False`` blanks the infeasible baseline column (NaN).
+    """
     levels = default_levels()
     side = round(math.sqrt(n))
     field = make_harbor_field(side=side)
+    plan = _scaling_plan(fault_intensity, seed)
+    ts = _resolve_tile_size(tile_size, side)
     iso_net = harbor_network(n, "random", seed=seed, field=field, reuse_topology=True)
-    grid_net = harbor_network(n, "grid", seed=seed, field=field, reuse_topology=True)
-    return {
-        "isomap": energy_from_costs(run_isomap(iso_net).costs).per_node_mean_mj(),
-        "tinydb": energy_from_costs(
-            TinyDBProtocol(levels).run(grid_net).costs
-        ).per_node_mean_mj(),
+    iso = run_isomap(iso_net, fault_plan=plan, tile_size=ts)
+    out = {
+        "isomap": energy_from_costs(iso.costs).per_node_mean_mj(),
+        "tinydb": float("nan"),
     }
+    if tinydb:
+        grid_net = harbor_network(
+            n, "grid", seed=seed, field=field, reuse_topology=True
+        )
+        out["tinydb"] = energy_from_costs(
+            TinyDBProtocol(levels, fault_plan=plan).run(grid_net).costs
+        ).per_node_mean_mj()
+    return out
 
 
 def run_fig16_scaling(
@@ -98,21 +123,34 @@ def run_fig16_scaling(
     seeds: Sequence[int] = (1,),
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    fault_intensity: float = 0.0,
+    tile_size=None,
+    tinydb_max_n: Optional[int] = None,
 ) -> ExperimentResult:
-    """Mean per-node energy (mJ) at n = 2500..40000 (density 1).
+    """Mean per-node energy (mJ) at n = 2500..10^6 (density 1).
 
     Extends Fig. 16 past the paper's 2500-node field: Iso-Map's per-node
     energy should stay nearly flat while TinyDB's keeps climbing with the
     diameter.  The region-merge baselines are omitted (quadratic near the
-    sink, infeasible at n = 40000).
+    sink, infeasible at n = 40000); TinyDB itself is blanked above
+    ``tinydb_max_n`` in the million-node sweeps.
     """
+    notes = "density 1; side-parameterised harbor field; Mica2 model"
+    if fault_intensity > 0.0:
+        notes += f"; fault intensity {fault_intensity:g}"
+    if tile_size is not None:
+        notes += f"; tiled epochs (tile_size={tile_size})"
     result = ExperimentResult(
         experiment_id="fig16_scaling",
         title="per-node energy (mJ) at large n",
         columns=["n_nodes", "field_side", "isomap_mj", "tinydb_mj"],
-        notes="density 1; side-parameterised harbor field; Mica2 model",
+        notes=notes,
     )
-    points = grid_points(fig16_scaling_point, [{"n": n} for n in ns], seeds)
+    points = grid_points(
+        fig16_scaling_point,
+        _scaling_kwargs(ns, fault_intensity, tile_size, tinydb_max_n),
+        seeds,
+    )
     groups = group_by_config(run_sweep(points, jobs, cache_dir), len(seeds))
     for n, group in zip(ns, groups):
         result.add_row(

@@ -523,53 +523,8 @@ class FaultEngine:
         would -- the returned booleans are bit-identical to the scalar
         :meth:`link_ok` / :meth:`corrupt_at` / :meth:`dup_at` answers.
         """
-        a = self.attempts_per_frame
-        model = self.plan.link
-        counts = np.asarray(counts, dtype=np.int64)
-        n_edges = len(edges)
-        total = int(counts.sum())
         streams = [self._edge(u, v) for (u, v) in edges]
-        f0 = np.fromiter((es.frame for es in streams), np.int64, count=n_edges)
-
-        edge_of = np.repeat(np.arange(n_edges), counts)
-        within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
-        frames = f0[edge_of] + within
-        t_del = frames[:, None] * a + np.arange(a)[None, :]
-
-        k_del = np.fromiter(
-            (es.k_deliver for es in streams), np.uint64, count=n_edges
-        )
-        u_del = uniforms_at_many(k_del[edge_of][:, None], t_del)
-        if model is None:
-            air_ok = np.ones((total, a), dtype=bool)
-        elif isinstance(model, GilbertElliottLink):
-            bad = self._ge_states_batch(streams, counts, f0, frames, edge_of, model)
-            air_ok = u_del < np.where(bad, model.deliver_bad, model.deliver_good)
-        else:
-            air_ok = u_del < model.delivery_probability
-
-        if self.plan.corruption > 0.0:
-            k_cor = np.fromiter(
-                (es.k_corrupt for es in streams), np.uint64, count=n_edges
-            )
-            corrupt = (
-                uniforms_at_many(k_cor[edge_of][:, None], t_del)
-                < self.plan.corruption
-            )
-        else:
-            corrupt = np.zeros((total, a), dtype=bool)
-
-        if self.plan.duplication > 0.0:
-            k_dup = np.fromiter(
-                (es.k_dup for es in streams), np.uint64, count=n_edges
-            )
-            dup = uniforms_at_many(k_dup[edge_of], frames) < self.plan.duplication
-        else:
-            dup = np.zeros(total, dtype=bool)
-
-        for i, es in enumerate(streams):
-            es.frame = int(f0[i] + counts[i])
-        return air_ok, corrupt, dup
+        return _frame_draws(self.plan, self.attempts_per_frame, streams, counts)
 
     def _ge_states_batch(
         self,
@@ -580,67 +535,10 @@ class FaultEngine:
         edge_of: np.ndarray,
         model: GilbertElliottLink,
     ) -> np.ndarray:
-        """Burst-chain states for every (frame, attempt) of a batch.
-
-        The two-state chain under an i.i.d. uniform stream is an
-        associative scan: classify each step as *swap* (flip whatever
-        the state was), *const* (force good/bad regardless) or
-        *identity*, then the state at any step is the last const value
-        before it, flipped by the parity of the swaps since.  One
-        ``maximum.accumulate`` + ``cumsum`` resolves all edges at once;
-        a virtual const slot carrying each edge's checkpoint state heads
-        its segment so segments can never bleed into each other.
-        """
-        n_edges = len(streams)
-        a = self.attempts_per_frame
-        # Initialise checkpoints (stationary draw at counter 0).
-        sb = model.steady_state_bad()
-        for es in streams:
-            if es.ge_t < 0:
-                es.ge_state = uniform_at(es.k_state, 0) < sb
-                es.ge_t = 0
-        t_cp = np.fromiter((es.ge_t for es in streams), np.int64, count=n_edges)
-        s_cp = np.fromiter((es.ge_state for es in streams), bool, count=n_edges)
-        t_end = (f0 + counts) * a
-        n_steps = t_end - t_cp  # >= 1: counts >= 1 and t_cp <= f0 * a
-        seg_len = n_steps + 1  # one virtual checkpoint slot per edge
-        seg_start = np.concatenate(([0], np.cumsum(seg_len)[:-1]))
-        n_slots = int(seg_len.sum())
-
-        slot_edge = np.repeat(np.arange(n_edges), seg_len)
-        slot_pos = np.arange(n_slots) - seg_start[slot_edge]
-        slot_t = t_cp[slot_edge] + slot_pos  # virtual slot sits at t_cp
-        is_virtual = slot_pos == 0
-
-        k_state = np.fromiter(
-            (es.k_state for es in streams), np.uint64, count=n_edges
+        """See :func:`_ge_states_scan` (kept as a method for callers)."""
+        return _ge_states_scan(
+            self.attempts_per_frame, streams, counts, f0, frames, edge_of, model
         )
-        u = uniforms_at_many(k_state[slot_edge], slot_t)
-        enter = u < model.p_enter_bad
-        leave = u < model.p_exit_bad
-        is_swap = enter & leave & ~is_virtual
-        is_const = (enter ^ leave) | is_virtual
-        # Const value: forced-bad steps have enter & ~leave (True); the
-        # virtual slots carry the checkpoint state.
-        const_val = np.where(is_virtual, s_cp[slot_edge], enter & ~leave)
-
-        idx = np.arange(n_slots)
-        m = np.maximum.accumulate(np.where(is_const, idx, -1))
-        c = np.cumsum(is_swap)
-        state = const_val[m] ^ (((c - c[m]) & 1) == 1)
-
-        # Checkpoint: the state at each segment's final slot (t_end).
-        seg_last = seg_start + seg_len - 1
-        last_states = state[seg_last]
-        for i, es in enumerate(streams):
-            es.ge_state = bool(last_states[i])
-            es.ge_t = int(t_end[i])
-
-        # Gather the (frame, attempt) states: attempt k of frame f reads
-        # step f*a + k, at slot offset (t - t_cp) within the segment.
-        t_att = frames[:, None] * a + np.arange(1, a + 1)[None, :]
-        pos = seg_start[edge_of][:, None] + (t_att - t_cp[edge_of][:, None])
-        return state[pos]
 
     def corrupts(self) -> bool:
         """Does the next delivered frame arrive bit-damaged?"""
@@ -666,6 +564,172 @@ class FaultEngine:
             self.plan.duplication > 0.0
             and self._dup_rng.random() < self.plan.duplication
         )
+
+
+def _frame_draws(
+    plan: FaultPlan,
+    attempts_per_frame: int,
+    streams: List[_EdgeStreams],
+    counts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The :meth:`FaultEngine.frame_draws_batch` kernel, engine-free.
+
+    Operates on explicit edge streams so detached per-tile resolution
+    (:func:`frame_draws_detached`) shares the exact code path -- and
+    therefore the exact IEEE-754 arithmetic -- of the engine's batch.
+    Advances each stream's frame cursor and burst-chain checkpoint.
+    """
+    a = attempts_per_frame
+    model = plan.link
+    counts = np.asarray(counts, dtype=np.int64)
+    n_edges = len(streams)
+    total = int(counts.sum())
+    f0 = np.fromiter((es.frame for es in streams), np.int64, count=n_edges)
+
+    edge_of = np.repeat(np.arange(n_edges), counts)
+    within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    frames = f0[edge_of] + within
+    t_del = frames[:, None] * a + np.arange(a)[None, :]
+
+    k_del = np.fromiter(
+        (es.k_deliver for es in streams), np.uint64, count=n_edges
+    )
+    u_del = uniforms_at_many(k_del[edge_of][:, None], t_del)
+    if model is None:
+        air_ok = np.ones((total, a), dtype=bool)
+    elif isinstance(model, GilbertElliottLink):
+        bad = _ge_states_scan(a, streams, counts, f0, frames, edge_of, model)
+        air_ok = u_del < np.where(bad, model.deliver_bad, model.deliver_good)
+    else:
+        air_ok = u_del < model.delivery_probability
+
+    if plan.corruption > 0.0:
+        k_cor = np.fromiter(
+            (es.k_corrupt for es in streams), np.uint64, count=n_edges
+        )
+        corrupt = (
+            uniforms_at_many(k_cor[edge_of][:, None], t_del) < plan.corruption
+        )
+    else:
+        corrupt = np.zeros((total, a), dtype=bool)
+
+    if plan.duplication > 0.0:
+        k_dup = np.fromiter(
+            (es.k_dup for es in streams), np.uint64, count=n_edges
+        )
+        dup = uniforms_at_many(k_dup[edge_of], frames) < plan.duplication
+    else:
+        dup = np.zeros(total, dtype=bool)
+
+    for i, es in enumerate(streams):
+        es.frame = int(f0[i] + counts[i])
+    return air_ok, corrupt, dup
+
+
+def _ge_states_scan(
+    attempts_per_frame: int,
+    streams: List[_EdgeStreams],
+    counts: np.ndarray,
+    f0: np.ndarray,
+    frames: np.ndarray,
+    edge_of: np.ndarray,
+    model: GilbertElliottLink,
+) -> np.ndarray:
+    """Burst-chain states for every (frame, attempt) of a batch.
+
+    The two-state chain under an i.i.d. uniform stream is an
+    associative scan: classify each step as *swap* (flip whatever
+    the state was), *const* (force good/bad regardless) or
+    *identity*, then the state at any step is the last const value
+    before it, flipped by the parity of the swaps since.  One
+    ``maximum.accumulate`` + ``cumsum`` resolves all edges at once;
+    a virtual const slot carrying each edge's checkpoint state heads
+    its segment so segments can never bleed into each other.
+    """
+    n_edges = len(streams)
+    a = attempts_per_frame
+    # Initialise checkpoints (stationary draw at counter 0).
+    sb = model.steady_state_bad()
+    for es in streams:
+        if es.ge_t < 0:
+            es.ge_state = uniform_at(es.k_state, 0) < sb
+            es.ge_t = 0
+    t_cp = np.fromiter((es.ge_t for es in streams), np.int64, count=n_edges)
+    s_cp = np.fromiter((es.ge_state for es in streams), bool, count=n_edges)
+    t_end = (f0 + counts) * a
+    n_steps = t_end - t_cp  # >= 1: counts >= 1 and t_cp <= f0 * a
+    seg_len = n_steps + 1  # one virtual checkpoint slot per edge
+    seg_start = np.concatenate(([0], np.cumsum(seg_len)[:-1]))
+    n_slots = int(seg_len.sum())
+
+    slot_edge = np.repeat(np.arange(n_edges), seg_len)
+    slot_pos = np.arange(n_slots) - seg_start[slot_edge]
+    slot_t = t_cp[slot_edge] + slot_pos  # virtual slot sits at t_cp
+    is_virtual = slot_pos == 0
+
+    k_state = np.fromiter(
+        (es.k_state for es in streams), np.uint64, count=n_edges
+    )
+    u = uniforms_at_many(k_state[slot_edge], slot_t)
+    enter = u < model.p_enter_bad
+    leave = u < model.p_exit_bad
+    is_swap = enter & leave & ~is_virtual
+    is_const = (enter ^ leave) | is_virtual
+    # Const value: forced-bad steps have enter & ~leave (True); the
+    # virtual slots carry the checkpoint state.
+    const_val = np.where(is_virtual, s_cp[slot_edge], enter & ~leave)
+
+    idx = np.arange(n_slots)
+    m = np.maximum.accumulate(np.where(is_const, idx, -1))
+    c = np.cumsum(is_swap)
+    state = const_val[m] ^ (((c - c[m]) & 1) == 1)
+
+    # Checkpoint: the state at each segment's final slot (t_end).
+    seg_last = seg_start + seg_len - 1
+    last_states = state[seg_last]
+    for i, es in enumerate(streams):
+        es.ge_state = bool(last_states[i])
+        es.ge_t = int(t_end[i])
+
+    # Gather the (frame, attempt) states: attempt k of frame f reads
+    # step f*a + k, at slot offset (t - t_cp) within the segment.
+    t_att = frames[:, None] * a + np.arange(1, a + 1)[None, :]
+    pos = seg_start[edge_of][:, None] + (t_att - t_cp[edge_of][:, None])
+    return state[pos]
+
+
+def frame_draws_detached(
+    plan: FaultPlan,
+    attempts_per_frame: int,
+    edges: Sequence[Tuple[int, int]],
+    counts: Sequence[int],
+    frame0: Sequence[int],
+    ge_t: Sequence[int],
+    ge_state: Sequence[bool],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Tuple[int, int, bool]]]:
+    """:meth:`FaultEngine.frame_draws_batch` without an engine.
+
+    Rebuilds each edge's streams from shipped cursors (frame index plus
+    burst-chain checkpoint) and resolves the draws with the shared
+    kernel -- this is how a tile worker replays its slice of the epoch
+    in another process and lands on the exact variates the in-process
+    engine would.  Stream keys are pure functions of ``(plan.seed,
+    sender, receiver)``, so only the cursors need to travel.
+
+    Returns ``(air_ok, corrupt, dup, cursors)`` where ``cursors`` is the
+    advanced ``(frame, ge_t, ge_state)`` per edge for the caller to
+    write back into the authoritative engine.
+    """
+    streams: List[_EdgeStreams] = []
+    for k, (u, v) in enumerate(edges):
+        es = _EdgeStreams(plan.seed, int(u), int(v))
+        es.frame = int(frame0[k])
+        es.ge_t = int(ge_t[k])
+        es.ge_state = bool(ge_state[k])
+        streams.append(es)
+    air_ok, corrupt, dup = _frame_draws(plan, attempts_per_frame, streams, counts)
+    cursors = [(es.frame, es.ge_t, es.ge_state) for es in streams]
+    return air_ok, corrupt, dup, cursors
 
 
 def bernoulli_from_lossy(model: LossyLinkModel) -> BernoulliLink:

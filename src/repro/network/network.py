@@ -258,10 +258,10 @@ class SensorNetwork:
 
     def average_degree(self) -> float:
         """Mean alive-neighbour count over alive nodes."""
-        return average_degree(self.neighbor_lists, self.alive_mask())
+        return average_degree(self.csr, self.alive_mask())
 
     def is_connected(self) -> bool:
-        return is_connected(self.neighbor_lists, self.alive_mask())
+        return is_connected(self.csr, self.alive_mask())
 
     # ------------------------------------------------------------------
     # Routing

@@ -1,0 +1,364 @@
+"""Spatial tile-sharding of the epoch pipeline (the million-node path).
+
+The deployment is partitioned into a regular grid of square tiles.  Two
+independent consumers ride the partition:
+
+- **Topology construction** (:func:`build_csr_adjacency_tiled`,
+  :func:`tile_skeleton`): each tile builds the disk-graph edges of its
+  members from the members plus a one-ring *halo* (nodes of the eight
+  adjacent tiles within ``radio_range`` of the tile's box), so no tile
+  ever materialises more than its own neighbourhood.  Every undirected
+  edge is emitted by exactly one tile -- the tile owning the smaller
+  endpoint id -- and :meth:`CsrAdjacency.from_edges` sorts edges into
+  canonical row order, so the concatenated result is *array-identical*
+  to the untiled build at any tile size.
+
+- **Transport resolution** (:class:`TilePartition` +
+  ``EpochTransport(tiling=...)``): a level batch's frames are grouped by
+  the *sender's* tile and each tile's fault draws resolve independently.
+  Each directed edge is owned exclusively by its sender, so the
+  per-edge frame cursors and burst-chain checkpoints partition cleanly
+  across tiles, and because every draw is addressed by
+  ``(edge, frame, attempt)`` (counter-based streams, PR 5) the outcomes
+  are bit-identical to the single global batch regardless of tile
+  layout or resolution order.  All order-sensitive work -- the Mersenne
+  payload-damage stream, receiver dispatch, charge scatter-adds -- stays
+  at the transport's merge barrier in global flat order.
+
+The ``tile_size >= radio_range`` constraint applies only to the
+halo-based adjacency builder (a one-ring halo must cover the radio
+disk); transport tiling is correct for *any* partition of senders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import profiling
+from repro.network.topology import CsrAdjacency, _disk_edges
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A regular grid of square tiles over a bounding box.
+
+    Tile ``(tx, ty)`` covers ``[xmin + tx*s, xmin + (tx+1)*s) x [ymin +
+    ty*s, ymin + (ty+1)*s)``; the last row/column absorbs any remainder
+    up to the box edge.  A point exactly on an interior tile line
+    belongs to the *higher* tile (half-open cells); a point exactly on
+    the box's far edge clamps into the last tile.
+    """
+
+    xmin: float
+    ymin: float
+    tile_size: float
+    nx: int
+    ny: int
+
+    @staticmethod
+    def for_bounds(bounds: Any, tile_size: float) -> "TileGrid":
+        if tile_size <= 0:
+            raise ValueError("tile size must be positive")
+        nx = max(1, int(np.ceil((bounds.xmax - bounds.xmin) / tile_size)))
+        ny = max(1, int(np.ceil((bounds.ymax - bounds.ymin) / tile_size)))
+        return TileGrid(
+            xmin=bounds.xmin, ymin=bounds.ymin, tile_size=tile_size, nx=nx, ny=ny
+        )
+
+    @property
+    def n_tiles(self) -> int:
+        return self.nx * self.ny
+
+    def tile_coords(self, pts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-point ``(tx, ty)`` grid coordinates (vectorized)."""
+        s = self.tile_size
+        tx = np.floor((pts[:, 0] - self.xmin) / s).astype(np.int64)
+        ty = np.floor((pts[:, 1] - self.ymin) / s).astype(np.int64)
+        np.clip(tx, 0, self.nx - 1, out=tx)
+        np.clip(ty, 0, self.ny - 1, out=ty)
+        return tx, ty
+
+    def tile_of(self, pts: np.ndarray) -> np.ndarray:
+        """Per-point flat tile id ``ty * nx + tx``."""
+        tx, ty = self.tile_coords(pts)
+        return ty * np.int64(self.nx) + tx
+
+    def box(self, t: int) -> Tuple[float, float, float, float]:
+        """Nominal ``(x0, y0, x1, y1)`` of tile ``t`` (remainder ignored;
+        only used for halo distance tests, where a slightly small last
+        box can only *enlarge* the halo, never lose a neighbour)."""
+        tx = t % self.nx
+        ty = t // self.nx
+        s = self.tile_size
+        x0 = self.xmin + tx * s
+        y0 = self.ymin + ty * s
+        return x0, y0, x0 + s, y0 + s
+
+    def adjacent_tiles(self, t: int) -> List[int]:
+        """The up-to-eight grid neighbours of tile ``t``, ascending."""
+        tx = t % self.nx
+        ty = t // self.nx
+        out: List[int] = []
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                if dx == 0 and dy == 0:
+                    continue
+                ax, ay = tx + dx, ty + dy
+                if 0 <= ax < self.nx and 0 <= ay < self.ny:
+                    out.append(ay * self.nx + ax)
+        out.sort()
+        return out
+
+
+@dataclass(frozen=True)
+class TilePartition:
+    """A deployment's node-to-tile assignment in CSR-over-tiles form.
+
+    ``order[tile_start[t]:tile_start[t+1]]`` are tile ``t``'s member
+    node ids in ascending order (the stable sort groups by tile and
+    keeps id order within a tile), so per-tile iteration is
+    deterministic by construction.
+    """
+
+    grid: TileGrid
+    tile_id: np.ndarray  # (n,) node -> flat tile id
+    order: np.ndarray  # (n,) node ids grouped by tile
+    tile_start: np.ndarray  # (n_tiles + 1,)
+
+    @staticmethod
+    def build(
+        positions: np.ndarray, bounds: Any, tile_size: float
+    ) -> "TilePartition":
+        pts = np.asarray(positions, dtype=float).reshape(-1, 2)
+        grid = TileGrid.for_bounds(bounds, tile_size)
+        tile_id = grid.tile_of(pts)
+        order = np.argsort(tile_id, kind="stable")
+        counts = np.bincount(tile_id, minlength=grid.n_tiles)
+        tile_start = np.zeros(grid.n_tiles + 1, dtype=np.int64)
+        np.cumsum(counts, out=tile_start[1:])
+        return TilePartition(
+            grid=grid, tile_id=tile_id, order=order, tile_start=tile_start
+        )
+
+    @property
+    def n_tiles(self) -> int:
+        return self.grid.n_tiles
+
+    def members(self, t: int) -> np.ndarray:
+        """Tile ``t``'s member node ids, ascending."""
+        return self.order[self.tile_start[t] : self.tile_start[t + 1]]
+
+    def occupied_tiles(self) -> np.ndarray:
+        """Tile ids with at least one member, ascending."""
+        return np.flatnonzero(np.diff(self.tile_start) > 0)
+
+    def halo(self, pts: np.ndarray, t: int, radius: float) -> np.ndarray:
+        """Members of the eight adjacent tiles within ``radius`` of tile
+        ``t``'s box (point-to-box distance), ascending-by-tile order."""
+        x0, y0, x1, y1 = self.grid.box(t)
+        parts = [
+            m for nb in self.grid.adjacent_tiles(t) if (m := self.members(nb)).size
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        cand = np.concatenate(parts)
+        px = pts[cand, 0]
+        py = pts[cand, 1]
+        dx = np.maximum(np.maximum(x0 - px, px - x1), 0.0)
+        dy = np.maximum(np.maximum(y0 - py, py - y1), 0.0)
+        return cand[dx * dx + dy * dy <= radius * radius]
+
+
+def build_csr_adjacency_tiled(
+    positions: Sequence,
+    radio_range: float,
+    partition: TilePartition,
+) -> CsrAdjacency:
+    """Unit-disk CSR adjacency built one tile at a time.
+
+    Memory is bounded by the largest members+halo neighbourhood instead
+    of the whole deployment's candidate set.  Each tile runs the same
+    :func:`_disk_edges` kernel on its sub-positions; an edge is kept by
+    the tile owning its smaller endpoint (``tile_id[min(i, j)] == t``),
+    so every undirected edge is emitted exactly once globally, and
+    :meth:`CsrAdjacency.from_edges` canonicalises the concatenated list
+    into arrays identical to the untiled build.
+
+    Requires ``tile_size >= radio_range``: the one-ring halo must cover
+    every node's radio disk.
+    """
+    pts = np.asarray(positions, dtype=float).reshape(-1, 2)
+    n = len(pts)
+    if partition.grid.tile_size < radio_range:
+        raise ValueError(
+            "tiled adjacency needs tile_size >= radio_range "
+            f"({partition.grid.tile_size} < {radio_range}): the one-ring "
+            "halo would not cover the radio disk"
+        )
+    tile_id = partition.tile_id
+    ii_parts: List[np.ndarray] = []
+    jj_parts: List[np.ndarray] = []
+    with profiling.stage("topology.build.tiled"):
+        for t in partition.occupied_tiles().tolist():
+            mem = partition.members(t)
+            sub = np.concatenate([mem, partition.halo(pts, t, radio_range)])
+            li, lj = _disk_edges(pts[sub], radio_range)
+            if li.size == 0:
+                continue
+            gi = sub[li]
+            gj = sub[lj]
+            keep = tile_id[np.minimum(gi, gj)] == t
+            if keep.any():
+                ii_parts.append(gi[keep])
+                jj_parts.append(gj[keep])
+    if not ii_parts:
+        return CsrAdjacency.from_edges(
+            n, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+    return CsrAdjacency.from_edges(
+        n, np.concatenate(ii_parts), np.concatenate(jj_parts)
+    )
+
+
+@dataclass(frozen=True)
+class TileSkeleton:
+    """One tile's on-demand local topology.
+
+    ``nodes`` lists the tile's member node ids followed by its halo
+    (``nodes[:n_members]`` are the members); ``csr`` is the disk graph
+    over that sub-deployment in local indices.  Member rows equal the
+    induced global adjacency exactly (every global neighbour of a member
+    is within the halo); halo rows may miss their own far-side
+    neighbours and exist only to close the members' edges.
+    """
+
+    tile: int
+    nodes: np.ndarray
+    n_members: int
+    csr: CsrAdjacency
+
+
+def tile_skeleton(
+    positions: Sequence,
+    radio_range: float,
+    partition: TilePartition,
+    t: int,
+) -> TileSkeleton:
+    """Build tile ``t``'s :class:`TileSkeleton` (streaming construction)."""
+    pts = np.asarray(positions, dtype=float).reshape(-1, 2)
+    if partition.grid.tile_size < radio_range:
+        raise ValueError("tile skeletons need tile_size >= radio_range")
+    mem = partition.members(t)
+    sub = np.concatenate([mem, partition.halo(pts, t, radio_range)])
+    li, lj = _disk_edges(pts[sub], radio_range)
+    return TileSkeleton(
+        tile=t,
+        nodes=sub,
+        n_members=int(mem.size),
+        csr=CsrAdjacency.from_edges(len(sub), li, lj),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared ARQ attempt reduction (the half of _send_level_batch that is
+# per-frame pure math, reused by the untiled, per-tile-inline and
+# per-tile-worker resolution paths).
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AttemptResolution:
+    """Per-frame outcome of the batched ARQ loop over precomputed draws.
+
+    Attributes:
+        delivered: did any attempt resolve the frame?
+        attempts_used: attempts that went on air (1..A).
+        corr_res: resolving attempt arrived damaged (CRC off only).
+        corr_fail: final attempt arrived but was CRC-rejected, so the
+            exhaustion is a corruption discard (CRC on only).
+        corrupted_detected: damaged frames the CRC caught (CRC on only).
+    """
+
+    delivered: np.ndarray
+    attempts_used: np.ndarray
+    corr_res: np.ndarray
+    corr_fail: np.ndarray
+    corrupted_detected: int
+
+
+def reduce_attempt_draws(
+    air_ok: np.ndarray, corr: np.ndarray, crc: bool, max_attempts: int
+) -> AttemptResolution:
+    """Collapse ``(F, A)`` attempt draws into per-frame ARQ outcomes.
+
+    Mirrors the attempt loop of :meth:`EpochTransport.send` exactly: an
+    attempt resolves the frame when it survives the air and -- under a
+    CRC -- arrives undamaged (damaged ones are rejected and retried);
+    without a CRC any on-air arrival ends the loop.
+    """
+    total = air_ok.shape[0]
+    resolves = air_ok & ~corr if crc else air_ok
+    delivered = resolves.any(axis=1)
+    k_res = np.where(delivered, resolves.argmax(axis=1), max_attempts - 1)
+    attempts_used = k_res + 1
+    if crc:
+        executed = np.arange(max_attempts)[None, :] < attempts_used[:, None]
+        detected = int((air_ok & corr & executed).sum())
+        corr_res = np.zeros(total, dtype=bool)
+        corr_fail = (~delivered) & air_ok[:, -1] & corr[:, -1]
+    else:
+        detected = 0
+        corr_res = corr[np.arange(total), k_res]
+        corr_fail = np.zeros(total, dtype=bool)
+    return AttemptResolution(
+        delivered=delivered,
+        attempts_used=attempts_used,
+        corr_res=corr_res,
+        corr_fail=corr_fail,
+        corrupted_detected=detected,
+    )
+
+
+#: The picklable payload ``resolve_tile_job`` receives: ``(plan,
+#: attempts_per_frame, crc, edges, counts, frame0, ge_t, ge_state,
+#: profile)`` -- everything a worker needs to replay one tile's draws
+#: without the engine object.
+TileJobPayload = Tuple[
+    Any, int, bool, tuple, tuple, tuple, tuple, tuple, bool
+]
+
+
+def resolve_tile_job(payload: TileJobPayload):
+    """Resolve one tile's frame draws in a worker process.
+
+    Rebuilds the tile's edge streams from the shipped cursors
+    (:func:`repro.network.faults.frame_draws_detached`), draws and
+    reduces, and returns plain arrays plus the advanced cursors for the
+    parent to write back -- the worker never sees the engine, network or
+    report state, so resolution order across tiles cannot matter.
+    """
+    from repro.network.faults import frame_draws_detached
+
+    (plan, attempts, crc, edges, counts, frame0, ge_t, ge_state, profile) = payload
+    if profile:
+        profiling.reset()
+        profiling.enable()
+    with profiling.stage("transport.tile.draws"):
+        air_ok, corr, dup, cursors = frame_draws_detached(
+            plan, attempts, edges, counts, frame0, ge_t, ge_state
+        )
+        res = reduce_attempt_draws(air_ok, corr, crc, attempts)
+    snap = profiling.snapshot() if profile else None
+    return (
+        res.delivered,
+        res.attempts_used,
+        res.corr_res,
+        res.corr_fail,
+        res.corrupted_detected,
+        dup,
+        cursors,
+        snap,
+    )

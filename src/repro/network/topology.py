@@ -63,8 +63,19 @@ def build_csr_adjacency(
     return CsrAdjacency.from_edges(len(positions), ii, jj)
 
 
+#: Default candidate budget of :func:`_disk_edges`' chunked pass: the
+#: distance test is evaluated over at most this many candidate pairs at
+#: a time (~2M pairs = a few dozen MB of scratch), so adjacency build
+#: memory is O(n * degree) output plus an n-independent working set.
+#: Deployments whose whole candidate set fits run the single monolithic
+#: pass (bit-for-bit the historical behaviour and fastest at small n).
+DISK_EDGE_CANDIDATE_BUDGET = 1 << 21
+
+
 def _disk_edges(
-    positions: Sequence[Vec], radio_range: float
+    positions: Sequence[Vec],
+    radio_range: float,
+    max_candidates: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Unique unit-disk edges as parallel index arrays (each pair once).
 
@@ -73,6 +84,12 @@ def _disk_edges(
     offsets (0,0), (1,0), (0,1), (1,1), (1,-1) every node is paired with
     the contiguous sorted block of its offset cell.  Each unordered cell
     pair is visited exactly once, so no edge is produced twice.
+
+    When the total candidate count exceeds ``max_candidates`` (default
+    :data:`DISK_EDGE_CANDIDATE_BUDGET`), the ragged gather is evaluated
+    in block-aligned chunks: chunks cut only on candidate-block
+    boundaries, so concatenating the per-chunk survivors reproduces the
+    monolithic pass element for element.
     """
     if radio_range <= 0:
         raise ValueError("radio range must be positive")
@@ -128,19 +145,62 @@ def _disk_edges(
     total = int(counts.sum())
     if total == 0:
         return empty, empty
-    ii_sorted = np.repeat(np.tile(np.arange(n, dtype=np.int64), 5), counts)
-    ends = np.cumsum(counts)
-    j_sorted = np.arange(total) + np.repeat(left - (ends - counts), counts)
     xs_sorted = pts[:, 0][order]
     ys_sorted = pts[:, 1][order]
-    dx = xs_sorted[ii_sorted] - xs_sorted[j_sorted]
-    dy = ys_sorted[ii_sorted] - ys_sorted[j_sorted]
-    valid = dx * dx + dy * dy <= radio_range * radio_range
-    # Same-cell candidates (the first block) pair every cell-mate twice
-    # and include the node itself; keep each unordered pair once.
+    # The first n blocks are exactly the same-cell blocks (offset 0):
+    # their candidates pair every cell-mate twice and include the node
+    # itself, so each unordered pair is kept once with j > i.
     same_cell_total = int(counts[:n].sum())
-    valid[:same_cell_total] &= j_sorted[:same_cell_total] > ii_sorted[:same_cell_total]
-    return order[ii_sorted[valid]], order[j_sorted[valid]]
+    budget = (
+        DISK_EDGE_CANDIDATE_BUDGET if max_candidates is None else max_candidates
+    )
+    if total <= budget:
+        ii_sorted = np.repeat(np.tile(np.arange(n, dtype=np.int64), 5), counts)
+        ends = np.cumsum(counts)
+        j_sorted = np.arange(total) + np.repeat(left - (ends - counts), counts)
+        dx = xs_sorted[ii_sorted] - xs_sorted[j_sorted]
+        dy = ys_sorted[ii_sorted] - ys_sorted[j_sorted]
+        valid = dx * dx + dy * dy <= radio_range * radio_range
+        valid[:same_cell_total] &= (
+            j_sorted[:same_cell_total] > ii_sorted[:same_cell_total]
+        )
+        return order[ii_sorted[valid]], order[j_sorted[valid]]
+
+    # Chunked pass: walk the 5n candidate blocks in order, cutting a
+    # chunk when its candidate total would exceed the budget (a single
+    # oversized block still runs whole -- correctness never depends on
+    # the cap).  Each chunk is the monolithic gather restricted to its
+    # block range, so outputs concatenate to the identical edge list.
+    r2 = radio_range * radio_range
+    node_of_block = np.tile(np.arange(n, dtype=np.int64), 5)
+    block_ends = np.cumsum(counts)
+    n_blocks = len(counts)
+    ii_parts: List[np.ndarray] = []
+    jj_parts: List[np.ndarray] = []
+    b0 = 0
+    while b0 < n_blocks:
+        start_pos = int(block_ends[b0] - counts[b0])
+        b1 = int(np.searchsorted(block_ends, start_pos + budget, side="right"))
+        b1 = max(b1, b0 + 1)
+        c = counts[b0:b1]
+        sub_total = int(c.sum())
+        if sub_total:
+            ii_s = np.repeat(node_of_block[b0:b1], c)
+            e = np.cumsum(c)
+            j_s = np.arange(sub_total) + np.repeat(left[b0:b1] - (e - c), c)
+            dx = xs_sorted[ii_s] - xs_sorted[j_s]
+            dy = ys_sorted[ii_s] - ys_sorted[j_s]
+            valid = dx * dx + dy * dy <= r2
+            sc = min(max(same_cell_total - start_pos, 0), sub_total)
+            if sc > 0:
+                valid[:sc] &= j_s[:sc] > ii_s[:sc]
+            if valid.any():
+                ii_parts.append(order[ii_s[valid]])
+                jj_parts.append(order[j_s[valid]])
+        b0 = b1
+    if not ii_parts:
+        return empty, empty
+    return np.concatenate(ii_parts), np.concatenate(jj_parts)
 
 
 def build_adjacency_reference(
@@ -287,8 +347,28 @@ class CsrAdjacency:
         return np.nonzero(out)[0]
 
 
-def average_degree(adj: Sequence[Set[int]], alive: Sequence[bool] = None) -> float:
-    """Mean neighbour count, optionally restricted to alive nodes."""
+def average_degree(adj, alive: Sequence[bool] = None) -> float:
+    """Mean neighbour count, optionally restricted to alive nodes.
+
+    Accepts either the legacy per-node neighbour sets/lists or a
+    :class:`CsrAdjacency` directly; the CSR path never materialises
+    Python collections (the large-n hot path) and returns the exact
+    same float (integer sum over integer count in both cases).
+    """
+    if isinstance(adj, CsrAdjacency):
+        n = adj.n_nodes
+        if n == 0:
+            return 0.0
+        if alive is None:
+            return int(len(adj.indices)) / n
+        alive_arr = np.asarray(alive, dtype=bool)
+        live_deg = np.zeros(len(adj.indices) + 1, dtype=np.int64)
+        np.cumsum(alive_arr[adj.indices], out=live_deg[1:])
+        degrees = live_deg[adj.indptr[1:]] - live_deg[adj.indptr[:-1]]
+        degrees = degrees[alive_arr]
+        if degrees.size == 0:
+            return 0.0
+        return int(degrees.sum()) / int(degrees.size)
     if alive is None:
         degrees = [len(s) for s in adj]
     else:
@@ -300,8 +380,42 @@ def average_degree(adj: Sequence[Set[int]], alive: Sequence[bool] = None) -> flo
     return sum(degrees) / len(degrees)
 
 
-def is_connected(adj: Sequence[Set[int]], alive: Sequence[bool] = None) -> bool:
-    """True when all (alive) nodes are mutually reachable."""
+def is_connected(adj, alive: Sequence[bool] = None) -> bool:
+    """True when all (alive) nodes are mutually reachable.
+
+    Accepts the legacy neighbour sets/lists or a :class:`CsrAdjacency`;
+    the CSR path floods with an array-frontier BFS (one ragged gather
+    per hop ring) instead of a per-node Python loop.
+    """
+    if isinstance(adj, CsrAdjacency):
+        n = adj.n_nodes
+        live_arr = (
+            np.ones(n, dtype=bool) if alive is None else np.asarray(alive, dtype=bool)
+        )
+        live_idx = np.flatnonzero(live_arr)
+        if live_idx.size == 0:
+            return True  # vacuously connected
+        seen = np.zeros(n, dtype=bool)
+        start = int(live_idx[0])
+        seen[start] = True
+        frontier = np.array([start], dtype=np.int64)
+        while frontier.size:
+            starts = adj.indptr[frontier]
+            counts = adj.indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            base = np.repeat(starts, counts)
+            within = np.arange(total) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            cand = adj.indices[base + within]
+            cand = cand[live_arr[cand] & ~seen[cand]]
+            if cand.size == 0:
+                break
+            frontier = np.unique(cand)
+            seen[frontier] = True
+        return int(seen.sum()) == int(live_idx.size)
     n = len(adj)
     live = [True] * n if alive is None else list(alive)
     start = next((i for i in range(n) if live[i]), None)

@@ -67,6 +67,12 @@ from repro.network.accounting import CostAccountant
 from repro.network.faults import FaultEngine, FaultPlan
 from repro.network.links import LossyLinkModel, charge_lossy_hop
 from repro.network.network import SensorNetwork
+from repro.network.tiling import (
+    AttemptResolution,
+    TilePartition,
+    reduce_attempt_draws,
+    resolve_tile_job,
+)
 
 #: Terminal buckets (DegradationReport counter names) an instance can hit.
 _LOST = "lost"
@@ -321,6 +327,14 @@ class EpochTransport:
         mangler: optional receiver-side decoder for corrupted frames
             accepted without a CRC (protocols with a real codec pass
             one; without it such frames are discarded as unparseable).
+        tiling: optional :class:`~repro.network.tiling.TilePartition`;
+            with a fault engine on the batched path, each level batch's
+            draws resolve per sender-tile (memory bounded by the
+            largest tile's frames) and merge at a deterministic barrier
+            -- bit-identical to the untiled batch at any tile layout.
+        tile_jobs: worker processes for per-tile resolution (1 =
+            resolve tiles inline; >1 ships tile jobs to a process pool
+            and applies results in sorted-tile order, same bytes).
     """
 
     def __init__(
@@ -332,12 +346,17 @@ class EpochTransport:
         link_model: Optional[LossyLinkModel] = None,
         link_seed: int = 0,
         mangler: Optional[Mangler] = None,
+        tiling: Optional[TilePartition] = None,
+        tile_jobs: int = 1,
     ):
         self.network = network
         self.costs = costs
         self.config = config if config is not None else TransportConfig.hardened()
         self.mangler = mangler
         self.link_model = link_model
+        self.tiling = tiling
+        self.tile_jobs = max(1, int(tile_jobs))
+        self._tile_pool = None
         self._legacy_rng = random.Random(link_seed)
         if plan is not None and not plan.is_null:
             if link_model is not None:
@@ -812,20 +831,16 @@ class EpochTransport:
                 (len(fr.rids) for fr in flat_frames), np.int64, count=total
             )
 
-            air_ok, corr, dup = engine.frame_draws_batch(edges, counts)
+            if self.tiling is None:
+                air_ok, corr, dup = engine.frame_draws_batch(edges, counts)
+                res = reduce_attempt_draws(air_ok, corr, cfg.crc, max_attempts)
+            else:
+                res, dup = self._resolve_batch_tiled(batch, edges, counts, total)
+            delivered = res.delivered
+            attempts_used = res.attempts_used
 
-            # An attempt resolves the frame when it survives the air and
-            # -- under a CRC -- arrives undamaged (damaged ones are
-            # rejected and retried); without a CRC any on-air arrival
-            # ends the loop (accepted, possibly mangled).
-            resolves = air_ok & ~corr if cfg.crc else air_ok
-            delivered = resolves.any(axis=1)
-            k_res = np.where(delivered, resolves.argmax(axis=1), max_attempts - 1)
-            attempts_used = k_res + 1
-
-            executed = np.arange(max_attempts)[None, :] < attempts_used[:, None]
             if cfg.crc:
-                report.corrupted_detected += int((air_ok & corr & executed).sum())
+                report.corrupted_detected += res.corrupted_detected
             report.retransmissions += int((attempts_used - 1).sum())
 
             # Receiver-side resolution of frames that arrived damaged
@@ -833,8 +848,7 @@ class EpochTransport:
             accepted = delivered.copy()
             mangled: Dict[int, Any] = {}
             if not cfg.crc:
-                corr_res = corr[np.arange(total), k_res]
-                for j in np.flatnonzero(delivered & corr_res).tolist():
+                for j in np.flatnonzero(delivered & res.corr_res).tolist():
                     fr = flat_frames[j]
                     acc = self.mangler(fr.payload, engine) if self.mangler else None
                     if acc is None:
@@ -862,10 +876,7 @@ class EpochTransport:
             # exhaust the loop; mangler discards were bucketed above.)
             failed = ~delivered
             if failed.any():
-                if cfg.crc:
-                    corr_fail = failed & air_ok[:, -1] & corr[:, -1]
-                else:
-                    corr_fail = np.zeros(total, dtype=bool)
+                corr_fail = res.corr_fail
                 n_corr = int(nrids[corr_fail].sum())
                 n_lost = int(nrids[failed & ~corr_fail].sum())
                 report.corrupted_discarded += n_corr
@@ -893,12 +904,136 @@ class EpochTransport:
                 if propagate_dup and dup_flags[j]:
                     on_arrival(senders_list[j], receivers_list[j], fr, payload, True)
 
+    def _resolve_batch_tiled(
+        self,
+        batch: List[Tuple[int, int, Sequence[OutFrame]]],
+        edges: List[Tuple[int, int]],
+        counts: np.ndarray,
+        total: int,
+    ) -> Tuple[AttemptResolution, np.ndarray]:
+        """Per-tile draw resolution feeding the deterministic merge barrier.
+
+        Frames group by the *sender's* tile: each directed edge is owned
+        exclusively by its sender, so per-edge frame cursors and
+        burst-chain checkpoints partition cleanly across tiles, and every
+        draw keeps its ``(edge, frame, attempt)`` address -- the scattered
+        outcome vectors are bit-identical to the single global batch at
+        any tile layout.  Only per-frame outcome arrays come back here;
+        everything order-sensitive (the Mersenne damage stream, receiver
+        dispatch, charges) happens afterwards at the merge barrier in
+        global flat order, which is why tiles may resolve inline, out of
+        order, or in worker processes without changing a byte.
+        """
+        engine = self.engine
+        assert engine is not None
+        cfg = self.config
+        max_attempts = self._max_attempts()
+        tile_of = self.tiling.tile_id
+        offsets = np.zeros(len(batch) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        groups: Dict[int, List[int]] = {}
+        for i, (u, _p, _frames) in enumerate(batch):
+            groups.setdefault(int(tile_of[u]), []).append(i)
+        order = sorted(groups)
+
+        delivered = np.zeros(total, dtype=bool)
+        attempts_used = np.zeros(total, dtype=np.int64)
+        corr_res = np.zeros(total, dtype=bool)
+        corr_fail = np.zeros(total, dtype=bool)
+        dup = np.zeros(total, dtype=bool)
+        detected = 0
+
+        def slots_for(idxs: List[int]) -> np.ndarray:
+            return np.concatenate(
+                [np.arange(offsets[i], offsets[i + 1]) for i in idxs]
+            )
+
+        with profiling.stage("transport.tile.resolve"):
+            if self.tile_jobs > 1 and len(order) > 1:
+                pool = self._ensure_tile_pool()
+                jobs = []
+                for t in order:
+                    idxs = groups[t]
+                    t_edges = [edges[i] for i in idxs]
+                    # _edge() only lazily creates cursors; reading them
+                    # here is side-effect-free on outcomes.
+                    streams = [engine._edge(u, v) for (u, v) in t_edges]
+                    payload = (
+                        engine.plan,
+                        engine.attempts_per_frame,
+                        cfg.crc,
+                        tuple(t_edges),
+                        tuple(int(counts[i]) for i in idxs),
+                        tuple(es.frame for es in streams),
+                        tuple(es.ge_t for es in streams),
+                        tuple(es.ge_state for es in streams),
+                        profiling.is_enabled(),
+                    )
+                    jobs.append(
+                        (idxs, streams, pool.submit(resolve_tile_job, payload))
+                    )
+                # Apply in sorted-tile order: cursor write-back and the
+                # profiling merge are the only shared state, and both are
+                # per-edge / commutative, so this order is purely for
+                # reproducible bookkeeping.
+                for idxs, streams, fut in jobs:
+                    (d, au, cr, cf, det, dp, cursors, snap) = fut.result()
+                    for es, (f, gt, gs) in zip(streams, cursors):
+                        es.frame = int(f)
+                        es.ge_t = int(gt)
+                        es.ge_state = bool(gs)
+                    sl = slots_for(idxs)
+                    delivered[sl] = d
+                    attempts_used[sl] = au
+                    corr_res[sl] = cr
+                    corr_fail[sl] = cf
+                    dup[sl] = dp
+                    detected += det
+                    if snap:
+                        profiling.merge_snapshot(snap)
+            else:
+                for t in order:
+                    idxs = groups[t]
+                    t_edges = [edges[i] for i in idxs]
+                    with profiling.stage("transport.tile.draws"):
+                        air_ok, corr, dp = engine.frame_draws_batch(
+                            t_edges, counts[idxs]
+                        )
+                        r = reduce_attempt_draws(
+                            air_ok, corr, cfg.crc, max_attempts
+                        )
+                    sl = slots_for(idxs)
+                    delivered[sl] = r.delivered
+                    attempts_used[sl] = r.attempts_used
+                    corr_res[sl] = r.corr_res
+                    corr_fail[sl] = r.corr_fail
+                    dup[sl] = dp
+                    detected += r.corrupted_detected
+        res = AttemptResolution(
+            delivered=delivered,
+            attempts_used=attempts_used,
+            corr_res=corr_res,
+            corr_fail=corr_fail,
+            corrupted_detected=detected,
+        )
+        return res, dup
+
+    def _ensure_tile_pool(self):
+        if self._tile_pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._tile_pool = ProcessPoolExecutor(max_workers=self.tile_jobs)
+        return self._tile_pool
+
     # ------------------------------------------------------------------
     # Epoch close-out
     # ------------------------------------------------------------------
 
     def finalize(self) -> DegradationReport:
         """Fire remaining events, sweep leftovers, return the report."""
+        if self._tile_pool is not None:
+            self._tile_pool.shutdown()
+            self._tile_pool = None
         if self.engine is not None:
             self.engine.finish_epoch()
             self._report.crashed_nodes = len(self.engine.crashed_nodes)

@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.experiments.common as common
 from repro.experiments.common import (
     ExperimentResult,
     PAPER_FILTER,
@@ -91,6 +92,40 @@ class TestHarborNetwork:
         result = run_isomap(net)
         assert result.costs.reports_generated >= 0
         assert result.contour_map.levels == [6.0, 8.0, 10.0, 12.0]
+
+
+class TestSkeletonCacheLru:
+    @pytest.fixture(autouse=True)
+    def clean_cache(self):
+        common._SKELETON_CACHE.clear()
+        yield
+        common._SKELETON_CACHE.clear()
+
+    def test_capacity_is_bounded(self):
+        cap = common._SKELETON_CACHE_CAPACITY
+        for seed in range(cap + 3):
+            harbor_network(60, "random", seed=seed, reuse_topology=True)
+        assert len(common._SKELETON_CACHE) == cap
+
+    def test_evicts_least_recently_used(self):
+        cap = common._SKELETON_CACHE_CAPACITY
+        for seed in range(cap):
+            harbor_network(60, "random", seed=seed, reuse_topology=True)
+        # Touch seed 0 so seed 1 becomes the LRU victim.
+        harbor_network(60, "random", seed=0, reuse_topology=True)
+        harbor_network(60, "random", seed=cap, reuse_topology=True)
+        seeds = {key[2] for key in common._SKELETON_CACHE}
+        assert 0 in seeds and cap in seeds
+        assert 1 not in seeds
+
+    def test_hit_reuses_skeleton(self):
+        a = harbor_network(60, "random", seed=9, reuse_topology=True)
+        assert len(common._SKELETON_CACHE) == 1
+        b = harbor_network(60, "random", seed=9, reuse_topology=True)
+        assert len(common._SKELETON_CACHE) == 1
+        assert b.csr is a.csr or (
+            b.csr.indptr is a.csr.indptr and b.csr.indices is a.csr.indices
+        )
 
 
 class TestCsvExport:

@@ -1,0 +1,262 @@
+"""Spatial tiling layer: grid geometry, tiled adjacency, streaming edges.
+
+The contract under test (``repro/network/tiling.py``): partitioning the
+deployment into grid tiles and building topology per tile must be an
+*implementation detail* -- every derived array (CSR adjacency, degree,
+connectivity) is bit-identical to the monolithic path at any tile size
+not below the radio range.  Boundary ownership follows
+``floor((x - xmin) / tile_size)`` with nodes exactly on an interior
+line owned by the higher tile and the far field edge clamped inward.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import RadialField
+from repro.geometry import BoundingBox
+from repro.network import SensorNetwork
+from repro.network.tiling import (
+    TileGrid,
+    TilePartition,
+    build_csr_adjacency_tiled,
+    tile_skeleton,
+)
+from repro.network.topology import (
+    CsrAdjacency,
+    _disk_edges,
+    average_degree,
+    is_connected,
+)
+
+BOX = BoundingBox(0, 0, 20, 20)
+
+
+def radial_net(n=400, seed=0):
+    field = RadialField(BOX, center=(10, 10), peak=20, slope=1)
+    return SensorNetwork.random_deploy(field, n, radio_range=2.0, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Grid geometry
+# ----------------------------------------------------------------------
+
+
+class TestTileGrid:
+    def test_dimensions_cover_bounds(self):
+        grid = TileGrid.for_bounds(BoundingBox(0, 0, 10, 10), 2.5)
+        assert (grid.nx, grid.ny) == (4, 4)
+        assert grid.n_tiles == 16
+
+    def test_ragged_last_column(self):
+        grid = TileGrid.for_bounds(BoundingBox(0, 0, 10, 10), 3.0)
+        assert (grid.nx, grid.ny) == (4, 4)
+
+    def test_oversized_tile_is_one_tile(self):
+        grid = TileGrid.for_bounds(BoundingBox(0, 0, 10, 10), 50.0)
+        assert grid.n_tiles == 1
+
+    def test_nonpositive_tile_size_rejected(self):
+        with pytest.raises(ValueError):
+            TileGrid.for_bounds(BOX, 0.0)
+        with pytest.raises(ValueError):
+            TileGrid.for_bounds(BOX, -1.0)
+
+    def test_interior_boundary_goes_to_higher_tile(self):
+        grid = TileGrid.for_bounds(BoundingBox(0, 0, 10, 10), 2.5)
+        pts = np.array([[2.5, 0.0], [2.4999999, 0.0], [0.0, 2.5]])
+        tx_ty = grid.tile_coords(pts)
+        assert tx_ty[0].tolist() == [1, 0, 0]  # x = 2.5 owned by column 1
+        assert tx_ty[1].tolist() == [0, 0, 1]  # y = 2.5 owned by row 1
+
+    def test_far_edge_clamps_into_last_tile(self):
+        grid = TileGrid.for_bounds(BoundingBox(0, 0, 10, 10), 2.5)
+        pts = np.array([[10.0, 10.0]])
+        tx, ty = grid.tile_coords(pts)
+        assert (tx[0], ty[0]) == (3, 3)
+
+    def test_adjacent_tiles_corner_and_interior(self):
+        grid = TileGrid.for_bounds(BoundingBox(0, 0, 10, 10), 2.5)
+        # corner tile 0 has 3 neighbours; interior tile 5 has 8
+        assert grid.adjacent_tiles(0) == [1, 4, 5]
+        assert grid.adjacent_tiles(5) == [0, 1, 2, 4, 6, 8, 9, 10]
+
+
+class TestTilePartition:
+    def test_members_partition_all_nodes(self):
+        net = radial_net(n=300, seed=2)
+        part = TilePartition.build(net.positions_array, net.bounds, 5.0)
+        seen = np.concatenate(
+            [part.members(t) for t in range(part.grid.n_tiles)]
+        )
+        assert sorted(seen.tolist()) == list(range(300))
+
+    def test_members_agree_with_tile_of(self):
+        net = radial_net(n=300, seed=2)
+        pts = net.positions_array
+        part = TilePartition.build(pts, net.bounds, 5.0)
+        expect = part.grid.tile_of(pts)
+        for t in part.occupied_tiles():
+            assert (expect[part.members(t)] == t).all()
+
+    def test_halo_contains_exactly_in_range_outsiders(self):
+        net = radial_net(n=400, seed=3)
+        pts = net.positions_array
+        part = TilePartition.build(pts, net.bounds, 5.0)
+        r = 2.0
+        for t in part.occupied_tiles().tolist():
+            halo = set(part.halo(pts, t, r).tolist())
+            members = part.members(t)
+            # Brute force: any outside node within r of some member must
+            # be in the halo (halo may be a superset -- box distance).
+            d = np.sqrt(
+                ((pts[:, None, :] - pts[members][None, :, :]) ** 2).sum(-1)
+            )
+            near = set(np.flatnonzero((d <= r).any(axis=1)).tolist())
+            near -= set(members.tolist())
+            assert near <= halo
+            assert not (halo & set(members.tolist()))
+
+
+# ----------------------------------------------------------------------
+# Tiled CSR adjacency: bit-identical to the monolithic build
+# ----------------------------------------------------------------------
+
+
+class TestTiledAdjacency:
+    @pytest.mark.parametrize("tile_size", [2.0, 3.3, 7.0, 20.0, 50.0])
+    def test_matches_untiled(self, tile_size):
+        net = radial_net(n=600, seed=5)
+        pts = net.positions_array
+        part = TilePartition.build(pts, net.bounds, tile_size)
+        csr = build_csr_adjacency_tiled(pts, 2.0, part)
+        assert np.array_equal(csr.indptr, net.csr.indptr)
+        assert np.array_equal(csr.indices, net.csr.indices)
+
+    def test_tile_below_radio_range_rejected(self):
+        net = radial_net(n=50, seed=1)
+        part = TilePartition.build(net.positions_array, net.bounds, 1.0)
+        with pytest.raises(ValueError):
+            build_csr_adjacency_tiled(net.positions_array, 2.0, part)
+
+    def test_node_exactly_on_tile_line(self):
+        # Force nodes onto the interior tile boundary x = 5.0 and make
+        # sure the cross-boundary edges come out identically.
+        net = radial_net(n=200, seed=7)
+        pts = net.positions_array.copy()
+        pts[:20, 0] = 5.0
+        li, lj = _disk_edges(pts, 2.0)
+        mono = CsrAdjacency.from_edges(len(pts), li, lj)
+        part = TilePartition.build(pts, net.bounds, 5.0)
+        csr = build_csr_adjacency_tiled(pts, 2.0, part)
+        assert np.array_equal(csr.indptr, mono.indptr)
+        assert np.array_equal(csr.indices, mono.indices)
+
+    @settings(deadline=None, max_examples=12)
+    @given(
+        tile_size=st.floats(min_value=2.0, max_value=40.0),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_matches_untiled_randomized(self, tile_size, seed):
+        net = radial_net(n=150, seed=seed)
+        pts = net.positions_array
+        part = TilePartition.build(pts, net.bounds, tile_size)
+        csr = build_csr_adjacency_tiled(pts, 2.0, part)
+        assert np.array_equal(csr.indptr, net.csr.indptr)
+        assert np.array_equal(csr.indices, net.csr.indices)
+
+    def test_tile_skeleton_member_rows_match_global(self):
+        net = radial_net(n=400, seed=9)
+        pts = net.positions_array
+        part = TilePartition.build(pts, net.bounds, 6.0)
+        for t in part.occupied_tiles().tolist():
+            sk = tile_skeleton(pts, 2.0, part, t)
+            back = {int(g): k for k, g in enumerate(sk.nodes)}
+            for k in range(sk.n_members):
+                g = int(sk.nodes[k])
+                local = sk.csr.indices[sk.csr.indptr[k] : sk.csr.indptr[k + 1]]
+                got = sorted(int(sk.nodes[x]) for x in local)
+                want = sorted(
+                    int(x)
+                    for x in net.csr.indices[
+                        net.csr.indptr[g] : net.csr.indptr[g + 1]
+                    ]
+                )
+                assert got == want, (t, g)
+                assert all(int(x) in back for x in want)
+
+
+# ----------------------------------------------------------------------
+# Streaming (chunked) candidate gather in _disk_edges
+# ----------------------------------------------------------------------
+
+
+class TestChunkedDiskEdges:
+    @pytest.mark.parametrize("budget", [1, 7, 64, 1000])
+    def test_chunked_identical_to_monolithic(self, budget):
+        net = radial_net(n=500, seed=11)
+        pts = net.positions_array
+        i0, j0 = _disk_edges(pts, 2.0)
+        i1, j1 = _disk_edges(pts, 2.0, max_candidates=budget)
+        assert np.array_equal(i0, i1)
+        assert np.array_equal(j0, j1)
+
+    def test_chunked_empty_graph(self):
+        pts = np.array([[0.0, 0.0], [10.0, 10.0]])
+        i1, j1 = _disk_edges(pts, 0.5, max_candidates=1)
+        assert i1.size == 0 and j1.size == 0
+
+
+# ----------------------------------------------------------------------
+# CSR-native degree / connectivity (no to_sets round trip)
+# ----------------------------------------------------------------------
+
+
+class TestCsrDegreeConnectivity:
+    def test_average_degree_matches_sets(self):
+        net = radial_net(n=300, seed=4)
+        sets = net.csr.to_sets()
+        assert average_degree(net.csr) == average_degree(sets)
+
+    def test_average_degree_with_alive_mask(self):
+        net = radial_net(n=300, seed=4)
+        sets = net.csr.to_sets()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            alive = rng.random(300) > 0.3
+            assert average_degree(net.csr, alive) == average_degree(
+                sets, alive.tolist()
+            )
+
+    def test_average_degree_degenerate(self):
+        empty = CsrAdjacency.from_edges(0, np.empty(0), np.empty(0))
+        assert average_degree(empty) == 0.0
+        lone = CsrAdjacency.from_edges(3, np.empty(0), np.empty(0))
+        assert average_degree(lone) == 0.0
+        assert average_degree(lone, np.zeros(3, dtype=bool)) == 0.0
+
+    def test_is_connected_matches_sets(self):
+        net = radial_net(n=300, seed=4)
+        sets = net.csr.to_sets()
+        rng = np.random.default_rng(1)
+        assert is_connected(net.csr) == is_connected(sets)
+        for _ in range(5):
+            alive = rng.random(300) > 0.4
+            assert is_connected(net.csr, alive) == is_connected(
+                sets, alive.tolist()
+            )
+
+    def test_is_connected_two_clusters(self):
+        # Two 3-cliques with no bridge: disconnected; vacuously
+        # connected once one cluster is dead.
+        ii = np.array([0, 0, 1, 3, 3, 4])
+        jj = np.array([1, 2, 2, 4, 5, 5])
+        csr = CsrAdjacency.from_edges(6, ii, jj)
+        sets = csr.to_sets()
+        assert is_connected(csr) is False
+        assert is_connected(csr) == is_connected(sets)
+        alive = np.array([True, True, True, False, False, False])
+        assert is_connected(csr, alive) is True
+        assert is_connected(csr, alive) == is_connected(sets, alive.tolist())
+        assert is_connected(csr, np.zeros(6, dtype=bool)) is True
