@@ -1,0 +1,48 @@
+"""fig_simplify bench: SIMPLIFIED-stream fidelity vs bytes to client.
+
+Claims pinned here (CI sizes; the committed 5x acceptance point lives in
+``BENCH_simplify.json``, re-measured by ``bench_simplify.py``):
+
+- tolerance 0 is the exact passthrough: identical bytes, zero deviation;
+- the byte ratio grows monotonically with the tolerance on every
+  scenario (the knob actually trades fidelity for bytes);
+- the measured Hausdorff deviation never exceeds the tolerance (the
+  simplifier's per-segment guarantee, observed on real served maps).
+"""
+
+from repro.experiments.fig_simplify import run_fig_simplify
+
+
+def test_fig_simplify_fidelity_vs_bytes(benchmark, record_result, sweep_jobs):
+    tolerances = (0.0, 0.5, 1.0)
+    result = benchmark.pedantic(
+        lambda: run_fig_simplify(
+            seeds=(1,),
+            n=2500,
+            epochs=4,
+            scenarios=("steady", "storm"),
+            tolerances=tolerances,
+            jobs=sweep_jobs,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    by_scenario = {}
+    for row in result.rows:
+        by_scenario.setdefault(row["scenario"], []).append(row)
+    assert set(by_scenario) == {"steady", "storm"}
+    for scenario, rows in by_scenario.items():
+        rows.sort(key=lambda r: r["tolerance"])
+        # Tolerance 0 is the byte-identical passthrough.
+        assert rows[0]["bytes_ratio"] == 1.0
+        assert rows[0]["hausdorff_dev"] == 0.0
+        assert rows[0]["records_kept"] == rows[0]["records_full"]
+        # More tolerance -> fewer bytes, monotonically.
+        ratios = [r["bytes_ratio"] for r in rows]
+        assert ratios == sorted(ratios), (scenario, ratios)
+        assert ratios[-1] > 2.0, (scenario, ratios)
+        # The guarantee holds on every measured point.
+        for r in rows:
+            assert r["hausdorff_dev"] <= r["tolerance"] + 1e-9, (scenario, r)

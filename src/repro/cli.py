@@ -44,6 +44,7 @@ def _experiment_registry() -> Dict[str, Callable]:
     from repro.experiments.fig07_gradient_error import run_fig07
     from repro.experiments.fig_continuous import run_fig_continuous
     from repro.experiments.fig_faults import run_fig_faults
+    from repro.experiments.fig_simplify import run_fig_simplify
     from repro.experiments.fig10_maps import run_fig10
     from repro.experiments.fig11_accuracy import run_fig11a, run_fig11b
     from repro.experiments.fig12_hausdorff import run_fig12a, run_fig12b
@@ -107,6 +108,9 @@ def _experiment_registry() -> Dict[str, Callable]:
             seeds=(1,), jobs=jobs, cache_dir=cache
         ),
         "fig_faults": lambda jobs, cache: run_fig_faults(
+            seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig_simplify": lambda jobs, cache: run_fig_simplify(
             seeds=(1,), jobs=jobs, cache_dir=cache
         ),
         "table1": lambda jobs, cache: run_table1(seeds=(1,)),
@@ -243,6 +247,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not 0.0 <= args.chaos <= 1.0:
         print("--chaos must be in [0, 1]", file=sys.stderr)
         return 2
+    if args.simplify_tolerance is not None and args.simplify_tolerance < 0:
+        print("--simplify-tolerance must be non-negative", file=sys.stderr)
+        return 2
+    if args.simplified_subscribers and args.simplify_tolerance is None:
+        print("--simplified-subscribers needs --simplify-tolerance "
+              "(the session must produce the SIMPLIFIED stream)",
+              file=sys.stderr)
+        return 2
     config = SessionConfig(
         query_id="harbor",
         n_nodes=args.nodes,
@@ -254,6 +266,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         granularity=2.0,
         epsilon_fraction=0.05,
         radio_range=1.5,
+        simplify_tolerance=args.simplify_tolerance,
     )
     chaos = ChaosPlan.at_intensity(args.chaos, seed=args.chaos_seed)
     supervision = None
@@ -284,6 +297,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             epochs=args.epochs,
             n_snapshot_clients=args.clients,
             n_subscribers=args.subscribers,
+            n_simplified_subscribers=args.simplified_subscribers,
             epoch_interval=args.interval,
         ))
         stopper = asyncio.ensure_future(interrupted.wait())
@@ -383,6 +397,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="concurrent snapshot-polling clients")
     p_srv.add_argument("--subscribers", type=int, default=200,
                        help="concurrent delta-stream subscribers")
+    p_srv.add_argument("--simplify-tolerance", type=float, default=None,
+                       help="also produce the SIMPLIFIED stream at this "
+                       "Hausdorff tolerance (field units); enables "
+                       "--simplified-subscribers")
+    p_srv.add_argument("--simplified-subscribers", type=int, default=0,
+                       help="subscribers negotiating the SIMPLIFIED "
+                       "encoding (requires --simplify-tolerance)")
     p_srv.add_argument("--interval", type=float, default=0.0,
                        help="seconds between epochs")
     p_srv.add_argument("--shards", type=int, default=0,

@@ -103,6 +103,7 @@ class ContinuousIsoMap:
         regulate: bool = True,
         incremental: bool = True,
         full_rebuild_threshold: float = 0.35,
+        simplify_tolerance: float = 0.0,
     ):
         if angle_delta_deg < 0:
             raise ValueError("angle_delta_deg must be non-negative")
@@ -111,6 +112,9 @@ class ContinuousIsoMap:
         self.regulate = regulate
         self.incremental = incremental
         self.full_rebuild_threshold = full_rebuild_threshold
+        #: Forwarded to every epoch's ContourMap: > 0 makes its
+        #: ``isolines()`` return tolerance-bounded simplifications.
+        self.simplify_tolerance = simplify_tolerance
         self._protocol = IsoMapProtocol(query, regulate=regulate)
         self._node_state: Dict[int, IsolineReport] = {}
         self._sink_cache: Dict[int, IsolineReport] = {}
@@ -188,6 +192,7 @@ class ContinuousIsoMap:
                     network.bounds,
                     regulate=self.regulate,
                     full_rebuild_threshold=self.full_rebuild_threshold,
+                    simplify_tolerance=self.simplify_tolerance,
                 )
             contour_map = self._reconstructor.reconstruct(
                 list(self._sink_cache.values()), sink_value=sink_value
@@ -199,6 +204,7 @@ class ContinuousIsoMap:
                 network.bounds,
                 sink_value=sink_value,
                 regulate=self.regulate,
+                simplify_tolerance=self.simplify_tolerance,
             )
         self._epochs_run += 1
         return EpochResult(

@@ -1,0 +1,197 @@
+"""Fidelity vs bytes-to-client for the SIMPLIFIED serving stream.
+
+The serving layer can ship a subscriber the tolerance-bounded record
+subset instead of the full sink cache (wire version 2, negotiated per
+subscriber -- :func:`repro.serving.wire.select_simplified_records`).
+This sweep quantifies the trade the knob buys: for each scenario and
+tolerance it runs the *actual* session pipeline
+(:class:`~repro.serving.session.SessionCompute`, both streams produced
+side by side) over an epoch timeline and reports
+
+- **bytes to client**: the plain vs simplified cumulative delta-stream
+  bytes a from-epoch-0 subscriber receives, and the final snapshot
+  sizes a late joiner would fetch;
+- **fidelity**: the *measured* Hausdorff deviation -- the maximum
+  distance from any full-stream record position to the retained span of
+  its own isoline chain (the exact quantity the simplifier's
+  per-segment guarantee bounds by the tolerance), reported both in
+  field units and in grid cells of the session's 50-raster map so
+  "within one grid cell" is checkable at a glance.
+
+Tolerance 0 is the passthrough differential (ratio 1.0, deviation 0);
+the committed acceptance point is the steady harbor scenario at
+tolerance 1.0, where the byte ratio clears 5x with the deviation inside
+one grid cell (re-measured by ``benchmarks/bench_simplify.py``).
+
+Runs through the parallel sweep runner (``--jobs``/``--cache``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import (
+    grid_points,
+    group_by_config,
+    run_sweep,
+    seed_mean,
+)
+
+#: Epochs per timeline (enough to catch the storm ramp at epoch 3 and a
+#: good stretch of tide drift).
+EPOCHS = 6
+
+#: Raster the serving map is judged on: 50x50 over the 50-unit harbor
+#: field, i.e. one grid cell = one field unit.
+RASTER = 50
+
+SCENARIOS = ("steady", "tide", "storm")
+TOLERANCES = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+def simplify_point(
+    scenario: str,
+    tolerance: float,
+    n: int,
+    seed: int,
+    epochs: int = EPOCHS,
+    radio_range: float = 1.5,
+) -> Dict[str, Any]:
+    """One sweep point: a session timeline at one (scenario, tolerance).
+
+    Imports stay inside the point function so sweep workers only pay
+    for what they use (the runner pickles the function reference).
+    """
+    from repro.serving.session import SessionCompute, SessionConfig, field_for_epoch
+    from repro.serving.wire import (
+        encode_snapshot,
+        select_simplified_records,
+        simplified_selection_stats,
+    )
+
+    config = SessionConfig(
+        query_id=f"fig-simplify-{scenario}",
+        n_nodes=n,
+        seed=seed,
+        field="harbor",
+        scenario=scenario,
+        value_lo=6.0,
+        value_hi=12.0,
+        granularity=2.0,
+        epsilon_fraction=0.05,
+        radio_range=radio_range,
+        simplify_tolerance=tolerance,
+    )
+    compute = SessionCompute(config)
+    bytes_plain = 0
+    bytes_simplified = 0
+    snapshot_plain = snapshot_simplified = b""
+    state: tuple = ()
+    for epoch in range(1, epochs + 1):
+        out = compute.epoch(epoch)
+        bytes_plain += len(out["delta"])
+        bytes_simplified += len(out["s_delta"])
+        state = out["records"]
+        # What a late joiner fetches at the final epoch: the rendered
+        # snapshot of each stream's record state (what the store serves).
+        snapshot_plain = encode_snapshot(epoch, out["records"], out["sink"])
+        snapshot_simplified = encode_snapshot(
+            epoch, out["s_records"], out["sink"]
+        )
+
+    stats = simplified_selection_stats(
+        state, compute.codec.dequantize_position, tolerance
+    )
+    kept = select_simplified_records(
+        state, compute.codec.dequantize_position, tolerance
+    )
+    bounds = field_for_epoch(config, 0).bounds
+    cell = (bounds.xmax - bounds.xmin) / RASTER
+    return {
+        "records_full": float(stats["records_full"]),
+        "records_kept": float(len(kept)),
+        "delta_bytes_plain": float(bytes_plain),
+        "delta_bytes_simplified": float(bytes_simplified),
+        "snapshot_bytes_plain": float(len(snapshot_plain)),
+        "snapshot_bytes_simplified": float(len(snapshot_simplified)),
+        "hausdorff_dev": float(stats["max_deviation"]),
+        "hausdorff_cells": float(stats["max_deviation"]) / cell,
+    }
+
+
+def run_fig_simplify(
+    seeds: Sequence[int] = (1,),
+    n: int = 5000,
+    epochs: int = EPOCHS,
+    scenarios: Sequence[str] = SCENARIOS,
+    tolerances: Sequence[float] = TOLERANCES,
+    radio_range: float = 1.5,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> ExperimentResult:
+    """Bytes-to-client and measured Hausdorff deviation vs tolerance.
+
+    ``n=5000`` is the serving density the committed numbers use: record
+    reduction grows with node density (denser isoline sampling leaves
+    more droppable interior vertices), and at 5000 nodes the steady
+    scenario clears the 5x byte-ratio acceptance bar with the deviation
+    inside one grid cell.
+    """
+    configs = [
+        {
+            "scenario": s,
+            "tolerance": t,
+            "n": n,
+            "epochs": epochs,
+            "radio_range": radio_range,
+        }
+        for s in scenarios
+        for t in tolerances
+    ]
+    results = run_sweep(
+        grid_points(simplify_point, configs, list(seeds)), jobs, cache_dir
+    )
+    table = ExperimentResult(
+        experiment_id="fig_simplify",
+        title="SIMPLIFIED stream: fidelity vs bytes to client",
+        columns=[
+            "scenario",
+            "tolerance",
+            "records_full",
+            "records_kept",
+            "delta_bytes_plain",
+            "delta_bytes_simplified",
+            "bytes_ratio",
+            "snapshot_bytes_plain",
+            "snapshot_bytes_simplified",
+            "hausdorff_dev",
+            "hausdorff_cells",
+        ],
+        notes=(
+            f"n={n}, seeds={list(seeds)}, epochs={epochs}; harbor field, "
+            f"one grid cell = 1 field unit ({RASTER}-raster); "
+            "hausdorff_dev is MEASURED (max record distance to the "
+            "retained span of its chain), guaranteed <= tolerance; "
+            "bytes_ratio = plain/simplified cumulative delta bytes"
+        ),
+    )
+    for cfg, group in zip(configs, group_by_config(results, len(seeds))):
+        plain = seed_mean(group, "delta_bytes_plain")
+        simplified = seed_mean(group, "delta_bytes_simplified")
+        table.add_row(
+            scenario=cfg["scenario"],
+            tolerance=cfg["tolerance"],
+            records_full=seed_mean(group, "records_full"),
+            records_kept=seed_mean(group, "records_kept"),
+            delta_bytes_plain=plain,
+            delta_bytes_simplified=simplified,
+            bytes_ratio=plain / simplified if simplified else 1.0,
+            snapshot_bytes_plain=seed_mean(group, "snapshot_bytes_plain"),
+            snapshot_bytes_simplified=seed_mean(
+                group, "snapshot_bytes_simplified"
+            ),
+            hausdorff_dev=seed_mean(group, "hausdorff_dev"),
+            hausdorff_cells=seed_mean(group, "hausdorff_cells"),
+        )
+    return table

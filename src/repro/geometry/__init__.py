@@ -58,6 +58,17 @@ from repro.geometry.polyline import (
     resample_polyline,
     stitch_segments_into_loops,
 )
+from repro.geometry.simplify import (
+    chain_points,
+    polyline_deviation,
+    ring_self_intersects,
+    simplify_isolines,
+    simplify_polyline,
+    simplify_polyline_reference,
+    simplify_ring,
+    simplify_ring_reference,
+    simplify_rings,
+)
 
 __all__ = [
     "EPS",
@@ -95,4 +106,13 @@ __all__ = [
     "polyline_length",
     "resample_polyline",
     "stitch_segments_into_loops",
+    "chain_points",
+    "polyline_deviation",
+    "ring_self_intersects",
+    "simplify_isolines",
+    "simplify_polyline",
+    "simplify_polyline_reference",
+    "simplify_ring",
+    "simplify_ring_reference",
+    "simplify_rings",
 ]

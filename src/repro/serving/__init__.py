@@ -46,6 +46,7 @@ from repro.serving.chaos import (
 )
 from repro.serving.clients import LoadReport, run_load
 from repro.serving.errors import (
+    EncodingUnavailable,
     EpochComputeFailed,
     EpochEvicted,
     ReplayGapError,
@@ -80,30 +81,42 @@ from repro.serving.supervisor import (
 )
 from repro.serving.wire import (
     DELTA,
+    ENCODING_PLAIN,
+    ENCODING_SIMPLIFIED,
     SNAPSHOT,
     SNAPSHOT_STALE,
+    WIRE_VERSION_PLAIN,
+    WIRE_VERSION_SIMPLIFIED,
     DeltaReplayer,
     ServedMessage,
+    SimplifiedStream,
     decode_delta,
     decode_snapshot,
     encode_delta,
     encode_snapshot,
+    negotiate_encoding,
+    select_simplified_records,
 )
 
 __all__ = [
     "CORRUPT",
     "DELTA",
     "DROP",
+    "ENCODING_PLAIN",
+    "ENCODING_SIMPLIFIED",
     "HANG",
     "KILL",
     "SNAPSHOT",
     "SNAPSHOT_STALE",
+    "WIRE_VERSION_PLAIN",
+    "WIRE_VERSION_SIMPLIFIED",
     "ChaosEngine",
     "ChaosEvent",
     "ChaosPlan",
     "ChaosStats",
     "CircuitBreaker",
     "DeltaReplayer",
+    "EncodingUnavailable",
     "EpochComputeFailed",
     "EpochEvicted",
     "LoadReport",
@@ -126,6 +139,7 @@ __all__ = [
     "ShardResultDropped",
     "ShardSupervisor",
     "ShardUnavailableError",
+    "SimplifiedStream",
     "SlowConsumerEvicted",
     "Subscription",
     "SupervisedShardPool",
@@ -137,5 +151,7 @@ __all__ = [
     "encode_delta",
     "encode_snapshot",
     "field_for_epoch",
+    "negotiate_encoding",
     "run_load",
+    "select_simplified_records",
 ]

@@ -27,7 +27,7 @@ from repro.serving.errors import (
     SlowConsumerEvicted,
 )
 from repro.serving.router import MapService
-from repro.serving.wire import DELTA
+from repro.serving.wire import DELTA, ENCODING_PLAIN, ENCODING_SIMPLIFIED
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -54,6 +54,9 @@ class LoadReport:
     deltas_delivered: int = 0
     delta_bytes: int = 0
     delta_latencies_ms: List[float] = field(default_factory=list)
+    simplified_subscribers: int = 0
+    s_deltas_delivered: int = 0
+    s_delta_bytes: int = 0
     subscribers_evicted: int = 0
     epochs_failed: int = 0
     stale_snapshots: int = 0
@@ -75,7 +78,7 @@ class LoadReport:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able summary (the BENCH_serving.json building block)."""
-        return {
+        out: Dict[str, Any] = {
             "query_id": self.query_id,
             "epochs": self.epochs,
             "elapsed_s": round(self.elapsed_s, 3),
@@ -102,6 +105,28 @@ class LoadReport:
                 "degraded_s": round(self.degraded_s, 3),
             },
         }
+        if self.simplified_subscribers:
+            per_plain = (
+                self.delta_bytes / self.deltas_delivered
+                if self.deltas_delivered
+                else 0.0
+            )
+            per_simplified = (
+                self.s_delta_bytes / self.s_deltas_delivered
+                if self.s_deltas_delivered
+                else 0.0
+            )
+            out["simplified_stream"] = {
+                "subscribers": self.simplified_subscribers,
+                "deliveries": self.s_deltas_delivered,
+                "bytes": self.s_delta_bytes,
+                "bytes_per_delivery": round(per_simplified, 1),
+                "plain_bytes_per_delivery": round(per_plain, 1),
+                "bytes_ratio": round(per_plain / per_simplified, 2)
+                if per_simplified
+                else 0.0,
+            }
+        return out
 
     def to_table(self) -> str:
         d = self.to_dict()
@@ -118,6 +143,15 @@ class LoadReport:
             f"bytes      : {s['bytes']} snapshot, {ds['bytes']} delta",
             f"evictions  : {ds['evicted']} slow subscribers",
         ]
+        ss = d.get("simplified_stream")
+        if ss:
+            lines.append(
+                f"simplified : {ss['subscribers']} subscribers, "
+                f"{ss['deliveries']} deliveries, "
+                f"{ss['bytes_per_delivery']:.0f} B/delivery vs "
+                f"{ss['plain_bytes_per_delivery']:.0f} plain "
+                f"({ss['bytes_ratio']:.1f}x smaller)"
+            )
         r = d["resilience"]
         if r["epochs_failed"] or r["stale_snapshots"]:
             lines.append(
@@ -149,9 +183,11 @@ async def _delta_subscriber(
     query_id: str,
     report: LoadReport,
     since_epoch: int = 0,
+    simplified: bool = False,
 ) -> None:
     session = service.session(query_id)
-    subscription = service.subscribe(query_id, since_epoch)
+    encodings = (ENCODING_SIMPLIFIED,) if simplified else (ENCODING_PLAIN,)
+    subscription = service.subscribe(query_id, since_epoch, encodings=encodings)
     try:
         async for message in subscription:
             if message.kind != DELTA:
@@ -161,8 +197,12 @@ async def _delta_subscriber(
                 report.delta_latencies_ms.append(
                     (time.perf_counter() - published) * 1e3
                 )
-            report.deltas_delivered += 1
-            report.delta_bytes += len(message.payload)
+            if simplified:
+                report.s_deltas_delivered += 1
+                report.s_delta_bytes += len(message.payload)
+            else:
+                report.deltas_delivered += 1
+                report.delta_bytes += len(message.payload)
     except SlowConsumerEvicted:
         pass  # counted from session stats below
     finally:
@@ -175,6 +215,7 @@ async def run_load(
     epochs: int,
     n_snapshot_clients: int = 16,
     n_subscribers: int = 100,
+    n_simplified_subscribers: int = 0,
     epoch_interval: float = 0.0,
 ) -> LoadReport:
     """Drive one session under concurrent client load and stop the service.
@@ -196,11 +237,18 @@ async def run_load(
         query_id=query_id,
         snapshot_clients=n_snapshot_clients,
         subscribers=n_subscribers,
+        simplified_subscribers=n_simplified_subscribers,
     )
     stop = asyncio.Event()
     tasks = [
         asyncio.ensure_future(_delta_subscriber(service, query_id, report))
         for _ in range(n_subscribers)
+    ]
+    tasks += [
+        asyncio.ensure_future(
+            _delta_subscriber(service, query_id, report, simplified=True)
+        )
+        for _ in range(n_simplified_subscribers)
     ]
     tasks += [
         asyncio.ensure_future(_snapshot_client(service, query_id, stop, report))

@@ -43,6 +43,17 @@ class UnknownQueryError(ServingError, KeyError):
     """No session is registered for the requested query id."""
 
 
+class EncodingUnavailable(ServingError, ValueError):
+    """Version negotiation failed: none of the stream encodings the
+    subscriber offered is servable by this session.
+
+    The SIMPLIFIED encoding is only available on sessions configured
+    with a ``simplify_tolerance``; a subscriber offering *only*
+    SIMPLIFIED against a plain session gets this instead of a silently
+    downgraded stream.
+    """
+
+
 class ShardComputeError(ServingError):
     """One shard compute attempt failed for an *infrastructure* reason.
 

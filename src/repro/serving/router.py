@@ -28,7 +28,7 @@ from __future__ import annotations
 import asyncio
 import zlib
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.serving.chaos import ChaosPlan
 from repro.serving.errors import UnknownQueryError
@@ -38,7 +38,7 @@ from repro.serving.supervisor import (
     SupervisorConfig,
     drain_executor,
 )
-from repro.serving.wire import ServedMessage
+from repro.serving.wire import ENCODING_PLAIN, ServedMessage
 from repro.serving.worker import compute_epoch
 
 
@@ -135,14 +135,28 @@ class MapService:
                 f"(serving: {sorted(self.sessions)})"
             ) from None
 
-    def snapshot(self, query_id: str, epoch: Optional[int] = None) -> ServedMessage:
-        """The latest (or a retained historical) rendered map snapshot."""
-        return self.session(query_id).snapshot(epoch)
+    def snapshot(
+        self,
+        query_id: str,
+        epoch: Optional[int] = None,
+        encoding: str = ENCODING_PLAIN,
+    ) -> ServedMessage:
+        """The latest (or a retained historical) rendered map snapshot.
 
-    def subscribe(self, query_id: str, since_epoch: int = 0) -> Subscription:
+        ``encoding`` picks the PLAIN or SIMPLIFIED rendering (the latter
+        only on sessions configured with a ``simplify_tolerance``)."""
+        return self.session(query_id).snapshot(epoch, encoding=encoding)
+
+    def subscribe(
+        self,
+        query_id: str,
+        since_epoch: int = 0,
+        encodings: Tuple[str, ...] = (ENCODING_PLAIN,),
+    ) -> Subscription:
         """A delta stream that replays from ``since_epoch`` then follows
-        live updates (see :meth:`MapSession.attach` for edge semantics)."""
-        return self.session(query_id).attach(since_epoch)
+        live updates (see :meth:`MapSession.attach` for edge semantics).
+        ``encodings`` is the subscriber's offer for version negotiation."""
+        return self.session(query_id).attach(since_epoch, encodings=encodings)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -55,10 +55,14 @@ from repro.serving.errors import (
 from repro.serving.store import MapStore
 from repro.serving.wire import (
     DELTA,
+    ENCODING_PLAIN,
+    ENCODING_SIMPLIFIED,
     SNAPSHOT,
     SNAPSHOT_STALE,
     ServedMessage,
+    SimplifiedStream,
     encode_delta,
+    negotiate_encoding,
 )
 
 #: Radial test-field extent (matches the continuous-monitoring tests).
@@ -93,6 +97,14 @@ class SessionConfig:
             standing :class:`~repro.core.query.ContourQuery`.
         radio_range: deployment radio range.
         angle_delta_deg: the monitor's re-report threshold.
+        simplify_tolerance: when set, the session also produces the
+            SIMPLIFIED stream (wire version 2): each epoch's record
+            state is isoline-simplified to this Hausdorff tolerance and
+            a parallel delta/snapshot encoding is published, negotiable
+            per subscriber.  ``None`` (the default) disables the
+            simplified pipeline entirely -- the PR-6 stream is produced
+            alone, byte-for-byte as before.  ``0.0`` runs the pipeline
+            as a strict passthrough (the byte-identity differential).
     """
 
     query_id: str
@@ -106,6 +118,7 @@ class SessionConfig:
     epsilon_fraction: float = 0.2
     radio_range: float = 2.2
     angle_delta_deg: float = 10.0
+    simplify_tolerance: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -210,6 +223,13 @@ class SessionCompute:
         self.codec = ReportCodec.for_query(self.query, self.network.bounds)
         self._state: Dict[Tuple[int, int], bytes] = {}
         self._source_pos: Dict[int, Tuple[int, int]] = {}
+        self._simplified: Optional[SimplifiedStream] = (
+            None
+            if config.simplify_tolerance is None
+            else SimplifiedStream(
+                config.simplify_tolerance, self.codec.dequantize_position
+            )
+        )
         self.next_epoch = 1
 
     def epoch(self, epoch: int) -> Dict[str, Any]:
@@ -247,7 +267,7 @@ class SessionCompute:
         )
         delta = encode_delta(epoch, new_records, retractions, sink)
         self.next_epoch = epoch + 1
-        return {
+        out: Dict[str, Any] = {
             "epoch": epoch,
             "delta": delta,
             # Integrity tag: the supervised pool re-checks this on the
@@ -263,6 +283,20 @@ class SessionCompute:
             "cached_reports": result.cached_reports,
             "traffic_bytes": result.costs.total_traffic_bytes(),
         }
+        if self._simplified is not None:
+            s_delta, s_records = self._simplified.fold_epoch(
+                epoch,
+                new_records,
+                retractions,
+                self._state.values(),
+                sink,
+            )
+            out["s_delta"] = s_delta
+            # Same transit-integrity contract as the plain delta: the
+            # supervisor re-checks this CRC before publishing.
+            out["s_crc"] = zlib.crc32(s_delta) & 0xFFFFFFFF
+            out["s_records"] = s_records
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -297,6 +331,8 @@ class SessionStats:
 class _SubEntry:
     queue: "asyncio.Queue"
     closed: "asyncio.Event"
+    #: The negotiated stream encoding for this subscriber.
+    encoding: str = ENCODING_PLAIN
 
 
 class Subscription:
@@ -322,6 +358,11 @@ class Subscription:
         self._replay = replay
         self._replay_idx = 0
         self._done = False
+
+    @property
+    def encoding(self) -> str:
+        """The negotiated stream encoding (fixed at attach time)."""
+        return self._entry.encoding
 
     def __aiter__(self) -> "Subscription":
         return self
@@ -483,19 +524,30 @@ class MapSession:
                 self.stats.degraded_s += time.perf_counter() - self._degraded_since
                 self._degraded_since = None
         self.store.put_epoch(
-            result["epoch"], result["delta"], result["records"], result["sink"]
+            result["epoch"],
+            result["delta"],
+            result["records"],
+            result["sink"],
+            s_delta=result.get("s_delta"),
+            s_records=result.get("s_records"),
         )
         now = time.perf_counter()
         self._publish_walltime[result["epoch"]] = now
         stale = result["epoch"] - self.store.retention
         self._publish_walltime.pop(stale, None)
-        message = ServedMessage(DELTA, result["epoch"], result["delta"])
+        messages = {
+            ENCODING_PLAIN: ServedMessage(DELTA, result["epoch"], result["delta"])
+        }
+        if "s_delta" in result:
+            messages[ENCODING_SIMPLIFIED] = ServedMessage(
+                DELTA, result["epoch"], result["s_delta"]
+            )
         for sub_id in list(self._subs):
             entry = self._subs.get(sub_id)
             if entry is None:
                 continue
             try:
-                entry.queue.put_nowait(message)
+                entry.queue.put_nowait(messages[entry.encoding])
             except asyncio.QueueFull:
                 self._evict(sub_id)
         self.stats.epochs += 1
@@ -506,8 +558,22 @@ class MapSession:
     # Client paths
     # ------------------------------------------------------------------
 
-    def snapshot(self, epoch: Optional[int] = None) -> ServedMessage:
+    @property
+    def simplified_available(self) -> bool:
+        """True when this session produces the SIMPLIFIED stream."""
+        return self.config.simplify_tolerance is not None
+
+    def snapshot(
+        self, epoch: Optional[int] = None, encoding: str = ENCODING_PLAIN
+    ) -> ServedMessage:
         """The rendered snapshot at ``epoch`` (default latest).
+
+        ``encoding`` selects the record selection the snapshot is
+        rendered from: :data:`~repro.serving.wire.ENCODING_PLAIN` (every
+        cached record) or :data:`~repro.serving.wire.ENCODING_SIMPLIFIED`
+        (the tolerance-bounded subset; only on sessions configured with
+        a ``simplify_tolerance`` -- otherwise
+        :class:`~repro.serving.errors.EncodingUnavailable`).
 
         Graceful degradation: while the session is degraded (its shard
         is failing or recovering) or failed, a latest-snapshot request
@@ -518,7 +584,10 @@ class MapSession:
         Raises :class:`~repro.serving.errors.EpochEvicted` for explicit
         epochs outside retention.
         """
-        payload = self.store.snapshot(epoch)
+        encoding = negotiate_encoding((encoding,), self.simplified_available)
+        payload = self.store.snapshot(
+            epoch, simplified=encoding == ENCODING_SIMPLIFIED
+        )
         kind = SNAPSHOT
         if epoch is None and (self.degraded or self.failure is not None):
             kind = SNAPSHOT_STALE
@@ -527,9 +596,19 @@ class MapSession:
             kind, epoch if epoch is not None else self.store.latest_epoch, payload
         )
 
-    def attach(self, since_epoch: int = 0) -> Subscription:
+    def attach(
+        self,
+        since_epoch: int = 0,
+        encodings: Tuple[str, ...] = (ENCODING_PLAIN,),
+    ) -> Subscription:
         """Subscribe from ``since_epoch``: the stream replays epochs
         ``since_epoch + 1 .. latest`` and then follows live updates.
+
+        ``encodings`` is the subscriber's offer, in preference order;
+        the negotiated pick (see
+        :func:`~repro.serving.wire.negotiate_encoding`) fixes the stream
+        encoding for the subscription's lifetime and is exposed as
+        :attr:`Subscription.encoding`.
 
         Replay edge cases (all pinned by ``tests/serving``):
 
@@ -547,8 +626,12 @@ class MapSession:
             raise SessionFailedError(
                 f"session {self.config.query_id!r} failed: {self.failure!r}"
             ) from self.failure
+        encoding = negotiate_encoding(encodings, self.simplified_available)
+        simplified = encoding == ENCODING_SIMPLIFIED
         entry = _SubEntry(
-            queue=asyncio.Queue(maxsize=self.queue_depth), closed=asyncio.Event()
+            queue=asyncio.Queue(maxsize=self.queue_depth),
+            closed=asyncio.Event(),
+            encoding=encoding,
         )
         sub_id = self._next_sub_id
         self._next_sub_id += 1
@@ -565,12 +648,16 @@ class MapSession:
             oldest = self.store.oldest_retained()
             if oldest is not None and start >= oldest:
                 for e in range(start, current + 1):
-                    delta = self.store.delta(e)
+                    delta = self.store.delta(e, simplified=simplified)
                     assert delta is not None  # inside retention by check above
                     replay.append(ServedMessage(DELTA, e, delta))
             else:
                 replay.append(
-                    ServedMessage(SNAPSHOT, current, self.store.snapshot(current))
+                    ServedMessage(
+                        SNAPSHOT,
+                        current,
+                        self.store.snapshot(current, simplified=simplified),
+                    )
                 )
         return Subscription(self, sub_id, entry, replay)
 

@@ -38,6 +38,10 @@ class _EpochEntry:
     delta: bytes
     records: Tuple[bytes, ...]
     sink: Optional[int]
+    #: The SIMPLIFIED stream's payloads for this epoch (None on sessions
+    #: without a configured simplify tolerance).
+    s_delta: Optional[bytes] = None
+    s_records: Optional[Tuple[bytes, ...]] = None
 
 
 class MapStore:
@@ -69,7 +73,8 @@ class MapStore:
         self.snapshot_cache_size = snapshot_cache_size
         self.cache_enabled = cache_enabled
         self._epochs: "OrderedDict[int, _EpochEntry]" = OrderedDict()
-        self._rendered: "OrderedDict[int, bytes]" = OrderedDict()
+        # Rendered-snapshot LRU, keyed (epoch, simplified).
+        self._rendered: "OrderedDict[Tuple[int, bool], bytes]" = OrderedDict()
         self._latest = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -99,40 +104,75 @@ class MapStore:
         delta: bytes,
         records: Tuple[bytes, ...],
         sink: Optional[int],
+        s_delta: Optional[bytes] = None,
+        s_records: Optional[Tuple[bytes, ...]] = None,
     ) -> None:
-        """Publish one epoch's payloads (epochs must arrive in order)."""
+        """Publish one epoch's payloads (epochs must arrive in order).
+
+        ``s_delta`` / ``s_records`` carry the SIMPLIFIED stream's epoch
+        payloads when the session produces one; they share the epoch's
+        retention window.
+        """
         if epoch != self._latest + 1:
             raise ValueError(
                 f"epoch {epoch} out of order (latest is {self._latest})"
             )
-        self._epochs[epoch] = _EpochEntry(delta, tuple(records), sink)
+        self._epochs[epoch] = _EpochEntry(
+            delta,
+            tuple(records),
+            sink,
+            s_delta=s_delta,
+            s_records=None if s_records is None else tuple(s_records),
+        )
         self._latest = epoch
         while len(self._epochs) > self.retention:
             old, _ = self._epochs.popitem(last=False)
             # Purge any cached rendering with the state it came from:
             # eviction must never leave a servable stale snapshot behind.
-            self._rendered.pop(old, None)
+            self._rendered.pop((old, False), None)
+            self._rendered.pop((old, True), None)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
 
-    def delta(self, epoch: int) -> Optional[bytes]:
-        """The delta payload of ``epoch`` (None once evicted / unknown)."""
-        entry = self._epochs.get(epoch)
-        return None if entry is None else entry.delta
+    def delta(self, epoch: int, simplified: bool = False) -> Optional[bytes]:
+        """The delta payload of ``epoch`` (None once evicted / unknown).
 
-    def snapshot(self, epoch: Optional[int] = None) -> bytes:
+        With ``simplified`` the SIMPLIFIED stream's delta is returned;
+        requesting it on a session that never produced one raises
+        ``ValueError`` (negotiation upstream should have refused).
+        """
+        entry = self._epochs.get(epoch)
+        if entry is None:
+            return None
+        if not simplified:
+            return entry.delta
+        if entry.s_delta is None:
+            raise ValueError(
+                f"query {self.query_id!r} epoch {epoch} has no simplified delta"
+            )
+        return entry.s_delta
+
+    def snapshot(
+        self, epoch: Optional[int] = None, simplified: bool = False
+    ) -> bytes:
         """The rendered snapshot payload of ``epoch`` (default: latest).
+
+        With ``simplified`` the snapshot is rendered from the epoch's
+        SIMPLIFIED record subset (cached separately from the plain
+        rendering).
 
         Raises:
             EpochEvicted: the epoch fell out of retention (or was never
                 published).
+            ValueError: a simplified snapshot of an epoch that has none.
         """
         if epoch is None:
             epoch = self._latest
         if epoch == 0 and self._latest == 0:
-            # Nothing published yet: the canonical empty map.
+            # Nothing published yet: the canonical empty map (identical
+            # for both encodings -- simplifying nothing keeps nothing).
             return encode_snapshot(0, (), None)
         entry = self._epochs.get(epoch)
         if entry is None:
@@ -140,17 +180,26 @@ class MapStore:
                 f"query {self.query_id!r} epoch {epoch} is outside retention "
                 f"[{self.oldest_retained()}, {self._latest}]"
             )
+        records = entry.records
+        if simplified:
+            if entry.s_records is None:
+                raise ValueError(
+                    f"query {self.query_id!r} epoch {epoch} has no simplified "
+                    f"record state"
+                )
+            records = entry.s_records
+        key = (epoch, simplified)
         if self.cache_enabled:
-            cached = self._rendered.get(epoch)
+            cached = self._rendered.get(key)
             if cached is not None:
-                self._rendered.move_to_end(epoch)
+                self._rendered.move_to_end(key)
                 self.cache_hits += 1
                 return cached
         self.cache_misses += 1
-        payload = encode_snapshot(epoch, entry.records, entry.sink)
+        payload = encode_snapshot(epoch, records, entry.sink)
         if self.cache_enabled:
-            self._rendered[epoch] = payload
-            self._rendered.move_to_end(epoch)
+            self._rendered[key] = payload
+            self._rendered.move_to_end(key)
             while len(self._rendered) > self.snapshot_cache_size:
                 self._rendered.popitem(last=False)
         return payload

@@ -525,6 +525,18 @@ class SupervisedShardPool:
                 f"failed its CRC check",
                 shard=sup.index,
             )
+        # The SIMPLIFIED stream's delta carries its own integrity tag:
+        # both payloads must survive transit for the epoch to publish.
+        s_crc = result.get("s_crc")
+        if s_crc is not None and (
+            zlib.crc32(result["s_delta"]) & 0xFFFFFFFF
+        ) != s_crc:
+            sup.health.corruptions += 1
+            raise ShardResultCorrupted(
+                f"shard {sup.index} simplified payload for epoch {epoch} of "
+                f"{qid!r} failed its CRC check",
+                shard=sup.index,
+            )
         return result
 
     def _backoff_delay(self, query_id: str, epoch: int, k: int) -> float:

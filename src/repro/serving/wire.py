@@ -29,18 +29,47 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.codec import ReportCodec
 from repro.core.contour_map import ContourMap, build_contour_map
 from repro.core.reports import IsolineReport
 from repro.core.wire import ISOLINE_REPORT_BYTES
 from repro.geometry import BoundingBox
-from repro.serving.errors import ReplayGapError, WireFormatError
+from repro.geometry.simplify import (
+    chain_points,
+    polyline_deviation,
+    simplify_polyline,
+    simplify_ring,
+)
+from repro.serving.errors import (
+    EncodingUnavailable,
+    ReplayGapError,
+    WireFormatError,
+)
 
 #: Message kinds carried by :class:`ServedMessage`.
 SNAPSHOT = "snapshot"
 DELTA = "delta"
+
+#: Stream encodings a subscriber can negotiate (see
+#: :func:`negotiate_encoding`).  PLAIN is the PR-6 contract: every
+#: cached record ships.  SIMPLIFIED ships the tolerance-bounded record
+#: subset produced by :class:`SimplifiedStream`; its payload *layout* is
+#: identical to PLAIN (same headers, records, retractions -- a
+#: :class:`DeltaReplayer` folds either), only the record selection
+#: differs, so the version number is part of the negotiation, not of the
+#: payload bytes.
+ENCODING_PLAIN = "plain"
+ENCODING_SIMPLIFIED = "simplified"
+
+#: Wire contract versions (negotiated out of band, per subscriber).
+WIRE_VERSION_PLAIN = 1
+WIRE_VERSION_SIMPLIFIED = 2
+WIRE_VERSIONS = {
+    ENCODING_PLAIN: WIRE_VERSION_PLAIN,
+    ENCODING_SIMPLIFIED: WIRE_VERSION_SIMPLIFIED,
+}
 
 #: A snapshot served while the session's shard is failing or recovering:
 #: the payload is the last *retained* epoch (byte-identical to what
@@ -284,3 +313,275 @@ class DeltaReplayer:
             sink_value=self.sink_value(codec),
             regulate=regulate,
         )
+
+    def isoline_polylines(
+        self, codec: ReportCodec, max_gap: Optional[float] = None
+    ) -> Dict[float, List[Tuple[List[Tuple[float, float]], bool]]]:
+        """Render the held records as per-level isoline polylines.
+
+        A lightweight client view (e.g. for plotting a SIMPLIFIED
+        stream without the full Voronoi reconstruction): records are
+        grouped by quantised isolevel and chained with
+        :func:`repro.geometry.simplify.chain_points`.  Returns
+        ``{isolevel: [(points, is_ring), ...]}``.  Pass an explicit
+        ``max_gap`` (e.g. derived from the deployment's node spacing)
+        when comparing renderings of streams with different densities --
+        the default gap adapts to the data and so differs per stream.
+        """
+        by_level: Dict[int, List[bytes]] = {}
+        for rec in sorted(self._state.values()):
+            q_level = rec[0] | (rec[1] << 8)
+            by_level.setdefault(q_level, []).append(rec)
+        out: Dict[float, List[Tuple[List[Tuple[float, float]], bool]]] = {}
+        for q_level in sorted(by_level):
+            positions = [
+                codec.dequantize_position(record_position_key(r))
+                for r in by_level[q_level]
+            ]
+            chains = [
+                ([positions[i] for i in chain], is_ring)
+                for chain, is_ring in chain_points(positions, max_gap=max_gap)
+            ]
+            out[codec.dequantize_value(q_level)] = chains
+        return out
+
+
+# ----------------------------------------------------------------------
+# SIMPLIFIED encoding (wire version 2, negotiated per subscriber)
+# ----------------------------------------------------------------------
+
+
+def negotiate_encoding(
+    offered: Iterable[str], simplified_available: bool
+) -> str:
+    """Pick the stream encoding for one subscriber.
+
+    The subscriber offers encodings in preference order; the first one
+    the session can serve wins.  PLAIN is always servable; SIMPLIFIED
+    only on sessions configured with a ``simplify_tolerance``.  An
+    unknown encoding name is a hard error (it is a client bug, not a
+    preference), and so is an offer the session cannot meet at all --
+    :class:`~repro.serving.errors.EncodingUnavailable` instead of a
+    silent downgrade.
+    """
+    offers = tuple(offered)
+    if not offers:
+        raise EncodingUnavailable("subscriber offered no encodings")
+    for enc in offers:
+        if enc not in WIRE_VERSIONS:
+            raise EncodingUnavailable(f"unknown stream encoding {enc!r}")
+    for enc in offers:
+        if enc == ENCODING_PLAIN or simplified_available:
+            return enc
+    raise EncodingUnavailable(
+        f"none of {offers!r} is servable (simplified stream not configured)"
+    )
+
+
+#: Chain gap cutoff for record selection, as a multiple of the level's
+#: median nearest-neighbour record distance.  Chaining only decides which
+#: records may be *dropped* -- every dropped record stays within the
+#: tolerance of the retained span of its own chain regardless of how the
+#: chain was cut -- so a generous cutoff (longer chains, fewer always-kept
+#: endpoints) buys bytes without touching the Hausdorff guarantee.
+CHAIN_GAP_FACTOR = 12.0
+
+
+def select_simplified_records(
+    records: Iterable[bytes],
+    dequantize: "Callable[[Tuple[int, int]], Tuple[float, float]]",
+    tolerance: float,
+) -> Tuple[bytes, ...]:
+    """The tolerance-bounded record subset of a full map state.
+
+    Records sharing a quantised value are samples of one level's
+    isolines; per level they are chained into polylines/rings
+    (:func:`repro.geometry.simplify.chain_points` -- deterministic
+    greedy nearest-neighbour with a data-derived gap cutoff) and
+    Douglas-Peucker simplified; the kept vertices are the kept records.
+    Selection is a pure function of ``(records, tolerance)``: every
+    replica selects the identical subset, which is what lets workers
+    rebuild and fast-forward a simplified stream byte-identically.
+
+    ``tolerance == 0`` keeps everything (the identity the byte-identity
+    differentials pin).
+    """
+    recs = tuple(records)
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if tolerance == 0.0 or len(recs) <= 2:
+        return recs
+    kept: List[bytes] = []
+    for level_recs, chain, pts, _is_ring, simplified in _iter_simplified_chains(
+        recs, dequantize, tolerance
+    ):
+        kept_pts = set(simplified)
+        kept.extend(
+            level_recs[i] for i, p in zip(chain, pts) if p in kept_pts
+        )
+    return tuple(sorted(kept))
+
+
+def _iter_simplified_chains(recs, dequantize, tolerance):
+    """Per-level chaining + simplification shared by selection and stats.
+
+    Yields ``(level_recs, chain, pts, is_ring, simplified)`` per chain,
+    deterministically (levels ascending, records in canonical order).
+    """
+    by_level: Dict[int, List[bytes]] = {}
+    for rec in recs:
+        level = rec[0] | (rec[1] << 8)  # first u16 of the <HHHH> record
+        by_level.setdefault(level, []).append(rec)
+    for level in sorted(by_level):
+        level_recs = sorted(by_level[level])
+        positions = [dequantize(record_position_key(r)) for r in level_recs]
+        for chain, is_ring in chain_points(
+            positions, gap_factor=CHAIN_GAP_FACTOR
+        ):
+            pts = [positions[i] for i in chain]
+            if is_ring:
+                simplified = simplify_ring(pts, tolerance)
+            else:
+                simplified = simplify_polyline(pts, tolerance)
+            yield level_recs, chain, pts, is_ring, simplified
+
+
+def simplified_selection_stats(
+    records: Iterable[bytes],
+    dequantize: "Callable[[Tuple[int, int]], Tuple[float, float]]",
+    tolerance: float,
+) -> Dict[str, float]:
+    """Measured fidelity of :func:`select_simplified_records`.
+
+    Returns the record counts and the **measured Hausdorff deviation**:
+    the maximum distance from any full-stream record position to the
+    retained span of its own chain (closing segment included for rings).
+    This is exactly the quantity the simplifier's per-segment tolerance
+    guarantee bounds, so ``max_deviation <= tolerance`` always -- the
+    stats exist to *measure* it rather than assume it, and the bench
+    gate asserts the inequality on real served maps.
+    """
+    recs = tuple(records)
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    n_full = len(recs)
+    if tolerance == 0.0 or n_full <= 2:
+        return {
+            "records_full": n_full,
+            "records_kept": n_full,
+            "chains": 0,
+            "max_deviation": 0.0,
+        }
+    n_kept = 0
+    n_chains = 0
+    worst = 0.0
+    for _level_recs, _chain, pts, is_ring, simplified in _iter_simplified_chains(
+        recs, dequantize, tolerance
+    ):
+        n_kept += len(simplified)
+        n_chains += 1
+        curve = simplified + [simplified[0]] if is_ring else simplified
+        worst = max(worst, polyline_deviation(pts, curve))
+    return {
+        "records_full": n_full,
+        "records_kept": n_kept,
+        "chains": n_chains,
+        "max_deviation": worst,
+    }
+
+
+class SimplifiedStream:
+    """Server-side producer of the SIMPLIFIED delta/snapshot stream.
+
+    Mirrors what a simplified subscriber holds (a position-keyed record
+    dict, exactly like a :class:`DeltaReplayer`) and, each epoch, folds
+    the session's *full* change set into a simplified delta that moves
+    the mirror to the tolerance-bounded subset of the new map state.
+
+    Payload construction preserves the full delta's framing order so the
+    two streams stay relatable byte-for-byte:
+
+    - records: the full delta's records, in order, filtered to kept
+      keys; then (sorted) any kept record the mirror lacks or holds with
+      different bytes -- records re-entering the subset as the geometry
+      shifts under a *fixed* tolerance;
+    - retractions: the full delta's retractions, in order, filtered to
+      keys the mirror actually holds; then (sorted) the simplification
+      drops -- records leaving the subset without leaving the map.
+
+    At ``tolerance == 0`` the selection keeps everything and the fold is
+    a strict passthrough of the full delta bytes, so the simplified
+    stream is **byte-identical** to the PR-6 encoding -- the acceptance
+    differential.
+
+    Determinism: the mirror evolves as a pure function of the epoch
+    sequence, so a rebuilt worker that fast-forwards through the same
+    epochs re-emits identical simplified payloads.
+    """
+
+    def __init__(
+        self,
+        tolerance: float,
+        dequantize: "Callable[[Tuple[int, int]], Tuple[float, float]]",
+    ):
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        self.tolerance = tolerance
+        self._dequantize = dequantize
+        self._mirror: Dict[Tuple[int, int], bytes] = {}
+        self.epoch = 0
+
+    def fold_epoch(
+        self,
+        epoch: int,
+        delta_records: Iterable[bytes],
+        delta_retractions: Iterable[Tuple[int, int]],
+        state_records: Iterable[bytes],
+        sink: Optional[int],
+    ) -> Tuple[bytes, Tuple[bytes, ...]]:
+        """Fold one epoch; returns ``(s_delta payload, s_records)``.
+
+        ``delta_records`` / ``delta_retractions`` are the full delta's
+        contents in wire order; ``state_records`` is the full map state
+        after the epoch.  ``s_records`` is the canonical (sorted) kept
+        subset -- what the store renders simplified snapshots from.
+        """
+        d_recs = tuple(delta_records)
+        d_rets = tuple(delta_retractions)
+        if self.tolerance == 0.0:
+            # Strict passthrough: byte identity with the plain stream.
+            self._mirror = {record_position_key(r): r for r in state_records}
+            self.epoch = epoch
+            return (
+                encode_delta(epoch, d_recs, d_rets, sink),
+                tuple(sorted(self._mirror.values())),
+            )
+        s_records = select_simplified_records(
+            state_records, self._dequantize, self.tolerance
+        )
+        target = {record_position_key(r): r for r in s_records}
+        applied = dict(self._mirror)
+        emitted: List[bytes] = []
+        for rec in d_recs:
+            key = record_position_key(rec)
+            if key in target:
+                emitted.append(rec)
+                applied[key] = rec
+        extra = sorted(
+            rec
+            for key, rec in target.items()
+            if applied.get(key) != rec
+        )
+        for rec in extra:
+            applied[record_position_key(rec)] = rec
+        emitted.extend(extra)
+        need_drop = set(applied) - set(target)
+        rets: List[Tuple[int, int]] = []
+        for key in d_rets:
+            if key in need_drop:
+                rets.append(key)
+                need_drop.discard(key)
+        rets.extend(sorted(need_drop))
+        self._mirror = target
+        self.epoch = epoch
+        return encode_delta(epoch, emitted, rets, sink), s_records

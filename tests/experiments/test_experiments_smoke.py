@@ -205,3 +205,28 @@ class TestFigContinuous:
         assert storm["full_rebuilds"] >= 1
         # Post-storm steady state is quiet again.
         assert by[("local_storm", 3)]["dirty_fraction"] < 1.0
+
+
+class TestFigSimplify:
+    def test_reduced_sweep_passthrough_and_trade(self):
+        from repro.experiments.fig_simplify import run_fig_simplify
+
+        # Reduced scale: 600 nodes need range 2.8 on the 50x50 field to
+        # stay connected (same density scaling as fig07's reduced runs).
+        res = run_fig_simplify(
+            seeds=(1,), n=600, epochs=2, scenarios=("steady",),
+            tolerances=(0.0, 1.0), radio_range=2.8,
+        )
+        assert res.experiment_id == "fig_simplify"
+        assert len(res.rows) == 2
+        zero, one = sorted(res.rows, key=lambda r: r["tolerance"])
+        # Tolerance 0 is the byte-identical passthrough.
+        assert zero["bytes_ratio"] == 1.0
+        assert zero["hausdorff_dev"] == 0.0
+        assert zero["records_kept"] == zero["records_full"]
+        # A real tolerance drops records and bytes, within the guarantee.
+        assert one["records_kept"] < one["records_full"]
+        assert one["bytes_ratio"] > 1.0
+        assert one["hausdorff_dev"] <= 1.0 + 1e-9
+        # One grid cell is one field unit on the 50-raster harbor map.
+        assert one["hausdorff_cells"] == pytest.approx(one["hausdorff_dev"])

@@ -1,0 +1,247 @@
+"""The SIMPLIFIED stream (wire version 2): negotiation, identity, fold.
+
+Contracts pinned here:
+
+- **negotiation**: first servable offered encoding wins; unknown names
+  and unservable offers raise ``EncodingUnavailable`` (no silent
+  downgrade); plain-only sessions serve plain subscribers untouched;
+- **tolerance-0 byte identity**: with ``simplify_tolerance=0.0`` the
+  simplified delta stream and snapshots are byte-identical to the PR-6
+  plain encoding, on every scenario -- the differential that proves the
+  simplified pipeline is a pure extension;
+- **fold == rendered snapshot**: a ``DeltaReplayer`` folding only the
+  simplified deltas renders, at every epoch, exactly the snapshot the
+  store serves for the SIMPLIFIED encoding (the stream is
+  self-consistent, not just a filtered view);
+- **plain stream untouched**: enabling the simplified pipeline changes
+  nothing about the plain bytes;
+- **guarantee on served maps**: the measured deviation of the selection
+  never exceeds the tolerance;
+- **mixed subscribers**: plain and simplified subscribers on one live
+  session each receive their own consistent stream, and resync works
+  per encoding.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serving.errors import EncodingUnavailable
+from repro.serving.router import MapService
+from repro.serving.session import MapSession, SessionCompute, SessionConfig
+from repro.serving.store import MapStore
+from repro.serving.wire import (
+    DELTA,
+    ENCODING_PLAIN,
+    ENCODING_SIMPLIFIED,
+    DeltaReplayer,
+    ServedMessage,
+    decode_delta,
+    decode_snapshot,
+    encode_snapshot,
+    negotiate_encoding,
+    select_simplified_records,
+    simplified_selection_stats,
+)
+
+SCENARIOS = ("steady", "tide", "storm", "pulse")
+CONFIG_KW = dict(n_nodes=400, seed=3, radio_range=2.2)
+EPOCHS = 6
+
+
+def config_with(tolerance, scenario="tide", **kw):
+    base = dict(CONFIG_KW)
+    base.update(kw)
+    return SessionConfig(
+        query_id="simp", scenario=scenario, simplify_tolerance=tolerance, **base
+    )
+
+
+class TestNegotiation:
+    def test_first_servable_offer_wins(self):
+        assert negotiate_encoding((ENCODING_PLAIN,), False) == ENCODING_PLAIN
+        assert (
+            negotiate_encoding((ENCODING_SIMPLIFIED, ENCODING_PLAIN), True)
+            == ENCODING_SIMPLIFIED
+        )
+        assert (
+            negotiate_encoding((ENCODING_PLAIN, ENCODING_SIMPLIFIED), True)
+            == ENCODING_PLAIN
+        )
+
+    def test_unknown_encoding_is_a_hard_error(self):
+        with pytest.raises(EncodingUnavailable):
+            negotiate_encoding(("gzip",), True)
+        with pytest.raises(EncodingUnavailable):
+            negotiate_encoding((ENCODING_PLAIN, "gzip"), True)
+
+    def test_unservable_offer_raises_not_downgrades(self):
+        with pytest.raises(EncodingUnavailable):
+            negotiate_encoding((ENCODING_SIMPLIFIED,), False)
+        with pytest.raises(EncodingUnavailable):
+            negotiate_encoding((), True)
+
+    def test_session_without_tolerance_rejects_simplified(self):
+        compute = SessionCompute(config_with(None))
+        out = compute.epoch(1)
+        assert "s_delta" not in out
+
+
+class TestToleranceZeroByteIdentity:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_simplified_stream_is_byte_identical(self, scenario):
+        passthrough = SessionCompute(config_with(0.0, scenario))
+        for epoch in range(1, EPOCHS + 1):
+            out = passthrough.epoch(epoch)
+            assert out["s_delta"] == out["delta"]
+            assert out["s_records"] == out["records"]
+
+    def test_plain_bytes_unchanged_by_enabling_simplified(self):
+        plain = SessionCompute(config_with(None))
+        simplified = SessionCompute(config_with(0.8))
+        for epoch in range(1, EPOCHS + 1):
+            a = plain.epoch(epoch)
+            b = simplified.epoch(epoch)
+            assert a["delta"] == b["delta"]
+            assert a["records"] == b["records"]
+
+
+class TestSimplifiedFold:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_replayed_simplified_deltas_render_served_snapshots(self, scenario):
+        compute = SessionCompute(config_with(0.8, scenario))
+        replayer = DeltaReplayer()
+        for epoch in range(1, EPOCHS + 1):
+            out = compute.epoch(epoch)
+            replayer.apply(ServedMessage(DELTA, epoch, out["s_delta"]))
+            rendered = encode_snapshot(epoch, out["s_records"], out["sink"])
+            assert replayer.render() == rendered
+
+    def test_selection_deviation_bounded_on_served_maps(self):
+        tolerance = 0.8
+        compute = SessionCompute(config_with(tolerance))
+        for epoch in range(1, EPOCHS + 1):
+            out = compute.epoch(epoch)
+        stats = simplified_selection_stats(
+            out["records"], compute.codec.dequantize_position, tolerance
+        )
+        assert stats["max_deviation"] <= tolerance
+        assert stats["records_kept"] <= stats["records_full"]
+
+    def test_selection_is_pure_function_of_state(self):
+        compute = SessionCompute(config_with(0.8))
+        for epoch in range(1, 4):
+            out = compute.epoch(epoch)
+        dequantize = compute.codec.dequantize_position
+        a = select_simplified_records(out["records"], dequantize, 0.8)
+        b = select_simplified_records(tuple(out["records"]), dequantize, 0.8)
+        assert a == b
+        assert set(a) <= set(out["records"])
+
+
+class TestStoreSimplified:
+    def test_store_serves_both_encodings(self):
+        compute = SessionCompute(config_with(0.8))
+        store = MapStore("simp")
+        for epoch in range(1, 4):
+            out = compute.epoch(epoch)
+            store.put_epoch(
+                epoch,
+                out["delta"],
+                out["records"],
+                out["sink"],
+                s_delta=out["s_delta"],
+                s_records=out["s_records"],
+            )
+        assert store.delta(2) == store.delta(2, simplified=False)
+        assert store.delta(2, simplified=True) != store.delta(2)
+        plain_snap = decode_snapshot(store.snapshot(3))
+        simp_snap = decode_snapshot(store.snapshot(3, simplified=True))
+        assert len(simp_snap.records) < len(plain_snap.records)
+        assert set(simp_snap.records) <= set(plain_snap.records)
+
+    def test_store_without_simplified_rejects_requests(self):
+        compute = SessionCompute(config_with(None))
+        store = MapStore("simp")
+        out = compute.epoch(1)
+        store.put_epoch(1, out["delta"], out["records"], out["sink"])
+        with pytest.raises(ValueError):
+            store.delta(1, simplified=True)
+        with pytest.raises(ValueError):
+            store.snapshot(1, simplified=True)
+
+
+async def next_message(subscription):
+    return await asyncio.wait_for(subscription.__anext__(), timeout=5.0)
+
+
+async def drain(subscription, n):
+    return [await next_message(subscription) for _ in range(n)]
+
+
+class TestLiveSession:
+    def test_mixed_subscribers_each_get_their_stream(self):
+        async def run():
+            service = MapService([config_with(0.8)])
+            try:
+                session = service.session("simp")
+                plain_sub = service.subscribe("simp")
+                simp_sub = service.subscribe(
+                    "simp", encodings=(ENCODING_SIMPLIFIED, ENCODING_PLAIN)
+                )
+                assert plain_sub.encoding == ENCODING_PLAIN
+                assert simp_sub.encoding == ENCODING_SIMPLIFIED
+                plain_replay, simp_replay = DeltaReplayer(), DeltaReplayer()
+                for _ in range(4):
+                    await session.advance()
+                for msg in await drain(plain_sub, 4):
+                    plain_replay.apply(msg)
+                for msg in await drain(simp_sub, 4):
+                    simp_replay.apply(msg)
+                assert plain_replay.epoch == simp_replay.epoch == 4
+                assert plain_replay.render() == service.snapshot("simp").payload
+                assert simp_replay.render() == service.snapshot(
+                    "simp", encoding=ENCODING_SIMPLIFIED
+                ).payload
+                assert simp_replay.record_count <= plain_replay.record_count
+            finally:
+                await service.stop()
+
+        asyncio.run(run())
+
+    def test_simplified_snapshot_resync_after_eviction(self):
+        async def run():
+            config = config_with(0.8)
+            service = MapService([config], retention=2)
+            try:
+                session = service.session("simp")
+                for _ in range(5):
+                    await session.advance()
+                # Epoch 1 has been evicted: a simplified subscriber from
+                # epoch 0 must be resynced with a simplified snapshot.
+                sub = service.subscribe(
+                    "simp", since_epoch=0, encodings=(ENCODING_SIMPLIFIED,)
+                )
+                msg = await next_message(sub)
+                frame = decode_snapshot(msg.payload)
+                assert frame.epoch == 5
+                assert msg.payload == service.snapshot(
+                    "simp", encoding=ENCODING_SIMPLIFIED
+                ).payload
+            finally:
+                await service.stop()
+
+        asyncio.run(run())
+
+    def test_plain_only_session_rejects_simplified_subscriber(self):
+        async def run():
+            service = MapService([SessionConfig(query_id="p", **CONFIG_KW)])
+            try:
+                with pytest.raises(EncodingUnavailable):
+                    service.subscribe("p", encodings=(ENCODING_SIMPLIFIED,))
+                with pytest.raises(EncodingUnavailable):
+                    service.snapshot("p", encoding=ENCODING_SIMPLIFIED)
+            finally:
+                await service.stop()
+
+        asyncio.run(run())

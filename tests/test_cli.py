@@ -68,7 +68,8 @@ class TestRegistry:
         for key in (
             "fig07", "fig09", "fig10", "fig11a", "fig11b", "fig12a",
             "fig12b", "fig13", "fig14a", "fig14b", "fig15", "fig16",
-            "fig_continuous", "fig_faults", "table1", "theorem41",
+            "fig_continuous", "fig_faults", "fig_simplify", "table1",
+            "theorem41",
         ):
             assert key in registry
 
@@ -77,3 +78,27 @@ class TestRegistry:
         assert "ablation_gradient" in registry
         assert "ext_continuous" in registry
         assert "ext_localization" in registry
+
+
+class TestServeFlags:
+    def test_simplify_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--simplify-tolerance", "0.8",
+             "--simplified-subscribers", "2"]
+        )
+        assert args.simplify_tolerance == 0.8
+        assert args.simplified_subscribers == 2
+        # Off by default: the plain session is unchanged.
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.simplify_tolerance is None
+        assert defaults.simplified_subscribers == 0
+
+    def test_negative_tolerance_rejected(self, capsys):
+        rc = main(["serve", "--simplify-tolerance", "-1.0", "--epochs", "1"])
+        assert rc == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_simplified_subscribers_need_tolerance(self, capsys):
+        rc = main(["serve", "--simplified-subscribers", "1", "--epochs", "1"])
+        assert rc == 2
+        assert "--simplify-tolerance" in capsys.readouterr().err

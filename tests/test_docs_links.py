@@ -85,4 +85,4 @@ def test_doc_set_is_nonempty():
     assert len(DOC_FILES) >= 5
     names = {p.name for p in DOC_FILES}
     assert {"README.md", "EXPERIMENTS.md", "architecture.md",
-            "walkthrough.md", "performance.md"} <= names
+            "walkthrough.md", "performance.md", "serving.md"} <= names
