@@ -16,8 +16,17 @@ Clients get the map two ways:
 A second subscriber joins mid-stream: the session replays the epochs it
 missed before handing it live updates.
 
+With ``--prediction-tolerance`` the session's monitor runs the
+model-predictive suppressor: sources whose drift the sink's mirrored
+predictor already dead-reckons within tolerance skip their reports, the
+served deltas are tagged ``DELTA_PREDICTED``, and the per-epoch line
+shows how many cached records were extrapolated rather than delivered.
+The replay == snapshot check holds unchanged -- extrapolation happens
+identically on both sides of the wire.
+
 Run:  python examples/serving_demo.py
       python examples/serving_demo.py --nodes 300 --epochs 4   # quick
+      python examples/serving_demo.py --scenario front --prediction-tolerance 1.1
 """
 
 import argparse
@@ -26,41 +35,55 @@ import asyncio
 from repro.serving import DeltaReplayer, MapService, SessionConfig
 
 
-def harbor_config(nodes: int, seed: int) -> SessionConfig:
+def harbor_config(
+    nodes: int,
+    seed: int,
+    scenario: str = "tide",
+    prediction_tolerance=None,
+    prediction_heartbeat: int = 8,
+) -> SessionConfig:
     return SessionConfig(
         query_id="harbor",
         n_nodes=nodes,
         seed=seed,
         field="harbor",
-        scenario="tide",
+        scenario=scenario,
         value_lo=6.0,
         value_hi=12.0,
         granularity=2.0,
         epsilon_fraction=0.05,
         radio_range=1.5,
+        prediction_tolerance=prediction_tolerance,
+        prediction_heartbeat=prediction_heartbeat,
     )
 
 
-async def demo(nodes: int, epochs: int, seed: int) -> None:
-    config = harbor_config(nodes, seed)
+async def demo(config: SessionConfig, epochs: int) -> None:
     async with MapService([config]) as service:
         session = service.session("harbor")
         replayer = DeltaReplayer()
         sub = service.subscribe("harbor", since_epoch=0)
 
-        print(f"{'epoch':>5s} {'delta B':>8s} {'snapshot B':>10s} "
-              f"{'records':>7s} {'replay==snapshot':>16s}")
+        predicting = session.prediction_enabled
+        extra = f" {'predicted':>9s}" if predicting else ""
+        print(f"{'epoch':>5s} {'kind':>6s} {'delta B':>8s} "
+              f"{'snapshot B':>10s} {'records':>7s}{extra} "
+              f"{'replay==snapshot':>16s}")
         join_at = max(2, epochs // 2)
         late = None
         for epoch in range(1, epochs + 1):
-            await session.advance()
+            stats = await session.advance()
             message = await sub.__anext__()
             replayer.apply(message)
             snapshot = service.snapshot("harbor")
             ok = replayer.render() == snapshot.payload
-            print(f"{epoch:>5d} {len(message.payload):>8d} "
-                  f"{len(snapshot.payload):>10d} {replayer.record_count:>7d} "
-                  f"{'OK' if ok else 'MISMATCH':>16s}")
+            kind = "PDELTA" if message.predicted else "DELTA"
+            extra = (
+                f" {stats.get('predicted', 0):>9d}" if predicting else ""
+            )
+            print(f"{epoch:>5d} {kind:>6s} {len(message.payload):>8d} "
+                  f"{len(snapshot.payload):>10d} {replayer.record_count:>7d}"
+                  f"{extra} {'OK' if ok else 'MISMATCH':>16s}")
             if epoch == join_at:
                 late = service.subscribe("harbor", since_epoch=0)
 
@@ -81,8 +104,23 @@ def main() -> None:
     ap.add_argument("--nodes", type=int, default=2500)
     ap.add_argument("--epochs", type=int, default=8)
     ap.add_argument("--seed", type=int, default=11)
+    ap.add_argument("--scenario", default="tide",
+                    choices=("steady", "tide", "storm", "pulse", "front"))
+    ap.add_argument("--prediction-tolerance", type=float, default=None,
+                    help="enable model-predictive suppression at this "
+                    "position tolerance (field units)")
+    ap.add_argument("--prediction-heartbeat", type=int, default=8,
+                    help="staleness bound: max consecutive suppressed "
+                    "epochs per track")
     args = ap.parse_args()
-    asyncio.run(demo(args.nodes, args.epochs, args.seed))
+    config = harbor_config(
+        args.nodes,
+        args.seed,
+        scenario=args.scenario,
+        prediction_tolerance=args.prediction_tolerance,
+        prediction_heartbeat=args.prediction_heartbeat,
+    )
+    asyncio.run(demo(config, args.epochs))
 
 
 if __name__ == "__main__":

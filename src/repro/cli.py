@@ -44,6 +44,7 @@ def _experiment_registry() -> Dict[str, Callable]:
     from repro.experiments.fig07_gradient_error import run_fig07
     from repro.experiments.fig_continuous import run_fig_continuous
     from repro.experiments.fig_faults import run_fig_faults
+    from repro.experiments.fig_predict import run_fig_predict
     from repro.experiments.fig_simplify import run_fig_simplify
     from repro.experiments.fig10_maps import run_fig10
     from repro.experiments.fig11_accuracy import run_fig11a, run_fig11b
@@ -109,6 +110,9 @@ def _experiment_registry() -> Dict[str, Callable]:
         ),
         "fig_faults": lambda jobs, cache: run_fig_faults(
             seeds=(1,), jobs=jobs, cache_dir=cache
+        ),
+        "fig_predict": lambda jobs, cache: run_fig_predict(
+            seeds=(7,), jobs=jobs, cache_dir=cache
         ),
         "fig_simplify": lambda jobs, cache: run_fig_simplify(
             seeds=(1,), jobs=jobs, cache_dir=cache
@@ -241,7 +245,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import ChaosPlan, MapService, SessionConfig, run_load
     from repro.serving.supervisor import SupervisorConfig
 
-    if args.scenario not in ("steady", "tide", "storm", "pulse"):
+    if args.scenario not in ("steady", "tide", "storm", "pulse", "front"):
         print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
         return 2
     if not 0.0 <= args.chaos <= 1.0:
@@ -255,6 +259,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               "(the session must produce the SIMPLIFIED stream)",
               file=sys.stderr)
         return 2
+    if args.prediction_tolerance is not None and args.prediction_tolerance <= 0:
+        print("--prediction-tolerance must be positive", file=sys.stderr)
+        return 2
+    if args.prediction_heartbeat < 0:
+        print("--prediction-heartbeat must be non-negative", file=sys.stderr)
+        return 2
     config = SessionConfig(
         query_id="harbor",
         n_nodes=args.nodes,
@@ -267,6 +277,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         epsilon_fraction=0.05,
         radio_range=1.5,
         simplify_tolerance=args.simplify_tolerance,
+        prediction_tolerance=args.prediction_tolerance,
+        prediction_heartbeat=args.prediction_heartbeat,
     )
     chaos = ChaosPlan.at_intensity(args.chaos, seed=args.chaos_seed)
     supervision = None
@@ -404,12 +416,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--simplified-subscribers", type=int, default=0,
                        help="subscribers negotiating the SIMPLIFIED "
                        "encoding (requires --simplify-tolerance)")
+    p_srv.add_argument("--prediction-tolerance", type=float, default=None,
+                       help="run the monitor with model-predictive report "
+                       "suppression at this position tolerance (field "
+                       "units); deltas are tagged DELTA_PREDICTED")
+    p_srv.add_argument("--prediction-heartbeat", type=int, default=8,
+                       help="max consecutive suppressed epochs per track "
+                       "(staleness bound; 0 disables suppression)")
     p_srv.add_argument("--interval", type=float, default=0.0,
                        help="seconds between epochs")
     p_srv.add_argument("--shards", type=int, default=0,
                        help="worker processes (0 = compute inline)")
     p_srv.add_argument("--scenario", default="tide",
-                       help="field evolution: steady, tide, storm or pulse")
+                       help="field evolution: steady, tide, storm, pulse "
+                       "or front (rigid steady drift)")
     p_srv.add_argument("--chaos", type=float, default=0.0,
                        help="seeded failure-injection intensity in [0, 1] "
                        "(worker kills, hangs, drops, corruption)")

@@ -28,6 +28,7 @@ from repro.core.reconstruction import LevelRegion, build_level_region
 from repro.core.contour_map import ContourMap, build_contour_map
 from repro.core.protocol import IsoMapProtocol, IsoMapResult
 from repro.core.continuous import ContinuousIsoMap, EpochResult
+from repro.core.prediction import PredictionConfig, PredictorBank, Track
 from repro.core.codec import ReportCodec, decode_query, encode_query
 
 __all__ = [
@@ -47,6 +48,9 @@ __all__ = [
     "IsoMapResult",
     "ContinuousIsoMap",
     "EpochResult",
+    "PredictionConfig",
+    "PredictorBank",
+    "Track",
     "ReportCodec",
     "encode_query",
     "decode_query",

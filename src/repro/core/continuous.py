@@ -27,21 +27,34 @@ points toward, built entirely from the primitives the paper defines.
 In-network filtering is intentionally NOT applied to delta reports: a
 dropped delta would desynchronise the sink cache.  The delta suppression
 itself plays the filter's role (and typically cuts more).
+
+With a :class:`~repro.core.prediction.PredictionConfig` the monitor
+additionally suppresses reports the sink could have *predicted*: node
+and sink mirror an LMS drift predictor over the delivered stream and
+suppressed epochs are served from its deterministic extrapolation (see
+:mod:`repro.core.prediction`).  ``prediction=None`` -- the default --
+bypasses the predictor entirely and stays byte-identical to the
+pre-prediction epoch streams (the dead-reckoning contract, pinned by
+``tests/core/test_prediction_off_golden.py``).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro import profiling
 from repro.core.contour_map import ContourMap, SinkReconstructor, build_contour_map
 from repro.core.detection import detect_isoline_nodes
+from repro.core.prediction import PredictionConfig, PredictorBank
 from repro.core.protocol import IsoMapProtocol
 from repro.core.query import ContourQuery
 from repro.core.reports import IsolineReport
 from repro.core.wire import BYTES_PER_PARAM
-from repro.geometry import angle_between
+from repro.geometry import Vec, angle_between
 from repro.network import CostAccountant, SensorNetwork
 
 #: A retraction carries the source position only (x, y).
@@ -65,6 +78,24 @@ class EpochResult:
             the epoch delta a serving layer must forward to clients.
         sink_value: the sink's own sensed value this epoch (None when the
             sink cannot sense) -- the disambiguator for all-empty levels.
+        predicted: reports suppressed by the drift predictor this epoch
+            (0 when ``prediction=None``).
+        heartbeats: transmissions forced purely by the heartbeat cap --
+            the prediction was within tolerance but the track had been
+            extrapolated for ``heartbeat`` consecutive epochs.
+        staleness: sink-side staleness in epochs -- the age of the
+            oldest extrapolated cache entry (0 without prediction, and
+            bounded by the configured heartbeat with it).
+        tracks: live predictor tracks after the epoch.
+        cache_updates: the sink-cache entries added or changed this
+            epoch.  Without prediction this *is* ``delivered_reports``
+            (the same list object); with prediction it also carries the
+            dead-reckoned motion of suppressed entries, so a serving
+            layer must consume ``cache_updates``/``cache_removed`` --
+            not ``delivered_reports``/``retractions`` -- to mirror the
+            cache.
+        cache_removed: source keys evicted from the sink cache this
+            epoch (``retractions`` without prediction).
     """
 
     contour_map: ContourMap
@@ -75,6 +106,12 @@ class EpochResult:
     cached_reports: int = 0
     delivered_reports: List[IsolineReport] = field(default_factory=list)
     sink_value: Optional[float] = None
+    predicted: int = 0
+    heartbeats: int = 0
+    staleness: int = 0
+    tracks: int = 0
+    cache_updates: List[IsolineReport] = field(default_factory=list)
+    cache_removed: List[int] = field(default_factory=list)
 
 
 class ContinuousIsoMap:
@@ -94,6 +131,10 @@ class ContinuousIsoMap:
             either way (the reconstructor's contract).
         full_rebuild_threshold: dirty-cell fraction above which the
             incremental sink falls back to a full per-level rebuild.
+        prediction: enable model-predictive suppression with this
+            :class:`~repro.core.prediction.PredictionConfig`.  ``None``
+            (the default) runs the original epoch-delta protocol
+            byte-for-byte (the dead-reckoning contract).
     """
 
     def __init__(
@@ -104,6 +145,7 @@ class ContinuousIsoMap:
         incremental: bool = True,
         full_rebuild_threshold: float = 0.35,
         simplify_tolerance: float = 0.0,
+        prediction: Optional[PredictionConfig] = None,
     ):
         if angle_delta_deg < 0:
             raise ValueError("angle_delta_deg must be non-negative")
@@ -115,12 +157,23 @@ class ContinuousIsoMap:
         #: Forwarded to every epoch's ContourMap: > 0 makes its
         #: ``isolines()`` return tolerance-bounded simplifications.
         self.simplify_tolerance = simplify_tolerance
+        self.prediction = prediction
         self._protocol = IsoMapProtocol(query, regulate=regulate)
         self._node_state: Dict[int, IsolineReport] = {}
         self._sink_cache: Dict[int, IsolineReport] = {}
         self._reconstructor: Optional[SinkReconstructor] = None
         self._first_epoch = True
         self._epochs_run = 0
+        self._bank: Optional[PredictorBank] = (
+            None if prediction is None else PredictorBank(prediction)
+        )
+        #: Current isoline membership (source -> position), kept for the
+        #: prediction path's retraction decisions.
+        self._members: Dict[int, Vec] = {}
+        #: Sink-path memo (the satellite perf fix): paths from every
+        #: visited source to the sink, shared-suffix cached per tree.
+        self._path_cache: Dict[int, np.ndarray] = {}
+        self._path_tree: Optional[object] = None
 
     @property
     def cache_size(self) -> int:
@@ -156,29 +209,68 @@ class ContinuousIsoMap:
             for r in self._protocol._generate_reports(network, detection, costs)
         }
 
-        new_reports: List[IsolineReport] = []
-        suppressed = 0
-        for source, report in current.items():
-            previous = self._node_state.get(source)
-            if previous is not None and self._unchanged(previous, report):
-                suppressed += 1
-                continue
-            self._node_state[source] = report
-            new_reports.append(report)
+        predicted = heartbeats = staleness = tracks = 0
+        if self._bank is None:
+            new_reports: List[IsolineReport] = []
+            suppressed = 0
+            for source, report in current.items():
+                previous = self._node_state.get(source)
+                if previous is not None and self._unchanged(previous, report):
+                    suppressed += 1
+                    continue
+                self._node_state[source] = report
+                new_reports.append(report)
 
-        retractions = [
-            source for source in self._node_state if source not in current
-        ]
-        for source in retractions:
-            del self._node_state[source]
+            retractions = [
+                source for source in self._node_state if source not in current
+            ]
+            for source in retractions:
+                del self._node_state[source]
 
-        # Transmit deltas and retractions hop by hop (no cross-filtering;
-        # see module docstring).
-        delivered_reports = self._forward(network, new_reports, retractions, costs)
-        for r in delivered_reports:
-            self._sink_cache[r.source] = r
-        for source in retractions:
-            self._sink_cache.pop(source, None)
+            # Transmit deltas and retractions hop by hop (no
+            # cross-filtering; see module docstring).
+            delivered_reports, _ = self._forward(
+                network, new_reports, retractions, costs
+            )
+            for r in delivered_reports:
+                self._sink_cache[r.source] = r
+            for source in retractions:
+                self._sink_cache.pop(source, None)
+            cache_updates = delivered_reports
+            cache_removed = retractions
+        else:
+            bank = self._bank
+            with profiling.stage("prediction.predict"):
+                bank.advance()
+            with profiling.stage("prediction.decide"):
+                new_reports, predicted, heartbeats = bank.decide(current)
+                leaving = [
+                    (s, pos)
+                    for s, pos in self._members.items()
+                    if s not in current
+                ]
+                retractions = bank.decide_retractions(leaving, current)
+            self._members = {s: r.position for s, r in current.items()}
+            suppressed = predicted
+            delivered_reports, delivered_retractions = self._forward(
+                network, new_reports, retractions, costs
+            )
+            # The mirrored fold: only what the sink actually received
+            # mutates the bank, so node and sink stay in lockstep.
+            with profiling.stage("prediction.update"):
+                bank.apply(delivered_reports, delivered_retractions)
+            with profiling.stage("prediction.extrapolate"):
+                new_cache = bank.extrapolated(network.bounds)
+            prev_cache = self._sink_cache
+            cache_removed = [k for k in prev_cache if k not in new_cache]
+            cache_updates = [
+                r
+                for k, r in new_cache.items()
+                if prev_cache.get(k) != r
+            ]
+            self._sink_cache = new_cache
+            staleness = bank.max_age
+            tracks = len(bank)
 
         costs.reports_generated = len(new_reports)
         costs.reports_delivered = len(delivered_reports)
@@ -216,6 +308,12 @@ class ContinuousIsoMap:
             cached_reports=len(self._sink_cache),
             delivered_reports=delivered_reports,
             sink_value=sink_value,
+            predicted=predicted,
+            heartbeats=heartbeats,
+            staleness=staleness,
+            tracks=tracks,
+            cache_updates=cache_updates,
+            cache_removed=cache_removed,
         )
 
     def _unchanged(self, previous: IsolineReport, report: IsolineReport) -> bool:
@@ -227,16 +325,92 @@ class ContinuousIsoMap:
             <= self.angle_delta_rad
         )
 
+    def _path(self, tree, source: int) -> np.ndarray:
+        """Memoized sink path for ``source`` under the current tree.
+
+        ``RoutingTree.path_to_sink`` walks the parent chain on every
+        call; across epochs the tree is stable, so the monitor caches
+        each walked path -- and, because every suffix of a sink path is
+        itself a sink path, caches all its suffixes too, making later
+        lookups along the same branch O(1).  The cache is invalidated
+        whenever the network adopts a new tree object (e.g. a rebuild
+        after crash failures).
+        """
+        if tree is not self._path_tree:
+            self._path_tree = tree
+            self._path_cache = {}
+        cache = self._path_cache
+        path = cache.get(source)
+        if path is None:
+            raw = tree.path_to_sink(source)
+            for i in range(len(raw)):
+                node = raw[i]
+                if node in cache:
+                    break
+                cache[node] = np.asarray(raw[i:], dtype=np.int64)
+            path = cache[source]
+        return path
+
     def _forward(
         self,
         network: SensorNetwork,
         reports: List[IsolineReport],
         retractions: List[int],
         costs: CostAccountant,
-    ) -> List[IsolineReport]:
-        """Charge hop-by-hop delivery of deltas and retractions."""
+    ) -> Tuple[List[IsolineReport], List[int]]:
+        """Charge hop-by-hop delivery of deltas and retractions.
+
+        Batched accounting over memoized sink paths: per-node totals are
+        integers, so one ``np.add.at`` scatter per direction charges the
+        exact amounts the scalar hop walk (kept as
+        :meth:`_forward_reference`) would -- pinned equal by the
+        cost-equality differential in ``tests/core/test_continuous.py``.
+
+        Returns ``(delivered reports, delivered retraction sources)``
+        (a disconnected source transmits into the void either way).
+        """
         tree = network.tree
         delivered: List[IsolineReport] = []
+        delivered_retractions: List[int] = []
+        tx_parts: List[np.ndarray] = []
+        rx_parts: List[np.ndarray] = []
+        nbytes_parts: List[np.ndarray] = []
+
+        def charge(source: int, nbytes: int) -> bool:
+            if tree.level[source] is None:
+                return False
+            path = self._path(tree, source)
+            hops = len(path) - 1
+            if hops > 0:
+                tx_parts.append(path[:-1])
+                rx_parts.append(path[1:])
+                nbytes_parts.append(np.full(hops, nbytes, dtype=np.int64))
+            return True
+
+        for r in reports:
+            if charge(r.source, r.wire_bytes):
+                delivered.append(r)
+        for source in retractions:
+            if charge(source, RETRACTION_BYTES):
+                delivered_retractions.append(source)
+        if nbytes_parts:
+            nbytes = np.concatenate(nbytes_parts)
+            costs.charge_tx_batch(np.concatenate(tx_parts), nbytes)
+            costs.charge_rx_batch(np.concatenate(rx_parts), nbytes)
+        return delivered, delivered_retractions
+
+    def _forward_reference(
+        self,
+        network: SensorNetwork,
+        reports: List[IsolineReport],
+        retractions: List[int],
+        costs: CostAccountant,
+    ) -> Tuple[List[IsolineReport], List[int]]:
+        """The original per-hop walk (the differential baseline for
+        :meth:`_forward`; same delivery results, same per-node charges)."""
+        tree = network.tree
+        delivered: List[IsolineReport] = []
+        delivered_retractions: List[int] = []
         for r in reports:
             if tree.level[r.source] is None:
                 continue
@@ -250,4 +424,5 @@ class ContinuousIsoMap:
             path = tree.path_to_sink(source)
             for u, v in zip(path[:-1], path[1:]):
                 costs.charge_hop(u, v, RETRACTION_BYTES)
-        return delivered
+            delivered_retractions.append(source)
+        return delivered, delivered_retractions

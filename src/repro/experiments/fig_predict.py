@@ -1,0 +1,206 @@
+"""Traffic vs staleness vs accuracy for model-predictive suppression.
+
+The predictor bank (:mod:`repro.core.prediction`) lets a source skip its
+report whenever the sink's mirrored dead-reckoning model already lands
+within tolerance of the truth; the heartbeat cap bounds how long any
+track may coast.  This sweep quantifies the three-way trade the knob
+buys.  For each (scenario, tolerance) it runs the serving layer's
+deterministic deployment + field timeline twice from the same seed --
+prediction off (baseline) and prediction on -- and reports
+
+- **traffic**: delivered reports per epoch and total radio bytes, both
+  as baseline/predicted ratios over the warm window (the cold-start and
+  LMS warm-up epochs are excluded, as every track must be delivered
+  once before it can be predicted);
+- **staleness**: suppressed-in-a-row maximum actually observed (always
+  ``<= heartbeat`` by construction) and the heartbeat-forced share of
+  deliveries;
+- **accuracy**: the Hausdorff *penalty* -- mean over warm epochs of
+  (predicted map's Hausdorff to the true isolines) minus (baseline
+  map's), reported in field units and in grid cells of the
+  sqrt(n)-resolution raster (one cell per sensor column, the densest
+  structure the deployment can resolve).
+
+Scenarios are the serving layer's deterministic timelines
+(``steady``/``tide``/``storm``/``pulse``) plus the moving ``front`` --
+rigid translation at 2.5% of span per epoch, the canonical steady-drift
+workload the committed acceptance point uses (re-measured by
+``benchmarks/bench_predict.py``).  Tolerance 0 would suppress nothing;
+the committed point is tolerance 1.1 on ``front``, where the delivered
+reduction clears 2x with the penalty inside one grid cell.
+
+Runs through the parallel sweep runner (``--jobs``/``--cache``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Sequence
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import (
+    grid_points,
+    group_by_config,
+    run_sweep,
+    seed_mean,
+)
+
+#: Epochs per timeline; long enough for the front to keep moving across
+#: the whole warm window.
+EPOCHS = 12
+
+#: First epoch of the warm measurement window (cold start is epoch 1;
+#: the LMS needs a couple of deliveries per track to learn the drift).
+WARM = 4
+
+SCENARIOS = ("steady", "tide", "storm", "pulse", "front")
+TOLERANCES = (0.55, 1.1, 2.2)
+
+
+def predict_point(
+    scenario: str,
+    tolerance: float,
+    n: int,
+    seed: int,
+    epochs: int = EPOCHS,
+    heartbeat: int = 8,
+) -> Dict[str, Any]:
+    """One sweep point: paired off/on session timelines on one seed.
+
+    Imports stay inside the point function so sweep workers only pay
+    for what they use (the runner pickles the function reference).
+    """
+    from repro.metrics.hausdorff import mean_isoline_hausdorff
+    from repro.serving.session import SessionCompute, SessionConfig, field_for_epoch
+
+    kw = dict(n_nodes=n, seed=seed, scenario=scenario)
+    base = SessionCompute(SessionConfig(query_id="fig-predict-base", **kw))
+    pred = SessionCompute(
+        SessionConfig(
+            query_id="fig-predict-on",
+            prediction_tolerance=tolerance,
+            prediction_heartbeat=heartbeat,
+            **kw,
+        )
+    )
+    levels = base.query.isolevels
+    bounds = field_for_epoch(base.config, 0).bounds
+    cell = (bounds.xmax - bounds.xmin) / math.ceil(math.sqrt(n))
+
+    warm = min(WARM, epochs)  # short smoke timelines measure their tail
+    reports_base = reports_pred = 0
+    bytes_base = bytes_pred = 0
+    predicted = heartbeats = 0
+    staleness_max = 0
+    penalties = []
+    for epoch in range(1, epochs + 1):
+        field_now = field_for_epoch(base.config, epoch)
+        base.network.resense(field_now)
+        rb = base.monitor.epoch(base.network)
+        pred.network.resense(field_now)
+        rp = pred.monitor.epoch(pred.network)
+        staleness_max = max(staleness_max, rp.staleness)
+        if epoch < warm:
+            continue
+        reports_base += len(rb.delivered_reports)
+        reports_pred += len(rp.delivered_reports)
+        bytes_base += rb.costs.total_traffic_bytes()
+        bytes_pred += rp.costs.total_traffic_bytes()
+        predicted += rp.predicted
+        heartbeats += rp.heartbeats
+        hb = mean_isoline_hausdorff(field_now, rb.contour_map, levels)
+        hp = mean_isoline_hausdorff(field_now, rp.contour_map, levels)
+        if hb is not None and hp is not None:
+            penalties.append(hp - hb)
+
+    warm_epochs = epochs - warm + 1
+    penalty = sum(penalties) / len(penalties) if penalties else 0.0
+    return {
+        "reports_base": reports_base / warm_epochs,
+        "reports_pred": reports_pred / warm_epochs,
+        "traffic_base_kb": bytes_base / 1024.0,
+        "traffic_pred_kb": bytes_pred / 1024.0,
+        "predicted": predicted / warm_epochs,
+        "heartbeats": heartbeats / warm_epochs,
+        "staleness_max": float(staleness_max),
+        "penalty": penalty,
+        "penalty_cells": penalty / cell,
+    }
+
+
+def run_fig_predict(
+    seeds: Sequence[int] = (7,),
+    n: int = 600,
+    epochs: int = EPOCHS,
+    scenarios: Sequence[str] = SCENARIOS,
+    tolerances: Sequence[float] = TOLERANCES,
+    heartbeat: int = 8,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> ExperimentResult:
+    """Delivered-report reduction vs staleness vs Hausdorff penalty.
+
+    ``n=600``/seed 7 is the committed measurement density (the bench
+    re-checks the front scenario at tolerance 1.1 against the 2x / one
+    grid cell gate).  Reduction grows with tolerance while the penalty
+    stays near the tolerance itself; staleness_max never exceeds the
+    heartbeat.
+    """
+    configs = [
+        {
+            "scenario": s,
+            "tolerance": t,
+            "n": n,
+            "epochs": epochs,
+            "heartbeat": heartbeat,
+        }
+        for s in scenarios
+        for t in tolerances
+    ]
+    results = run_sweep(
+        grid_points(predict_point, configs, list(seeds)), jobs, cache_dir
+    )
+    table = ExperimentResult(
+        experiment_id="fig_predict",
+        title="model-predictive suppression: traffic vs staleness vs accuracy",
+        columns=[
+            "scenario",
+            "tolerance",
+            "reports_base",
+            "reports_pred",
+            "reduction",
+            "traffic_base_kb",
+            "traffic_pred_kb",
+            "predicted",
+            "heartbeats",
+            "staleness_max",
+            "penalty",
+            "penalty_cells",
+        ],
+        notes=(
+            f"n={n}, seeds={list(seeds)}, epochs={epochs}, "
+            f"heartbeat={heartbeat}; warm window starts at epoch {WARM}; "
+            "reports_* are delivered reports per warm epoch, reduction = "
+            "base/pred; penalty = mean warm-epoch Hausdorff(pred) - "
+            "Hausdorff(base) vs the true isolines, one cell = "
+            "span/ceil(sqrt(n))"
+        ),
+    )
+    for cfg, group in zip(configs, group_by_config(results, len(seeds))):
+        rb = seed_mean(group, "reports_base")
+        rp = seed_mean(group, "reports_pred")
+        table.add_row(
+            scenario=cfg["scenario"],
+            tolerance=cfg["tolerance"],
+            reports_base=rb,
+            reports_pred=rp,
+            reduction=rb / rp if rp else float("inf"),
+            traffic_base_kb=seed_mean(group, "traffic_base_kb"),
+            traffic_pred_kb=seed_mean(group, "traffic_pred_kb"),
+            predicted=seed_mean(group, "predicted"),
+            heartbeats=seed_mean(group, "heartbeats"),
+            staleness_max=seed_mean(group, "staleness_max"),
+            penalty=seed_mean(group, "penalty"),
+            penalty_cells=seed_mean(group, "penalty_cells"),
+        )
+    return table

@@ -76,16 +76,19 @@ def resample_polyline(
     (``tests/geometry/test_polyline_resample_contract.py``):
 
     1. both outputs begin with ``points[0]`` and end with ``points[-1]``;
-    2. their lengths differ by at most one sample -- the scalar walk
-       accumulates arclength per segment (``carried`` remainder) while
-       the fast path samples global arclengths ``k * spacing``, so when
-       a sample lands within floating-point noise of the total length
-       one implementation emits it and the other does not; the extra
-       sample lies within ``spacing`` of the final point;
+    2. their lengths differ by at most one sample -- both target global
+       arclengths ``k * spacing``, but the scalar walk accumulates the
+       arclength prefix per segment while the fast path takes one
+       ``cumsum``, so when a sample lands within floating-point noise of
+       the total length one implementation emits it and the other does
+       not; the extra sample lies within ``spacing`` of the final point;
     3. over the common prefix, corresponding samples agree to absolute
        coordinate error ``<= 1e-6`` -- the two formulas target the same
-       global arclengths and differ only in summation order (per-segment
-       remainder vs. one ``cumsum``), i.e. by accumulated ULPs.
+       global arclengths and differ only in summation order (running
+       scalar sum vs. one ``cumsum``), i.e. by accumulated ULPs.  (When
+       a target lands within ULPs of a vertex the two paths may assign
+       it to adjacent segments, but either way the emitted point is that
+       vertex to within the same tolerance.)
 
     The Hausdorff metric consuming these samples is insensitive to all
     three deviations.
@@ -99,18 +102,21 @@ def resample_polyline(
     if len(points) == 1:
         return [points[0]]
     out: List[Vec] = [points[0]]
-    carried = 0.0
+    cum = 0.0  # arclength at the current segment's start
+    k = 1  # next global sample index; target arclength is k * spacing
     for i in range(len(points) - 1):
         a, b = points[i], points[i + 1]
         seg_len = dist(a, b)
         if seg_len <= 0:
             continue
-        t = spacing - carried
-        while t <= seg_len:
-            f = t / seg_len
+        end = cum + seg_len
+        s = k * spacing
+        while s <= end:
+            f = (s - cum) / seg_len
             out.append((a[0] + f * (b[0] - a[0]), a[1] + f * (b[1] - a[1])))
-            t += spacing
-        carried = (carried + seg_len) % spacing
+            k += 1
+            s = k * spacing
+        cum = end
     if out[-1] != points[-1]:
         out.append(points[-1])
     return out

@@ -81,6 +81,7 @@ from repro.serving.supervisor import (
 )
 from repro.serving.wire import (
     DELTA,
+    DELTA_PREDICTED,
     ENCODING_PLAIN,
     ENCODING_SIMPLIFIED,
     SNAPSHOT,
@@ -101,6 +102,7 @@ from repro.serving.wire import (
 __all__ = [
     "CORRUPT",
     "DELTA",
+    "DELTA_PREDICTED",
     "DROP",
     "ENCODING_PLAIN",
     "ENCODING_SIMPLIFIED",

@@ -27,7 +27,12 @@ from repro.serving.errors import (
     SlowConsumerEvicted,
 )
 from repro.serving.router import MapService
-from repro.serving.wire import DELTA, ENCODING_PLAIN, ENCODING_SIMPLIFIED
+from repro.serving.wire import (
+    DELTA,
+    DELTA_PREDICTED,
+    ENCODING_PLAIN,
+    ENCODING_SIMPLIFIED,
+)
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -190,7 +195,7 @@ async def _delta_subscriber(
     subscription = service.subscribe(query_id, since_epoch, encodings=encodings)
     try:
         async for message in subscription:
-            if message.kind != DELTA:
+            if message.kind not in (DELTA, DELTA_PREDICTED):
                 continue
             published = session.publish_walltime(message.epoch)
             if published is not None:

@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.codec import ReportCodec
 from repro.core.continuous import ContinuousIsoMap
+from repro.core.prediction import PredictionConfig
 from repro.core.query import ContourQuery
 from repro.field import (
     CompositeField,
@@ -55,6 +56,7 @@ from repro.serving.errors import (
 from repro.serving.store import MapStore
 from repro.serving.wire import (
     DELTA,
+    DELTA_PREDICTED,
     ENCODING_PLAIN,
     ENCODING_SIMPLIFIED,
     SNAPSHOT,
@@ -90,9 +92,11 @@ class SessionConfig:
             ``"harbor"`` (the paper's 50x50 harbor stand-in).
         scenario: field evolution per epoch -- ``"steady"`` (no change),
             ``"tide"`` (smooth periodic drift), ``"storm"`` (a local
-            event ramping in at epoch 3), or ``"pulse"`` (the field
+            event ramping in at epoch 3), ``"pulse"`` (the field
             collapses below every queried level at epochs 3, 7, 11, ...:
-            the all-retract edge case).
+            the all-retract edge case), or ``"front"`` (a trench
+            marching across the field at constant per-epoch speed: the
+            steady-drift workload the drift predictor targets).
         value_lo / value_hi / granularity / epsilon_fraction: the
             standing :class:`~repro.core.query.ContourQuery`.
         radio_range: deployment radio range.
@@ -105,6 +109,17 @@ class SessionConfig:
             simplified pipeline entirely -- the PR-6 stream is produced
             alone, byte-for-byte as before.  ``0.0`` runs the pipeline
             as a strict passthrough (the byte-identity differential).
+        prediction_tolerance: when set, the monitor runs with
+            model-predictive suppression
+            (:class:`~repro.core.prediction.PredictionConfig` at this
+            position tolerance): suppressed epochs are served from the
+            mirrored predictor's dead-reckoned extrapolation and live
+            deltas are tagged
+            :data:`~repro.serving.wire.DELTA_PREDICTED`.  ``None`` (the
+            default) keeps the prediction-off protocol byte-identical
+            to the pre-prediction stream.
+        prediction_heartbeat: staleness bound (max consecutive
+            extrapolated epochs per cache entry) when prediction is on.
     """
 
     query_id: str
@@ -119,6 +134,8 @@ class SessionConfig:
     radio_range: float = 2.2
     angle_delta_deg: float = 10.0
     simplify_tolerance: Optional[float] = None
+    prediction_tolerance: Optional[float] = None
+    prediction_heartbeat: int = 8
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -133,6 +150,15 @@ class SessionConfig:
             self.value_hi,
             self.granularity,
             epsilon_fraction=self.epsilon_fraction,
+        )
+
+    def prediction(self) -> Optional[PredictionConfig]:
+        """The monitor's predictor config (None when prediction is off)."""
+        if self.prediction_tolerance is None:
+            return None
+        return PredictionConfig(
+            position_tolerance=self.prediction_tolerance,
+            heartbeat=self.prediction_heartbeat,
         )
 
 
@@ -188,6 +214,24 @@ def field_for_epoch(config: SessionConfig, epoch: int) -> ScalarField:
             lo = min(0.0, config.value_lo - 2.0 * config.granularity)
             return _collapsed(bounds, lo)
         return base
+    if scenario == "front":
+        # Steady drift: the whole phenomenon translates at a constant
+        # 2.5%-of-span per epoch, so every isoline sweeps the stationary
+        # deployment at uniform speed -- pure membership churn with
+        # stable topology, the workload model-predictive suppression
+        # targets.  On the radial field this is a rigid translation of
+        # the center; on other fields a trench marching across stands in.
+        span = bounds.xmax - bounds.xmin
+        frac = 0.30 + min(0.025 * epoch, 0.40)
+        cx = bounds.xmin + frac * span
+        cy = bounds.ymin + 0.5 * (bounds.ymax - bounds.ymin)
+        if config.field == "radial":
+            return RadialField(bounds, center=(cx, cy), peak=20.0, slope=1.0)
+        sigma = 0.16 * span
+        return CompositeField(
+            bounds,
+            [base, GaussianBumpField(bounds, 0.0, [(-4.0, (cx, cy), sigma)])],
+        )
     raise ValueError(f"unknown scenario {scenario!r}")
 
 
@@ -218,7 +262,9 @@ class SessionCompute:
             base, config.n_nodes, radio_range=config.radio_range, seed=config.seed
         )
         self.monitor = ContinuousIsoMap(
-            self.query, angle_delta_deg=config.angle_delta_deg
+            self.query,
+            angle_delta_deg=config.angle_delta_deg,
+            prediction=config.prediction(),
         )
         self.codec = ReportCodec.for_query(self.query, self.network.bounds)
         self._state: Dict[Tuple[int, int], bytes] = {}
@@ -246,19 +292,57 @@ class SessionCompute:
         self.network.resense(field_for_epoch(self.config, epoch))
         result = self.monitor.epoch(self.network)
 
-        new_records: List[bytes] = []
-        for report in result.delivered_reports:
-            key = self.codec.quantize_position(report.position)
-            record = self.codec.encode(report)
-            self._state[key] = record
-            self._source_pos[report.source] = key
-            new_records.append(record)
-        retractions: List[Tuple[int, int]] = []
-        for source in result.retractions:
-            key = self._source_pos.pop(source, None)
-            if key is not None and key in self._state:
-                del self._state[key]
-                retractions.append(key)
+        if self.monitor.prediction is None:
+            # The pre-prediction fold, byte-for-byte: sources are
+            # stationary, so a delivered report never moves its key.
+            new_records: List[bytes] = []
+            for report in result.delivered_reports:
+                key = self.codec.quantize_position(report.position)
+                record = self.codec.encode(report)
+                self._state[key] = record
+                self._source_pos[report.source] = key
+                new_records.append(record)
+            retractions: List[Tuple[int, int]] = []
+            for source in result.retractions:
+                key = self._source_pos.pop(source, None)
+                if key is not None and key in self._state:
+                    del self._state[key]
+                    retractions.append(key)
+        else:
+            # Prediction fold: cache entries are predictor tracks whose
+            # dead-reckoned positions MOVE between epochs, so a changed
+            # entry retracts its old position key alongside the new
+            # record.  Keys re-occupied by this epoch's records are
+            # never retracted (the replayer applies records first, so a
+            # same-key retraction would delete fresh data).
+            updates = [
+                (
+                    self.codec.quantize_position(report.position),
+                    self.codec.encode(report),
+                    report.source,
+                )
+                for report in result.cache_updates
+            ]
+            new_keys = {key for key, _, _ in updates}
+            vacated: List[Tuple[int, int]] = []
+            for key, _, source in updates:
+                prev = self._source_pos.get(source)
+                if prev is not None and prev != key:
+                    vacated.append(prev)
+            for source in result.cache_removed:
+                prev = self._source_pos.pop(source, None)
+                if prev is not None:
+                    vacated.append(prev)
+            retractions = []
+            for key in vacated:
+                if key not in new_keys and key in self._state:
+                    del self._state[key]
+                    retractions.append(key)
+            new_records = []
+            for key, record, source in updates:
+                self._state[key] = record
+                self._source_pos[source] = key
+                new_records.append(record)
 
         sink = (
             None
@@ -282,6 +366,10 @@ class SessionCompute:
             "suppressed": result.suppressed,
             "cached_reports": result.cached_reports,
             "traffic_bytes": result.costs.total_traffic_bytes(),
+            "predicted": result.predicted,
+            "heartbeats": result.heartbeats,
+            "staleness": result.staleness,
+            "tracks": result.tracks,
         }
         if self._simplified is not None:
             s_delta, s_records = self._simplified.fold_epoch(
@@ -536,11 +624,13 @@ class MapSession:
         stale = result["epoch"] - self.store.retention
         self._publish_walltime.pop(stale, None)
         messages = {
-            ENCODING_PLAIN: ServedMessage(DELTA, result["epoch"], result["delta"])
+            ENCODING_PLAIN: ServedMessage(
+                self.delta_kind, result["epoch"], result["delta"]
+            )
         }
         if "s_delta" in result:
             messages[ENCODING_SIMPLIFIED] = ServedMessage(
-                DELTA, result["epoch"], result["s_delta"]
+                self.delta_kind, result["epoch"], result["s_delta"]
             )
         for sub_id in list(self._subs):
             entry = self._subs.get(sub_id)
@@ -562,6 +652,22 @@ class MapSession:
     def simplified_available(self) -> bool:
         """True when this session produces the SIMPLIFIED stream."""
         return self.config.simplify_tolerance is not None
+
+    @property
+    def prediction_enabled(self) -> bool:
+        """True when this session suppresses reports via prediction."""
+        return self.config.prediction_tolerance is not None
+
+    @property
+    def delta_kind(self) -> str:
+        """Wire kind for this session's deltas.
+
+        Prediction-enabled sessions tag every delta
+        :data:`~repro.serving.wire.DELTA_PREDICTED` so clients know some
+        records may be dead-reckoned extrapolations rather than sensed
+        reports; the payload layout is identical to a plain DELTA.
+        """
+        return DELTA_PREDICTED if self.prediction_enabled else DELTA
 
     def snapshot(
         self, epoch: Optional[int] = None, encoding: str = ENCODING_PLAIN
@@ -650,7 +756,7 @@ class MapSession:
                 for e in range(start, current + 1):
                     delta = self.store.delta(e, simplified=simplified)
                     assert delta is not None  # inside retention by check above
-                    replay.append(ServedMessage(DELTA, e, delta))
+                    replay.append(ServedMessage(self.delta_kind, e, delta))
             else:
                 replay.append(
                     ServedMessage(

@@ -52,6 +52,15 @@ from repro.serving.errors import (
 SNAPSHOT = "snapshot"
 DELTA = "delta"
 
+#: A delta from a prediction-enabled session (``prediction_tolerance``
+#: set on its :class:`~repro.serving.session.SessionConfig`): the PAYLOAD
+#: layout is byte-identical to :data:`DELTA` and a :class:`DeltaReplayer`
+#: folds it the same way, but the kind tags the records as *mirrored
+#: predictor state* -- some entries are deterministic dead-reckoned
+#: extrapolations rather than delivered sensor reports, with staleness
+#: bounded by the session's heartbeat cap.
+DELTA_PREDICTED = "delta_predicted"
+
 #: Stream encodings a subscriber can negotiate (see
 #: :func:`negotiate_encoding`).  PLAIN is the PR-6 contract: every
 #: cached record ships.  SIMPLIFIED ships the tolerance-bounded record
@@ -101,7 +110,8 @@ class ServedMessage:
     """One unit of the serving protocol as seen by a client.
 
     Attributes:
-        kind: :data:`SNAPSHOT`, :data:`SNAPSHOT_STALE` or :data:`DELTA`.
+        kind: :data:`SNAPSHOT`, :data:`SNAPSHOT_STALE`, :data:`DELTA` or
+            :data:`DELTA_PREDICTED`.
         epoch: the epoch the payload describes (snapshots: the epoch the
             state is current *as of*; deltas: the epoch the change
             belongs to).
@@ -116,6 +126,12 @@ class ServedMessage:
     def stale(self) -> bool:
         """True when this is a degraded-mode (staleness-tagged) snapshot."""
         return self.kind == SNAPSHOT_STALE
+
+    @property
+    def predicted(self) -> bool:
+        """True when this delta carries mirrored-predictor state (some
+        records may be bounded-staleness extrapolations)."""
+        return self.kind == DELTA_PREDICTED
 
 
 @dataclass(frozen=True)
@@ -257,7 +273,7 @@ class DeltaReplayer:
 
     def apply(self, message: ServedMessage) -> None:
         """Fold one served message into the map state."""
-        if message.kind == DELTA:
+        if message.kind in (DELTA, DELTA_PREDICTED):
             self.apply_delta(decode_delta(message.payload))
         elif message.kind in (SNAPSHOT, SNAPSHOT_STALE):
             # A stale snapshot resyncs like a live one; its embedded

@@ -31,11 +31,32 @@ def test_serving_demo_runs():
     assert "identical map" in proc.stdout
 
 
+def test_serving_demo_runs_with_prediction():
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(_REPO / "examples" / "serving_demo.py"),
+            "--nodes", "200", "--epochs", "4",
+            "--scenario", "front", "--prediction-tolerance", "1.1",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PYTHONPATH": str(_REPO / "src")},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "PDELTA" in proc.stdout
+    assert "MISMATCH" not in proc.stdout
+    assert "identical map" in proc.stdout
+
+
 def test_cli_serve_defaults():
     args = build_parser().parse_args(["serve"])
     assert args.subscribers == 200
     assert args.shards == 0
     assert args.scenario == "tide"
+    assert args.prediction_tolerance is None
+    assert args.prediction_heartbeat == 8
 
 
 def test_cli_serve_runs(capsys):
@@ -55,6 +76,25 @@ def test_cli_serve_rejects_unknown_scenario(capsys):
     rc = main(["serve", "--scenario", "tsunami"])
     assert rc == 2
     assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cli_serve_rejects_bad_prediction_tolerance(capsys):
+    rc = main(["serve", "--prediction-tolerance", "0"])
+    assert rc == 2
+    assert "--prediction-tolerance" in capsys.readouterr().err
+
+
+def test_cli_serve_runs_with_prediction(capsys):
+    rc = main(
+        [
+            "serve", "--nodes", "200", "--epochs", "3",
+            "--clients", "2", "--subscribers", "5",
+            "--scenario", "front", "--prediction-tolerance", "1.1",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "serving load" in out
 
 
 def test_cli_serve_rejects_bad_chaos_intensity(capsys):

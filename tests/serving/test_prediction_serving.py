@@ -1,0 +1,144 @@
+"""Serving-layer contracts for prediction-enabled sessions.
+
+The mirrored-predictor contract at the wire level: a subscriber folding
+the ``DELTA_PREDICTED`` stream from epoch 0 renders, at every epoch, a
+snapshot byte-identical to what the service serves -- i.e. the sink
+mirror of the predictor bank round-trips losslessly through the delta
+encoding, including epochs where records are dead-reckoned
+extrapolations and epochs where a track's key re-occupies a retracted
+position.
+
+Also pins the tagging itself (predicted sessions emit DELTA_PREDICTED,
+plain sessions emit DELTA -- live and replayed), the metadata surfaced
+per epoch, and a ``run_load`` smoke with prediction on.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serving.clients import run_load
+from repro.serving.router import MapService
+from repro.serving.session import SessionCompute, SessionConfig
+from repro.serving.wire import DELTA, DELTA_PREDICTED, DeltaReplayer
+
+CONFIG_KW = dict(n_nodes=400, seed=3, radio_range=2.2)
+EPOCHS = 8
+
+
+def predicted_config(query_id="pred", scenario="front", tolerance=1.1):
+    return SessionConfig(
+        query_id=query_id,
+        scenario=scenario,
+        prediction_tolerance=tolerance,
+        **CONFIG_KW,
+    )
+
+
+@pytest.mark.parametrize("scenario", ["front", "tide", "pulse"])
+def test_predicted_delta_fold_matches_snapshot(scenario):
+    """Replay == snapshot at every epoch, per scenario (incl. the pulse
+    mass-retraction epochs and the drifting front)."""
+    config = predicted_config(scenario=scenario)
+
+    async def main():
+        async with MapService([config]) as service:
+            session = service.session("pred")
+            replayer = DeltaReplayer()
+            sub = service.subscribe("pred", since_epoch=0)
+            for e in range(1, EPOCHS + 1):
+                await session.advance()
+                message = await sub.__anext__()
+                assert message.kind == DELTA_PREDICTED
+                assert message.predicted
+                assert message.epoch == e
+                replayer.apply(message)
+                assert replayer.render() == service.snapshot("pred").payload
+            sub.close()
+
+    asyncio.run(main())
+
+
+def test_plain_sessions_still_emit_delta():
+    config = SessionConfig(query_id="plain", scenario="tide", **CONFIG_KW)
+
+    async def main():
+        async with MapService([config]) as service:
+            session = service.session("plain")
+            sub = service.subscribe("plain", since_epoch=0)
+            await session.advance()
+            message = await sub.__anext__()
+            assert message.kind == DELTA
+            assert not message.predicted
+            sub.close()
+
+    asyncio.run(main())
+
+
+def test_replayed_deltas_keep_predicted_kind():
+    """A late subscriber's replayed backlog carries DELTA_PREDICTED too."""
+    config = predicted_config()
+
+    async def main():
+        async with MapService([config], retention=EPOCHS) as service:
+            session = service.session("pred")
+            for _ in range(4):
+                await session.advance()
+            sub = service.subscribe("pred", since_epoch=0)
+            replayer = DeltaReplayer()
+            for e in range(1, 5):
+                message = await sub.__anext__()
+                assert message.kind == DELTA_PREDICTED
+                assert message.epoch == e
+                replayer.apply(message)
+            assert replayer.render() == service.snapshot("pred").payload
+            sub.close()
+
+    asyncio.run(main())
+
+
+def test_epoch_stats_surface_prediction_metadata():
+    compute = SessionCompute(predicted_config())
+    saw_predicted = False
+    for e in range(1, EPOCHS + 1):
+        out = compute.epoch(e)
+        assert set(
+            ("predicted", "heartbeats", "staleness", "tracks")
+        ) <= set(out)
+        assert out["staleness"] <= compute.config.prediction_heartbeat
+        if out["predicted"] > 0:
+            saw_predicted = True
+    assert saw_predicted
+
+
+def test_prediction_suppresses_deliveries_on_front():
+    base = SessionCompute(
+        SessionConfig(query_id="b", scenario="front", **CONFIG_KW)
+    )
+    pred = SessionCompute(predicted_config(query_id="p"))
+    b = p = 0
+    for e in range(1, 13):
+        rb = base.epoch(e)
+        rp = pred.epoch(e)
+        if e >= 4:
+            b += rb["delivered"]
+            p += rp["delivered"]
+    assert p < b
+
+
+def test_run_load_smoke_with_prediction():
+    config = predicted_config()
+
+    async def main():
+        async with MapService([config]) as service:
+            report = await run_load(
+                service,
+                "pred",
+                epochs=4,
+                n_snapshot_clients=4,
+                n_subscribers=8,
+            )
+            assert report.deltas_delivered > 0
+            assert report.epochs == 4
+
+    asyncio.run(main())
